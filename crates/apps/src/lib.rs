@@ -1,0 +1,28 @@
+//! CloudTalk-enabled applications (paper §5).
+//!
+//! The paper modifies three applications to issue CloudTalk queries
+//! "whenever they have a choice" (100–300 LOC per app). This crate holds
+//! the simulated equivalents, each with both its vanilla decision policy
+//! and the CloudTalk-optimised one:
+//!
+//! * [`hdfs`] — a distributed filesystem: NameNode block placement,
+//!   pipelined (daisy-chained) replicated writes, replica-selection reads.
+//! * [`mapreduce`] — a Hadoop-style MapReduce runtime: heartbeat-driven
+//!   task assignment, data-local maps, shuffle, speculative execution.
+//! * [`websearch`] — Solr-style scatter-gather search over aggregators,
+//!   evaluated on the packet-level simulator (incast-dominated).
+//! * [`cluster`] — the shared harness tying a [`simnet::NetSim`] to a
+//!   [`cloudtalk::CloudTalkServer`].
+//! * [`fleet`] — the fully distributed deployment: one CloudTalk server
+//!   per host, with per-server reservation state (§5.5 usage patterns).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod fleet;
+pub mod hdfs;
+pub mod mapreduce;
+pub mod websearch;
+
+pub use cluster::Cluster;
+pub use fleet::FleetCluster;

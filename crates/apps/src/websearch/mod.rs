@@ -1,0 +1,405 @@
+//! Web search: scatter-gather over aggregators (paper §5.4, Figure 11).
+//!
+//! "Servers are organized in a hierarchical structure: the query is sent
+//! by the frontend towards the leaves, while the results go in the
+//! opposite direction." Performance is dominated by TCP incast at the
+//! aggregation fan-in, so everything here runs on the packet-level
+//! simulator.
+//!
+//! Three pieces:
+//!
+//! * [`query_latency`] — one query in a given deployment (single
+//!   aggregator or two-level), via [`pktsim::workload`].
+//! * [`sweep_load`] — offered-load sweep (queries per second) reproducing
+//!   the single-aggregator collapse above ~35 qps.
+//! * [`place_aggregators`] — the §5.4 CloudTalk use: evaluate every
+//!   candidate aggregator placement with the packet-level backend over a
+//!   *simulated mirror topology* (static information) and return the
+//!   best/worst placements.
+
+use desim::{SimDuration, SimTime};
+use pktsim::workload::{gather, two_level_query};
+use pktsim::{PktSim, SimConfig};
+use simnet::topology::{HostId, Topology};
+
+/// A deployment shape.
+#[derive(Clone, Debug)]
+pub enum Deployment {
+    /// One aggregator fanning into all leaves.
+    SingleAggregator {
+        /// The aggregator host.
+        aggregator: HostId,
+    },
+    /// Two aggregators, each owning half the leaves (paper Figure 10).
+    TwoLevel {
+        /// The two aggregator hosts.
+        aggregators: (HostId, HostId),
+    },
+}
+
+/// Per-leaf response size (paper: 10 KB).
+pub const RESPONSE_BYTES: u64 = 10 * 1024;
+
+/// Latency of one query under `deployment` on a fresh simulator.
+pub fn query_latency(
+    topo: &Topology,
+    cfg: SimConfig,
+    frontend: HostId,
+    leaves: &[HostId],
+    deployment: &Deployment,
+) -> f64 {
+    let mut sim = PktSim::new(topo.clone(), cfg);
+    match deployment {
+        Deployment::SingleAggregator { aggregator } => {
+            let r = gather(&mut sim, leaves, *aggregator, RESPONSE_BYTES, SimTime::ZERO);
+            if *aggregator == frontend {
+                return r.finish.as_secs_f64();
+            }
+            // Forward the combined result to the frontend.
+            let combined = RESPONSE_BYTES * leaves.len() as u64;
+            let f = sim.add_flow(*aggregator, frontend, combined, r.finish);
+            sim.run_until_idle();
+            sim.finish_time(f).expect("drained").as_secs_f64()
+        }
+        Deployment::TwoLevel { aggregators } => {
+            let half = leaves.len() / 2;
+            let groups = vec![
+                (aggregators.0, leaves[..half].to_vec()),
+                (aggregators.1, leaves[half..].to_vec()),
+            ];
+            two_level_query(&mut sim, frontend, &groups, RESPONSE_BYTES, SimTime::ZERO)
+                .as_secs_f64()
+        }
+    }
+}
+
+/// One point of the load sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPoint {
+    /// Offered load, queries per second.
+    pub qps: f64,
+    /// Mean query latency, seconds.
+    pub mean_latency: f64,
+    /// 99th-percentile query latency, seconds.
+    pub p99_latency: f64,
+    /// Fraction of queries exceeding `overload_latency` (the stand-in for
+    /// the paper's aggregator crashes).
+    pub overload_fraction: f64,
+}
+
+/// Latency above which a query counts as failed/overloaded. The paper's
+/// Tomcat aggregator *crashed* under incast; a simulator does not crash,
+/// so a query stuck through an RTO round (≫ the ~50 ms healthy latency)
+/// is the observable equivalent.
+pub const OVERLOAD_LATENCY: f64 = 0.2;
+
+/// How long leaf search itself takes: responses leave a leaf between 0 and
+/// this many seconds after the query arrives. The stagger is what keeps a
+/// *lone* query's fan-in from self-incasting — collapse then only appears
+/// when concurrent queries pile up (the paper's >35 qps regime).
+pub const LEAF_COMPUTE_MAX: f64 = 0.04;
+
+/// Sweeps offered load for a deployment: `n_queries` queries arrive with
+/// uniform spacing `1/qps`; all share one simulator so they contend. Leaf
+/// responses are staggered by up to [`LEAF_COMPUTE_MAX`] (deterministic
+/// per leaf/query), modelling per-leaf search time.
+pub fn sweep_load(
+    topo: &Topology,
+    cfg: SimConfig,
+    frontend: HostId,
+    leaves: &[HostId],
+    deployment: &Deployment,
+    qps: f64,
+    n_queries: usize,
+) -> LoadPoint {
+    let mut sim = PktSim::new(topo.clone(), cfg);
+    let spacing = SimDuration::from_secs_f64(1.0 / qps);
+    let mut latencies: Vec<f64> = Vec::with_capacity(n_queries);
+
+    // All queries' leaf->aggregator flows are scheduled up front; the
+    // aggregator->frontend stage is launched as each query's gather ends.
+    struct Pending {
+        at: SimTime,
+        stage1: Vec<pktsim::FlowIdx>,
+        stage2: Option<pktsim::FlowIdx>,
+        groups: Vec<(HostId, usize)>, // aggregator, leaf count
+        done: Option<SimTime>,
+    }
+    let groups: Vec<(HostId, Vec<HostId>)> = match deployment {
+        Deployment::SingleAggregator { aggregator } => {
+            vec![(*aggregator, leaves.to_vec())]
+        }
+        Deployment::TwoLevel { aggregators } => {
+            let half = leaves.len() / 2;
+            vec![
+                (aggregators.0, leaves[..half].to_vec()),
+                (aggregators.1, leaves[half..].to_vec()),
+            ]
+        }
+    };
+
+    let mut queries: Vec<Pending> = Vec::with_capacity(n_queries);
+    for q in 0..n_queries {
+        let at = SimTime::ZERO + spacing * q as u64;
+        let mut stage1 = Vec::new();
+        let mut ginfo = Vec::new();
+        for (agg, ls) in &groups {
+            for (li, &leaf) in ls.iter().enumerate() {
+                // Deterministic per-(query, leaf) search-time stagger.
+                let jitter_ns = desim::rng::derive_seed(q as u64, li as u64)
+                    % (LEAF_COMPUTE_MAX * 1e9) as u64;
+                let start = at + SimDuration::from_nanos(jitter_ns);
+                stage1.push(sim.add_flow(leaf, *agg, RESPONSE_BYTES, start));
+            }
+            ginfo.push((*agg, ls.len()));
+        }
+        queries.push(Pending {
+            at,
+            stage1,
+            stage2: None,
+            groups: ginfo,
+            done: None,
+        });
+    }
+
+    // Drive to completion, launching stage 2 per query as stage 1 drains.
+    loop {
+        let mut progressed = false;
+        for q in queries.iter_mut() {
+            if q.done.is_some() {
+                continue;
+            }
+            if q.stage2.is_none() {
+                let stage1_done = q
+                    .stage1
+                    .iter()
+                    .map(|&f| sim.finish_time(f))
+                    .collect::<Option<Vec<_>>>();
+                if let Some(finishes) = stage1_done {
+                    let last = finishes.into_iter().max().expect("non-empty");
+                    let combined: u64 = q
+                        .groups
+                        .iter()
+                        .map(|&(_, n)| RESPONSE_BYTES * n as u64)
+                        .sum();
+                    // Model the upward stage as one flow from the last
+                    // aggregator (both halves must arrive at the frontend;
+                    // using the slower one preserves the tail).
+                    let agg = q.groups.last().expect("non-empty").0;
+                    q.stage2 = Some(sim.add_flow(agg, frontend, combined, last));
+                    progressed = true;
+                }
+            } else if let Some(f) = q.stage2 {
+                if let Some(t) = sim.finish_time(f) {
+                    q.done = Some(t);
+                    progressed = true;
+                }
+            }
+        }
+        if queries.iter().all(|q| q.done.is_some()) {
+            break;
+        }
+        if !progressed && !sim.step() {
+            break;
+        }
+    }
+
+    for q in &queries {
+        if let Some(done) = q.done {
+            latencies.push((done - q.at).as_secs_f64());
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let p99 = latencies
+        .get(((latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+        .copied()
+        .unwrap_or(0.0);
+    let overload = latencies.iter().filter(|&&l| l > OVERLOAD_LATENCY).count() as f64
+        / latencies.len().max(1) as f64;
+    LoadPoint {
+        qps,
+        mean_latency: mean,
+        p99_latency: p99,
+        overload_fraction: overload,
+    }
+}
+
+/// Result of the §5.4 placement search.
+#[derive(Clone, Debug)]
+pub struct PlacementSearch {
+    /// The best `(agg1, agg2)` pair and its predicted latency.
+    pub best: ((HostId, HostId), f64),
+    /// The worst pair and its predicted latency.
+    pub worst: ((HostId, HostId), f64),
+    /// Latency predicted for a single aggregator handling all leaves.
+    pub single_aggregator: f64,
+    /// Placements evaluated.
+    pub evaluated: usize,
+}
+
+/// Evaluates all ordered pairs of `candidates` as two-level aggregator
+/// placements using the packet-level simulator with static information —
+/// the paper's §5.4 methodology ("We evaluated all possible aggregator
+/// placements (100), and for each placement we simulate the desired flows
+/// in an idle network").
+pub fn place_aggregators(
+    topo: &Topology,
+    cfg: SimConfig,
+    frontend: HostId,
+    leaves: &[HostId],
+    candidates: &[HostId],
+) -> PlacementSearch {
+    let mut best: Option<((HostId, HostId), f64)> = None;
+    let mut worst: Option<((HostId, HostId), f64)> = None;
+    let mut evaluated = 0usize;
+    for &a1 in candidates {
+        for &a2 in candidates {
+            if a1 == a2 {
+                continue;
+            }
+            let lat = query_latency(
+                topo,
+                cfg,
+                frontend,
+                leaves,
+                &Deployment::TwoLevel { aggregators: (a1, a2) },
+            );
+            evaluated += 1;
+            if best.as_ref().is_none_or(|(_, b)| lat < *b) {
+                best = Some(((a1, a2), lat));
+            }
+            if worst.as_ref().is_none_or(|(_, w)| lat > *w) {
+                worst = Some(((a1, a2), lat));
+            }
+        }
+    }
+    let single = query_latency(
+        topo,
+        cfg,
+        frontend,
+        leaves,
+        &Deployment::SingleAggregator {
+            aggregator: candidates[0],
+        },
+    );
+    PlacementSearch {
+        best: best.expect("at least two candidates"),
+        worst: worst.expect("at least two candidates"),
+        single_aggregator: single,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::TopoOptions;
+    use simnet::GBPS;
+
+    fn search_topo() -> (Topology, HostId, Vec<HostId>) {
+        // 1 frontend + 100 leaves (the paper's scale: two-level wins
+        // because a 100-way incast costs several RTO rounds while 50-way
+        // costs fewer) + spare hosts for aggregators.
+        let topo = Topology::two_tier(12, 10, GBPS, f64::INFINITY, TopoOptions::default());
+        let hosts = topo.host_ids();
+        let frontend = hosts[0];
+        let leaves = hosts[20..120].to_vec();
+        (topo, frontend, leaves)
+    }
+
+    #[test]
+    fn single_aggregator_suffers_incast() {
+        let (topo, frontend, leaves) = search_topo();
+        let agg = topo.host_ids()[1];
+        let lat = query_latency(
+            &topo,
+            SimConfig::default(),
+            frontend,
+            &leaves,
+            &Deployment::SingleAggregator { aggregator: agg },
+        );
+        // 100-way incast into a 50-packet buffer must cross an RTO.
+        assert!(lat > 0.2, "latency {lat}");
+    }
+
+    #[test]
+    fn two_level_beats_single() {
+        let (topo, frontend, leaves) = search_topo();
+        let hosts = topo.host_ids();
+        let single = query_latency(
+            &topo,
+            SimConfig::default(),
+            frontend,
+            &leaves,
+            &Deployment::SingleAggregator { aggregator: hosts[1] },
+        );
+        let two = query_latency(
+            &topo,
+            SimConfig::default(),
+            frontend,
+            &leaves,
+            &Deployment::TwoLevel {
+                aggregators: (hosts[1], hosts[2]),
+            },
+        );
+        assert!(
+            two < single,
+            "two-level {two}s must beat single {single}s"
+        );
+    }
+
+    #[test]
+    fn placement_search_orders_best_and_worst() {
+        let (topo, frontend, leaves) = search_topo();
+        let hosts = topo.host_ids();
+        let candidates = vec![hosts[1], hosts[2], hosts[3]];
+        let search = place_aggregators(
+            &topo,
+            SimConfig::default(),
+            frontend,
+            &leaves,
+            &candidates,
+        );
+        assert_eq!(search.evaluated, 6);
+        assert!(search.best.1 <= search.worst.1);
+        assert!(search.single_aggregator >= search.best.1);
+    }
+
+    #[test]
+    fn load_sweep_degrades_with_qps() {
+        let (topo, frontend, leaves) = search_topo();
+        let agg = topo.host_ids()[1];
+        let dep = Deployment::SingleAggregator { aggregator: agg };
+        // qps 0.2 → 5 s spacing: queries fully separated (each takes ~1 s);
+        // qps 40 → heavy overlap.
+        let low = sweep_load(&topo, SimConfig::default(), frontend, &leaves, &dep, 0.2, 4);
+        let high = sweep_load(&topo, SimConfig::default(), frontend, &leaves, &dep, 40.0, 4);
+        assert!(
+            high.p99_latency >= low.p99_latency * 0.99,
+            "load must not improve the tail: {} vs {}",
+            high.p99_latency,
+            low.p99_latency
+        );
+        assert!(
+            high.overload_fraction >= low.overload_fraction,
+            "overload fraction must not shrink with load"
+        );
+    }
+
+    #[test]
+    fn pfc_restores_single_aggregator() {
+        let (topo, frontend, leaves) = search_topo();
+        let agg = topo.host_ids()[1];
+        let dep = Deployment::SingleAggregator { aggregator: agg };
+        let lossy = query_latency(&topo, SimConfig::default(), frontend, &leaves, &dep);
+        let pfc = query_latency(
+            &topo,
+            SimConfig::default().with_pfc(),
+            frontend,
+            &leaves,
+            &dep,
+        );
+        assert!(pfc < lossy, "PFC {pfc}s must beat drop-tail {lossy}s");
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benches for §5.1: parse, resolve, heuristic evaluation, and
+//! the brute-force baseline on the 20-server HDFS write query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudtalk::exhaustive::exhaustive_search;
+use cloudtalk::heuristic::{evaluate_query, HeuristicConfig};
+use cloudtalk_lang::builder::hdfs_write_query;
+use cloudtalk_lang::problem::Address;
+use cloudtalk_lang::{parse_query, resolve, MapResolver};
+use estimator::{HostState, World};
+
+fn bench_query_path(c: &mut Criterion) {
+    let nodes: Vec<Address> = (2..=21).map(Address).collect();
+    let builder = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0);
+    let text = builder.text();
+    let problem = builder.resolve().expect("well-formed");
+    let world = World::uniform(
+        &problem.mentioned_addresses(),
+        HostState::gbps_idle().with_up_load(0.4),
+    );
+
+    c.bench_function("parse_write_query", |b| {
+        b.iter(|| parse_query(black_box(&text)).unwrap())
+    });
+    c.bench_function("parse_and_resolve_write_query", |b| {
+        b.iter(|| {
+            let q = parse_query(black_box(&text)).unwrap();
+            resolve(&q, &MapResolver::new()).unwrap()
+        })
+    });
+    c.bench_function("heuristic_eval_20_servers", |b| {
+        b.iter(|| evaluate_query(black_box(&problem), black_box(&world), &HeuristicConfig::default()))
+    });
+    c.bench_function("exhaustive_eval_20_servers", |b| {
+        b.iter(|| exhaustive_search(black_box(&problem), black_box(&world), 1_000_000).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_query_path
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the substrates: the max-min allocator, the
+//! flow-level estimator, and packet-level incast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cloudtalk_lang::builder::hdfs_write_query;
+use cloudtalk_lang::problem::{Address, Value};
+use desim::SimTime;
+use estimator::{estimate, HostState, World};
+use pktsim::{PktSim, SimConfig};
+use simnet::sharing::{max_min_rates, Demand};
+use simnet::topology::{TopoOptions, Topology};
+use simnet::GBPS;
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_allocator");
+    for n_flows in [10usize, 100, 1000] {
+        // n_flows flows over 64 shared resources, 3 resources each.
+        let caps: Vec<f64> = vec![1e9; 64];
+        let demands: Vec<Demand> = (0..n_flows)
+            .map(|i| {
+                Demand::elastic(vec![
+                    (i % 64, 1.0),
+                    ((i * 7 + 3) % 64, 1.0),
+                    ((i * 13 + 5) % 64, 1.0),
+                ])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_flows), &demands, |b, d| {
+            b.iter(|| max_min_rates(black_box(&caps), black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let nodes: Vec<Address> = (2..=21).map(Address).collect();
+    let problem = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0)
+        .resolve()
+        .expect("well-formed");
+    let world = World::uniform(&problem.mentioned_addresses(), HostState::gbps_idle());
+    let binding = vec![
+        Value::Addr(Address(2)),
+        Value::Addr(Address(3)),
+        Value::Addr(Address(4)),
+    ];
+    c.bench_function("estimator_write_pipeline", |b| {
+        b.iter(|| estimate(black_box(&problem), black_box(&binding), black_box(&world)).unwrap())
+    });
+}
+
+fn bench_incast(c: &mut Criterion) {
+    c.bench_function("pktsim_incast_50", |b| {
+        b.iter(|| {
+            let topo = Topology::single_switch(51, GBPS, TopoOptions::default());
+            let mut sim = PktSim::new(topo, SimConfig::default());
+            let hosts = sim.topology().host_ids();
+            for i in 0..50 {
+                sim.add_flow(hosts[i], hosts[50], 10 * 1024, SimTime::ZERO);
+            }
+            black_box(sim.run_until_idle())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_maxmin, bench_estimator, bench_incast
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion version of Table 2: heuristic running time at grid points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cloudtalk::heuristic::{evaluate_query, HeuristicConfig};
+use cloudtalk_lang::builder::reduce_placement_query;
+use cloudtalk_lang::problem::Address;
+use desim::rng::stream_rng;
+use estimator::{HostState, World};
+use rand::Rng;
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_heuristic");
+    let mut rng = stream_rng(7, 0);
+    for n in [100usize, 500, 2000] {
+        let addrs: Vec<Address> = (1..=n as u32).map(Address).collect();
+        let mut world = World::new();
+        for &a in &addrs {
+            let load: f64 = rng.gen_range(0.0..0.9);
+            world.set(
+                a,
+                HostState::gbps_idle().with_up_load(load).with_down_load(load),
+            );
+        }
+        for d in [3usize, 10, 30] {
+            let problem = reduce_placement_query(&addrs, d, 1e9)
+                .resolve()
+                .expect("well-formed");
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), d),
+                &problem,
+                |b, p| {
+                    b.iter(|| {
+                        evaluate_query(black_box(p), black_box(&world), &HeuristicConfig::default())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grid
+}
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Ablations over CloudTalk's design knobs:
+//!
+//! * the score weight `W` (capacity vs contention, §4.2);
+//! * priority binding on/off (Listing 1 lines 8–9);
+//! * the sampling budget (§4.3);
+//! * the reservation hold time `t` (§5.5).
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin ablation
+//! ```
+
+use cloudtalk::heuristic::{evaluate_query, HeuristicConfig};
+use cloudtalk::sampling::sample_candidates;
+use cloudtalk::server::ServerConfig;
+use cloudtalk_apps::hdfs::experiment::{
+    mean_secs, percentile_secs, populate, run_copy_experiment, CopyExperiment, OpKind,
+};
+use cloudtalk_apps::hdfs::{HdfsConfig, Policy};
+use cloudtalk_apps::Cluster;
+use cloudtalk_bench::{mean, random_state, scaled, LoadDist};
+use cloudtalk_lang::builder::{hdfs_write_query, QueryBuilder};
+use cloudtalk_lang::problem::Address;
+use desim::rng::stream_rng;
+use desim::SimDuration;
+use estimator::estimate;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::{GBPS, MBPS};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn main() {
+    weight_sweep();
+    priority_ablation();
+    sampling_sweep();
+    reservation_sweep();
+}
+
+/// How the weight `W` affects write-pipeline quality on random states.
+fn weight_sweep() {
+    println!("--- weight W sweep (write query on random 20-server states) ---");
+    let addrs: Vec<Address> = (2..=21).map(Address).collect();
+    let problem = hdfs_write_query(Address(1), &addrs, 3, 256.0 * MB)
+        .resolve()
+        .expect("well-formed");
+    let states = scaled(500, 50);
+    println!("{:>6} {:>16}", "W", "mean makespan");
+    for w in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut rng = stream_rng(100, w as u64 * 7 + 1);
+        let mut makespans = Vec::with_capacity(states);
+        for _ in 0..states {
+            let mut world = random_state(&addrs, LoadDist::Uniform, &mut rng);
+            world.set(Address(1), estimator::HostState::gbps_idle());
+            let cfg = HeuristicConfig {
+                weight: w,
+                ..Default::default()
+            };
+            let b = evaluate_query(&problem, &world, &cfg);
+            if let Ok(e) = estimate(&problem, &b, &world) {
+                makespans.push(e.makespan);
+            }
+        }
+        println!("{w:>6.1} {:>15.2}s", mean(&makespans));
+    }
+    println!();
+}
+
+/// Does priority binding rescue the paper's X/Y/Z example?
+fn priority_ablation() {
+    println!("--- priority binding ablation (the §4.2 X/Y/Z example) ---");
+    let a = Address(1);
+    let states = scaled(500, 50);
+    for priority in [true, false] {
+        let mut rng = stream_rng(101, priority as u64);
+        let mut makespans = Vec::with_capacity(states);
+        for _ in 0..states {
+            let mut b = QueryBuilder::new();
+            let vars = b.variable_group(
+                ["X".into(), "Y".into(), "Z".into()],
+                [a, Address(2), Address(3)],
+            );
+            let f1 = b.flow("f1").from_var(vars[0]).to_var(vars[1]).size(100.0 * MB);
+            drop(f1);
+            b.flow("f2").from_var(vars[2]).to_addr(a).size(100.0 * MB);
+            let problem = b.resolve().expect("well-formed");
+            let world = random_state(&[a, Address(2), Address(3)], LoadDist::Uniform, &mut rng);
+            let cfg = HeuristicConfig {
+                priority_binding: priority,
+                ..Default::default()
+            };
+            let binding = evaluate_query(&problem, &world, &cfg);
+            if let Ok(e) = estimate(&problem, &binding, &world) {
+                makespans.push(e.makespan);
+            }
+        }
+        println!(
+            "  priority {}  mean makespan {:.2}s",
+            if priority { "ON " } else { "OFF" },
+            mean(&makespans)
+        );
+    }
+    println!();
+}
+
+/// Sample size vs answer quality on a 300-node write query.
+fn sampling_sweep() {
+    println!("--- sampling budget sweep (300-node write query, 70% busy) ---");
+    let nodes: Vec<Address> = (2..302).map(Address).collect();
+    let problem = hdfs_write_query(Address(1), &nodes, 3, 256.0 * MB)
+        .resolve()
+        .expect("well-formed");
+    let trials = scaled(300, 30);
+    println!("{:>8} {:>18}", "budget", "% all-idle picks");
+    for budget in [5usize, 10, 19, 40, 80] {
+        let mut rng = stream_rng(102, budget as u64);
+        let mut good = 0usize;
+        for _ in 0..trials {
+            // 70% of nodes busy, 30% idle.
+            let mut world = estimator::World::new();
+            world.set(Address(1), estimator::HostState::gbps_idle());
+            for &a in &nodes {
+                let busy = rand::Rng::gen_bool(&mut rng, 0.7);
+                let s = if busy {
+                    estimator::HostState::gbps_idle()
+                        .with_up_load(0.95)
+                        .with_down_load(0.95)
+                } else {
+                    estimator::HostState::gbps_idle()
+                };
+                world.set(a, s);
+            }
+            let sampled = sample_candidates(&problem, budget, &mut rng);
+            let binding = evaluate_query(&sampled, &world, &HeuristicConfig::default());
+            let all_idle = binding.iter().all(|v| match v {
+                cloudtalk_lang::problem::Value::Addr(a) => {
+                    world.get(*a).nic_down_used < 1.0
+                }
+                cloudtalk_lang::problem::Value::Disk => false,
+            });
+            if all_idle {
+                good += 1;
+            }
+        }
+        println!(
+            "{budget:>8} {:>17.1}%",
+            100.0 * good as f64 / trials as f64
+        );
+    }
+    println!("  (theory: 19 samples suffice for 99% at d=3… see fig4)");
+    println!();
+}
+
+/// Reservation hold time vs write-time tail on a busy cluster.
+fn reservation_sweep() {
+    println!("--- reservation hold sweep (concurrent CloudTalk writes) ---");
+    println!("{:>10} {:>10} {:>10}", "hold (ms)", "avg", "p99");
+    for hold_ms in [0u64, 50, 300, 1000] {
+        let topo = Topology::ec2(40, 500.0 * MBPS, 4, TopoOptions::default());
+        let server_cfg = ServerConfig {
+            reservation_hold: (hold_ms > 0).then(|| SimDuration::from_millis(hold_ms)),
+            seed: 103,
+            ..Default::default()
+        };
+        // Periodic (stale) measurements: the regime where reservations
+        // matter at all (see fig12).
+        let mut cluster = Cluster::new(topo, server_cfg)
+            .with_measurement_interval(SimDuration::from_millis(250));
+        let hosts = cluster.net.hosts();
+        let cfg = HdfsConfig::default();
+        let mut fs = populate(&mut cluster, &cfg, &hosts, 512.0 * MB, 103);
+        let exp = CopyExperiment {
+            active: hosts[..30].to_vec(),
+            ops_per_server: scaled(3, 2),
+            think_max: 0.5,
+            file_bytes: 512.0 * MB,
+            kind: OpKind::Write,
+            policy: Policy::CloudTalk,
+            seed: 103,
+        };
+        let records = run_copy_experiment(&mut cluster, &mut fs, &exp);
+        println!(
+            "{hold_ms:>10} {:>9.1}s {:>9.1}s",
+            mean_secs(&records),
+            percentile_secs(&records, 99.0)
+        );
+    }
+    let _ = GBPS;
+}

@@ -1,0 +1,54 @@
+//! Figure 4: sampling accuracy — how many servers must be asked (n) to
+//! find d idle ones with a given confidence, when 30% of a 100 000-server
+//! fleet is idle.
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin fig4
+//! ```
+
+use cloudtalk::sampling::{samples_needed, success_rate_simulated};
+use cloudtalk_bench::scaled;
+use desim::rng::stream_rng;
+
+fn main() {
+    let idle = 0.3;
+    let confidences = [0.90, 0.95, 0.99];
+    let ds: Vec<usize> = (1..=30).collect();
+
+    println!("Figure 4: samples n needed vs servers wanted d");
+    println!("(30% of servers idle; fleet N = 100000 — n is N-independent)\n");
+    print!("{:>4}", "d");
+    for c in confidences {
+        print!("{:>8}", format!("{:.0}%", c * 100.0));
+    }
+    println!("{:>12}", "sim@99%");
+
+    let trials = scaled(2000, 200);
+    let mut rng = stream_rng(4, 0);
+    for d in ds {
+        print!("{d:>4}");
+        let mut n99 = 0;
+        for c in confidences {
+            let n = samples_needed(d, idle, c);
+            if c == 0.99 {
+                n99 = n;
+            }
+            print!("{n:>8}");
+        }
+        // Validate the analytic n against an explicit 100k-server fleet.
+        let rate = success_rate_simulated(100_000, idle, n99, d, trials, &mut rng);
+        println!("{:>11.1}%", rate * 100.0);
+    }
+
+    println!("\nsensitivity to the idle fraction (d = 10, 99% confidence):");
+    for idle in [0.1, 0.3, 0.5, 0.7] {
+        let n = samples_needed(10, idle, 0.99);
+        println!(
+            "  {:>3.0}% idle -> ask {n:>3} servers ({:.1} per server needed)",
+            idle * 100.0,
+            n as f64 / 10.0
+        );
+    }
+    println!("\npaper shape: n grows sub-linearly with d (~4 samples per needed");
+    println!("server at 30% idle; ~1.6 at 70%; ~20 at 10%), independent of N.");
+}

@@ -1,0 +1,71 @@
+//! Figure 7: Hadoop sort on the local cluster under UDP interference —
+//! job completion time and shuffle duration, vanilla vs CloudTalk reduce
+//! placement.
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin fig7
+//! ```
+
+use cloudtalk::server::ServerConfig;
+use cloudtalk_apps::mapreduce::{run_sort_job_on, MrConfig, SchedPolicy, SortJob};
+use cloudtalk_apps::Cluster;
+use cloudtalk_bench::mean;
+use desim::rng::stream_rng;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::traffic::udp_blast;
+use simnet::GBPS;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Local setup: 20 nodes; 10 run Hadoop, the others host UDP senders
+/// (§5.3: "the cluster … contains 10 servers locally; all other machines
+/// run iperf senders").
+fn run(policy: SchedPolicy, udp_frac: f64, seed: u64) -> (f64, f64) {
+    let topo = Topology::single_switch(20, GBPS, TopoOptions::default());
+    let mut cluster = Cluster::new(topo, ServerConfig { seed, ..Default::default() });
+    let hosts = cluster.net.hosts();
+    let mr_nodes = 10usize;
+    let n_targets = ((mr_nodes as f64) * udp_frac).round() as usize;
+    let mut rng = stream_rng(seed, 1);
+    udp_blast(
+        &mut cluster.net,
+        &mut rng,
+        &hosts[mr_nodes..],
+        &hosts[..n_targets],
+        0.9 * GBPS,
+    );
+    let cfg = MrConfig {
+        policy,
+        seed,
+        ..Default::default()
+    };
+    let job = SortJob {
+        input_per_node: 512.0 * MB,
+        n_reducers: mr_nodes / 2,
+        split_bytes: 128.0 * MB,
+    };
+    let r = run_sort_job_on(&mut cluster, &cfg, &job, &hosts[..mr_nodes]);
+    (r.finish_secs, mean(&r.shuffle_secs))
+}
+
+fn main() {
+    println!("Figure 7: sort under UDP interference (local, 512 MB/node)\n");
+    println!(
+        "{:>8} {:>13} {:>13} {:>15} {:>15}",
+        "udp%", "vanilla job", "ct job", "vanilla shuffle", "ct shuffle"
+    );
+    for frac in [0.1, 0.3, 0.5, 0.7] {
+        let (vj, vs) = run(SchedPolicy::Vanilla, frac, 7);
+        let (cj, cs) = run(SchedPolicy::CloudTalk, frac, 7);
+        println!(
+            "{:>7.0}% {:>12.1}s {:>12.1}s {:>14.1}s {:>14.1}s",
+            frac * 100.0,
+            vj,
+            cj,
+            vs,
+            cs
+        );
+    }
+    println!("\npaper shape: CloudTalk jobs finish faster because shuffles are");
+    println!("shorter and speculative re-execution is rarer.");
+}

@@ -1,0 +1,72 @@
+//! Figure 8: the reduce experiment at EC2 scale — 58 Hadoop instances
+//! among rate-limited VMs, shuffle durations vanilla vs CloudTalk.
+//!
+//! Paper: "The EC2 results … show that shuffle duration is reduced by a
+//! factor of 1.1 to 2x."
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin fig8
+//! ```
+
+use cloudtalk::server::ServerConfig;
+use cloudtalk_apps::mapreduce::{run_sort_job_on, MrConfig, SchedPolicy, SortJob};
+use cloudtalk_apps::Cluster;
+use cloudtalk_bench::{mean, percentile};
+use desim::rng::stream_rng;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::traffic::udp_blast;
+use simnet::MBPS;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn run(policy: SchedPolicy, udp_frac: f64, seed: u64) -> (f64, f64) {
+    // 101 EC2 instances at 500 Mbps: 58 run Hadoop, 43 send UDP (the
+    // paper's deployment had 101 instances total).
+    let topo = Topology::ec2(101, 500.0 * MBPS, 10, TopoOptions::default());
+    let mut cluster = Cluster::new(topo, ServerConfig { seed, ..Default::default() });
+    let hosts = cluster.net.hosts();
+    let mr_nodes = 58usize;
+    let n_targets = ((mr_nodes as f64) * udp_frac).round() as usize;
+    let mut rng = stream_rng(seed, 2);
+    udp_blast(
+        &mut cluster.net,
+        &mut rng,
+        &hosts[mr_nodes..],
+        &hosts[..n_targets],
+        0.9 * 500.0 * MBPS,
+    );
+    let cfg = MrConfig {
+        policy,
+        seed,
+        ..Default::default()
+    };
+    let job = SortJob {
+        input_per_node: 256.0 * MB,
+        n_reducers: mr_nodes / 2,
+        split_bytes: 128.0 * MB,
+    };
+    let r = run_sort_job_on(&mut cluster, &cfg, &job, &hosts[..mr_nodes]);
+    (mean(&r.shuffle_secs), percentile(&r.shuffle_secs, 99.0))
+}
+
+fn main() {
+    println!("Figure 8: EC2-scale shuffle durations (58 instances, 256 MB/node)\n");
+    println!(
+        "{:>8} {:>16} {:>16} {:>9} | {:>14} {:>14}",
+        "udp%", "vanilla shuffle", "ct shuffle", "speedup", "vanilla p99", "ct p99"
+    );
+    for frac in [0.1, 0.3, 0.5, 0.7] {
+        let (va, vp) = run(SchedPolicy::Vanilla, frac, 8);
+        let (ca, cp) = run(SchedPolicy::CloudTalk, frac, 8);
+        println!(
+            "{:>7.0}% {:>15.1}s {:>15.1}s {:>8.2}x | {:>13.1}s {:>13.1}s",
+            frac * 100.0,
+            va,
+            ca,
+            va / ca,
+            vp,
+            cp
+        );
+    }
+    println!("\npaper shape: shuffle duration reduced 1.1-2x by CloudTalk.");
+}

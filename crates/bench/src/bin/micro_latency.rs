@@ -1,0 +1,74 @@
+//! §5.1 micro-benchmark: per-query response time, split into parsing and
+//! evaluation, against the brute-force baseline.
+//!
+//! Paper: "it takes CloudTalk around 0.45ms on average to answer one
+//! query: of these, 0.32ms are spent in parsing the query and 0.13ms
+//! running our query evaluation algorithm. In comparison, the brute-force
+//! evaluation algorithm takes 130ms on the same query."
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin micro_latency
+//! ```
+
+use std::time::Instant;
+
+use cloudtalk::exhaustive::exhaustive_search;
+use cloudtalk::heuristic::{evaluate_query, HeuristicConfig};
+use cloudtalk_bench::scaled;
+use cloudtalk_lang::builder::hdfs_write_query;
+use cloudtalk_lang::problem::Address;
+use cloudtalk_lang::{parse_query, resolve, MapResolver};
+use estimator::{HostState, World};
+
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn main() {
+    // The §5.3 write query over a 20-server cluster (3 variables).
+    let nodes: Vec<Address> = (2..=21).map(Address).collect();
+    let builder = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0);
+    let text = builder.text();
+    let problem = builder.resolve().expect("well-formed");
+    let world = World::uniform(
+        &problem.mentioned_addresses(),
+        HostState::gbps_idle().with_up_load(0.4),
+    );
+
+    let reps = scaled(2000, 50);
+    let parse_us = time_us(reps, || {
+        std::hint::black_box(parse_query(std::hint::black_box(&text)).unwrap());
+    });
+    let resolve_us = time_us(reps, || {
+        let q = parse_query(&text).unwrap();
+        std::hint::black_box(resolve(&q, &MapResolver::new()).unwrap());
+    });
+    let eval_us = time_us(reps, || {
+        std::hint::black_box(evaluate_query(
+            std::hint::black_box(&problem),
+            &world,
+            &HeuristicConfig::default(),
+        ));
+    });
+    let brute_us = time_us(scaled(20, 3), || {
+        std::hint::black_box(exhaustive_search(&problem, &world, 1_000_000).unwrap());
+    });
+
+    println!("§5.1 query response time (20 servers, 3-variable write query)\n");
+    println!("{:<28}{:>12}", "stage", "time");
+    println!("{:<28}{:>9.1} µs", "parse", parse_us);
+    println!("{:<28}{:>9.1} µs", "parse + resolve", resolve_us);
+    println!("{:<28}{:>9.1} µs", "heuristic evaluation", eval_us);
+    println!("{:<28}{:>9.1} µs", "total (parse+resolve+eval)", resolve_us + eval_us);
+    println!("{:<28}{:>9.1} µs", "brute force (6840 bindings)", brute_us);
+    println!(
+        "\nspeedup of heuristic over brute force: {:.0}x",
+        brute_us / eval_us
+    );
+    println!("paper: parse 320 µs, eval 130 µs, brute force 130000 µs (~290x)");
+}

@@ -1,0 +1,62 @@
+//! Table 2: heuristic evaluator running times (µs) over a grid of
+//! cluster sizes `n` and variable counts `d`.
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin table2
+//! ```
+
+use std::time::Instant;
+
+use cloudtalk::heuristic::{evaluate_query, HeuristicConfig};
+use cloudtalk_bench::scaled;
+use cloudtalk_lang::builder::reduce_placement_query;
+use cloudtalk_lang::problem::Address;
+use desim::rng::stream_rng;
+use estimator::{HostState, World};
+use rand::Rng;
+
+fn main() {
+    let ns = [100usize, 200, 300, 500, 1000, 2000];
+    let ds = [3usize, 5, 10, 20, 30];
+    let reps = scaled(20, 3);
+
+    println!("Table 2: heuristic evaluator running times (µs)");
+    print!("{:>6} |", "n \\ d");
+    for d in ds {
+        print!("{d:>10}");
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 10 * ds.len()));
+
+    let mut rng = stream_rng(2024, 0);
+    for n in ns {
+        let addrs: Vec<Address> = (1..=n as u32).map(Address).collect();
+        let mut world = World::new();
+        for &a in &addrs {
+            let load: f64 = rng.gen_range(0.0..0.9);
+            world.set(a, HostState::gbps_idle().with_up_load(load).with_down_load(load));
+        }
+        print!("{n:>6} |");
+        for d in ds {
+            let problem = reduce_placement_query(&addrs, d, 1e9)
+                .resolve()
+                .expect("well-formed");
+            let cfg = HeuristicConfig::default();
+            // Warm up, then time.
+            let _ = evaluate_query(&problem, &world, &cfg);
+            let start = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(evaluate_query(
+                    std::hint::black_box(&problem),
+                    std::hint::black_box(&world),
+                    &cfg,
+                ));
+            }
+            let micros = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+            print!("{micros:>10.0}");
+        }
+        println!();
+    }
+    println!("\npaper reports e.g. n=100,d=3: 231 µs … n=2000,d=30: 19379 µs");
+    println!("(absolute numbers differ by hardware; the shape — linear in n·d — should hold)");
+}

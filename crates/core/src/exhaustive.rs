@@ -1,0 +1,216 @@
+//! Brute-force query evaluation: try every binding, score with the
+//! flow-level estimator, keep the best (paper §5.1's accuracy baseline —
+//! "we contrast the results of our algorithm against an exhaustive
+//! evaluation of all possible solutions").
+
+use cloudtalk_lang::problem::{Binding, Problem};
+use estimator::{estimate, World};
+
+/// Outcome of an exhaustive search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExhaustiveResult {
+    /// The best binding found.
+    pub binding: Binding,
+    /// Its estimated makespan, seconds.
+    pub makespan: f64,
+    /// Bindings evaluated.
+    pub evaluated: u64,
+}
+
+/// Errors from exhaustive evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExhaustiveError {
+    /// The search space exceeds `limit` bindings.
+    TooLarge {
+        /// Upper bound on the number of bindings.
+        space: u128,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// No feasible binding exists (e.g. every candidate stalls).
+    NoFeasibleBinding,
+}
+
+impl std::fmt::Display for ExhaustiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustiveError::TooLarge { space, limit } => {
+                write!(f, "search space of {space} bindings exceeds limit {limit}")
+            }
+            ExhaustiveError::NoFeasibleBinding => write!(f, "no feasible binding"),
+        }
+    }
+}
+
+impl std::error::Error for ExhaustiveError {}
+
+/// Exhaustively searches all bindings (respecting same-pool distinctness),
+/// minimising estimated makespan. `limit` bounds the number of bindings
+/// tried — the brute force is intractable for real queries, which is the
+/// paper's point.
+pub fn exhaustive_search(
+    problem: &Problem,
+    world: &World,
+    limit: u64,
+) -> Result<ExhaustiveResult, ExhaustiveError> {
+    // Upper-bound the space before committing.
+    let mut space: u128 = 1;
+    for var in &problem.vars {
+        space = space.saturating_mul(var.candidates.len() as u128);
+        if space > limit as u128 {
+            return Err(ExhaustiveError::TooLarge {
+                space,
+                limit,
+            });
+        }
+    }
+
+    let n = problem.vars.len();
+    let mut current: Binding = Vec::with_capacity(n);
+    let mut best: Option<(f64, Binding)> = None;
+    let mut evaluated = 0u64;
+    search(problem, world, &mut current, &mut best, &mut evaluated);
+
+    match best {
+        Some((makespan, binding)) => Ok(ExhaustiveResult {
+            binding,
+            makespan,
+            evaluated,
+        }),
+        None if n == 0 => {
+            // No variables: a single empty binding.
+            let e = estimate(problem, &Vec::new(), world)
+                .map_err(|_| ExhaustiveError::NoFeasibleBinding)?;
+            Ok(ExhaustiveResult {
+                binding: Vec::new(),
+                makespan: e.makespan,
+                evaluated: 1,
+            })
+        }
+        None => Err(ExhaustiveError::NoFeasibleBinding),
+    }
+}
+
+fn search(
+    problem: &Problem,
+    world: &World,
+    current: &mut Binding,
+    best: &mut Option<(f64, Binding)>,
+    evaluated: &mut u64,
+) {
+    let idx = current.len();
+    if idx == problem.vars.len() {
+        if !current.is_empty() {
+            *evaluated += 1;
+            if let Ok(e) = estimate(problem, current, world) {
+                if best.as_ref().is_none_or(|(b, _)| e.makespan < *b) {
+                    *best = Some((e.makespan, current.clone()));
+                }
+            }
+        }
+        return;
+    }
+    let var = &problem.vars[idx];
+    for &value in &var.candidates {
+        if problem.distinct {
+            let clash = current
+                .iter()
+                .enumerate()
+                .any(|(j, v)| problem.vars[j].pool == var.pool && *v == value);
+            if clash {
+                continue;
+            }
+        }
+        current.push(value);
+        search(problem, world, current, best, evaluated);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{evaluate_query, HeuristicConfig};
+    use cloudtalk_lang::builder::{hdfs_read_query, hdfs_write_query};
+    use cloudtalk_lang::problem::{Address, Value};
+    use cloudtalk_lang::units::sizes::MB;
+    use estimator::HostState;
+
+    fn world(loads: &[(u32, f64)]) -> World {
+        let addrs: Vec<Address> = (1..=8).map(Address).collect();
+        let mut w = World::uniform(&addrs, HostState::gbps_idle());
+        for &(a, frac) in loads {
+            w.set(
+                Address(a),
+                HostState::gbps_idle().with_up_load(frac).with_down_load(frac),
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn finds_the_obvious_best_replica() {
+        let p = hdfs_read_query(Address(1), &[Address(2), Address(3)], 256.0 * MB)
+            .resolve()
+            .unwrap();
+        let w = world(&[(2, 0.8)]);
+        let r = exhaustive_search(&p, &w, 1000).unwrap();
+        assert_eq!(r.binding, vec![Value::Addr(Address(3))]);
+        assert_eq!(r.evaluated, 2);
+    }
+
+    #[test]
+    fn respects_distinctness() {
+        let nodes: Vec<Address> = (2..6).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 64.0 * MB)
+            .resolve()
+            .unwrap();
+        let r = exhaustive_search(&p, &world(&[]), 1000).unwrap();
+        // 4·3·2 = 24 distinct bindings.
+        assert_eq!(r.evaluated, 24);
+        let set: std::collections::HashSet<&Value> = r.binding.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn heuristic_matches_exhaustive_on_single_variable() {
+        // The paper: "our algorithm is optimal for single variable queries".
+        for busy in [2u32, 3, 4] {
+            let p = hdfs_read_query(
+                Address(1),
+                &[Address(2), Address(3), Address(4)],
+                256.0 * MB,
+            )
+            .resolve()
+            .unwrap();
+            let w = world(&[(busy, 0.9)]);
+            let ex = exhaustive_search(&p, &w, 1000).unwrap();
+            let h = evaluate_query(&p, &w, &HeuristicConfig::default());
+            let eh = estimate(&p, &h, &w).unwrap();
+            assert!(
+                eh.makespan <= ex.makespan * 1.0001,
+                "heuristic {} vs optimal {} (busy={busy})",
+                eh.makespan,
+                ex.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn limit_guards_explosion() {
+        let nodes: Vec<Address> = (2..34).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 64.0 * MB)
+            .resolve()
+            .unwrap();
+        // 32^3 = 32768 > 1000.
+        let err = exhaustive_search(&p, &world(&[]), 1000).unwrap_err();
+        assert!(matches!(err, ExhaustiveError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn empty_problem_ok() {
+        let p = Problem::default();
+        let r = exhaustive_search(&p, &World::new(), 10).unwrap();
+        assert!(r.binding.is_empty());
+    }
+}

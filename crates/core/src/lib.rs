@@ -1,0 +1,76 @@
+//! CloudTalk: the cloud–tenant hint API (the paper's core contribution).
+//!
+//! A tenant describes a communication scenario — flows with free variables
+//! over candidate endpoints — in the CloudTalk language; the provider-side
+//! server answers with the binding that minimises task completion time,
+//! using live I/O information gathered from per-host *status servers*.
+//!
+//! Architecture (paper §4, Figure 2):
+//!
+//! * [`status`] — status servers measuring NIC/disk capacity and usage.
+//! * [`transport`] — the UDP scatter-gather used to interrogate status
+//!   servers, with fan-out-dependent loss (the motivation for sampling).
+//! * [`score`] — the `evalRx`/`evalTx`/`diskRead`/`diskWrite` fitness
+//!   functions with the selectable weight `W` (default 2).
+//! * [`heuristic`] — the scalable query evaluation algorithm of Listing 1
+//!   (priority binding + best-resource scoring), `O(max(m, n·p))`.
+//! * [`exhaustive`] — brute-force search over all bindings, scored by the
+//!   flow-level estimator; the accuracy baseline of §5.1.
+//! * [`pkteval`] — the packet-level evaluation backend (§5.4 web search).
+//! * [`sampling`] — §4.3: how many servers to sample for near-optimal
+//!   answers, plus the analytic n(d, p, confidence) calculator (Figure 4).
+//! * [`reservation`] — §5.5 pseudo-reservations preventing oscillation.
+//! * [`server`] — [`server::CloudTalkServer`] tying it all together.
+//! * [`messages`] — wire-format sizes for the §5.5 overhead accounting.
+//!
+//! The paper's §7 future-work directions are implemented too:
+//! [`billing`] (workload-described price quotes) and [`scalar`]
+//! (CPU/memory requirements filtering candidate pools).
+//!
+//! # Examples
+//!
+//! ```
+//! use cloudtalk::server::{CloudTalkServer, ServerConfig};
+//! use cloudtalk::status::TableStatusSource;
+//! use cloudtalk_lang::problem::Address;
+//! use estimator::HostState;
+//!
+//! // Three datanodes; 10.0.0.3 is busy transmitting.
+//! let mut status = TableStatusSource::new();
+//! status.set(Address(0x0A000002), HostState::gbps_idle());
+//! status.set(Address(0x0A000003), HostState::gbps_idle().with_up_load(0.9));
+//! status.set(Address(0x0A000004), HostState::gbps_idle());
+//!
+//! let mut server = CloudTalkServer::new(ServerConfig::default());
+//! let answer = server
+//!     .answer_text(
+//!         "src = (10.0.0.2 10.0.0.3 10.0.0.4)\nf1 src -> 10.0.0.1 size 256M",
+//!         &mut status,
+//!         desim::SimTime::ZERO,
+//!     )
+//!     .unwrap();
+//! // The busy replica is avoided.
+//! assert_ne!(
+//!     answer.binding[0],
+//!     cloudtalk_lang::problem::Value::Addr(Address(0x0A000003))
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod exhaustive;
+pub mod heuristic;
+pub mod messages;
+pub mod pkteval;
+pub mod reservation;
+pub mod sampling;
+pub mod scalar;
+pub mod score;
+pub mod server;
+pub mod status;
+pub mod transport;
+
+pub use heuristic::evaluate_query;
+pub use server::{Answer, CloudTalkServer, EvalMethod, ServerConfig};
+pub use status::{StatusSource, TableStatusSource};

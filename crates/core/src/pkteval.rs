@@ -1,0 +1,309 @@
+//! Packet-level evaluation backend (paper §4/§5.4).
+//!
+//! "To estimate flow completion times, CloudTalk offers two options to its
+//! clients: a packet level simulator and a flow level estimator. The first
+//! is very accurate and captures packet-level effects such as incast, but
+//! it is also quite slow." Clients select it for queries like the
+//! web-search aggregator placement, evaluated offline against a simulated
+//! topology mirroring the provider's real one.
+//!
+//! Given a bound problem, this backend instantiates each network flow as a
+//! TCP flow in [`pktsim`], honouring `start` attributes and
+//! `transfer t(f)` store-and-forward dependencies (a dependent flow starts
+//! when its upstream finishes), and reports the simulated makespan.
+
+use std::collections::HashMap;
+
+use cloudtalk_lang::ast::{AttrKind, RefAttr};
+use cloudtalk_lang::problem::{Address, Binding, BoundEndpoint, Problem};
+use desim::SimTime;
+use estimator::{resolve_static_sizes, EstimateError};
+use pktsim::{FlowIdx, PktSim, SimConfig};
+use simnet::topology::{HostId, Topology};
+
+/// Result of a packet-level evaluation.
+#[derive(Clone, Debug)]
+pub struct PktEvalResult {
+    /// Simulated completion time of the whole task, seconds.
+    pub makespan: f64,
+    /// Per-query-flow finish times, seconds (0 for flows that move nothing
+    /// over the network).
+    pub flow_finish: Vec<f64>,
+    /// Total packet drops observed.
+    pub drops: u64,
+    /// Total RTO events observed.
+    pub timeouts: u64,
+}
+
+/// Errors from packet-level evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PktEvalError {
+    /// A size/start expression could not be resolved statically.
+    Unsupported(EstimateError),
+    /// An address in the bound problem has no host in the topology.
+    UnknownAddress(Address),
+    /// The binding has the wrong arity.
+    BindingArity {
+        /// Values expected.
+        expected: usize,
+        /// Values provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PktEvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PktEvalError::Unsupported(e) => write!(f, "unsupported query: {e}"),
+            PktEvalError::UnknownAddress(a) => write!(f, "no simulated host for {a}"),
+            PktEvalError::BindingArity { expected, got } => {
+                write!(f, "binding has {got} values, problem has {expected} variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PktEvalError {}
+
+/// Evaluates `problem` under `binding` by packet-level simulation over
+/// `topo`. `addr_to_host` maps query addresses into the simulated
+/// topology (the provider placing the tenant's VMs in its model).
+pub fn pkt_evaluate(
+    problem: &Problem,
+    binding: &Binding,
+    topo: &Topology,
+    addr_to_host: &HashMap<Address, HostId>,
+    cfg: SimConfig,
+) -> Result<PktEvalResult, PktEvalError> {
+    if binding.len() != problem.vars.len() {
+        return Err(PktEvalError::BindingArity {
+            expected: problem.vars.len(),
+            got: binding.len(),
+        });
+    }
+    let sizes = resolve_static_sizes(problem).map_err(PktEvalError::Unsupported)?;
+    let n = problem.flows.len();
+
+    // Dependencies: flow i waits for all flows referenced via `t(f)`.
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, flow) in problem.flows.iter().enumerate() {
+        if let Some(expr) = flow.attr(AttrKind::Transfer) {
+            expr.for_each_ref(&mut |attr, f| {
+                if attr == RefAttr::Transferred {
+                    deps[i].push(f.0);
+                }
+            });
+        }
+    }
+
+    // Static starts.
+    let mut starts = vec![0.0f64; n];
+    for (i, flow) in problem.flows.iter().enumerate() {
+        if let Some(expr) = flow.attr(AttrKind::Start) {
+            starts[i] = expr
+                .as_const()
+                .ok_or(PktEvalError::Unsupported(EstimateError::UnsupportedExpr(
+                    "start",
+                )))?
+                .max(0.0);
+        }
+    }
+
+    // Network endpoints per flow (None = not a network flow: completes
+    // instantly for dependency purposes — its work is disk-side and the
+    // packet simulator has no disks).
+    let mut endpoints: Vec<Option<(HostId, HostId)>> = Vec::with_capacity(n);
+    for flow in &problem.flows {
+        let src = flow.src.bound(binding);
+        let dst = flow.dst.bound(binding);
+        let pair = match (src, dst) {
+            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) => {
+                let ha = *addr_to_host
+                    .get(&a)
+                    .ok_or(PktEvalError::UnknownAddress(a))?;
+                let hb = *addr_to_host
+                    .get(&b)
+                    .ok_or(PktEvalError::UnknownAddress(b))?;
+                Some((ha, hb))
+            }
+            _ => None,
+        };
+        endpoints.push(pair);
+    }
+
+    let mut sim = PktSim::new(topo.clone(), cfg);
+    let mut sim_flow: Vec<Option<FlowIdx>> = vec![None; n];
+    let mut finished: Vec<Option<f64>> = vec![None; n];
+    let mut launched = vec![false; n];
+
+    // Launch everything whose dependencies are already met.
+    let mut progress = true;
+    while progress {
+        progress = false;
+        // Start flows whose upstreams are all finished.
+        for i in 0..n {
+            if launched[i] {
+                continue;
+            }
+            let ready = deps[i].iter().all(|&u| finished[u].is_some());
+            if !ready {
+                continue;
+            }
+            let dep_finish = deps[i]
+                .iter()
+                .map(|&u| finished[u].expect("checked ready"))
+                .fold(0.0f64, f64::max);
+            let at = SimTime::from_secs_f64(starts[i].max(dep_finish).max(sim.now().as_secs_f64()));
+            launched[i] = true;
+            progress = true;
+            match endpoints[i] {
+                Some((src, dst)) => {
+                    sim_flow[i] = Some(sim.add_flow(src, dst, sizes[i].ceil() as u64, at));
+                }
+                None => {
+                    // Non-network flow: instant for dependency purposes.
+                    finished[i] = Some(at.as_secs_f64());
+                }
+            }
+        }
+        // Drive the simulation, collecting finishes.
+        loop {
+            let mut any_new = false;
+            for i in 0..n {
+                if finished[i].is_none() {
+                    if let Some(fi) = sim_flow[i] {
+                        if let Some(t) = sim.finish_time(fi) {
+                            finished[i] = Some(t.as_secs_f64());
+                            any_new = true;
+                        }
+                    }
+                }
+            }
+            if any_new {
+                progress = true;
+                break;
+            }
+            if !sim.step() {
+                break;
+            }
+        }
+    }
+
+    let flow_finish: Vec<f64> = finished.iter().map(|f| f.unwrap_or(0.0)).collect();
+    let makespan = flow_finish.iter().copied().fold(0.0, f64::max);
+    Ok(PktEvalResult {
+        makespan,
+        flow_finish,
+        drops: sim.stats().drops,
+        timeouts: sim.stats().timeouts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudtalk_lang::builder::QueryBuilder;
+    use simnet::topology::TopoOptions;
+    use simnet::GBPS;
+
+    fn setup(n: usize) -> (Topology, HashMap<Address, HostId>) {
+        let topo = Topology::single_switch(n, GBPS, TopoOptions::default());
+        let map: HashMap<Address, HostId> = topo
+            .host_ids()
+            .into_iter()
+            .map(|h| (Address(topo.host(h).addr), h))
+            .collect();
+        (topo, map)
+    }
+
+    fn addr_of(topo: &Topology, i: usize) -> Address {
+        Address(topo.host(HostId(i)).addr)
+    }
+
+    #[test]
+    fn single_flow_runs() {
+        let (topo, map) = setup(2);
+        let mut b = QueryBuilder::new();
+        b.flow("f1")
+            .from_addr(addr_of(&topo, 0))
+            .to_addr(addr_of(&topo, 1))
+            .size(150_000.0);
+        let p = b.resolve().unwrap();
+        let r = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap();
+        assert!(r.makespan > 0.0);
+        assert_eq!(r.flow_finish.len(), 1);
+    }
+
+    #[test]
+    fn transfer_dependency_serialises_stages() {
+        // leaf -> agg, then agg -> frontend carrying the gathered bytes.
+        let (topo, map) = setup(3);
+        let leaf = addr_of(&topo, 0);
+        let agg = addr_of(&topo, 1);
+        let fe = addr_of(&topo, 2);
+        let mut b = QueryBuilder::new();
+        let s1 = b.flow("f1").from_addr(leaf).to_addr(agg).size(100_000.0);
+        let h1 = s1.handle();
+        drop(s1);
+        b.flow("f2")
+            .from_addr(agg)
+            .to_addr(fe)
+            .size(100_000.0)
+            .transfer_of(h1);
+        let p = b.resolve().unwrap();
+        let r = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap();
+        assert!(
+            r.flow_finish[1] > r.flow_finish[0],
+            "stage 2 after stage 1: {:?}",
+            r.flow_finish
+        );
+        // Serial stages: total at least twice one stage.
+        assert!(r.makespan >= 1.9 * r.flow_finish[0]);
+    }
+
+    #[test]
+    fn incast_visible_in_eval() {
+        let (topo, map) = setup(60);
+        let sink = addr_of(&topo, 59);
+        let mut b = QueryBuilder::new();
+        for i in 0..50 {
+            b.flow(format!("f{i}"))
+                .from_addr(addr_of(&topo, i))
+                .to_addr(sink)
+                .size(10.0 * 1024.0);
+        }
+        let p = b.resolve().unwrap();
+        let r = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap();
+        assert!(r.drops > 0);
+        assert!(r.makespan > 0.2, "incast must push past one RTO");
+    }
+
+    #[test]
+    fn unknown_address_rejected() {
+        let (topo, map) = setup(2);
+        let mut b = QueryBuilder::new();
+        b.flow("f1")
+            .from_addr(Address(0xDEAD))
+            .to_addr(addr_of(&topo, 1))
+            .size(1000.0);
+        let p = b.resolve().unwrap();
+        let err = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap_err();
+        assert_eq!(err, PktEvalError::UnknownAddress(Address(0xDEAD)));
+    }
+
+    #[test]
+    fn disk_flows_are_instant_dependencies() {
+        let (topo, map) = setup(2);
+        let a = addr_of(&topo, 0);
+        let bb = addr_of(&topo, 1);
+        let mut b = QueryBuilder::new();
+        let d = b.flow("f1").from_addr(a).to_disk().size(1e6);
+        let hd = d.handle();
+        drop(d);
+        b.flow("f2").from_addr(a).to_addr(bb).size(10_000.0).transfer_of(hd);
+        let p = b.resolve().unwrap();
+        let r = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap();
+        assert_eq!(r.flow_finish[0], 0.0);
+        assert!(r.flow_finish[1] > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Pseudo-reservations (paper §5.5, Figure 12).
+//!
+//! "When an answer is provided in response to a query, the server will
+//! consider the machines it has recommended to be in use for a time t,
+//! chosen sufficiently large to allow the relevant feedback to arrive from
+//! status servers. During the Hadoop experiments, t was set to 300ms."
+//!
+//! Without this, a burst of queries all sees the same idle host and piles
+//! onto it before any status feedback shows the load — the oscillation
+//! that blows the 99th-percentile write time up by 10×.
+
+use std::collections::HashMap;
+
+use cloudtalk_lang::problem::Address;
+use desim::{SimDuration, SimTime};
+
+/// Tracks which hosts were recently recommended.
+#[derive(Clone, Debug)]
+pub struct ReservationTable {
+    hold: SimDuration,
+    expiry: HashMap<Address, SimTime>,
+}
+
+impl ReservationTable {
+    /// Creates a table holding reservations for `hold` (paper: 300 ms).
+    pub fn new(hold: SimDuration) -> Self {
+        ReservationTable {
+            hold,
+            expiry: HashMap::new(),
+        }
+    }
+
+    /// The configured hold time.
+    pub fn hold(&self) -> SimDuration {
+        self.hold
+    }
+
+    /// Marks `addrs` as in use from `now` until `now + hold`.
+    pub fn reserve(&mut self, addrs: impl IntoIterator<Item = Address>, now: SimTime) {
+        let until = now + self.hold;
+        for addr in addrs {
+            let e = self.expiry.entry(addr).or_insert(until);
+            if *e < until {
+                *e = until;
+            }
+        }
+    }
+
+    /// Whether `addr` is currently considered in use.
+    pub fn is_reserved(&self, addr: Address, now: SimTime) -> bool {
+        self.expiry.get(&addr).is_some_and(|&e| e > now)
+    }
+
+    /// Drops expired entries (call occasionally to bound memory).
+    pub fn purge(&mut self, now: SimTime) {
+        self.expiry.retain(|_, &mut e| e > now);
+    }
+
+    /// Number of live reservations at `now`.
+    pub fn live_count(&self, now: SimTime) -> usize {
+        self.expiry.values().filter(|&&e| e > now).count()
+    }
+}
+
+impl Default for ReservationTable {
+    /// The paper's 300 ms hold.
+    fn default() -> Self {
+        ReservationTable::new(SimDuration::from_millis(300))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_expires_after_hold() {
+        let mut t = ReservationTable::default();
+        let now = SimTime::from_secs_f64(1.0);
+        t.reserve([Address(7)], now);
+        assert!(t.is_reserved(Address(7), now));
+        assert!(t.is_reserved(Address(7), now + SimDuration::from_millis(299)));
+        assert!(!t.is_reserved(Address(7), now + SimDuration::from_millis(300)));
+        assert!(!t.is_reserved(Address(8), now));
+    }
+
+    #[test]
+    fn re_reservation_extends() {
+        let mut t = ReservationTable::default();
+        t.reserve([Address(1)], SimTime::ZERO);
+        t.reserve([Address(1)], SimTime::from_secs_f64(0.2));
+        assert!(t.is_reserved(Address(1), SimTime::from_secs_f64(0.4)));
+    }
+
+    #[test]
+    fn earlier_reservation_never_shortens() {
+        let mut t = ReservationTable::default();
+        t.reserve([Address(1)], SimTime::from_secs_f64(1.0));
+        t.reserve([Address(1)], SimTime::from_secs_f64(0.5));
+        assert!(t.is_reserved(Address(1), SimTime::from_secs_f64(1.2)));
+    }
+
+    #[test]
+    fn purge_drops_expired() {
+        let mut t = ReservationTable::default();
+        t.reserve([Address(1), Address(2)], SimTime::ZERO);
+        t.purge(SimTime::from_secs_f64(10.0));
+        assert_eq!(t.live_count(SimTime::from_secs_f64(10.0)), 0);
+        assert!(!t.is_reserved(Address(1), SimTime::ZERO), "purged entries are gone");
+    }
+}

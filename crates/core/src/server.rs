@@ -1,0 +1,456 @@
+//! The CloudTalk server: parse → gather → evaluate → answer (§4, Figure 2).
+//!
+//! One server instance runs on every physical machine; tenants connect to
+//! their local one. Answering a query:
+//!
+//! 1. parse the query text (or accept a pre-resolved problem);
+//! 2. sample candidate pools above the probe budget (§4.3);
+//! 3. interrogate the status servers of every mentioned address over the
+//!    scatter-gather transport; unanswered hosts are assumed overloaded;
+//! 4. overlay pseudo-reservations (§5.5) so back-to-back queries do not
+//!    stampede onto the same idle machines;
+//! 5. run the selected evaluator (the Listing 1 heuristic by default,
+//!    exhaustive search as the accuracy baseline);
+//! 6. reserve the recommended machines and answer.
+
+use cloudtalk_lang::problem::{Address, Binding, Problem, Value};
+use cloudtalk_lang::{parse_query, resolve, LangError, MapResolver};
+use desim::rng::{stream_rng, DetRng};
+use desim::{SimDuration, SimTime};
+use estimator::{HostState, World};
+
+use crate::exhaustive::{exhaustive_search, ExhaustiveError};
+use crate::heuristic::{evaluate_query_scored, HeuristicConfig};
+use crate::messages::OverheadLedger;
+use crate::reservation::ReservationTable;
+use crate::sampling::{sample_candidates, DEFAULT_SAMPLE_THRESHOLD};
+use crate::status::StatusSource;
+use crate::transport::{scatter_gather, TransportConfig};
+
+/// Which evaluation backend answers the query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvalMethod {
+    /// The Listing 1 heuristic (the paper's default for all experiments
+    /// except web search).
+    #[default]
+    Heuristic,
+    /// Brute force over all bindings, scored by the flow-level estimator.
+    Exhaustive {
+        /// Maximum bindings to try before refusing.
+        limit: u64,
+    },
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Scatter-gather transport parameters.
+    pub transport: TransportConfig,
+    /// Heuristic parameters (weight `W`, priority binding).
+    pub heuristic: HeuristicConfig,
+    /// Candidate-pool size above which sampling kicks in, and the sample
+    /// size used (§4.3; the paper samples 19 of 300 in §5.2).
+    pub sample_budget: usize,
+    /// Pseudo-reservation hold time (§5.5; `None` disables — the "Osc"
+    /// configuration of Figure 12).
+    pub reservation_hold: Option<SimDuration>,
+    /// Evaluation backend.
+    pub method: EvalMethod,
+    /// Whether to gather dynamic status data; with `false`, evaluation
+    /// sees idle hosts everywhere (static/topology-only mode, §4).
+    pub use_dynamic: bool,
+    /// RNG seed for sampling and transport loss.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            transport: TransportConfig::default(),
+            heuristic: HeuristicConfig::default(),
+            sample_budget: DEFAULT_SAMPLE_THRESHOLD,
+            reservation_hold: Some(SimDuration::from_millis(300)),
+            method: EvalMethod::Heuristic,
+            use_dynamic: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Modelled per-query processing overheads (paper §5.1: "around 0.45ms on
+/// average to answer one query: of these, 0.32ms are spent in parsing …
+/// 0.13ms running our query evaluation algorithm"). Used to report
+/// simulated response times; the benches measure the real thing.
+pub const MODELLED_PARSE_TIME: SimDuration = SimDuration::from_micros(320);
+/// Modelled heuristic evaluation time.
+pub const MODELLED_EVAL_TIME: SimDuration = SimDuration::from_micros(130);
+
+/// The server's reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answer {
+    /// One value per query variable.
+    pub binding: Binding,
+    /// Fitness score of each bound value (same order as `binding`;
+    /// `f64::INFINITY` when the variable's placement is unconstrained).
+    /// Clients may use these to judge recommendation quality (§5.3's
+    /// "its fitness is evaluated after receiving a response").
+    pub binding_scores: Vec<f64>,
+    /// Modelled time from query receipt to reply.
+    pub response_time: SimDuration,
+    /// Whether candidate pools were sampled down.
+    pub sampled: bool,
+    /// Status servers interrogated.
+    pub interrogated: usize,
+    /// Status servers that did not answer.
+    pub missing: usize,
+}
+
+/// Why a query failed.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The query text did not parse or resolve.
+    Language(LangError),
+    /// Exhaustive evaluation failed.
+    Exhaustive(ExhaustiveError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Language(e) => write!(f, "query error: {e}"),
+            ServerError::Exhaustive(e) => write!(f, "exhaustive evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<LangError> for ServerError {
+    fn from(e: LangError) -> Self {
+        ServerError::Language(e)
+    }
+}
+
+/// A CloudTalk server instance.
+pub struct CloudTalkServer {
+    cfg: ServerConfig,
+    reservations: ReservationTable,
+    ledger: OverheadLedger,
+    rng: DetRng,
+    queries_answered: u64,
+}
+
+impl CloudTalkServer {
+    /// Creates a server.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let hold = cfg.reservation_hold.unwrap_or(SimDuration::ZERO);
+        let rng = stream_rng(cfg.seed, 0xC10D);
+        CloudTalkServer {
+            reservations: ReservationTable::new(hold),
+            ledger: OverheadLedger::default(),
+            rng,
+            cfg,
+            queries_answered: 0,
+        }
+    }
+
+    /// Cumulative network-overhead ledger (§5.5 accounting).
+    pub fn ledger(&self) -> &OverheadLedger {
+        &self.ledger
+    }
+
+    /// Queries answered so far.
+    pub fn queries_answered(&self) -> u64 {
+        self.queries_answered
+    }
+
+    /// Answers a textual CloudTalk query at simulated time `now`.
+    pub fn answer_text(
+        &mut self,
+        text: &str,
+        source: &mut impl StatusSource,
+        now: SimTime,
+    ) -> Result<Answer, ServerError> {
+        let query = parse_query(text)?;
+        let problem = resolve(&query, &MapResolver::new())?;
+        let mut answer = self.answer_problem(&problem, source, now)?;
+        answer.response_time += MODELLED_PARSE_TIME;
+        self.ledger
+            .record_client(text.len() as u64, 8 * answer.binding.len() as u64);
+        Ok(answer)
+    }
+
+    /// Answers a pre-resolved problem at simulated time `now`, reserving
+    /// the recommended machines (when reservations are enabled).
+    pub fn answer_problem(
+        &mut self,
+        problem: &Problem,
+        source: &mut impl StatusSource,
+        now: SimTime,
+    ) -> Result<Answer, ServerError> {
+        self.answer_problem_with(problem, source, now, true)
+    }
+
+    /// Answers a pre-resolved problem, optionally without reserving.
+    ///
+    /// Advisory queries whose recommendation the client may *not* act on
+    /// (e.g. the per-heartbeat reduce-placement fitness check, where a
+    /// task is assigned only if the asking node is among the recommended
+    /// set) should pass `reserve = false`: reserving on every heartbeat
+    /// would hide the genuinely idle machines from the very next query.
+    pub fn answer_problem_with(
+        &mut self,
+        problem: &Problem,
+        source: &mut impl StatusSource,
+        now: SimTime,
+        reserve: bool,
+    ) -> Result<Answer, ServerError> {
+        self.reservations.purge(now);
+
+        // §4.3 sampling: shrink oversized candidate pools.
+        let max_pool = problem
+            .vars
+            .iter()
+            .map(|v| v.candidates.len())
+            .max()
+            .unwrap_or(0);
+        let sampled = max_pool > self.cfg.sample_budget;
+        let working: Problem = if sampled {
+            sample_candidates(problem, self.cfg.sample_budget, &mut self.rng)
+        } else {
+            problem.clone()
+        };
+
+        // Gather status for every mentioned address.
+        let addrs = working.mentioned_addresses();
+        let (world, elapsed, missing) = if self.cfg.use_dynamic {
+            let outcome = scatter_gather(
+                source,
+                &addrs,
+                &self.cfg.transport,
+                &mut self.rng,
+                &mut self.ledger,
+            );
+            let mut world = World::new();
+            for (addr, state) in &outcome.replies {
+                world.set(*addr, *state);
+            }
+            (world, outcome.elapsed, outcome.missing.len())
+        } else {
+            // Static mode: assume idle hosts; no status traffic.
+            let world = World::uniform(&addrs, HostState::gbps_idle());
+            (world, SimDuration::ZERO, 0)
+        };
+
+        // Overlay reservations: recently recommended machines count as busy.
+        let world = self.overlay_reservations(world, &addrs, now);
+
+        let (binding, binding_scores) = match self.cfg.method {
+            EvalMethod::Heuristic => evaluate_query_scored(&working, &world, &self.cfg.heuristic),
+            EvalMethod::Exhaustive { limit } => {
+                let r = exhaustive_search(&working, &world, limit)
+                    .map_err(ServerError::Exhaustive)?;
+                let n = r.binding.len();
+                (r.binding, vec![f64::INFINITY; n])
+            }
+        };
+
+        if reserve && self.cfg.reservation_hold.is_some() {
+            self.reservations.reserve(
+                binding.iter().filter_map(|v| match v {
+                    Value::Addr(a) => Some(*a),
+                    Value::Disk => None,
+                }),
+                now,
+            );
+        }
+
+        self.queries_answered += 1;
+        Ok(Answer {
+            binding,
+            binding_scores,
+            response_time: elapsed + MODELLED_EVAL_TIME,
+            sampled,
+            interrogated: addrs.len(),
+            missing,
+        })
+    }
+
+    fn overlay_reservations(&self, mut world: World, addrs: &[Address], now: SimTime) -> World {
+        if self.cfg.reservation_hold.is_none() {
+            return world;
+        }
+        for &addr in addrs {
+            if self.reservations.is_reserved(addr, now) {
+                let mut s = world.get(addr);
+                // Recommended machines are treated as in use until real
+                // feedback catches up. The penalty is *additive* (a full
+                // capacity's worth of extra usage) rather than saturating:
+                // every reserved machine ranks below every unreserved one,
+                // but among reserved machines the measured load still
+                // orders candidates — the paper's "previously considered
+                // endpoints, in decreasing order of their evaluated
+                // fitness" fallback.
+                s.nic_up_used += s.nic_up_capacity;
+                s.nic_down_used += s.nic_down_capacity;
+                s.disk_read_used += s.disk_read_capacity;
+                s.disk_write_used += s.disk_write_capacity;
+                world.set(addr, s);
+            }
+        }
+        world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::TableStatusSource;
+    use cloudtalk_lang::builder::hdfs_write_query;
+
+    fn idle_source(n: u32) -> TableStatusSource {
+        let mut s = TableStatusSource::new();
+        for i in 1..=n {
+            s.set(Address(i), HostState::gbps_idle());
+        }
+        s
+    }
+
+    const NET: u32 = 0x0A00_0000; // the 10.0.0.0/8 the query text uses
+
+    #[test]
+    fn doc_example_avoids_busy_replica() {
+        let mut status = TableStatusSource::new();
+        status.set(Address(NET + 2), HostState::gbps_idle());
+        status.set(Address(NET + 3), HostState::gbps_idle().with_up_load(0.9));
+        status.set(Address(NET + 4), HostState::gbps_idle());
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let a = server
+            .answer_text(
+                "src = (10.0.0.2 10.0.0.3 10.0.0.4)\nf1 src -> 10.0.0.1 size 256M",
+                &mut status,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_ne!(a.binding[0], Value::Addr(Address(NET + 3)));
+        assert!(
+            matches!(a.binding[0], Value::Addr(Address(x)) if x == NET + 2 || x == NET + 4),
+            "{:?}",
+            a.binding
+        );
+        assert!(!a.sampled);
+        assert!(a.response_time >= MODELLED_PARSE_TIME + MODELLED_EVAL_TIME);
+        assert_eq!(server.queries_answered(), 1);
+        assert!(server.ledger().total_bytes() > 0);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let err = server
+            .answer_text("f1 -> nonsense", &mut idle_source(2), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Language(_)));
+    }
+
+    #[test]
+    fn reservations_steer_consecutive_queries_apart() {
+        // Two identical write queries in quick succession must not pick the
+        // same replicas when alternatives exist.
+        let nodes: Vec<Address> = (2..12).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let mut src = idle_source(12);
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let a1 = server.answer_problem(&p, &mut src, SimTime::ZERO).unwrap();
+        let a2 = server
+            .answer_problem(&p, &mut src, SimTime::from_secs_f64(0.01))
+            .unwrap();
+        let s1: std::collections::HashSet<&Value> = a1.binding.iter().collect();
+        let overlap = a2.binding.iter().filter(|v| s1.contains(v)).count();
+        assert_eq!(overlap, 0, "reserved hosts reused: {:?} vs {:?}", a1.binding, a2.binding);
+    }
+
+    #[test]
+    fn without_reservations_queries_pile_up() {
+        let nodes: Vec<Address> = (2..12).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let mut src = idle_source(12);
+        let cfg = ServerConfig {
+            reservation_hold: None,
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let a1 = server.answer_problem(&p, &mut src, SimTime::ZERO).unwrap();
+        let a2 = server
+            .answer_problem(&p, &mut src, SimTime::from_secs_f64(0.01))
+            .unwrap();
+        assert_eq!(a1.binding, a2.binding, "identical idle world, same answer");
+    }
+
+    #[test]
+    fn reservations_expire() {
+        let nodes: Vec<Address> = (2..12).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let mut src = idle_source(12);
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let a1 = server.answer_problem(&p, &mut src, SimTime::ZERO).unwrap();
+        // 1 second later (> 300 ms), the original choice is available again.
+        let a2 = server
+            .answer_problem(&p, &mut src, SimTime::from_secs_f64(1.0))
+            .unwrap();
+        assert_eq!(a1.binding, a2.binding);
+    }
+
+    #[test]
+    fn sampling_activates_above_budget() {
+        let nodes: Vec<Address> = (2..502).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let mut src = idle_source(502);
+        let cfg = ServerConfig {
+            sample_budget: 19,
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let a = server.answer_problem(&p, &mut src, SimTime::ZERO).unwrap();
+        assert!(a.sampled);
+        // 19 sampled candidates + the fixed client address.
+        assert!(a.interrogated <= 20, "interrogated {}", a.interrogated);
+    }
+
+    #[test]
+    fn static_mode_skips_status_collection() {
+        let nodes: Vec<Address> = (2..6).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let cfg = ServerConfig {
+            use_dynamic: false,
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        // An empty status source would doom dynamic mode; static is fine.
+        let mut empty = TableStatusSource::new();
+        let a = server.answer_problem(&p, &mut empty, SimTime::ZERO).unwrap();
+        assert_eq!(a.binding.len(), 3);
+        assert_eq!(server.ledger().status_bytes(), 0);
+    }
+
+    #[test]
+    fn exhaustive_method_works_end_to_end() {
+        let mut status = TableStatusSource::new();
+        status.set(Address(NET + 2), HostState::gbps_idle().with_up_load(0.9));
+        status.set(Address(NET + 3), HostState::gbps_idle());
+        status.set(Address(NET + 1), HostState::gbps_idle());
+        let cfg = ServerConfig {
+            method: EvalMethod::Exhaustive { limit: 100 },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let a = server
+            .answer_text(
+                "src = (10.0.0.2 10.0.0.3)\nf1 src -> 10.0.0.1 size 256M",
+                &mut status,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(a.binding, vec![Value::Addr(Address(NET + 3))]);
+    }
+}

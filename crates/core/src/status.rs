@@ -1,0 +1,116 @@
+//! Status servers: the per-host measurement agents (paper §4, Figure 2).
+//!
+//! "The status server gathers information about disk and network interface
+//! usage and relays it to the CloudTalk server upon request." In this
+//! reproduction a status server is anything that can answer "what is the
+//! I/O state of host X right now" — the [`StatusSource`] trait. The
+//! simulated cluster implements it on top of [`simnet::NetSim`] host-load
+//! snapshots; tests use an explicit table.
+
+use cloudtalk_lang::problem::Address;
+use estimator::HostState;
+
+/// A source of per-host status reports.
+///
+/// `poll` returns `None` when the host does not answer (crashed, dropped
+/// datagram at the source, unknown address) — the CloudTalk server then
+/// assumes the host is under heavy I/O load (§4).
+pub trait StatusSource {
+    /// Measures the current I/O state of `addr`.
+    fn poll(&mut self, addr: Address) -> Option<HostState>;
+}
+
+/// A status source backed by an explicit table (tests, static scenarios).
+#[derive(Clone, Debug, Default)]
+pub struct TableStatusSource {
+    table: std::collections::HashMap<Address, HostState>,
+}
+
+impl TableStatusSource {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the state reported for `addr`.
+    pub fn set(&mut self, addr: Address, state: HostState) {
+        self.table.insert(addr, state);
+    }
+
+    /// Removes `addr` so polls for it fail (simulating an unresponsive host).
+    pub fn silence(&mut self, addr: Address) {
+        self.table.remove(&addr);
+    }
+}
+
+impl StatusSource for TableStatusSource {
+    fn poll(&mut self, addr: Address) -> Option<HostState> {
+        self.table.get(&addr).copied()
+    }
+}
+
+/// A status source that adapts a [`simnet::NetSim`]: polls read the live
+/// host-load snapshot of the fluid simulation, exactly what a hypervisor
+/// status server would measure.
+pub struct NetSimStatusSource<'a> {
+    net: &'a mut simnet::NetSim,
+}
+
+impl<'a> NetSimStatusSource<'a> {
+    /// Wraps a live network simulation.
+    pub fn new(net: &'a mut simnet::NetSim) -> Self {
+        NetSimStatusSource { net }
+    }
+}
+
+impl StatusSource for NetSimStatusSource<'_> {
+    fn poll(&mut self, addr: Address) -> Option<HostState> {
+        let host = self.net.topology().host_by_addr(addr.0)?;
+        let load = self.net.host_load(host);
+        Some(HostState {
+            nic_up_capacity: load.nic_capacity,
+            nic_up_used: load.tx_bps,
+            nic_down_capacity: load.nic_capacity,
+            nic_down_used: load.rx_bps,
+            disk_read_capacity: load.disk_read_capacity,
+            disk_read_used: load.disk_read_bps,
+            disk_write_capacity: load.disk_write_capacity,
+            disk_write_used: load.disk_write_bps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::engine::TransferSpec;
+    use simnet::topology::TopoOptions;
+    use simnet::{NetSim, Topology, GBPS};
+
+    #[test]
+    fn table_source_round_trips() {
+        let mut s = TableStatusSource::new();
+        s.set(Address(1), HostState::gbps_idle());
+        assert!(s.poll(Address(1)).is_some());
+        assert!(s.poll(Address(2)).is_none());
+        s.silence(Address(1));
+        assert!(s.poll(Address(1)).is_none());
+    }
+
+    #[test]
+    fn netsim_source_reports_live_load() {
+        let topo = Topology::single_switch(3, GBPS, TopoOptions::default());
+        let mut net = NetSim::new(topo);
+        let hosts = net.hosts();
+        net.start(TransferSpec::network(hosts[0], hosts[1], f64::INFINITY));
+        let addr0 = Address(net.topology().host(hosts[0]).addr);
+        let addr2 = Address(net.topology().host(hosts[2]).addr);
+        let mut src = NetSimStatusSource::new(&mut net);
+        let busy = src.poll(addr0).unwrap();
+        assert!(busy.nic_up_used > 0.0);
+        let idle = src.poll(addr2).unwrap();
+        assert_eq!(idle.nic_up_used, 0.0);
+        // Unknown address: no answer.
+        assert!(src.poll(Address(0xFFFF_FFFF)).is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Simulated UDP scatter-gather status collection (paper §4/§4.3).
+//!
+//! "UDP is used as transport, to minimize incast related problems … Our
+//! experiments show that querying one hundred servers gives low packet
+//! loss with our UDP-based solution, while for a thousand servers, there
+//! is high packet loss." The per-reply loss probability here grows with
+//! fan-out beyond a knee, reproducing exactly the behaviour that makes
+//! sampling (§4.3) necessary.
+
+use cloudtalk_lang::problem::Address;
+use desim::rng::DetRng;
+use desim::SimDuration;
+use estimator::HostState;
+use rand::Rng;
+
+use crate::messages::OverheadLedger;
+use crate::status::StatusSource;
+
+/// Scatter-gather parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TransportConfig {
+    /// Fan-out below which replies are essentially loss-free.
+    pub knee: usize,
+    /// Per-reply loss probability gained for each doubling beyond the knee.
+    pub loss_per_doubling: f64,
+    /// Time the CloudTalk server waits for stragglers before answering
+    /// with whatever arrived ("waiting for a predefined amount of time,
+    /// or until all responses arrive").
+    pub timeout: SimDuration,
+    /// Network round-trip for one status exchange under no loss.
+    pub rtt: SimDuration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            knee: 100,
+            loss_per_doubling: 0.25,
+            timeout: SimDuration::from_millis(10),
+            rtt: SimDuration::from_micros(200),
+        }
+    }
+}
+
+/// Result of one scatter-gather round.
+#[derive(Clone, Debug)]
+pub struct GatherOutcome {
+    /// Replies that made it back, in query order.
+    pub replies: Vec<(Address, HostState)>,
+    /// Addresses that never answered (lost datagram or silent host).
+    pub missing: Vec<Address>,
+    /// Time the round took: full RTT when everyone answered, the timeout
+    /// when somebody didn't.
+    pub elapsed: SimDuration,
+}
+
+/// Performs one scatter-gather round against `addrs`.
+///
+/// Loss model: with fan-out `n`, each reply is independently lost with
+/// probability `min(0.9, loss_per_doubling · log2(n / knee))` for
+/// `n > knee`, else 0 — negligible loss at 100-way fan-out, heavy loss at
+/// 1000-way, matching the paper's observation.
+pub fn scatter_gather(
+    source: &mut impl StatusSource,
+    addrs: &[Address],
+    cfg: &TransportConfig,
+    rng: &mut DetRng,
+    ledger: &mut OverheadLedger,
+) -> GatherOutcome {
+    let n = addrs.len();
+    let loss_p = loss_probability(n, cfg);
+    let mut replies = Vec::with_capacity(n);
+    let mut missing = Vec::new();
+    for &addr in addrs {
+        let lost = loss_p > 0.0 && rng.gen_bool(loss_p);
+        match (lost, source.poll(addr)) {
+            (false, Some(state)) => replies.push((addr, state)),
+            _ => missing.push(addr),
+        }
+    }
+    ledger.record_round(n as u64, replies.len() as u64);
+    let elapsed = if missing.is_empty() {
+        cfg.rtt
+    } else {
+        cfg.timeout
+    };
+    GatherOutcome {
+        replies,
+        missing,
+        elapsed,
+    }
+}
+
+/// The per-reply loss probability at fan-out `n`.
+pub fn loss_probability(n: usize, cfg: &TransportConfig) -> f64 {
+    if n <= cfg.knee {
+        0.0
+    } else {
+        (cfg.loss_per_doubling * (n as f64 / cfg.knee as f64).log2()).min(0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::TableStatusSource;
+    use desim::rng::stream_rng;
+
+    fn source(n: u32) -> TableStatusSource {
+        let mut s = TableStatusSource::new();
+        for i in 1..=n {
+            s.set(Address(i), HostState::gbps_idle());
+        }
+        s
+    }
+
+    #[test]
+    fn small_fanout_is_lossless() {
+        assert_eq!(loss_probability(100, &TransportConfig::default()), 0.0);
+        let mut src = source(100);
+        let addrs: Vec<Address> = (1..=100).map(Address).collect();
+        let mut ledger = OverheadLedger::default();
+        let out = scatter_gather(
+            &mut src,
+            &addrs,
+            &TransportConfig::default(),
+            &mut stream_rng(1, 0),
+            &mut ledger,
+        );
+        assert_eq!(out.replies.len(), 100);
+        assert!(out.missing.is_empty());
+        assert_eq!(out.elapsed, TransportConfig::default().rtt);
+        assert_eq!(ledger.status_bytes(), 100 * (64 + 78));
+    }
+
+    #[test]
+    fn thousand_way_fanout_loses_many() {
+        let cfg = TransportConfig::default();
+        let p = loss_probability(1000, &cfg);
+        assert!(p > 0.5, "1000-way loss probability {p}");
+        let mut src = source(1000);
+        let addrs: Vec<Address> = (1..=1000).map(Address).collect();
+        let mut ledger = OverheadLedger::default();
+        let out = scatter_gather(&mut src, &addrs, &cfg, &mut stream_rng(2, 0), &mut ledger);
+        assert!(
+            out.missing.len() > 300,
+            "expected heavy loss, missing only {}",
+            out.missing.len()
+        );
+        assert_eq!(out.elapsed, cfg.timeout, "stragglers trigger the timeout");
+    }
+
+    #[test]
+    fn silent_hosts_are_reported_missing() {
+        let mut src = source(3);
+        src.silence(Address(2));
+        let addrs = [Address(1), Address(2), Address(3)];
+        let mut ledger = OverheadLedger::default();
+        let out = scatter_gather(
+            &mut src,
+            &addrs,
+            &TransportConfig::default(),
+            &mut stream_rng(3, 0),
+            &mut ledger,
+        );
+        assert_eq!(out.replies.len(), 2);
+        assert_eq!(out.missing, vec![Address(2)]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TransportConfig::default();
+        let addrs: Vec<Address> = (1..=500).map(Address).collect();
+        let run = || {
+            let mut src = source(500);
+            let mut ledger = OverheadLedger::default();
+            scatter_gather(&mut src, &addrs, &cfg, &mut stream_rng(7, 1), &mut ledger)
+                .missing
+                .len()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,211 @@
+//! Cancellable event priority queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Equal timestamps resolve in insertion order, which keeps
+        // runs deterministic regardless of heap internals.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+///
+/// Events scheduled for the same instant pop in insertion (FIFO) order.
+/// Cancellation is lazy: cancelled events stay in the heap until popped,
+/// then are skipped, which keeps both operations `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use desim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let h = q.push(SimTime::from_nanos(5), "a");
+/// q.push(SimTime::from_nanos(5), "b");
+/// q.cancel(h);
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "b")));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Seq ids scheduled and neither popped nor cancelled yet.
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `event` to fire at `at` and returns a cancellation handle.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (and is now dropped),
+    /// `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.pending.remove(&handle.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.at, entry.event));
+            }
+        }
+        None
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Returns the number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_nanos(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_nanos(1), "a");
+        q.push(SimTime::from_nanos(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), "b")));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(99)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_nanos(1), "a");
+        q.push(SimTime::from_nanos(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "b")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(h1);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic random-stream derivation.
+//!
+//! Every experiment takes a single root `u64` seed. Components derive
+//! independent child streams with [`derive_seed`], so adding a new consumer
+//! of randomness never perturbs the draws seen by existing ones — the
+//! property that keeps regenerated figures stable across code changes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG type used throughout the reproduction.
+pub type DetRng = StdRng;
+
+/// Derives a child seed from `(root, stream)` using SplitMix64 finalization.
+///
+/// SplitMix64 is a bijective avalanche mix, so distinct `(root, stream)`
+/// pairs map to well-separated child seeds.
+///
+/// # Examples
+///
+/// ```
+/// let a = desim::rng::derive_seed(42, 0);
+/// let b = desim::rng::derive_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, desim::rng::derive_seed(42, 0));
+/// ```
+pub fn derive_seed(root: u64, stream: u64) -> u64 {
+    let mut z = root ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Creates a deterministic RNG for `(root, stream)`.
+pub fn stream_rng(root: u64, stream: u64) -> DetRng {
+    StdRng::seed_from_u64(derive_seed(root, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let mut a = stream_rng(7, 3);
+        let mut b = stream_rng(7, 3);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = stream_rng(7, 0);
+        let mut b = stream_rng(7, 1);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_seed_avalanches() {
+        // Flipping one bit of the stream id should change roughly half the
+        // output bits; we only assert it changes a lot.
+        let a = derive_seed(1, 2);
+        let b = derive_seed(1, 3);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

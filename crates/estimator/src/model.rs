@@ -1,0 +1,738 @@
+//! Conversion of a bound problem into demand groups + the rate-stabilising
+//! completion-time simulation.
+
+use std::collections::HashMap;
+
+use cloudtalk_lang::ast::{AttrKind, RefAttr};
+use cloudtalk_lang::problem::{
+    Address, Binding, BoundEndpoint, ExprR, FlowId, Problem,
+};
+use simnet::sharing::{max_min_rates, Demand, ResourceIdx};
+
+/// Rate used for flows that touch no shared resource (loopback).
+const LOCAL_RATE: f64 = 1e11;
+/// Relative tolerance on byte counts.
+const EPS: f64 = 1e-6;
+
+/// The estimator's answer for one bound problem.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Estimate {
+    /// Completion time (seconds from query time) per flow.
+    pub flow_finish: Vec<f64>,
+    /// Time when the last flow finishes — the task completion time the
+    /// CloudTalk server minimises.
+    pub makespan: f64,
+    /// Total bytes moved by all flows.
+    pub total_bytes: f64,
+    /// `total_bytes / makespan` (0 when the problem moves no bytes).
+    pub throughput: f64,
+    /// Flows whose predicted finish exceeds their `end` attribute — the
+    /// deadline of Table 1 ("end … given in seconds relative to current
+    /// time"). Empty when every constrained flow makes it.
+    pub deadline_misses: Vec<FlowId>,
+}
+
+/// Why an estimate could not be produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EstimateError {
+    /// A `size`/`start` expression used a reference the estimator cannot
+    /// resolve statically (e.g. `size r(f)`).
+    UnsupportedExpr(&'static str),
+    /// The binding has the wrong number of values.
+    BindingArity {
+        /// Values expected (number of variables).
+        expected: usize,
+        /// Values provided.
+        got: usize,
+    },
+    /// A flow can never finish (zero rate with bytes remaining).
+    Stalled(FlowId),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::UnsupportedExpr(what) => {
+                write!(f, "unsupported expression in `{what}` attribute")
+            }
+            EstimateError::BindingArity { expected, got } => {
+                write!(f, "binding has {got} values, problem has {expected} variables")
+            }
+            EstimateError::Stalled(id) => write!(f, "flow #{} can never finish", id.0),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Default flow size when a query omits `size`: 64 MB (an HDFS block).
+const DEFAULT_SIZE: f64 = 64.0 * 1024.0 * 1024.0;
+
+/// Estimates completion times for `problem` under `binding` in `world`.
+pub fn estimate(
+    problem: &Problem,
+    binding: &Binding,
+    world: &crate::World,
+) -> Result<Estimate, EstimateError> {
+    if binding.len() != problem.vars.len() {
+        return Err(EstimateError::BindingArity {
+            expected: problem.vars.len(),
+            got: binding.len(),
+        });
+    }
+    let n = problem.flows.len();
+
+    // --- static attribute resolution -----------------------------------
+    let sizes = resolve_sizes(problem)?;
+    let starts = resolve_consts(problem, AttrKind::Start, "start")?;
+    let initial = resolve_transfer_offsets(problem)?;
+
+    // Rate attribute: cap, coupling, or none.
+    let mut caps: Vec<Option<f64>> = vec![None; n];
+    let mut couple: Vec<Option<FlowId>> = vec![None; n];
+    for (i, flow) in problem.flows.iter().enumerate() {
+        match flow.attr(AttrKind::Rate) {
+            None => {}
+            Some(expr) => {
+                if let Some(v) = expr.as_const() {
+                    caps[i] = Some(v.max(0.0));
+                } else if let ExprR::Ref(RefAttr::Rate, f) = expr {
+                    couple[i] = Some(*f);
+                } else {
+                    return Err(EstimateError::UnsupportedExpr("rate"));
+                }
+            }
+        }
+    }
+
+    // Union-find over rate couplings.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (i, c) in couple.iter().enumerate() {
+        if let Some(f) = c {
+            let (a, b) = (find(&mut parent, i), find(&mut parent, f.0));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+
+    // --- resource table --------------------------------------------------
+    // Four resources per mentioned address: up, down, disk-read, disk-write.
+    let mut res_of: HashMap<Address, usize> = HashMap::new();
+    let mut capacities: Vec<f64> = Vec::new();
+    let resource_base = |addr: Address,
+                             capacities: &mut Vec<f64>,
+                             res_of: &mut HashMap<Address, usize>|
+     -> usize {
+        *res_of.entry(addr).or_insert_with(|| {
+            let base = capacities.len();
+            let s = world.get(addr);
+            capacities.push(s.up_free());
+            capacities.push(s.down_free());
+            capacities.push((s.disk_read_capacity - s.disk_read_used).max(0.0));
+            capacities.push((s.disk_write_capacity - s.disk_write_used).max(0.0));
+            base
+        })
+    };
+
+    // Per-flow resource usages.
+    let mut usages: Vec<Vec<(ResourceIdx, f64)>> = Vec::with_capacity(n);
+    for flow in &problem.flows {
+        let src = flow.src.bound(binding);
+        let dst = flow.dst.bound(binding);
+        let mut u: Vec<(ResourceIdx, f64)> = Vec::new();
+        let add = |r: usize, u: &mut Vec<(ResourceIdx, f64)>| {
+            if let Some(e) = u.iter_mut().find(|(idx, _)| *idx == r) {
+                e.1 += 1.0;
+            } else {
+                u.push((r, 1.0));
+            }
+        };
+        match (src, dst) {
+            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) => {
+                if a != b {
+                    let ra = resource_base(a, &mut capacities, &mut res_of);
+                    add(ra, &mut u); // a.up
+                    let rb = resource_base(b, &mut capacities, &mut res_of);
+                    add(rb + 1, &mut u); // b.down
+                }
+            }
+            (BoundEndpoint::Host(a), BoundEndpoint::Disk) => {
+                let ra = resource_base(a, &mut capacities, &mut res_of);
+                add(ra + 3, &mut u); // a.disk-write
+            }
+            (BoundEndpoint::Disk, BoundEndpoint::Host(b)) => {
+                let rb = resource_base(b, &mut capacities, &mut res_of);
+                add(rb + 2, &mut u); // b.disk-read
+            }
+            (BoundEndpoint::Unknown, BoundEndpoint::Host(b)) => {
+                let rb = resource_base(b, &mut capacities, &mut res_of);
+                add(rb + 1, &mut u); // only b.down constrained
+            }
+            (BoundEndpoint::Host(a), BoundEndpoint::Unknown) => {
+                let ra = resource_base(a, &mut capacities, &mut res_of);
+                add(ra, &mut u); // only a.up constrained
+            }
+            // Disk↔Unknown or Unknown↔Unknown: nothing shared is used.
+            _ => {}
+        }
+        usages.push(u);
+    }
+
+    // --- group assembly ---------------------------------------------------
+    let mut group_of: Vec<usize> = vec![0; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut root_to_group: HashMap<usize, usize> = HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            let g = *root_to_group.entry(root).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+            group_of[i] = g;
+        }
+    }
+
+    // --- event simulation --------------------------------------------------
+    let mut remaining: Vec<f64> = (0..n)
+        .map(|i| (sizes[i] - initial[i]).max(0.0))
+        .collect();
+    let mut finish: Vec<f64> = vec![0.0; n];
+    let mut done: Vec<bool> = (0..n).map(|i| remaining[i] <= EPS).collect();
+    for i in 0..n {
+        if done[i] {
+            finish[i] = starts[i];
+        }
+    }
+    let mut now = 0.0f64;
+
+    loop {
+        // Active flows: started, not done.
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| !done[i] && starts[i] <= now + 1e-12)
+            .collect();
+        let pending_start = (0..n)
+            .filter(|&i| !done[i] && starts[i] > now + 1e-12)
+            .map(|i| starts[i])
+            .fold(f64::INFINITY, f64::min);
+        if active.is_empty() {
+            if pending_start.is_finite() {
+                now = pending_start;
+                continue;
+            }
+            break;
+        }
+
+        // Build one demand per group with active members.
+        let mut active_groups: Vec<usize> = active.iter().map(|&i| group_of[i]).collect();
+        active_groups.sort_unstable();
+        active_groups.dedup();
+        let demands: Vec<Demand> = active_groups
+            .iter()
+            .map(|&g| {
+                let mut merged: Vec<(ResourceIdx, f64)> = Vec::new();
+                let mut cap: Option<f64> = None;
+                for &i in &groups[g] {
+                    if done[i] || starts[i] > now + 1e-12 {
+                        continue;
+                    }
+                    for &(r, m) in &usages[i] {
+                        if let Some(e) = merged.iter_mut().find(|(idx, _)| *idx == r) {
+                            e.1 += m;
+                        } else {
+                            merged.push((r, m));
+                        }
+                    }
+                    if let Some(c) = caps[i] {
+                        cap = Some(cap.map_or(c, |x: f64| x.min(c)));
+                    }
+                }
+                Demand {
+                    usages: merged,
+                    cap,
+                    inelastic: None,
+                }
+            })
+            .collect();
+        let rates = max_min_rates(&capacities, &demands);
+
+        // Per-flow rate = its group's rate (clamped for loopback groups).
+        let mut flow_rate: Vec<f64> = vec![0.0; n];
+        for (gi, &g) in active_groups.iter().enumerate() {
+            let r = if rates[gi].is_finite() {
+                rates[gi]
+            } else {
+                LOCAL_RATE
+            };
+            for &i in &groups[g] {
+                if !done[i] && starts[i] <= now + 1e-12 {
+                    flow_rate[i] = r;
+                }
+            }
+        }
+
+        // Next event: earliest completion or pending start.
+        let mut next = pending_start;
+        for &i in &active {
+            if flow_rate[i] > 0.0 {
+                next = next.min(now + remaining[i] / flow_rate[i]);
+            }
+        }
+        if !next.is_finite() {
+            // Every active flow is stalled at rate zero with no future
+            // start that could change anything.
+            return Err(EstimateError::Stalled(FlowId(active[0])));
+        }
+        let dt = next - now;
+        for &i in &active {
+            remaining[i] -= flow_rate[i] * dt;
+            if remaining[i] <= sizes[i] * EPS + 1e-3 {
+                remaining[i] = 0.0;
+                done[i] = true;
+                finish[i] = next;
+            }
+        }
+        now = next;
+        if done.iter().all(|&d| d) {
+            break;
+        }
+    }
+
+    // Store-and-forward precedence: a flow with `transfer t(f)` cannot
+    // finish before f does.
+    let order = transfer_topo_order(problem);
+    for i in order {
+        if let Some(expr) = problem.flows[i].attr(AttrKind::Transfer) {
+            let mut upstream_finish = 0.0f64;
+            expr.for_each_ref(&mut |attr, f| {
+                if attr == RefAttr::Transferred {
+                    upstream_finish = upstream_finish.max(finish[f.0]);
+                }
+            });
+            finish[i] = finish[i].max(upstream_finish);
+        }
+    }
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    let total_bytes: f64 = sizes.iter().sum();
+
+    // Deadline check: `end` attributes are upper bounds on finish times.
+    let deadlines = resolve_consts(problem, AttrKind::End, "end")?;
+    let deadline_misses: Vec<FlowId> = problem
+        .flows
+        .iter()
+        .enumerate()
+        .filter(|(i, flow)| {
+            flow.attr(AttrKind::End).is_some() && finish[*i] > deadlines[*i] + 1e-9
+        })
+        .map(|(i, _)| FlowId(i))
+        .collect();
+
+    Ok(Estimate {
+        flow_finish: finish,
+        makespan,
+        total_bytes,
+        throughput: if makespan > 0.0 {
+            total_bytes / makespan
+        } else {
+            0.0
+        },
+        deadline_misses,
+    })
+}
+
+/// Resolves every flow's size statically — public so other evaluation
+/// backends (the packet-level simulator) share the same semantics.
+pub fn resolve_static_sizes(problem: &Problem) -> Result<Vec<f64>, EstimateError> {
+    resolve_sizes(problem)
+}
+
+/// Resolves every flow's size, following `sz(f)` references (a DAG by
+/// validation) and folding arithmetic.
+fn resolve_sizes(problem: &Problem) -> Result<Vec<f64>, EstimateError> {
+    let n = problem.flows.len();
+    let mut sizes: Vec<Option<f64>> = vec![None; n];
+
+    fn size_of(
+        problem: &Problem,
+        sizes: &mut Vec<Option<f64>>,
+        i: usize,
+    ) -> Result<f64, EstimateError> {
+        if let Some(s) = sizes[i] {
+            return Ok(s);
+        }
+        let s = match problem.flows[i].attr(AttrKind::Size) {
+            None => DEFAULT_SIZE,
+            Some(expr) => eval_size(problem, sizes, expr)?,
+        };
+        sizes[i] = Some(s.max(0.0));
+        Ok(s.max(0.0))
+    }
+
+    fn eval_size(
+        problem: &Problem,
+        sizes: &mut Vec<Option<f64>>,
+        expr: &ExprR,
+    ) -> Result<f64, EstimateError> {
+        Ok(match expr {
+            ExprR::Literal(v) => *v,
+            ExprR::Ref(RefAttr::Size, f) => size_of(problem, sizes, f.0)?,
+            ExprR::Ref(..) => return Err(EstimateError::UnsupportedExpr("size")),
+            ExprR::Binary(op, lhs, rhs) => op.apply(
+                eval_size(problem, sizes, lhs)?,
+                eval_size(problem, sizes, rhs)?,
+            ),
+        })
+    }
+
+    (0..n)
+        .map(|i| size_of(problem, &mut sizes, i))
+        .collect()
+}
+
+/// Resolves an attribute that must be a compile-time constant.
+fn resolve_consts(
+    problem: &Problem,
+    kind: AttrKind,
+    what: &'static str,
+) -> Result<Vec<f64>, EstimateError> {
+    problem
+        .flows
+        .iter()
+        .map(|flow| match flow.attr(kind) {
+            None => Ok(0.0),
+            Some(expr) => expr
+                .as_const()
+                .map(|v| v.max(0.0))
+                .ok_or(EstimateError::UnsupportedExpr(what)),
+        })
+        .collect()
+}
+
+/// `transfer` attributes: constants become initial progress; `t(f)`
+/// references become precedence (handled after simulation) and contribute
+/// zero initial progress.
+fn resolve_transfer_offsets(problem: &Problem) -> Result<Vec<f64>, EstimateError> {
+    problem
+        .flows
+        .iter()
+        .map(|flow| match flow.attr(AttrKind::Transfer) {
+            None => Ok(0.0),
+            Some(expr) => {
+                if let Some(v) = expr.as_const() {
+                    Ok(v.max(0.0))
+                } else {
+                    let mut only_t_refs = true;
+                    expr.for_each_ref(&mut |attr, _| {
+                        if attr != RefAttr::Transferred {
+                            only_t_refs = false;
+                        }
+                    });
+                    if only_t_refs {
+                        Ok(0.0)
+                    } else {
+                        Err(EstimateError::UnsupportedExpr("transfer"))
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Flows in an order where `t(f)` upstreams come first (cycles — which
+/// validation does not forbid for `t` — are broken arbitrarily; precedence
+/// then still converges because `max` is monotone).
+fn transfer_topo_order(problem: &Problem) -> Vec<usize> {
+    let n = problem.flows.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = visiting, 2 = done
+
+    fn visit(problem: &Problem, state: &mut [u8], order: &mut Vec<usize>, i: usize) {
+        if state[i] != 0 {
+            return;
+        }
+        state[i] = 1;
+        if let Some(expr) = problem.flows[i].attr(AttrKind::Transfer) {
+            let mut ups: Vec<usize> = Vec::new();
+            expr.for_each_ref(&mut |attr, f| {
+                if attr == RefAttr::Transferred {
+                    ups.push(f.0);
+                }
+            });
+            for u in ups {
+                if state[u] == 0 {
+                    visit(problem, state, order, u);
+                }
+            }
+        }
+        state[i] = 2;
+        order.push(i);
+    }
+
+    for i in 0..n {
+        visit(problem, &mut state, &mut order, i);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostState, World};
+    use cloudtalk_lang::builder::{hdfs_read_query, hdfs_write_query, QueryBuilder};
+    use cloudtalk_lang::problem::Value;
+    use cloudtalk_lang::units::sizes::MB;
+
+    const NIC: f64 = 125e6; // 1 Gbps in bytes/sec
+
+    fn idle_world(problem: &Problem) -> World {
+        World::uniform(&problem.mentioned_addresses(), HostState::idle(NIC, 450e6))
+    }
+
+    #[test]
+    fn single_network_flow_takes_size_over_nic() {
+        let p = hdfs_read_query(Address(1), &[Address(2)], NIC * 2.0)
+            .resolve()
+            .unwrap();
+        let w = idle_world(&p);
+        let e = estimate(&p, &vec![Value::Addr(Address(2))], &w).unwrap();
+        assert!((e.makespan - 2.0).abs() < 1e-6, "makespan {}", e.makespan);
+        assert!((e.throughput - NIC).abs() < 1.0);
+    }
+
+    #[test]
+    fn busy_replica_slows_read() {
+        let p = hdfs_read_query(Address(1), &[Address(2), Address(3)], NIC)
+            .resolve()
+            .unwrap();
+        let mut w = idle_world(&p);
+        w.set(Address(2), HostState::idle(NIC, 450e6).with_up_load(0.9));
+        let busy = estimate(&p, &vec![Value::Addr(Address(2))], &w).unwrap();
+        let idle = estimate(&p, &vec![Value::Addr(Address(3))], &w).unwrap();
+        assert!(busy.makespan > idle.makespan * 5.0);
+    }
+
+    #[test]
+    fn pipelined_write_is_bottlenecked_once() {
+        // 3-replica daisy chain over idle gigabit: each stage has capacity
+        // NIC, coupling makes the chain move at NIC once, not NIC/3.
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * MB)
+            .resolve()
+            .unwrap();
+        let w = idle_world(&p);
+        let binding = vec![
+            Value::Addr(Address(2)),
+            Value::Addr(Address(3)),
+            Value::Addr(Address(4)),
+        ];
+        let e = estimate(&p, &binding, &w).unwrap();
+        let expected = 256.0 * MB / NIC;
+        assert!(
+            (e.makespan - expected).abs() / expected < 0.01,
+            "makespan {} vs {}",
+            e.makespan,
+            expected
+        );
+    }
+
+    #[test]
+    fn slow_disk_drags_whole_pipeline() {
+        let nodes: Vec<Address> = (2..6).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * MB)
+            .resolve()
+            .unwrap();
+        let mut w = idle_world(&p);
+        // Replica 3 has an HDD (65 MB/s writes).
+        let mut hdd = HostState::idle(NIC, 450e6);
+        hdd.disk_write_capacity = 65e6;
+        w.set(Address(4), hdd);
+        let binding = vec![
+            Value::Addr(Address(2)),
+            Value::Addr(Address(3)),
+            Value::Addr(Address(4)),
+        ];
+        let e = estimate(&p, &binding, &w).unwrap();
+        let expected = 256.0 * MB / 65e6;
+        assert!(
+            (e.makespan - expected).abs() / expected < 0.01,
+            "makespan {} vs {}",
+            e.makespan,
+            expected
+        );
+    }
+
+    #[test]
+    fn two_flows_sharing_a_destination_halve() {
+        let mut b = QueryBuilder::new();
+        b.flow("f1").from_addr(Address(2)).to_addr(Address(1)).size(NIC);
+        b.flow("f2").from_addr(Address(3)).to_addr(Address(1)).size(NIC);
+        let p = b.resolve().unwrap();
+        let w = idle_world(&p);
+        let e = estimate(&p, &vec![], &w).unwrap();
+        assert!((e.makespan - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_cap_applies() {
+        let mut b = QueryBuilder::new();
+        b.flow("f1")
+            .from_addr(Address(2))
+            .to_addr(Address(1))
+            .size(NIC)
+            .rate(NIC / 10.0);
+        let p = b.resolve().unwrap();
+        let e = estimate(&p, &vec![], &idle_world(&p)).unwrap();
+        assert!((e.makespan - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn start_offsets_delay_completion() {
+        let mut b = QueryBuilder::new();
+        b.flow("f1")
+            .from_addr(Address(2))
+            .to_addr(Address(1))
+            .size(NIC)
+            .start(5.0);
+        let p = b.resolve().unwrap();
+        let e = estimate(&p, &vec![], &idle_world(&p)).unwrap();
+        assert!((e.makespan - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_source_constrains_only_receiver() {
+        let mut b = QueryBuilder::new();
+        b.flow("f1").from_unknown().to_addr(Address(1)).size(NIC);
+        b.flow("f2").from_unknown().to_addr(Address(1)).size(NIC);
+        let p = b.resolve().unwrap();
+        let e = estimate(&p, &vec![], &idle_world(&p)).unwrap();
+        // Two unknown-source streams share the receiver downlink.
+        assert!((e.makespan - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loopback_flow_is_instant() {
+        let mut b = QueryBuilder::new();
+        b.flow("f1").from_addr(Address(1)).to_addr(Address(1)).size(1e9);
+        let p = b.resolve().unwrap();
+        let e = estimate(&p, &vec![], &idle_world(&p)).unwrap();
+        assert!(e.makespan < 0.05);
+    }
+
+    #[test]
+    fn binding_arity_checked() {
+        let p = hdfs_read_query(Address(1), &[Address(2)], 1e6)
+            .resolve()
+            .unwrap();
+        let err = estimate(&p, &vec![], &idle_world(&p)).unwrap_err();
+        assert_eq!(
+            err,
+            EstimateError::BindingArity {
+                expected: 1,
+                got: 0
+            }
+        );
+    }
+
+    #[test]
+    fn overloaded_host_stalls() {
+        let p = hdfs_read_query(Address(1), &[Address(2)], 1e6)
+            .resolve()
+            .unwrap();
+        // Empty world: everything assumed overloaded → zero residual capacity.
+        let err = estimate(&p, &vec![Value::Addr(Address(2))], &World::new()).unwrap_err();
+        assert!(matches!(err, EstimateError::Stalled(_)));
+    }
+
+    #[test]
+    fn deadlines_are_checked() {
+        // A 2-second transfer with a 1-second deadline misses; with a
+        // 3-second deadline it does not.
+        let mut b = QueryBuilder::new();
+        b.flow("f1")
+            .from_addr(Address(2))
+            .to_addr(Address(1))
+            .size(NIC * 2.0)
+            .end(1.0);
+        let p = b.resolve().unwrap();
+        let e = estimate(&p, &vec![], &idle_world(&p)).unwrap();
+        assert_eq!(e.deadline_misses, vec![FlowId(0)]);
+
+        let mut b2 = QueryBuilder::new();
+        b2.flow("f1")
+            .from_addr(Address(2))
+            .to_addr(Address(1))
+            .size(NIC * 2.0)
+            .end(3.0);
+        let p2 = b2.resolve().unwrap();
+        let e2 = estimate(&p2, &vec![], &idle_world(&p2)).unwrap();
+        assert!(e2.deadline_misses.is_empty());
+    }
+
+    #[test]
+    fn unconstrained_flows_never_miss() {
+        let p = hdfs_read_query(Address(1), &[Address(2)], NIC * 100.0)
+            .resolve()
+            .unwrap();
+        let e = estimate(&p, &vec![Value::Addr(Address(2))], &idle_world(&p)).unwrap();
+        assert!(e.deadline_misses.is_empty());
+    }
+
+    #[test]
+    fn transfer_const_is_initial_progress() {
+        let mut b = QueryBuilder::new();
+        b.flow("f1")
+            .from_addr(Address(2))
+            .to_addr(Address(1))
+            .size(NIC)
+            .attr(
+                AttrKind::Transfer,
+                cloudtalk_lang::ast::Expr::literal(NIC / 2.0),
+            );
+        let p = b.resolve().unwrap();
+        let e = estimate(&p, &vec![], &idle_world(&p)).unwrap();
+        assert!((e.makespan - 0.5).abs() < 1e-6, "makespan {}", e.makespan);
+    }
+
+    #[test]
+    fn disk_read_uses_disk_capacity() {
+        let mut b = QueryBuilder::new();
+        b.flow("f1").from_disk().to_addr(Address(1)).size(450e6);
+        let p = b.resolve().unwrap();
+        let e = estimate(&p, &vec![], &idle_world(&p)).unwrap();
+        assert!((e.makespan - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coupled_disk_and_net_take_min() {
+        // disk -> X coupled with X -> client: over a gigabit NIC the
+        // network is the bottleneck even though the disk could do 450 MB/s.
+        let b = cloudtalk_lang::builder::map_placement_query(
+            Address(1),
+            &[Address(2)],
+            256.0 * MB,
+        );
+        let p = b.resolve().unwrap();
+        let e = estimate(
+            &p,
+            &vec![Value::Addr(Address(2))],
+            &idle_world(&p),
+        )
+        .unwrap();
+        let expected = 256.0 * MB / NIC;
+        assert!(
+            (e.makespan - expected).abs() / expected < 0.01,
+            "makespan {}",
+            e.makespan
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The estimator's view of the world: per-host I/O state.
+//!
+//! This is exactly the information CloudTalk status servers report —
+//! NIC capacity/usage per direction and disk capacity/usage per direction.
+//! Hosts that did not answer are assumed heavily loaded (paper §4: "If
+//! nothing is received from a status server, we assume that a particular
+//! address is under heavy I/O load").
+
+use std::collections::HashMap;
+
+use cloudtalk_lang::problem::Address;
+
+/// One host's I/O state as known to the estimator.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HostState {
+    /// NIC transmit capacity, bytes/second.
+    pub nic_up_capacity: f64,
+    /// Current transmit usage, bytes/second.
+    pub nic_up_used: f64,
+    /// NIC receive capacity, bytes/second.
+    pub nic_down_capacity: f64,
+    /// Current receive usage, bytes/second.
+    pub nic_down_used: f64,
+    /// Disk read capacity, bytes/second.
+    pub disk_read_capacity: f64,
+    /// Current disk read usage, bytes/second.
+    pub disk_read_used: f64,
+    /// Disk write capacity, bytes/second.
+    pub disk_write_capacity: f64,
+    /// Current disk write usage, bytes/second.
+    pub disk_write_used: f64,
+}
+
+impl HostState {
+    /// An idle host with symmetric `nic` and `disk` (read = write) speeds.
+    pub fn idle(nic: f64, disk: f64) -> Self {
+        HostState {
+            nic_up_capacity: nic,
+            nic_up_used: 0.0,
+            nic_down_capacity: nic,
+            nic_down_used: 0.0,
+            disk_read_capacity: disk,
+            disk_read_used: 0.0,
+            disk_write_capacity: disk,
+            disk_write_used: 0.0,
+        }
+    }
+
+    /// An idle gigabit host with a fast SSD.
+    pub fn gbps_idle() -> Self {
+        HostState::idle(125e6, 450e6)
+    }
+
+    /// The pessimistic assumption for hosts that never answered: fully
+    /// loaded in every dimension.
+    pub fn assumed_overloaded() -> Self {
+        HostState {
+            nic_up_capacity: 125e6,
+            nic_up_used: 125e6,
+            nic_down_capacity: 125e6,
+            nic_down_used: 125e6,
+            disk_read_capacity: 450e6,
+            disk_read_used: 450e6,
+            disk_write_capacity: 450e6,
+            disk_write_used: 450e6,
+        }
+    }
+
+    /// Returns a copy with transmit usage set to `frac` of capacity.
+    pub fn with_up_load(mut self, frac: f64) -> Self {
+        self.nic_up_used = self.nic_up_capacity * frac;
+        self
+    }
+
+    /// Returns a copy with receive usage set to `frac` of capacity.
+    pub fn with_down_load(mut self, frac: f64) -> Self {
+        self.nic_down_used = self.nic_down_capacity * frac;
+        self
+    }
+
+    /// Residual transmit capacity.
+    pub fn up_free(&self) -> f64 {
+        (self.nic_up_capacity - self.nic_up_used).max(0.0)
+    }
+
+    /// Residual receive capacity.
+    pub fn down_free(&self) -> f64 {
+        (self.nic_down_capacity - self.nic_down_used).max(0.0)
+    }
+}
+
+/// Per-host state for every address the estimator may encounter.
+#[derive(Clone, Debug, Default)]
+pub struct World {
+    hosts: HashMap<Address, HostState>,
+}
+
+impl World {
+    /// An empty world (every lookup hits the overloaded assumption).
+    pub fn new() -> Self {
+        World::default()
+    }
+
+    /// A world where each of `addrs` has the same `state`.
+    pub fn uniform(addrs: &[Address], state: HostState) -> Self {
+        World {
+            hosts: addrs.iter().map(|&a| (a, state)).collect(),
+        }
+    }
+
+    /// Sets one host's state.
+    pub fn set(&mut self, addr: Address, state: HostState) {
+        self.hosts.insert(addr, state);
+    }
+
+    /// Gets one host's state; unknown hosts are assumed overloaded.
+    pub fn get(&self, addr: Address) -> HostState {
+        self.hosts
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(HostState::assumed_overloaded)
+    }
+
+    /// Whether the world has explicit state for `addr`.
+    pub fn knows(&self, addr: Address) -> bool {
+        self.hosts.contains_key(&addr)
+    }
+
+    /// Iterates over all known hosts.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &HostState)> {
+        self.hosts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_hosts_are_overloaded() {
+        let w = World::new();
+        let s = w.get(Address(42));
+        assert_eq!(s.up_free(), 0.0);
+        assert_eq!(s.down_free(), 0.0);
+        assert!(!w.knows(Address(42)));
+    }
+
+    #[test]
+    fn load_helpers_apply_fractions() {
+        let s = HostState::gbps_idle().with_up_load(0.6).with_down_load(0.9);
+        assert!((s.up_free() - 0.4 * 125e6).abs() < 1.0);
+        assert!((s.down_free() - 0.1 * 125e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn uniform_world_covers_addrs() {
+        let addrs = [Address(1), Address(2)];
+        let w = World::uniform(&addrs, HostState::gbps_idle());
+        assert!(w.knows(Address(1)));
+        assert!(w.knows(Address(2)));
+        assert_eq!(w.iter().count(), 2);
+    }
+}

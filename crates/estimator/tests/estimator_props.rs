@@ -1,0 +1,133 @@
+//! Property tests for the flow-level estimator.
+
+use cloudtalk_lang::builder::{hdfs_read_query, hdfs_write_query, QueryBuilder};
+use cloudtalk_lang::problem::{Address, Value};
+use estimator::{estimate, HostState, World};
+use proptest::prelude::*;
+
+const NIC: f64 = 125e6;
+
+fn world_with_loads(loads: Vec<(u32, f64, f64)>) -> World {
+    let addrs: Vec<Address> = (1..=30).map(Address).collect();
+    let mut w = World::uniform(&addrs, HostState::idle(NIC, 450e6));
+    for (a, up, down) in loads {
+        w.set(
+            Address(a % 30 + 1),
+            HostState::idle(NIC, 450e6)
+                .with_up_load(up)
+                .with_down_load(down),
+        );
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// More background load never *speeds up* a read (monotonicity).
+    #[test]
+    fn read_time_monotone_in_load(load in 0.0f64..0.95) {
+        let p = hdfs_read_query(Address(1), &[Address(2)], 256e6).resolve().unwrap();
+        let idle = world_with_loads(vec![]);
+        let mut busy = world_with_loads(vec![]);
+        busy.set(Address(2), HostState::idle(NIC, 450e6).with_up_load(load));
+        let t_idle = estimate(&p, &vec![Value::Addr(Address(2))], &idle).unwrap().makespan;
+        let t_busy = estimate(&p, &vec![Value::Addr(Address(2))], &busy).unwrap().makespan;
+        prop_assert!(t_busy >= t_idle - 1e-9, "{t_busy} < {t_idle} at load {load}");
+    }
+
+    /// Completion time is at least the serial lower bound: size over the
+    /// fastest possible resource.
+    #[test]
+    fn makespan_respects_physics(
+        size_mb in 1.0f64..2048.0,
+        loads in proptest::collection::vec((0u32..30, 0.0f64..0.9, 0.0f64..0.9), 0..10),
+    ) {
+        let bytes = size_mb * 1024.0 * 1024.0;
+        let p = hdfs_read_query(Address(1), &[Address(2), Address(3)], bytes)
+            .resolve()
+            .unwrap();
+        let world = world_with_loads(loads);
+        for replica in [Address(2), Address(3)] {
+            let e = estimate(&p, &vec![Value::Addr(replica)], &world);
+            if let Ok(e) = e {
+                prop_assert!(
+                    e.makespan >= bytes / NIC - 1e-6,
+                    "faster than the NIC: {} < {}",
+                    e.makespan,
+                    bytes / NIC
+                );
+            }
+        }
+    }
+
+    /// The write pipeline is bottlenecked exactly once: the makespan of a
+    /// 3-replica chain equals size / min(resource capacities on the chain).
+    #[test]
+    fn pipeline_makespan_is_single_bottleneck(
+        up2 in 0.0f64..0.9, up3 in 0.0f64..0.9, down2 in 0.0f64..0.9,
+    ) {
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let bytes = 256e6;
+        let p = hdfs_write_query(Address(1), &nodes, 3, bytes).resolve().unwrap();
+        let mut w = world_with_loads(vec![]);
+        w.set(Address(2), HostState::idle(NIC, 450e6).with_up_load(up2).with_down_load(down2));
+        w.set(Address(3), HostState::idle(NIC, 450e6).with_up_load(up3));
+        let binding = vec![
+            Value::Addr(Address(2)),
+            Value::Addr(Address(3)),
+            Value::Addr(Address(4)),
+        ];
+        let e = estimate(&p, &binding, &w).unwrap();
+        // Chain resources: client.up, 2.down, 2.up, 3.down, 3.up, 4.down,
+        // and three disk writes (450e6, never binding here).
+        let bottleneck = [
+            NIC,                       // client up
+            NIC * (1.0 - down2),       // 2 down
+            NIC * (1.0 - up2),         // 2 up
+            NIC,                       // 3 down
+            NIC * (1.0 - up3),         // 3 up
+            NIC,                       // 4 down
+        ]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+        let expected = bytes / bottleneck;
+        prop_assert!(
+            (e.makespan - expected).abs() / expected < 1e-6,
+            "makespan {} vs single-bottleneck {}",
+            e.makespan,
+            expected
+        );
+    }
+
+    /// Two independent flows through disjoint resources don't interact.
+    #[test]
+    fn disjoint_flows_independent(size1 in 1e6f64..1e9, size2 in 1e6f64..1e9) {
+        let mut b = QueryBuilder::new();
+        b.flow("f1").from_addr(Address(2)).to_addr(Address(1)).size(size1);
+        b.flow("f2").from_addr(Address(4)).to_addr(Address(3)).size(size2);
+        let p = b.resolve().unwrap();
+        let w = world_with_loads(vec![]);
+        let e = estimate(&p, &vec![], &w).unwrap();
+        prop_assert!((e.flow_finish[0] - size1 / NIC).abs() < 1e-6);
+        prop_assert!((e.flow_finish[1] - size2 / NIC).abs() < 1e-6);
+    }
+
+    /// The estimator is a pure function (no hidden state).
+    #[test]
+    fn estimate_is_deterministic(
+        loads in proptest::collection::vec((0u32..30, 0.0f64..0.9, 0.0f64..0.9), 0..10)
+    ) {
+        let nodes: Vec<Address> = (2..10).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256e6).resolve().unwrap();
+        let w = world_with_loads(loads);
+        let binding = vec![
+            Value::Addr(Address(2)),
+            Value::Addr(Address(5)),
+            Value::Addr(Address(7)),
+        ];
+        let a = estimate(&p, &binding, &w);
+        let b = estimate(&p, &binding, &w);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,327 @@
+//! Hand-written lexer for the CloudTalk language.
+//!
+//! Newlines are significant (they end statements, like `;`), so the lexer
+//! emits [`TokenKind::StatementEnd`] for both. Runs of blank separators are
+//! collapsed by the parser.
+
+use crate::error::{LangError, Span};
+use crate::token::{Token, TokenKind};
+use crate::units::suffix_multiplier;
+
+/// Lexes a whole query into tokens (ending with a single [`TokenKind::Eof`]).
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::StatementEnd, start);
+                }
+                b';' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::StatementEnd, start);
+                }
+                b'#' => {
+                    // Comment to end of line.
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'(' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::RParen, start);
+                }
+                b'=' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::Equals, start);
+                }
+                b'+' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::Plus, start);
+                }
+                b'*' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::Star, start);
+                }
+                b'/' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::Slash, start);
+                }
+                b'-' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'>') {
+                        self.pos += 2;
+                        self.emit(TokenKind::Arrow, start);
+                    } else {
+                        self.pos += 1;
+                        self.emit(TokenKind::Minus, start);
+                    }
+                }
+                b'>' => {
+                    // The paper's text sometimes abbreviates `->` as `>`.
+                    self.pos += 1;
+                    self.emit(TokenKind::Arrow, start);
+                }
+                b'0'..=b'9' => self.lex_number()?,
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.lex_ident(),
+                _ => {
+                    let c = self.src[self.pos..].chars().next().unwrap_or('?');
+                    return Err(LangError::new(
+                        format!("unexpected character `{c}`"),
+                        Span::new(start, start + c.len_utf8()),
+                    ));
+                }
+            }
+        }
+        let end = self.src.len();
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
+        Ok(self.tokens)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start, self.pos),
+        });
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.emit(TokenKind::Ident(text), start);
+    }
+
+    /// Lexes a number, a size-suffixed number (`256M`), or an IPv4 address.
+    fn lex_number(&mut self) -> Result<(), LangError> {
+        let start = self.pos;
+        self.eat_digits();
+
+        // Count dotted groups to distinguish floats from IPv4 addresses.
+        let mut dots = 0;
+        let mut probe = self.pos;
+        while self.bytes.get(probe) == Some(&b'.')
+            && self.bytes.get(probe + 1).is_some_and(u8::is_ascii_digit)
+        {
+            dots += 1;
+            probe += 1;
+            while self.bytes.get(probe).is_some_and(u8::is_ascii_digit) {
+                probe += 1;
+            }
+        }
+
+        if dots == 3 {
+            self.pos = probe;
+            let text = &self.src[start..self.pos];
+            let mut addr: u32 = 0;
+            for part in text.split('.') {
+                let octet: u32 = part.parse().map_err(|_| {
+                    LangError::new(
+                        format!("invalid IPv4 address `{text}`"),
+                        Span::new(start, self.pos),
+                    )
+                })?;
+                if octet > 255 {
+                    return Err(LangError::new(
+                        format!("invalid IPv4 address `{text}`: octet {octet} > 255"),
+                        Span::new(start, self.pos),
+                    ));
+                }
+                addr = (addr << 8) | octet;
+            }
+            self.emit(TokenKind::Ipv4(addr), start);
+            return Ok(());
+        }
+
+        if dots >= 1 {
+            // Float: consume exactly one fractional group.
+            self.pos += 1;
+            self.eat_digits();
+            if dots > 1 {
+                // Two dotted groups (e.g. `1.2.3`) is neither float nor IPv4.
+                return Err(LangError::new(
+                    "malformed number (expected float or dotted-quad IPv4)",
+                    Span::new(start, probe),
+                ));
+            }
+        }
+
+        let mut value: f64 = self.src[start..self.pos].parse().map_err(|_| {
+            LangError::new("malformed number", Span::new(start, self.pos))
+        })?;
+
+        if let Some(&b) = self.bytes.get(self.pos) {
+            if let Some(mult) = suffix_multiplier(b as char) {
+                // Only treat it as a suffix if not followed by more ident chars
+                // (so `100Mbps`-style identifiers are rejected loudly).
+                let next = self.bytes.get(self.pos + 1);
+                if next.is_some_and(|n| n.is_ascii_alphanumeric() || *n == b'_') {
+                    return Err(LangError::new(
+                        "unexpected trailing characters after size suffix",
+                        Span::new(start, self.pos + 2),
+                    ));
+                }
+                value *= mult;
+                self.pos += 1;
+            } else if (b as char).is_ascii_alphabetic() {
+                return Err(LangError::new(
+                    format!("unknown size suffix `{}`", b as char),
+                    Span::new(self.pos, self.pos + 1),
+                ));
+            }
+        }
+
+        self.emit(TokenKind::Number(value), start);
+        Ok(())
+    }
+
+    fn eat_digits(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_variable_declaration() {
+        let toks = kinds("A = (vm2 vm3)");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::Equals,
+                TokenKind::LParen,
+                TokenKind::Ident("vm2".into()),
+                TokenKind::Ident("vm3".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_flow_with_size_suffix() {
+        let toks = kinds("f1 A -> vm1 size 256M");
+        assert!(toks.contains(&TokenKind::Arrow));
+        assert!(toks.contains(&TokenKind::Number(256.0 * 1024.0 * 1024.0)));
+    }
+
+    #[test]
+    fn lexes_ipv4_and_floats() {
+        assert_eq!(
+            kinds("10.0.0.1"),
+            vec![TokenKind::Ipv4(0x0A000001), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("0.0.0.0"),
+            vec![TokenKind::Ipv4(0), TokenKind::Eof]
+        );
+        assert_eq!(kinds("2.5"), vec![TokenKind::Number(2.5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn rejects_bad_ipv4_octet() {
+        let err = lex("10.0.0.999").unwrap_err();
+        assert!(err.message.contains("999"));
+    }
+
+    #[test]
+    fn semicolons_and_newlines_end_statements() {
+        let toks = kinds("a;b\nc");
+        let ends = toks
+            .iter()
+            .filter(|k| **k == TokenKind::StatementEnd)
+            .count();
+        assert_eq!(ends, 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a # this is a comment\nb");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::StatementEnd,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_operators() {
+        let toks = kinds("r(f1) * 2 - 1 / 4 + 3");
+        assert!(toks.contains(&TokenKind::Star));
+        assert!(toks.contains(&TokenKind::Minus));
+        assert!(toks.contains(&TokenKind::Slash));
+        assert!(toks.contains(&TokenKind::Plus));
+    }
+
+    #[test]
+    fn bare_gt_is_arrow() {
+        // The paper's listings sometimes write `x1 > x2`.
+        let toks = kinds("x1 > x2");
+        assert_eq!(toks[1], TokenKind::Arrow);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_ident_after_suffix() {
+        assert!(lex("100Mbps").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab -> cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::new(6, 8));
+    }
+}

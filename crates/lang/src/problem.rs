@@ -1,0 +1,343 @@
+//! The resolved *problem instance*: what the CloudTalk server evaluates.
+//!
+//! Validation ([`crate::validate`]) turns a parsed [`crate::ast::Query`]
+//! into a [`Problem`]: variables with concrete candidate pools, flows with
+//! resolved endpoints, and attribute expressions whose flow references are
+//! indices instead of names.
+
+use std::fmt;
+
+use crate::ast::{AttrKind, BinOp, RefAttr};
+
+/// An opaque server address (rendered as a dotted quad, like the IPv4
+/// addresses the real system uses).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Address(pub u32);
+
+impl Address {
+    /// The "unknown source" sentinel the paper writes as `0.0.0.0`.
+    pub const UNKNOWN: Address = Address(0);
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.0;
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            (a >> 24) & 0xFF,
+            (a >> 16) & 0xFF,
+            (a >> 8) & 0xFF,
+            a & 0xFF
+        )
+    }
+}
+
+/// Index of a variable within a [`Problem`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub usize);
+
+/// Index of a flow within a [`Problem`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub usize);
+
+/// A candidate value a variable may be bound to.
+///
+/// Pools are usually addresses, but Table 1 allows `disk` as a value too
+/// (e.g. "read from any of these servers *or* from the local disk").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// A concrete server.
+    Addr(Address),
+    /// The local disk of the flow's fixed peer endpoint.
+    Disk,
+}
+
+/// A resolved variable: a name and its candidate pool.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Variable {
+    /// The variable's name as written in the query.
+    pub name: String,
+    /// Candidate values, in declaration order.
+    pub candidates: Vec<Value>,
+    /// Pool id: variables declared together (`B = C = (…)`) share one and
+    /// are bound to distinct values by default (paper §4.1).
+    pub pool: usize,
+}
+
+/// A resolved flow endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Endpoint {
+    /// A fixed server.
+    Addr(Address),
+    /// The local disk of the flow's other endpoint.
+    Disk,
+    /// "Unknown source" (`0.0.0.0`): traffic arrives from outside the query.
+    Unknown,
+    /// A free variable to be bound by the evaluator.
+    Var(VarId),
+}
+
+impl Endpoint {
+    /// Returns the variable id if this endpoint is a variable.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Endpoint::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the fixed address if this endpoint is one.
+    pub fn as_addr(self) -> Option<Address> {
+        match self {
+            Endpoint::Addr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved attribute expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprR {
+    /// A numeric constant.
+    Literal(f64),
+    /// A reference to another flow's attribute.
+    Ref(RefAttr, FlowId),
+    /// A binary operation.
+    Binary(BinOp, Box<ExprR>, Box<ExprR>),
+}
+
+impl ExprR {
+    /// Evaluates the expression given a resolver for flow-attribute refs.
+    pub fn eval(&self, lookup: &impl Fn(RefAttr, FlowId) -> f64) -> f64 {
+        match self {
+            ExprR::Literal(v) => *v,
+            ExprR::Ref(attr, flow) => lookup(*attr, *flow),
+            ExprR::Binary(op, lhs, rhs) => op.apply(lhs.eval(lookup), rhs.eval(lookup)),
+        }
+    }
+
+    /// Returns the constant value if the expression contains no references.
+    pub fn as_const(&self) -> Option<f64> {
+        match self {
+            ExprR::Literal(v) => Some(*v),
+            ExprR::Ref(..) => None,
+            ExprR::Binary(op, lhs, rhs) => Some(op.apply(lhs.as_const()?, rhs.as_const()?)),
+        }
+    }
+
+    /// Visits every flow reference in the expression.
+    pub fn for_each_ref(&self, f: &mut impl FnMut(RefAttr, FlowId)) {
+        match self {
+            ExprR::Literal(_) => {}
+            ExprR::Ref(attr, flow) => f(*attr, *flow),
+            ExprR::Binary(_, lhs, rhs) => {
+                lhs.for_each_ref(f);
+                rhs.for_each_ref(f);
+            }
+        }
+    }
+}
+
+/// A resolved flow.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Flow {
+    /// The flow's name, if it had one.
+    pub name: Option<String>,
+    /// Data source.
+    pub src: Endpoint,
+    /// Data destination.
+    pub dst: Endpoint,
+    /// Attribute expressions, indexed by [`AttrKind`] order
+    /// (start, end, size, rate, transfer).
+    attrs: [Option<ExprR>; 5],
+}
+
+impl Flow {
+    /// Creates a flow with no attributes.
+    pub fn new(name: Option<String>, src: Endpoint, dst: Endpoint) -> Self {
+        Flow {
+            name,
+            src,
+            dst,
+            attrs: Default::default(),
+        }
+    }
+
+    /// Sets an attribute expression.
+    pub fn set_attr(&mut self, kind: AttrKind, expr: ExprR) {
+        self.attrs[attr_index(kind)] = Some(expr);
+    }
+
+    /// Returns an attribute expression, if set.
+    pub fn attr(&self, kind: AttrKind) -> Option<&ExprR> {
+        self.attrs[attr_index(kind)].as_ref()
+    }
+
+    /// Returns `true` if either endpoint is the local disk.
+    pub fn touches_disk(&self) -> bool {
+        self.src == Endpoint::Disk || self.dst == Endpoint::Disk
+    }
+
+    /// Returns `true` if this is a network transfer (neither endpoint disk).
+    pub fn is_network(&self) -> bool {
+        !self.touches_disk()
+    }
+}
+
+fn attr_index(kind: AttrKind) -> usize {
+    match kind {
+        AttrKind::Start => 0,
+        AttrKind::End => 1,
+        AttrKind::Size => 2,
+        AttrKind::Rate => 3,
+        AttrKind::Transfer => 4,
+    }
+}
+
+/// A variable assignment: one [`Value`] per variable, indexed by [`VarId`].
+pub type Binding = Vec<Value>;
+
+/// A flow endpoint after applying a binding: no variables remain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BoundEndpoint {
+    /// A concrete server.
+    Host(Address),
+    /// The local disk of the flow's other endpoint.
+    Disk,
+    /// Traffic from outside the problem.
+    Unknown,
+}
+
+impl Endpoint {
+    /// Applies `binding`, replacing variables by their bound values.
+    pub fn bound(self, binding: &Binding) -> BoundEndpoint {
+        match self {
+            Endpoint::Addr(a) => BoundEndpoint::Host(a),
+            Endpoint::Disk => BoundEndpoint::Disk,
+            Endpoint::Unknown => BoundEndpoint::Unknown,
+            Endpoint::Var(v) => match binding[v.0] {
+                Value::Addr(a) => BoundEndpoint::Host(a),
+                Value::Disk => BoundEndpoint::Disk,
+            },
+        }
+    }
+}
+
+/// A fully resolved problem instance.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Problem {
+    /// Free variables, in declaration order.
+    pub vars: Vec<Variable>,
+    /// Flows, in definition order.
+    pub flows: Vec<Flow>,
+    /// Whether same-pool variables must bind to distinct values
+    /// (the paper's default; can be overridden by the client).
+    pub distinct: bool,
+}
+
+impl Problem {
+    /// Looks up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v.name == name).map(VarId)
+    }
+
+    /// Looks up a flow by name.
+    pub fn flow_by_name(&self, name: &str) -> Option<FlowId> {
+        self.flows
+            .iter()
+            .position(|f| f.name.as_deref() == Some(name))
+            .map(FlowId)
+    }
+
+    /// All distinct addresses mentioned anywhere in the problem (fixed
+    /// endpoints and candidate pools) — the set of status servers the
+    /// CloudTalk server may need to interrogate.
+    pub fn mentioned_addresses(&self) -> Vec<Address> {
+        let mut addrs: Vec<Address> = Vec::new();
+        let mut push = |a: Address| {
+            if a != Address::UNKNOWN && !addrs.contains(&a) {
+                addrs.push(a);
+            }
+        };
+        for var in &self.vars {
+            for value in &var.candidates {
+                if let Value::Addr(a) = value {
+                    push(*a);
+                }
+            }
+        }
+        for flow in &self.flows {
+            for ep in [flow.src, flow.dst] {
+                if let Endpoint::Addr(a) = ep {
+                    push(a);
+                }
+            }
+        }
+        addrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_displays_dotted_quad() {
+        assert_eq!(Address(0x0A000102).to_string(), "10.0.1.2");
+        assert_eq!(Address::UNKNOWN.to_string(), "0.0.0.0");
+    }
+
+    #[test]
+    fn expr_eval_and_const_fold() {
+        let e = ExprR::Binary(
+            BinOp::Mul,
+            Box::new(ExprR::Literal(3.0)),
+            Box::new(ExprR::Binary(
+                BinOp::Add,
+                Box::new(ExprR::Literal(1.0)),
+                Box::new(ExprR::Literal(1.0)),
+            )),
+        );
+        assert_eq!(e.as_const(), Some(6.0));
+        assert_eq!(e.eval(&|_, _| unreachable!()), 6.0);
+
+        let with_ref = ExprR::Binary(
+            BinOp::Add,
+            Box::new(ExprR::Literal(1.0)),
+            Box::new(ExprR::Ref(RefAttr::Rate, FlowId(0))),
+        );
+        assert_eq!(with_ref.as_const(), None);
+        assert_eq!(with_ref.eval(&|_, _| 9.0), 10.0);
+    }
+
+    #[test]
+    fn flow_attr_set_get() {
+        let mut f = Flow::new(None, Endpoint::Disk, Endpoint::Var(VarId(0)));
+        assert!(f.touches_disk());
+        assert!(!f.is_network());
+        f.set_attr(AttrKind::Size, ExprR::Literal(100.0));
+        assert_eq!(f.attr(AttrKind::Size), Some(&ExprR::Literal(100.0)));
+        assert_eq!(f.attr(AttrKind::Rate), None);
+    }
+
+    #[test]
+    fn mentioned_addresses_dedup_and_skip_unknown() {
+        let mut p = Problem {
+            vars: vec![Variable {
+                name: "X".into(),
+                candidates: vec![Value::Addr(Address(1)), Value::Addr(Address(2)), Value::Disk],
+                pool: 0,
+            }],
+            flows: vec![],
+            distinct: true,
+        };
+        p.flows.push(Flow::new(
+            None,
+            Endpoint::Unknown,
+            Endpoint::Addr(Address(1)),
+        ));
+        let addrs = p.mentioned_addresses();
+        assert_eq!(addrs, vec![Address(1), Address(2)]);
+    }
+}

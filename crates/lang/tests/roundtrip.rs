@@ -1,0 +1,197 @@
+//! Property tests: printing a random well-formed query and re-parsing it
+//! yields the same problem instance.
+
+use cloudtalk_lang::ast::{
+    Attr, AttrKind, BinOp, EndpointAst, Expr, FlowDef, FlowRef, Ident, Query, RefAttr, Statement,
+    VarDecl,
+};
+use cloudtalk_lang::error::Span;
+use cloudtalk_lang::printer::print_query;
+use cloudtalk_lang::{parse_query, resolve, MapResolver};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = u32> {
+    // Avoid 0.0.0.0 (reserved for "unknown").
+    1u32..=0xFFFF
+}
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|v| Expr::literal(v as f64)),
+        (1u64..1024).prop_map(|v| Expr::literal(v as f64 * 1024.0 * 1024.0)),
+        (0u64..1000).prop_map(|v| Expr::literal(v as f64 / 4.0)),
+    ]
+}
+
+fn arb_expr(flow_names: Vec<String>) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal(),
+        (
+            proptest::sample::select(vec![
+                RefAttr::Start,
+                RefAttr::End,
+                RefAttr::Size,
+                RefAttr::Rate,
+                RefAttr::Transferred
+            ]),
+            proptest::sample::select(flow_names)
+        )
+            .prop_map(|(attr, flow)| Expr::Ref {
+                attr,
+                flow: FlowRef::Named(Ident::synthetic(flow)),
+                span: Span::DUMMY
+            }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            proptest::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, lhs, rhs)| Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+    })
+}
+
+prop_compose! {
+    fn arb_query()(n_vars in 1usize..4, n_flows in 1usize..6)(
+        pools in proptest::collection::vec(
+            proptest::collection::vec(arb_addr(), 1..5), n_vars..=n_vars),
+        flows in proptest::collection::vec(
+            (any::<bool>(), 0usize..100, 0usize..100, proptest::collection::vec(
+                (proptest::sample::select(vec![
+                    AttrKind::Start, AttrKind::End, AttrKind::Size,
+                    AttrKind::Rate, AttrKind::Transfer]),
+                 0usize..1000), 0..4)),
+            n_flows..=n_flows),
+        exprs in proptest::collection::vec(
+            arb_expr((0..6).map(|i| format!("f{i}")).collect()), 24..=24),
+        n_vars in Just(n_vars),
+    ) -> Query {
+        let var_names: Vec<String> = (0..n_vars).map(|i| format!("V{i}")).collect();
+        let mut statements: Vec<Statement> = Vec::new();
+        for (i, pool) in pools.iter().enumerate() {
+            statements.push(Statement::VarDecl(VarDecl {
+                names: vec![Ident::synthetic(var_names[i].clone())],
+                values: pool
+                    .iter()
+                    .map(|&addr| EndpointAst::Addr { addr, span: Span::DUMMY })
+                    .collect(),
+                span: Span::DUMMY,
+            }));
+        }
+        let mut expr_iter = exprs.into_iter();
+        for (i, (named, src_sel, dst_sel, attrs)) in flows.iter().enumerate() {
+            // Choose endpoints: address, disk or variable, never disk->disk.
+            let pick = |sel: usize, avoid_disk: bool| -> EndpointAst {
+                match sel % 3 {
+                    0 => EndpointAst::Addr { addr: (sel as u32) + 1, span: Span::DUMMY },
+                    1 if !avoid_disk => EndpointAst::Disk { span: Span::DUMMY },
+                    _ => EndpointAst::Name(Ident::synthetic(
+                        var_names[sel % var_names.len()].clone())),
+                }
+            };
+            let src = pick(*src_sel, false);
+            let dst = pick(*dst_sel, matches!(src, EndpointAst::Disk { .. }));
+            let mut seen = std::collections::HashSet::new();
+            let attrs: Vec<Attr> = attrs
+                .iter()
+                .filter(|(kind, _)| seen.insert(*kind))
+                .map(|(kind, _)| Attr {
+                    kind: *kind,
+                    // Size refs may cycle; keep sizes literal, others free.
+                    value: if *kind == AttrKind::Size {
+                        arb_literal_value(&mut expr_iter)
+                    } else {
+                        expr_iter.next().unwrap_or_else(|| Expr::literal(1.0))
+                    },
+                    span: Span::DUMMY,
+                })
+                .collect();
+            statements.push(Statement::Flow(FlowDef {
+                name: named.then(|| Ident::synthetic(format!("f{i}"))),
+                src,
+                dst,
+                attrs,
+                span: Span::DUMMY,
+            }));
+        }
+        Query { statements }
+    }
+}
+
+fn arb_literal_value(iter: &mut impl Iterator<Item = Expr>) -> Expr {
+    // Strip refs out of an arbitrary expression so sizes stay acyclic.
+    fn strip(e: Expr) -> Expr {
+        match e {
+            Expr::Ref { .. } => Expr::literal(7.0),
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op,
+                lhs: Box::new(strip(*lhs)),
+                rhs: Box::new(strip(*rhs)),
+            },
+            lit => lit,
+        }
+    }
+    strip(iter.next().unwrap_or_else(|| Expr::literal(1.0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse → print is a fixed point.
+    #[test]
+    fn print_parse_print_stable(query in arb_query()) {
+        let printed = print_query(&query);
+        let reparsed = match parse_query(&printed) {
+            Ok(q) => q,
+            // Queries referencing undefined flows are fine to *parse*;
+            // only structural lex/parse failures are bugs.
+            Err(e) => panic!("printed query failed to parse: {e}\n{printed}"),
+        };
+        let reprinted = print_query(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// If the query resolves, the round-tripped query resolves identically.
+    #[test]
+    fn resolution_survives_round_trip(query in arb_query()) {
+        let resolver = MapResolver::new();
+        let Ok(p1) = resolve(&query, &resolver) else {
+            // Some generated queries reference undefined flows — skip.
+            return Ok(());
+        };
+        let printed = print_query(&query);
+        let reparsed = parse_query(&printed).unwrap();
+        let p2 = resolve(&reparsed, &resolver).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(input in "\\PC{0,200}") {
+        let _ = cloudtalk_lang::lexer::lex(&input);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(input in "\\PC{0,200}") {
+        let _ = parse_query(&input);
+    }
+
+    /// The parser never panics on "almost valid" inputs built from
+    /// language fragments.
+    #[test]
+    fn parser_total_on_fragments(parts in proptest::collection::vec(
+        proptest::sample::select(vec![
+            "A", "=", "(", ")", "->", "disk", "size", "rate", "256M",
+            "r(f1)", "sz(f2)", "10.0.0.1", "0.0.0.0", ";", "\n", "+", "*",
+        ]), 0..30))
+    {
+        let input = parts.join(" ");
+        let _ = parse_query(&input);
+    }
+}

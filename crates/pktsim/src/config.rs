@@ -1,0 +1,93 @@
+//! Simulation parameters.
+
+use desim::SimDuration;
+
+/// Tunables of the packet-level simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Packet size on the wire, bytes (data packets).
+    pub mss: u32,
+    /// ACK size on the wire, bytes.
+    pub ack_size: u32,
+    /// Per-port buffer, in packets ("50-packet buffers per switch port",
+    /// paper §5.4).
+    pub buffer_pkts: usize,
+    /// Initial congestion window, packets.
+    pub init_cwnd: f64,
+    /// Initial slow-start threshold, packets.
+    pub init_ssthresh: f64,
+    /// Minimum retransmission timeout. Incast pathology is dominated by
+    /// this value (200 ms is the classic kernel default).
+    pub min_rto: SimDuration,
+    /// Maximum RTO after exponential backoff.
+    pub max_rto: SimDuration,
+    /// Lossless (PFC-like) mode: ports never drop; a full queue instead
+    /// back-pressures — modelled as unbounded queueing, which preserves
+    /// PFC's headline effect (no incast losses, but elephants build deep
+    /// queues).
+    pub pfc: bool,
+    /// Deterministic per-flow RTO jitter as a fraction of the base RTO
+    /// (0.0 = fully synchronized timeouts, the htsim-like default that
+    /// reproduces the paper's incast numbers; ~0.5 models the RTT-driven
+    /// staggering of real kernel RTO estimators).
+    pub rto_jitter: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mss: 1500,
+            ack_size: 40,
+            buffer_pkts: 50,
+            init_cwnd: 2.0,
+            init_ssthresh: 64.0,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            pfc: false,
+            rto_jitter: 0.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with PFC (lossless) mode enabled.
+    pub fn with_pfc(mut self) -> Self {
+        self.pfc = true;
+        self
+    }
+
+    /// Returns a copy with a different per-port buffer.
+    pub fn with_buffer(mut self, pkts: usize) -> Self {
+        self.buffer_pkts = pkts;
+        self
+    }
+
+    /// Returns a copy with per-flow RTO jitter enabled.
+    pub fn with_rto_jitter(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac));
+        self.rto_jitter = frac;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = SimConfig::default();
+        assert_eq!(c.buffer_pkts, 50);
+        assert_eq!(c.min_rto, SimDuration::from_millis(200));
+        assert!(!c.pfc);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SimConfig::default().with_pfc().with_buffer(10).with_rto_jitter(0.3);
+        assert!(c.pfc);
+        assert_eq!(c.buffer_pkts, 10);
+        assert_eq!(c.rto_jitter, 0.3);
+        assert_eq!(SimConfig::default().rto_jitter, 0.0);
+    }
+}

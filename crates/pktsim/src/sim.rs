@@ -1,0 +1,617 @@
+//! The event-driven packet simulation core.
+//!
+//! Every directed link is an output-queued *port*: a drop-tail FIFO plus a
+//! serialiser running at the link rate. Packets carry their flow id and a
+//! hop index into the flow's precomputed path; switches forward, end hosts
+//! terminate (data → cumulative ACK back, ACK → sender window logic).
+
+use std::collections::VecDeque;
+
+use desim::{EventHandle, EventQueue, SimDuration, SimTime};
+use simnet::routing::Router;
+use simnet::topology::{HostId, LinkDir, Topology};
+
+use crate::config::SimConfig;
+use crate::stats::Stats;
+use crate::tcp::{AckAction, TcpState};
+
+/// Index of a flow within a [`PktSim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowIdx(pub usize);
+
+/// Loss treatment of one flow's packets (the provider "enabling network
+/// features selectively" for chosen tenant traffic, paper §2/§5.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TrafficClass {
+    /// Ordinary drop-tail service.
+    #[default]
+    Lossy,
+    /// PFC-protected: never dropped, queues beyond the buffer limit
+    /// instead (the lossless-class approximation of pause frames).
+    Lossless,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Packet {
+    flow: usize,
+    /// Data sequence number, or cumulative ACK value for ACK packets.
+    seq: u64,
+    is_ack: bool,
+    /// Index of the next port (into the flow's path) after the current one.
+    hop: usize,
+    size: u32,
+}
+
+struct PortState {
+    queue: VecDeque<Packet>,
+    busy: bool,
+    rate_bps: f64,
+    latency: SimDuration,
+}
+
+struct Flow {
+    path: Vec<usize>,
+    rpath: Vec<usize>,
+    tcp: TcpState,
+    finish: Option<SimTime>,
+    rto: Option<EventHandle>,
+    class: TrafficClass,
+}
+
+enum Event {
+    Start(usize),
+    /// The head packet of this port finished serialising.
+    TxDone(usize),
+    /// A packet arrived at the far end of the port it just crossed.
+    Arrive(Packet),
+    Rto(usize),
+}
+
+/// The packet-level simulator.
+pub struct PktSim {
+    topo: Topology,
+    router: Router,
+    cfg: SimConfig,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    ports: Vec<PortState>,
+    flows: Vec<Flow>,
+    stats: Stats,
+}
+
+impl PktSim {
+    /// Creates a simulator over `topo`.
+    pub fn new(topo: Topology, cfg: SimConfig) -> Self {
+        let mut ports = Vec::with_capacity(2 * topo.link_count());
+        for l in 0..topo.link_count() {
+            let link = topo.link(simnet::LinkId(l));
+            for _ in 0..2 {
+                ports.push(PortState {
+                    queue: VecDeque::new(),
+                    busy: false,
+                    rate_bps: link.capacity_bps,
+                    latency: link.latency,
+                });
+            }
+        }
+        PktSim {
+            topo,
+            router: Router::new(),
+            cfg,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            ports,
+            flows: Vec::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Aggregate loss/retransmission statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Adds a TCP flow of `bytes` from `src` to `dst`, starting at `start`.
+    pub fn add_flow(&mut self, src: HostId, dst: HostId, bytes: u64, start: SimTime) -> FlowIdx {
+        self.add_flow_with_class(src, dst, bytes, start, TrafficClass::Lossy)
+    }
+
+    /// Adds a TCP flow with an explicit traffic class: `Lossless` flows
+    /// are PFC-protected (per-tenant selective lossless service), even
+    /// when [`SimConfig::pfc`] is off globally.
+    pub fn add_flow_with_class(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        start: SimTime,
+        class: TrafficClass,
+    ) -> FlowIdx {
+        let id = self.flows.len();
+        let hash = id as u64;
+        let path = self.port_path(src, dst, hash);
+        let rpath = self.port_path(dst, src, hash);
+        self.flows.push(Flow {
+            path,
+            rpath,
+            tcp: TcpState::new(bytes, self.cfg.mss, self.cfg.init_cwnd, self.cfg.init_ssthresh),
+            finish: None,
+            rto: None,
+            class,
+        });
+        self.queue.push(start.max_of(self.now), Event::Start(id));
+        FlowIdx(id)
+    }
+
+    /// When `flow` finished, if it has.
+    pub fn finish_time(&self, flow: FlowIdx) -> Option<SimTime> {
+        self.flows[flow.0].finish
+    }
+
+    /// Retransmission count of a flow.
+    pub fn flow_retransmits(&self, flow: FlowIdx) -> u64 {
+        self.flows[flow.0].tcp.retransmits
+    }
+
+    /// Timeout count of a flow.
+    pub fn flow_timeouts(&self, flow: FlowIdx) -> u64 {
+        self.flows[flow.0].tcp.timeouts
+    }
+
+    /// Processes a single event. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now);
+        self.now = t;
+        match ev {
+            Event::Start(f) => self.on_start(f),
+            Event::TxDone(port) => self.on_tx_done(port),
+            Event::Arrive(pkt) => self.on_arrive(pkt),
+            Event::Rto(f) => self.on_rto(f),
+        }
+        true
+    }
+
+    /// Runs until no events remain; returns the finish time of the last
+    /// flow to complete (if any completed).
+    pub fn run_until_idle(&mut self) -> Option<SimTime> {
+        while self.step() {}
+        self.flows.iter().filter_map(|f| f.finish).max()
+    }
+
+    /// Runs until `deadline`, leaving later events queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max_of(deadline);
+    }
+
+    /// True if all flows completed.
+    pub fn all_complete(&self) -> bool {
+        self.flows.iter().all(|f| f.finish.is_some())
+    }
+
+    // --- event handlers ---------------------------------------------------
+
+    fn on_start(&mut self, f: usize) {
+        if self.flows[f].path.is_empty() {
+            // Loopback: complete instantly.
+            self.flows[f].finish = Some(self.now);
+            return;
+        }
+        self.pump(f);
+    }
+
+    fn on_tx_done(&mut self, port: usize) {
+        // The head packet leaves the wire-side of the port now.
+        let pkt = self.ports[port]
+            .queue
+            .pop_front()
+            .expect("TxDone implies a head packet");
+        let latency = self.ports[port].latency;
+        self.queue.push(self.now + latency, Event::Arrive(pkt));
+        if let Some(next) = self.ports[port].queue.front() {
+            let ser = serialize_time(next.size, self.ports[port].rate_bps);
+            self.queue.push(self.now + ser, Event::TxDone(port));
+        } else {
+            self.ports[port].busy = false;
+        }
+    }
+
+    fn on_arrive(&mut self, mut pkt: Packet) {
+        let flow = pkt.flow;
+        let path_len = if pkt.is_ack {
+            self.flows[flow].rpath.len()
+        } else {
+            self.flows[flow].path.len()
+        };
+        if pkt.hop < path_len {
+            // Still inside the network: forward out of the next port.
+            let port = if pkt.is_ack {
+                self.flows[flow].rpath[pkt.hop]
+            } else {
+                self.flows[flow].path[pkt.hop]
+            };
+            pkt.hop += 1;
+            self.enqueue(port, pkt);
+            return;
+        }
+        // Terminated at an end host.
+        if pkt.is_ack {
+            self.on_sender_ack(flow, pkt.seq);
+        } else {
+            let ack = self.flows[flow].tcp.on_data(pkt.seq);
+            let ack_pkt = Packet {
+                flow,
+                seq: ack,
+                is_ack: true,
+                hop: 1,
+                size: self.cfg.ack_size,
+            };
+            let first = self.flows[flow].rpath[0];
+            self.enqueue(first, ack_pkt);
+        }
+    }
+
+    fn on_sender_ack(&mut self, f: usize, ack: u64) {
+        match self.flows[f].tcp.on_ack(ack) {
+            AckAction::None => {}
+            AckAction::SendNew => {
+                self.restart_rto(f);
+                self.pump(f);
+            }
+            AckAction::FastRetransmit(seq) => {
+                self.send_data(f, seq);
+                self.restart_rto(f);
+            }
+            AckAction::Complete => {
+                self.flows[f].finish = Some(self.now);
+                if let Some(h) = self.flows[f].rto.take() {
+                    self.queue.cancel(h);
+                }
+            }
+        }
+    }
+
+    fn on_rto(&mut self, f: usize) {
+        self.flows[f].rto = None;
+        if self.flows[f].finish.is_some() {
+            return;
+        }
+        let seq = self.flows[f].tcp.on_timeout();
+        self.stats.timeouts += 1;
+        self.send_data(f, seq);
+        self.flows[f].tcp.note_sent(seq + 1);
+        self.restart_rto(f);
+    }
+
+    // --- sending ------------------------------------------------------------
+
+    /// Sends all currently window-permitted new data.
+    fn pump(&mut self, f: usize) {
+        let sendable = self.flows[f].tcp.sendable();
+        if sendable.is_empty() {
+            return;
+        }
+        let highest = *sendable.last().expect("non-empty") + 1;
+        for seq in sendable {
+            self.send_data(f, seq);
+        }
+        self.flows[f].tcp.note_sent(highest);
+        if self.flows[f].rto.is_none() {
+            self.restart_rto(f);
+        }
+    }
+
+    fn send_data(&mut self, f: usize, seq: u64) {
+        let pkt = Packet {
+            flow: f,
+            seq,
+            is_ack: false,
+            hop: 1,
+            size: self.cfg.mss,
+        };
+        let first = self.flows[f].path[0];
+        self.enqueue(first, pkt);
+        self.stats.data_sent += 1;
+    }
+
+    fn restart_rto(&mut self, f: usize) {
+        if let Some(h) = self.flows[f].rto.take() {
+            self.queue.cancel(h);
+        }
+        let backoff = self.flows[f].tcp.rto_backoff as u64;
+        let base = self
+            .cfg
+            .min_rto
+            .saturating_mul(backoff)
+            .min(self.cfg.max_rto);
+        // Optional per-flow deterministic jitter standing in for the
+        // RTT-dependent component of real RTO estimators; the default of
+        // zero keeps timeouts synchronized like htsim, which is what makes
+        // repeated incast collapse rounds (and the paper's §5.4 numbers)
+        // appear.
+        let jitter_ppm = if self.cfg.rto_jitter > 0.0 {
+            let max_ppm = (self.cfg.rto_jitter * 1_000_000.0) as u64;
+            desim::rng::derive_seed(f as u64, self.flows[f].tcp.timeouts) % max_ppm.max(1)
+        } else {
+            0
+        };
+        let rto = base + SimDuration::from_nanos(base.as_nanos() / 1_000_000 * jitter_ppm);
+        let h = self.queue.push(self.now + rto, Event::Rto(f));
+        self.flows[f].rto = Some(h);
+    }
+
+    fn enqueue(&mut self, port: usize, pkt: Packet) {
+        let lossless =
+            self.cfg.pfc || self.flows[pkt.flow].class == TrafficClass::Lossless;
+        let p = &mut self.ports[port];
+        if !lossless && p.queue.len() >= self.cfg.buffer_pkts {
+            self.stats.drops += 1;
+            *self.stats.drops_per_port.entry(port).or_insert(0) += 1;
+            return;
+        }
+        p.queue.push_back(pkt);
+        if !p.busy {
+            p.busy = true;
+            let ser = serialize_time(pkt.size, p.rate_bps);
+            self.queue.push(self.now + ser, Event::TxDone(port));
+        }
+    }
+
+    fn port_path(&mut self, src: HostId, dst: HostId, hash: u64) -> Vec<usize> {
+        self.router
+            .route(&self.topo, src, dst, hash)
+            .into_iter()
+            .map(|hop| {
+                2 * hop.link.0
+                    + match hop.dir {
+                        LinkDir::Forward => 0,
+                        LinkDir::Backward => 1,
+                    }
+            })
+            .collect()
+    }
+}
+
+fn serialize_time(bytes: u32, rate_bps: f64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes as f64 / rate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::TopoOptions;
+    use simnet::{Topology, GBPS};
+
+    fn star(n: usize, cfg: SimConfig) -> PktSim {
+        PktSim::new(
+            Topology::single_switch(n, GBPS, TopoOptions::default()),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn single_flow_completes_near_line_rate() {
+        let mut sim = star(2, SimConfig::default());
+        let h = sim.topology().host_ids();
+        // 1.5 MB = 1000 packets ≈ 12 ms of wire time at 1 Gbps.
+        let f = sim.add_flow(h[0], h[1], 1_500_000, SimTime::ZERO);
+        sim.run_until_idle();
+        let t = sim.finish_time(f).expect("flow completes").as_secs_f64();
+        assert!(t > 0.012, "cannot beat the wire: {t}");
+        assert!(t < 0.1, "should be within a few RTT-driven factors: {t}");
+        // Slow-start overshoot of the 50-packet buffer may drop packets,
+        // but NewReno recovery must avoid timeouts for a lone flow.
+        assert_eq!(sim.flow_timeouts(f), 0);
+    }
+
+    #[test]
+    fn loopback_completes_instantly() {
+        let mut sim = star(2, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let f = sim.add_flow(h[0], h[0], 1_000_000, SimTime::ZERO);
+        sim.run_until_idle();
+        assert_eq!(sim.finish_time(f), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        // Long flows (60 MB, ~0.5 s solo) so a single 200 ms RTO cannot
+        // dominate the comparison.
+        let mut sim = star(3, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let bytes = 60_000_000u64;
+        let a = sim.add_flow(h[0], h[2], bytes, SimTime::ZERO);
+        let b = sim.add_flow(h[1], h[2], bytes, SimTime::ZERO);
+        sim.run_until_idle();
+        let ta = sim.finish_time(a).unwrap().as_secs_f64();
+        let tb = sim.finish_time(b).unwrap().as_secs_f64();
+        let solo = bytes as f64 / GBPS;
+        for t in [ta, tb] {
+            assert!(t > 1.5 * solo, "sharing must slow both: {t} vs solo {solo}");
+        }
+        assert!(
+            ta.max(tb) < 2.0 * ta.min(tb),
+            "roughly fair: {ta} vs {tb}"
+        );
+    }
+
+    #[test]
+    fn incast_causes_drops_and_timeouts() {
+        let mut sim = star(51, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let sink = h[50];
+        let flows: Vec<FlowIdx> = (0..50)
+            .map(|i| sim.add_flow(h[i], sink, 10 * 1024, SimTime::ZERO))
+            .collect();
+        sim.run_until_idle();
+        assert!(sim.stats().drops > 0, "50-way incast into a 50-pkt buffer must drop");
+        let total_timeouts: u64 = flows.iter().map(|&f| sim.flow_timeouts(f)).sum();
+        assert!(total_timeouts > 0, "some flows must hit RTO");
+        let worst = flows
+            .iter()
+            .map(|&f| sim.finish_time(f).unwrap().as_secs_f64())
+            .fold(0.0f64, f64::max);
+        // Data alone is ~4 ms of wire time; incast pushes completion past
+        // at least one 200 ms RTO.
+        assert!(worst > 0.2, "incast tail must exceed one min-RTO: {worst}");
+    }
+
+    #[test]
+    fn pfc_eliminates_incast_losses() {
+        let mut sim = star(51, SimConfig::default().with_pfc());
+        let h = sim.topology().host_ids();
+        let sink = h[50];
+        let flows: Vec<FlowIdx> = (0..50)
+            .map(|i| sim.add_flow(h[i], sink, 10 * 1024, SimTime::ZERO))
+            .collect();
+        sim.run_until_idle();
+        assert_eq!(sim.stats().drops, 0);
+        let worst = flows
+            .iter()
+            .map(|&f| sim.finish_time(f).unwrap().as_secs_f64())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 0.2, "lossless incast stays below the RTO: {worst}");
+    }
+
+    #[test]
+    fn bigger_buffers_reduce_drops() {
+        let run = |buffer: usize| {
+            let mut sim = star(33, SimConfig::default().with_buffer(buffer));
+            let h = sim.topology().host_ids();
+            for i in 0..32 {
+                sim.add_flow(h[i], h[32], 15_000, SimTime::ZERO);
+            }
+            sim.run_until_idle();
+            sim.stats().drops
+        };
+        assert!(run(16) > run(256));
+    }
+
+    #[test]
+    fn delayed_start_respected() {
+        let mut sim = star(2, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let f = sim.add_flow(h[0], h[1], 1500, SimTime::from_secs_f64(1.0));
+        sim.run_until_idle();
+        assert!(sim.finish_time(f).unwrap().as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = star(2, SimConfig::default());
+        let h = sim.topology().host_ids();
+        sim.add_flow(h[0], h[1], 150_000_000, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(0.01));
+        assert!(!sim.all_complete());
+        assert!(sim.now() >= SimTime::from_secs_f64(0.01));
+    }
+
+    #[test]
+    fn byte_conservation_per_flow() {
+        // Every flow eventually delivers exactly total_pkts in-order packets.
+        let mut sim = star(9, SimConfig::default().with_buffer(8));
+        let h = sim.topology().host_ids();
+        let flows: Vec<FlowIdx> = (0..8)
+            .map(|i| sim.add_flow(h[i], h[8], 50_000, SimTime::ZERO))
+            .collect();
+        sim.run_until_idle();
+        for f in flows {
+            let tcp = &sim.flows[f.0].tcp;
+            assert!(tcp.complete());
+            assert_eq!(tcp.rcv_next, tcp.total_pkts, "all data delivered in order");
+            assert!(sim.finish_time(f).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = star(20, SimConfig::default());
+            let h = sim.topology().host_ids();
+            for i in 0..19 {
+                sim.add_flow(h[i], h[19], 20_000 + i as u64 * 1000, SimTime::ZERO);
+            }
+            sim.run_until_idle().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod class_tests {
+    use super::*;
+    use simnet::topology::TopoOptions;
+    use simnet::{Topology, GBPS};
+
+    /// Selective PFC: a lossless tenant sails through an incast that
+    /// cripples lossy flows sharing the same port.
+    #[test]
+    fn lossless_class_survives_incast() {
+        let topo = Topology::single_switch(62, GBPS, TopoOptions::default());
+        let mut sim = PktSim::new(topo, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let sink = h[61];
+        let lossy: Vec<FlowIdx> = (0..50)
+            .map(|i| sim.add_flow(h[i], sink, 10 * 1024, SimTime::ZERO))
+            .collect();
+        let protected: Vec<FlowIdx> = (50..60)
+            .map(|i| {
+                sim.add_flow_with_class(h[i], sink, 10 * 1024, SimTime::ZERO, TrafficClass::Lossless)
+            })
+            .collect();
+        sim.run_until_idle();
+        let worst_protected = protected
+            .iter()
+            .map(|&f| sim.finish_time(f).unwrap().as_secs_f64())
+            .fold(0.0f64, f64::max);
+        let worst_lossy = lossy
+            .iter()
+            .map(|&f| sim.finish_time(f).unwrap().as_secs_f64())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst_protected < 0.2,
+            "lossless tenant must dodge the RTO: {worst_protected}"
+        );
+        assert!(worst_lossy > 0.2, "lossy flows still collapse: {worst_lossy}");
+        for &f in &protected {
+            assert_eq!(sim.flow_timeouts(f), 0);
+        }
+    }
+
+    /// The lossless class never loses a packet even at extreme fan-in.
+    #[test]
+    fn lossless_class_never_drops() {
+        let topo = Topology::single_switch(101, GBPS, TopoOptions::default());
+        let mut sim = PktSim::new(topo, SimConfig::default());
+        let h = sim.topology().host_ids();
+        for i in 0..100 {
+            sim.add_flow_with_class(
+                h[i],
+                h[100],
+                15_000,
+                SimTime::ZERO,
+                TrafficClass::Lossless,
+            );
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.stats().drops, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Scatter-gather (incast) workload helpers.
+//!
+//! Web search's "scatter-gather" pattern (paper §5.4): a query fans out to
+//! leaf servers, each replies with a small result, and an aggregator
+//! forwards the merged result upward. The fan-in is what triggers incast.
+
+use desim::SimTime;
+use simnet::topology::HostId;
+
+use crate::sim::{FlowIdx, PktSim};
+
+/// Result of a scatter-gather round.
+#[derive(Clone, Debug)]
+pub struct GatherResult {
+    /// When the last response arrived.
+    pub finish: SimTime,
+    /// Per-sender completion times.
+    pub finishes: Vec<SimTime>,
+    /// Total retransmissions across responders.
+    pub retransmits: u64,
+    /// Total RTO events across responders.
+    pub timeouts: u64,
+}
+
+/// Runs one synchronized fan-in: each of `senders` transmits
+/// `response_bytes` to `sink` starting at `at`; returns when all complete.
+///
+/// The simulation is driven to completion of *these* flows; other queued
+/// flows keep whatever state they reach.
+pub fn gather(
+    sim: &mut PktSim,
+    senders: &[HostId],
+    sink: HostId,
+    response_bytes: u64,
+    at: SimTime,
+) -> GatherResult {
+    let flows: Vec<FlowIdx> = senders
+        .iter()
+        .map(|&s| sim.add_flow(s, sink, response_bytes, at))
+        .collect();
+    // Run until all our flows are done.
+    while flows.iter().any(|&f| sim.finish_time(f).is_none()) {
+        if !sim.step() {
+            panic!("simulation drained before gather completed");
+        }
+    }
+    let finishes: Vec<SimTime> = flows
+        .iter()
+        .map(|&f| sim.finish_time(f).expect("completed above"))
+        .collect();
+    GatherResult {
+        finish: finishes.iter().copied().max().expect("non-empty gather"),
+        finishes,
+        retransmits: flows.iter().map(|&f| sim.flow_retransmits(f)).sum(),
+        timeouts: flows.iter().map(|&f| sim.flow_timeouts(f)).sum(),
+    }
+}
+
+/// A two-stage aggregation query: leaves respond to their aggregator, then
+/// each aggregator forwards the combined payload to the frontend. Returns
+/// the total query latency.
+///
+/// All groups' fan-ins run concurrently (they are independent parts of
+/// one query); each aggregator forwards upward as soon as its own leaves
+/// are in.
+///
+/// `groups` maps each aggregator to its leaf set.
+pub fn two_level_query(
+    sim: &mut PktSim,
+    frontend: HostId,
+    groups: &[(HostId, Vec<HostId>)],
+    response_bytes: u64,
+    at: SimTime,
+) -> SimTime {
+    // Stage 1: add every group's leaf flows up front so the gathers
+    // overlap in time.
+    let stage1: Vec<(HostId, Vec<FlowIdx>, u64)> = groups
+        .iter()
+        .map(|(agg, leaves)| {
+            let flows: Vec<FlowIdx> = leaves
+                .iter()
+                .map(|&leaf| sim.add_flow(leaf, *agg, response_bytes, at))
+                .collect();
+            let combined = response_bytes * leaves.len() as u64;
+            (*agg, flows, combined)
+        })
+        .collect();
+    // Stage 2: launch each aggregator's upward flow the moment its own
+    // gather completes.
+    let mut stage2: Vec<Option<FlowIdx>> = vec![None; stage1.len()];
+    loop {
+        for (i, (agg, flows, combined)) in stage1.iter().enumerate() {
+            if stage2[i].is_none() {
+                let finishes: Option<Vec<SimTime>> =
+                    flows.iter().map(|&f| sim.finish_time(f)).collect();
+                if let Some(fs) = finishes {
+                    let last = fs.into_iter().max().expect("non-empty group");
+                    stage2[i] = Some(sim.add_flow(*agg, frontend, *combined, last));
+                }
+            }
+        }
+        let done = stage2
+            .iter()
+            .all(|s| s.is_some_and(|f| sim.finish_time(f).is_some()));
+        if done {
+            break;
+        }
+        if !sim.step() && stage2.iter().any(|s| s.is_none()) {
+            panic!("simulation drained before aggregation completed");
+        }
+    }
+    stage2
+        .iter()
+        .map(|s| sim.finish_time(s.expect("launched")).expect("finished"))
+        .max()
+        .expect("non-empty query")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use simnet::topology::TopoOptions;
+    use simnet::{Topology, GBPS};
+
+    #[test]
+    fn gather_completes_and_reports_tail() {
+        let topo = Topology::single_switch(11, GBPS, TopoOptions::default());
+        let mut sim = PktSim::new(topo, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let r = gather(&mut sim, &h[..10], h[10], 10 * 1024, SimTime::ZERO);
+        assert_eq!(r.finishes.len(), 10);
+        assert!(r.finish >= *r.finishes.iter().min().unwrap());
+    }
+
+    #[test]
+    fn wide_fanin_worse_than_narrow() {
+        let run = |n: usize| {
+            let topo = Topology::single_switch(101, GBPS, TopoOptions::default());
+            let mut sim = PktSim::new(topo, SimConfig::default());
+            let h = sim.topology().host_ids();
+            gather(&mut sim, &h[..n], h[100], 10 * 1024, SimTime::ZERO)
+                .finish
+                .as_secs_f64()
+        };
+        let narrow = run(10);
+        let wide = run(100);
+        assert!(
+            wide > narrow * 2.0,
+            "100-way incast ({wide}s) must beat 10-way ({narrow}s) by a lot"
+        );
+    }
+
+    #[test]
+    fn two_level_runs_stages_in_order() {
+        let topo = Topology::two_tier(4, 6, GBPS, f64::INFINITY, TopoOptions::default());
+        let mut sim = PktSim::new(topo, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let frontend = h[0];
+        let groups = vec![
+            (h[1], h[2..7].to_vec()),
+            (h[7], h[8..13].to_vec()),
+        ];
+        let t = two_level_query(&mut sim, frontend, &groups, 10 * 1024, SimTime::ZERO);
+        assert!(t > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the packet-level simulator.
+
+use desim::SimTime;
+use pktsim::{PktSim, SimConfig, TrafficClass};
+use proptest::prelude::*;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::GBPS;
+
+fn star(n: usize, cfg: SimConfig) -> PktSim {
+    PktSim::new(
+        Topology::single_switch(n, GBPS, TopoOptions::default()),
+        cfg,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every flow eventually completes (TCP is loss-recoverable) and
+    /// never finishes before its wire-time lower bound.
+    #[test]
+    fn all_flows_complete_above_wire_time(
+        specs in proptest::collection::vec(
+            (0usize..8, 0usize..8, 1u64..200), 1..12),
+    ) {
+        let mut sim = star(8, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let flows: Vec<_> = specs
+            .iter()
+            .map(|&(a, b, kb)| {
+                (sim.add_flow(h[a], h[b], kb * 1024, SimTime::ZERO), a, b, kb)
+            })
+            .collect();
+        sim.run_until_idle();
+        for (f, a, b, kb) in flows {
+            let t = sim.finish_time(f);
+            prop_assert!(t.is_some(), "flow {f:?} never finished");
+            if a != b {
+                let wire = (kb * 1024) as f64 / GBPS;
+                prop_assert!(
+                    t.unwrap().as_secs_f64() >= wire * 0.99,
+                    "faster than the wire"
+                );
+            }
+        }
+    }
+
+    /// Byte conservation: the receiver ends with exactly the flow's
+    /// packet count delivered in order, no matter the loss pattern.
+    #[test]
+    fn receivers_get_every_packet_once(
+        n_senders in 2usize..12,
+        kb in 5u64..60,
+        buffer in 4usize..64,
+    ) {
+        let mut sim = star(n_senders + 1, SimConfig::default().with_buffer(buffer));
+        let h = sim.topology().host_ids();
+        let sink = h[n_senders];
+        let flows: Vec<_> = (0..n_senders)
+            .map(|i| sim.add_flow(h[i], sink, kb * 1024, SimTime::ZERO))
+            .collect();
+        sim.run_until_idle();
+        for f in flows {
+            prop_assert!(sim.finish_time(f).is_some());
+        }
+    }
+
+    /// Determinism: identical workloads give bit-identical finish times.
+    #[test]
+    fn runs_are_deterministic(
+        specs in proptest::collection::vec((0usize..6, 0usize..6, 1u64..50), 1..8),
+    ) {
+        let run = || {
+            let mut sim = star(6, SimConfig::default());
+            let h = sim.topology().host_ids();
+            let flows: Vec<_> = specs
+                .iter()
+                .map(|&(a, b, kb)| sim.add_flow(h[a], h[b], kb * 1024, SimTime::ZERO))
+                .collect();
+            sim.run_until_idle();
+            flows
+                .into_iter()
+                .map(|f| sim.finish_time(f).unwrap().as_nanos())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// PFC mode never drops, whatever the fan-in.
+    #[test]
+    fn pfc_never_drops(n_senders in 2usize..40) {
+        let mut sim = star(n_senders + 1, SimConfig::default().with_pfc());
+        let h = sim.topology().host_ids();
+        for i in 0..n_senders {
+            sim.add_flow(h[i], h[n_senders], 20 * 1024, SimTime::ZERO);
+        }
+        sim.run_until_idle();
+        prop_assert_eq!(sim.stats().drops, 0);
+    }
+
+    /// Lossless-class flows never time out even among lossy contenders.
+    #[test]
+    fn lossless_flows_never_rto(n_lossy in 5usize..30) {
+        let mut sim = star(n_lossy + 2, SimConfig::default());
+        let h = sim.topology().host_ids();
+        let sink = h[n_lossy + 1];
+        for i in 0..n_lossy {
+            sim.add_flow(h[i], sink, 10 * 1024, SimTime::ZERO);
+        }
+        let protected = sim.add_flow_with_class(
+            h[n_lossy],
+            sink,
+            10 * 1024,
+            SimTime::ZERO,
+            TrafficClass::Lossless,
+        );
+        sim.run_until_idle();
+        prop_assert_eq!(sim.flow_timeouts(protected), 0);
+    }
+}

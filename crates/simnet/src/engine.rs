@@ -1,0 +1,666 @@
+//! The live substrate: fluid simulation of transfers over a topology.
+//!
+//! [`NetSim`] tracks a set of active *transfers*. A transfer is a coupled
+//! group of segments (network hops and disk accesses) progressing at one
+//! common rate — the fluid model of a pipelined copy. Whenever the set of
+//! transfers changes, rates are recomputed with the max-min allocator
+//! ([`crate::sharing`]); between changes every transfer progresses
+//! linearly, so completions can be scheduled exactly.
+//!
+//! Applications drive time explicitly: [`NetSim::advance_to`] moves the
+//! clock and returns the transfers that completed on the way. Per-host
+//! load snapshots ([`NetSim::host_load`]) expose exactly what a CloudTalk
+//! status server would measure on that machine.
+
+use std::collections::HashMap;
+
+use desim::{SimDuration, SimTime};
+
+use crate::routing::Router;
+use crate::sharing::{max_min_rates, Demand, ResourceIdx};
+use crate::topology::{HostId, LinkDir, Topology};
+use crate::LOCAL_RATE;
+
+/// Identifier of a transfer within a [`NetSim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TransferId(pub u64);
+
+/// One leg of a transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Segment {
+    /// A network hop between two hosts (loopback if equal).
+    Net {
+        /// Sending host.
+        src: HostId,
+        /// Receiving host.
+        dst: HostId,
+    },
+    /// Reading from a host's local disk.
+    DiskRead(HostId),
+    /// Writing to a host's local disk.
+    DiskWrite(HostId),
+}
+
+/// Specification of a transfer to start.
+#[derive(Clone, Debug)]
+pub struct TransferSpec {
+    /// The coupled segments; all proceed at one common rate.
+    pub segments: Vec<Segment>,
+    /// Payload bytes (use [`f64::INFINITY`] for unbounded background flows).
+    pub bytes: f64,
+    /// Optional rate cap, bytes/second.
+    pub cap: Option<f64>,
+    /// If set, the transfer is inelastic (UDP-like) at this rate.
+    pub inelastic_rate: Option<f64>,
+}
+
+impl TransferSpec {
+    /// A plain network transfer.
+    pub fn network(src: HostId, dst: HostId, bytes: f64) -> Self {
+        TransferSpec {
+            segments: vec![Segment::Net { src, dst }],
+            bytes,
+            cap: None,
+            inelastic_rate: None,
+        }
+    }
+
+    /// A local disk read.
+    pub fn disk_read(host: HostId, bytes: f64) -> Self {
+        TransferSpec {
+            segments: vec![Segment::DiskRead(host)],
+            bytes,
+            cap: None,
+            inelastic_rate: None,
+        }
+    }
+
+    /// A local disk write.
+    pub fn disk_write(host: HostId, bytes: f64) -> Self {
+        TransferSpec {
+            segments: vec![Segment::DiskWrite(host)],
+            bytes,
+            cap: None,
+            inelastic_rate: None,
+        }
+    }
+
+    /// A read-then-send: disk read at `src` coupled with a hop to `dst`.
+    pub fn read_and_send(src: HostId, dst: HostId, bytes: f64) -> Self {
+        TransferSpec {
+            segments: vec![Segment::DiskRead(src), Segment::Net { src, dst }],
+            bytes,
+            cap: None,
+            inelastic_rate: None,
+        }
+    }
+
+    /// A receive-then-store: hop from `src` coupled with a disk write at `dst`.
+    pub fn send_and_store(src: HostId, dst: HostId, bytes: f64) -> Self {
+        TransferSpec {
+            segments: vec![Segment::Net { src, dst }, Segment::DiskWrite(dst)],
+            bytes,
+            cap: None,
+            inelastic_rate: None,
+        }
+    }
+
+    /// A pipelined replication chain (HDFS write): `client → r1 → … → rk`,
+    /// each replica also writing to its disk, all at one coupled rate.
+    pub fn pipeline(client: HostId, replicas: &[HostId], bytes: f64) -> Self {
+        let mut segments = Vec::with_capacity(replicas.len() * 2);
+        let mut prev = client;
+        for &r in replicas {
+            segments.push(Segment::Net { src: prev, dst: r });
+            segments.push(Segment::DiskWrite(r));
+            prev = r;
+        }
+        TransferSpec {
+            segments,
+            bytes,
+            cap: None,
+            inelastic_rate: None,
+        }
+    }
+
+    /// Caps the transfer's rate.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Marks the transfer inelastic (UDP-like) at `rate`.
+    pub fn with_inelastic(mut self, rate: f64) -> Self {
+        self.inelastic_rate = Some(rate);
+        self
+    }
+}
+
+/// A completed transfer.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Completion {
+    /// Which transfer.
+    pub id: TransferId,
+    /// When it started.
+    pub started: SimTime,
+    /// When it finished.
+    pub finished: SimTime,
+}
+
+/// A host's instantaneous I/O state — what a status server measures.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HostLoad {
+    /// NIC capacity, bytes/second (per direction).
+    pub nic_capacity: f64,
+    /// Current transmit usage, bytes/second.
+    pub tx_bps: f64,
+    /// Current receive usage, bytes/second.
+    pub rx_bps: f64,
+    /// Disk read capacity, bytes/second.
+    pub disk_read_capacity: f64,
+    /// Current disk read usage, bytes/second.
+    pub disk_read_bps: f64,
+    /// Disk write capacity, bytes/second.
+    pub disk_write_capacity: f64,
+    /// Current disk write usage, bytes/second.
+    pub disk_write_bps: f64,
+}
+
+struct Active {
+    usages: Vec<(ResourceIdx, f64)>,
+    cap: Option<f64>,
+    inelastic: Option<f64>,
+    bytes: f64,
+    done: f64,
+    rate: f64,
+    started: SimTime,
+}
+
+/// The fluid network/disk simulator.
+pub struct NetSim {
+    topo: Topology,
+    router: Router,
+    capacities: Vec<f64>,
+    usage: Vec<f64>,
+    now: SimTime,
+    transfers: HashMap<u64, Active>,
+    order: Vec<u64>,
+    next_id: u64,
+    dirty: bool,
+}
+
+impl NetSim {
+    /// Creates a simulator over `topo` at time zero.
+    pub fn new(topo: Topology) -> Self {
+        let n_res = 2 * topo.link_count() + 2 * topo.host_count();
+        let mut capacities = vec![0.0; n_res];
+        for l in 0..topo.link_count() {
+            let cap = topo.link(crate::LinkId(l)).capacity_bps;
+            capacities[2 * l] = cap;
+            capacities[2 * l + 1] = cap;
+        }
+        for h in 0..topo.host_count() {
+            let disk = topo.host(HostId(h)).disk;
+            capacities[2 * topo.link_count() + 2 * h] = disk.read_bps;
+            capacities[2 * topo.link_count() + 2 * h + 1] = disk.write_bps;
+        }
+        let usage = vec![0.0; n_res];
+        NetSim {
+            topo,
+            router: Router::new(),
+            capacities,
+            usage,
+            now: SimTime::ZERO,
+            transfers: HashMap::new(),
+            order: Vec::new(),
+            next_id: 0,
+            dirty: false,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// All host ids (convenience).
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.topo.host_ids()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Starts a transfer, recomputing rates.
+    pub fn start(&mut self, spec: TransferSpec) -> TransferId {
+        assert!(spec.bytes >= 0.0, "transfer bytes must be non-negative");
+        let id = self.next_id;
+        self.next_id += 1;
+        let usages = self.spec_usages(&spec, id);
+        self.transfers.insert(
+            id,
+            Active {
+                usages,
+                cap: spec.cap,
+                inelastic: spec.inelastic_rate,
+                bytes: spec.bytes,
+                done: 0.0,
+                rate: 0.0,
+                started: self.now,
+            },
+        );
+        self.order.push(id);
+        self.dirty = true;
+        TransferId(id)
+    }
+
+    /// Cancels an active transfer (no completion is recorded).
+    ///
+    /// Returns `true` if it was active.
+    pub fn cancel(&mut self, id: TransferId) -> bool {
+        if self.transfers.remove(&id.0).is_some() {
+            self.order.retain(|&x| x != id.0);
+            self.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes moved so far by an active transfer (`None` once finished).
+    pub fn progress(&self, id: TransferId) -> Option<f64> {
+        self.transfers.get(&id.0).map(|t| t.done)
+    }
+
+    /// Current rate of an active transfer, bytes/second.
+    pub fn rate(&mut self, id: TransferId) -> Option<f64> {
+        self.ensure_rates();
+        self.transfers.get(&id.0).map(|t| t.rate)
+    }
+
+    /// The earliest upcoming completion time, if any transfer is finite.
+    pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        self.ensure_rates();
+        let mut best: Option<SimTime> = None;
+        for t in self.transfers.values() {
+            let remaining = t.bytes - t.done;
+            if !remaining.is_finite() {
+                continue;
+            }
+            let eta = if remaining <= 1e-6 {
+                self.now
+            } else if t.rate <= 0.0 {
+                continue;
+            } else {
+                // Round sub-nanosecond completions up to one tick so the
+                // clock always advances (otherwise a remaining sliver whose
+                // transfer time truncates to zero nanoseconds would stall
+                // `advance_to` forever).
+                let d = SimDuration::from_secs_f64(remaining / t.rate);
+                self.now + d.max(SimDuration::from_nanos(1))
+            };
+            best = Some(best.map_or(eta, |b: SimTime| b.min(eta)));
+        }
+        best
+    }
+
+    /// Advances the clock to `t`, processing completions on the way.
+    ///
+    /// Returns the completions in chronological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<Completion> {
+        assert!(t >= self.now, "cannot advance into the past");
+        let mut completions = Vec::new();
+        loop {
+            self.ensure_rates();
+            let next = self.next_completion_time();
+            let step_to = match next {
+                Some(tc) if tc <= t => tc,
+                _ => {
+                    self.progress_all_to(t);
+                    break;
+                }
+            };
+            self.progress_all_to(step_to);
+            // Collect every transfer that is now finished.
+            let mut finished: Vec<u64> = Vec::new();
+            for &id in &self.order {
+                let tr = &self.transfers[&id];
+                if tr.bytes.is_finite() && tr.bytes - tr.done <= 1e-6 {
+                    finished.push(id);
+                }
+            }
+            for id in finished {
+                let tr = self.transfers.remove(&id).expect("just seen");
+                self.order.retain(|&x| x != id);
+                completions.push(Completion {
+                    id: TransferId(id),
+                    started: tr.started,
+                    finished: self.now,
+                });
+                self.dirty = true;
+            }
+        }
+        completions
+    }
+
+    /// Runs until every finite transfer completes; returns their ids in
+    /// completion order. Unbounded (background) transfers keep running.
+    pub fn run_until_idle(&mut self) -> Vec<TransferId> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_completion_time() {
+            for c in self.advance_to(t) {
+                out.push(c.id);
+            }
+        }
+        out
+    }
+
+    /// The instantaneous I/O load of `host` — what its status server reports.
+    pub fn host_load(&mut self, host: HostId) -> HostLoad {
+        self.ensure_rates();
+        let h = self.topo.host(host);
+        let link = h.access_link;
+        let l = self.topo.link(link);
+        // The access link connects host.node to its switch; transmit is the
+        // direction leaving the host.
+        let (tx_res, rx_res) = if l.a == h.node {
+            (2 * link.0, 2 * link.0 + 1)
+        } else {
+            (2 * link.0 + 1, 2 * link.0)
+        };
+        let disk_base = 2 * self.topo.link_count() + 2 * host.0;
+        HostLoad {
+            nic_capacity: l.capacity_bps,
+            tx_bps: self.usage[tx_res],
+            rx_bps: self.usage[rx_res],
+            disk_read_capacity: h.disk.read_bps,
+            disk_read_bps: self.usage[disk_base],
+            disk_write_capacity: h.disk.write_bps,
+            disk_write_bps: self.usage[disk_base + 1],
+        }
+    }
+
+    /// Number of currently active transfers.
+    pub fn active_count(&self) -> usize {
+        self.transfers.len()
+    }
+
+    // --- internals --------------------------------------------------------
+
+    fn spec_usages(&mut self, spec: &TransferSpec, id: u64) -> Vec<(ResourceIdx, f64)> {
+        let mut usages: Vec<(ResourceIdx, f64)> = Vec::new();
+        let mut add = |res: ResourceIdx| {
+            if let Some(u) = usages.iter_mut().find(|(r, _)| *r == res) {
+                u.1 += 1.0;
+            } else {
+                usages.push((res, 1.0));
+            }
+        };
+        let disk_base = 2 * self.topo.link_count();
+        for seg in &spec.segments {
+            match *seg {
+                Segment::Net { src, dst } => {
+                    for hop in self.router.route(&self.topo, src, dst, id) {
+                        let dir_off = match hop.dir {
+                            LinkDir::Forward => 0,
+                            LinkDir::Backward => 1,
+                        };
+                        add(2 * hop.link.0 + dir_off);
+                    }
+                }
+                Segment::DiskRead(h) => add(disk_base + 2 * h.0),
+                Segment::DiskWrite(h) => add(disk_base + 2 * h.0 + 1),
+            }
+        }
+        usages
+    }
+
+    fn ensure_rates(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let demands: Vec<Demand> = self
+            .order
+            .iter()
+            .map(|id| {
+                let t = &self.transfers[id];
+                Demand {
+                    usages: t.usages.clone(),
+                    cap: t.cap,
+                    inelastic: t.inelastic,
+                }
+            })
+            .collect();
+        let rates = max_min_rates(&self.capacities, &demands);
+        self.usage.iter_mut().for_each(|u| *u = 0.0);
+        for (idx, id) in self.order.iter().enumerate() {
+            let rate = if rates[idx].is_finite() {
+                rates[idx]
+            } else {
+                LOCAL_RATE
+            };
+            let t = self.transfers.get_mut(id).expect("ordered id is active");
+            t.rate = rate;
+            for &(r, mult) in &t.usages {
+                self.usage[r] += rate * mult;
+            }
+        }
+        self.dirty = false;
+    }
+
+    fn progress_all_to(&mut self, t: SimTime) {
+        let dt = (t - self.now).as_secs_f64();
+        if dt > 0.0 {
+            for tr in self.transfers.values_mut() {
+                tr.done += tr.rate * dt;
+                if tr.bytes.is_finite() && tr.done > tr.bytes {
+                    tr.done = tr.bytes;
+                }
+            }
+        }
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopoOptions;
+    use crate::{Topology, GBPS};
+
+    fn star(n: usize) -> NetSim {
+        NetSim::new(Topology::single_switch(n, GBPS, TopoOptions::default()))
+    }
+
+    #[test]
+    fn single_transfer_takes_bytes_over_capacity() {
+        let mut net = star(2);
+        let h = net.hosts();
+        net.start(TransferSpec::network(h[0], h[1], GBPS * 2.0)); // 2 seconds
+        net.run_until_idle();
+        assert!((net.now().as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_senders_share_receiver_downlink() {
+        let mut net = star(3);
+        let h = net.hosts();
+        // Both send 1 GB-worth to host 2: its downlink is the bottleneck.
+        net.start(TransferSpec::network(h[0], h[2], GBPS));
+        net.start(TransferSpec::network(h[1], h[2], GBPS));
+        net.run_until_idle();
+        assert!((net.now().as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_frees_capacity_for_survivor() {
+        let mut net = star(3);
+        let h = net.hosts();
+        // Short and long flow into the same sink: short finishes, long speeds up.
+        net.start(TransferSpec::network(h[0], h[2], GBPS * 0.5));
+        let long = net.start(TransferSpec::network(h[1], h[2], GBPS));
+        // Short: 0.5 GBs at 0.5 GBps → 1s. Long: 0.5 done at 1s, rest at full.
+        let completions = net.advance_to(SimTime::from_secs_f64(10.0));
+        assert_eq!(completions.len(), 2);
+        assert!((completions[0].finished.as_secs_f64() - 1.0).abs() < 1e-6);
+        let long_done = completions.iter().find(|c| c.id == long).unwrap();
+        assert!((long_done.finished.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loopback_is_effectively_instant() {
+        let mut net = star(2);
+        let h = net.hosts();
+        net.start(TransferSpec::network(h[0], h[0], 1e9));
+        net.run_until_idle();
+        assert!(net.now().as_secs_f64() < 0.1);
+    }
+
+    #[test]
+    fn disk_write_contends_with_other_writers() {
+        let mut net = star(2);
+        let h = net.hosts();
+        let w = net.topology().host(h[0]).disk.write_bps;
+        net.start(TransferSpec::disk_write(h[0], w)); // alone: 1s
+        net.start(TransferSpec::disk_write(h[0], w));
+        net.run_until_idle();
+        assert!((net.now().as_secs_f64() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pipeline_rate_is_chain_bottleneck() {
+        // 3-replica pipeline: slowest element is the SSD write (450 MB/s
+        // > GBPS? GBPS=125MB/s so network is the bottleneck).
+        let mut net = star(4);
+        let h = net.hosts();
+        let id = net.start(TransferSpec::pipeline(h[0], &[h[1], h[2], h[3]], GBPS));
+        let r = net.rate(id).unwrap();
+        assert!((r - GBPS).abs() < 1e-3, "rate {r} vs {GBPS}");
+        net.run_until_idle();
+        assert!((net.now().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipeline_slowed_by_hdd_replica() {
+        let mut topo = Topology::single_switch(4, GBPS, TopoOptions::default());
+        topo.set_disk(HostId(2), crate::disk::DiskModel::hdd());
+        let mut net = NetSim::new(topo);
+        let h = net.hosts();
+        let id = net.start(TransferSpec::pipeline(h[0], &[h[1], h[2], h[3]], GBPS));
+        let r = net.rate(id).unwrap();
+        let hdd_w = crate::disk::DiskModel::hdd().write_bps;
+        assert!((r - hdd_w).abs() < 1e-3, "rate {r} vs hdd {hdd_w}");
+    }
+
+    #[test]
+    fn inelastic_udp_starves_elastic_flow() {
+        let mut net = star(3);
+        let h = net.hosts();
+        net.start(
+            TransferSpec::network(h[0], h[2], f64::INFINITY).with_inelastic(0.9 * GBPS),
+        );
+        let tcp = net.start(TransferSpec::network(h[1], h[2], GBPS));
+        let r = net.rate(tcp).unwrap();
+        assert!((r - 0.1 * GBPS).abs() < 1e-3, "tcp squeezed to {r}");
+    }
+
+    #[test]
+    fn host_load_reflects_traffic() {
+        let mut net = star(3);
+        let h = net.hosts();
+        net.start(TransferSpec::network(h[0], h[1], GBPS * 100.0));
+        let l0 = net.host_load(h[0]);
+        let l1 = net.host_load(h[1]);
+        let l2 = net.host_load(h[2]);
+        assert!((l0.tx_bps - GBPS).abs() < 1e-3);
+        assert!(l0.rx_bps.abs() < 1e-9);
+        assert!((l1.rx_bps - GBPS).abs() < 1e-3);
+        assert!(l2.tx_bps.abs() < 1e-9 && l2.rx_bps.abs() < 1e-9);
+        assert_eq!(l0.nic_capacity, GBPS);
+    }
+
+    #[test]
+    fn host_load_includes_disk_usage() {
+        let mut net = star(2);
+        let h = net.hosts();
+        net.start(TransferSpec::disk_read(h[0], 1e12));
+        let l = net.host_load(h[0]);
+        assert!(l.disk_read_bps > 0.0);
+        assert_eq!(l.disk_read_capacity, net.topology().host(h[0]).disk.read_bps);
+    }
+
+    #[test]
+    fn cancel_releases_bandwidth() {
+        let mut net = star(3);
+        let h = net.hosts();
+        let bg = net.start(TransferSpec::network(h[0], h[2], f64::INFINITY));
+        let fg = net.start(TransferSpec::network(h[1], h[2], GBPS));
+        assert!((net.rate(fg).unwrap() - 0.5 * GBPS).abs() < 1e-3);
+        assert!(net.cancel(bg));
+        assert!((net.rate(fg).unwrap() - GBPS).abs() < 1e-3);
+        assert!(!net.cancel(bg), "double cancel reports false");
+    }
+
+    #[test]
+    fn capped_transfer_honours_cap() {
+        let mut net = star(2);
+        let h = net.hosts();
+        let id = net.start(TransferSpec::network(h[0], h[1], GBPS).with_cap(GBPS / 4.0));
+        assert!((net.rate(id).unwrap() - GBPS / 4.0).abs() < 1e-3);
+        net.run_until_idle();
+        assert!((net.now().as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advance_to_partial_progress() {
+        let mut net = star(2);
+        let h = net.hosts();
+        let id = net.start(TransferSpec::network(h[0], h[1], GBPS * 10.0));
+        let done = net.advance_to(SimTime::from_secs_f64(3.0));
+        assert!(done.is_empty());
+        let p = net.progress(id).unwrap();
+        assert!((p - 3.0 * GBPS).abs() / GBPS < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_immediately() {
+        let mut net = star(2);
+        let h = net.hosts();
+        net.start(TransferSpec::network(h[0], h[1], 0.0));
+        let completions = net.advance_to(SimTime::from_secs_f64(0.001));
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].finished, completions[0].started);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn advancing_backwards_panics() {
+        let mut net = star(2);
+        net.advance_to(SimTime::from_secs_f64(1.0));
+        net.advance_to(SimTime::from_secs_f64(0.5));
+    }
+
+    #[test]
+    fn many_flows_deterministic() {
+        let run = || {
+            let mut net = star(10);
+            let h = net.hosts();
+            for i in 0..30usize {
+                net.start(TransferSpec::network(
+                    h[i % 10],
+                    h[(i * 3 + 1) % 10],
+                    1e8 + i as f64 * 1e7,
+                ));
+            }
+            net.run_until_idle();
+            net.now()
+        };
+        assert_eq!(run(), run());
+    }
+}

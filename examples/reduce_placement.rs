@@ -1,0 +1,65 @@
+//! Reducer placement under UDP interference (the §5.3 reduce experiment).
+//!
+//! ```text
+//! cargo run --release --example reduce_placement
+//! ```
+
+use cloudtalk_repro::apps::mapreduce::{run_sort_job, MrConfig, SchedPolicy, SortJob};
+use cloudtalk_repro::apps::Cluster;
+use cloudtalk_repro::core::server::ServerConfig;
+use desim::rng::stream_rng;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::traffic::udp_blast;
+use simnet::GBPS;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn run(policy: SchedPolicy, udp_frac: f64) -> (f64, f64) {
+    let n = 16;
+    let topo = Topology::single_switch(n, GBPS, TopoOptions::default());
+    let mut cluster = Cluster::new(topo, ServerConfig::default());
+    let hosts = cluster.net.hosts();
+    // UDP iperf from the last 3 nodes into a fraction of the cluster.
+    let n_targets = ((n as f64) * udp_frac).round() as usize;
+    let mut rng = stream_rng(11, 0);
+    udp_blast(
+        &mut cluster.net,
+        &mut rng,
+        &hosts[n - 3..],
+        &hosts[..n_targets],
+        0.9 * GBPS,
+    );
+    let cfg = MrConfig {
+        policy,
+        seed: 3,
+        ..Default::default()
+    };
+    let job = SortJob {
+        input_per_node: 128.0 * MB,
+        n_reducers: n / 2,
+        split_bytes: 64.0 * MB,
+    };
+    let r = run_sort_job(&mut cluster, &cfg, &job);
+    let shuffle = r.shuffle_secs.iter().sum::<f64>() / r.shuffle_secs.len().max(1) as f64;
+    (r.finish_secs, shuffle)
+}
+
+fn main() {
+    println!("Sort on 16 nodes, UDP interference into a sweep of targets\n");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16} {:>16}",
+        "udp%", "vanilla job", "cloudtalk job", "vanilla shuffle", "ct shuffle"
+    );
+    for frac in [0.1, 0.3, 0.5, 0.7] {
+        let (vj, vs) = run(SchedPolicy::Vanilla, frac);
+        let (cj, cs) = run(SchedPolicy::CloudTalk, frac);
+        println!(
+            "{:>7.0}% {:>15.1}s {:>15.1}s {:>15.1}s {:>15.1}s",
+            frac * 100.0,
+            vj,
+            cj,
+            vs,
+            cs
+        );
+    }
+}

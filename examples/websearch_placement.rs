@@ -1,0 +1,49 @@
+//! Web-search aggregator placement via the packet-level backend (§5.4).
+//!
+//! ```text
+//! cargo run --release --example websearch_placement
+//! ```
+
+use cloudtalk_repro::apps::websearch::{place_aggregators, query_latency, Deployment};
+use pktsim::SimConfig;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::GBPS;
+
+fn main() {
+    // A VL2-style deployment: frontend + 60 leaves + aggregator candidates
+    // spread over racks.
+    let topo = Topology::vl2(8, 9, GBPS, TopoOptions::default());
+    let hosts = topo.host_ids();
+    let frontend = hosts[0];
+    let leaves: Vec<_> = hosts[9..69].to_vec();
+    // One candidate per rack (paper: "10 servers chosen to be in different
+    // racks").
+    let candidates: Vec<_> = (0..8).map(|r| hosts[r * 9 + 1]).collect();
+
+    println!("searching {} two-level placements…", candidates.len() * (candidates.len() - 1));
+    let search = place_aggregators(&topo, SimConfig::default(), frontend, &leaves, &candidates);
+    println!(
+        "single aggregator: {:.2} s per query",
+        search.single_aggregator
+    );
+    println!(
+        "worst two-level:   {:.2} s ({:?})",
+        search.worst.1, search.worst.0
+    );
+    println!(
+        "best two-level:    {:.2} s ({:?})",
+        search.best.1, search.best.0
+    );
+
+    // The provider-side alternative: enable PFC instead of moving servers.
+    let pfc = query_latency(
+        &topo,
+        SimConfig::default().with_pfc(),
+        frontend,
+        &leaves,
+        &Deployment::SingleAggregator {
+            aggregator: candidates[0],
+        },
+    );
+    println!("single aggregator with PFC enabled: {pfc:.3} s");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the CloudTalk reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests can `use cloudtalk_repro::…`. See the individual
+//! crates for the real APIs:
+//!
+//! * [`lang`] — the CloudTalk query language (§4.1).
+//! * [`core`] — the CloudTalk system: status servers, evaluators, sampling.
+//! * [`net`] — the simulated datacenter substrate.
+//! * [`est`] — the flow-level completion-time estimator.
+//! * [`pkt`] — the packet-level simulator (incast).
+//! * [`apps`] — CloudTalk-enabled HDFS, MapReduce, and web search.
+//! * [`probing`] — the §3 cloud-probing toolkit.
+//! * [`sim`] — the discrete-event kernel everything runs on.
+
+#![warn(missing_docs)]
+
+pub use cloudtalk as core;
+pub use cloudtalk_apps as apps;
+pub use cloudtalk_lang as lang;
+pub use desim as sim;
+pub use estimator as est;
+pub use pktsim as pkt;
+pub use probe as probing;
+pub use simnet as net;

@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: language → server → substrate → apps.
+
+use cloudtalk_repro::apps::hdfs::experiment::{
+    mean_secs, populate, run_copy_experiment, CopyExperiment, OpKind,
+};
+use cloudtalk_repro::apps::hdfs::{HdfsConfig, Policy};
+use cloudtalk_repro::apps::mapreduce::{run_sort_job, MrConfig, SchedPolicy, SortJob};
+use cloudtalk_repro::apps::Cluster;
+use cloudtalk_repro::core::server::{CloudTalkServer, ServerConfig};
+use cloudtalk_repro::core::status::NetSimStatusSource;
+use cloudtalk_repro::lang::problem::{Address, Value};
+use desim::rng::stream_rng;
+use simnet::engine::TransferSpec;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::traffic::iperf_mesh;
+use simnet::GBPS;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// The full pipeline of Figure 2: text query, live status from a fluid
+/// network, answer steering away from measured load.
+#[test]
+fn text_query_against_live_network() {
+    let topo = Topology::single_switch(4, GBPS, TopoOptions::default());
+    let mut net = simnet::NetSim::new(topo);
+    let hosts = net.hosts();
+    // Saturate host 1's uplink with a long flow.
+    net.start(TransferSpec::network(hosts[1], hosts[3], f64::INFINITY));
+
+    // Query text uses the topology's real addresses.
+    let a1 = net.topology().host(hosts[1]).addr;
+    let a2 = net.topology().host(hosts[2]).addr;
+    let a0 = net.topology().host(hosts[0]).addr;
+    let text = format!(
+        "A = ({} {})\nf1 A -> {} size 256M",
+        Address(a1),
+        Address(a2),
+        Address(a0)
+    );
+
+    let mut server = CloudTalkServer::new(ServerConfig::default());
+    let now = net.now();
+    let mut source = NetSimStatusSource::new(&mut net);
+    let answer = server.answer_text(&text, &mut source, now).expect("answers");
+    assert_eq!(answer.binding, vec![Value::Addr(Address(a2))]);
+}
+
+/// CloudTalk-placed HDFS writes beat random placement under contention,
+/// end to end (the Figure 6 effect, minimally sized).
+#[test]
+fn hdfs_cloudtalk_beats_vanilla_under_contention() {
+    let run = |policy: Policy| {
+        let topo = Topology::single_switch(14, GBPS, TopoOptions::default());
+        let mut cluster = Cluster::new(topo, ServerConfig::default());
+        let hosts = cluster.net.hosts();
+        let cfg = HdfsConfig::default();
+        let mut fs = populate(&mut cluster, &cfg, &hosts, 256.0 * MB, 21);
+        // Background load on half the cluster.
+        let mut rng = stream_rng(21, 9);
+        iperf_mesh(&mut cluster.net, &mut rng, 0.5, &[]);
+        let exp = CopyExperiment {
+            active: hosts[..6].to_vec(),
+            ops_per_server: 2,
+            think_max: 1.0,
+            file_bytes: 256.0 * MB,
+            kind: OpKind::Write,
+            policy,
+            seed: 22,
+        };
+        let records = run_copy_experiment(&mut cluster, &mut fs, &exp);
+        assert_eq!(records.len(), 12);
+        mean_secs(&records)
+    };
+    let vanilla = run(Policy::Vanilla);
+    let cloudtalk = run(Policy::CloudTalk);
+    assert!(
+        cloudtalk < vanilla,
+        "CloudTalk writes ({cloudtalk:.2}s) must beat vanilla ({vanilla:.2}s)"
+    );
+}
+
+/// A whole MapReduce job runs over the shared substrate with CloudTalk
+/// scheduling and produces sane metrics.
+#[test]
+fn mapreduce_end_to_end_with_cloudtalk() {
+    let topo = Topology::single_switch(6, GBPS, TopoOptions::default());
+    let mut cluster = Cluster::new(topo, ServerConfig::default());
+    let cfg = MrConfig {
+        policy: SchedPolicy::CloudTalk,
+        replicate_output: true,
+        ..Default::default()
+    };
+    let job = SortJob {
+        input_per_node: 64.0 * MB,
+        n_reducers: 3,
+        split_bytes: 64.0 * MB,
+    };
+    let r = run_sort_job(&mut cluster, &cfg, &job);
+    assert!(r.finish_secs > 0.0);
+    assert!(r.sync_secs >= r.finish_secs);
+    assert_eq!(r.shuffle_secs.len(), 3);
+    // The CloudTalk server actually answered queries along the way.
+    assert!(cluster.server.queries_answered() > 0);
+    assert!(cluster.server.ledger().status_bytes() > 0);
+}
+
+/// Sampling keeps the interrogation budget bounded at 300-node scale and
+/// still avoids loaded servers most of the time.
+#[test]
+fn sampling_bounds_interrogation_at_scale() {
+    let topo = Topology::ec2(301, 500.0 * simnet::MBPS, 20, TopoOptions::default());
+    let mut cluster = Cluster::new(
+        topo,
+        ServerConfig {
+            sample_budget: 19,
+            ..Default::default()
+        },
+    );
+    let hosts = cluster.net.hosts();
+    let pool: Vec<Address> = hosts[1..].iter().map(|&h| cluster.addr(h)).collect();
+    let q = cloudtalk_repro::lang::builder::hdfs_write_query(
+        cluster.addr(hosts[0]),
+        &pool,
+        3,
+        256.0 * MB,
+    );
+    let problem = q.resolve().expect("well-formed");
+    let answer = cluster.ask(&problem).expect("answers");
+    assert!(answer.sampled);
+    assert!(answer.interrogated <= 20);
+    assert_eq!(answer.binding.len(), 3);
+}
+
+/// Determinism across the whole stack: same seed, same story.
+#[test]
+fn whole_stack_determinism() {
+    let run = || {
+        let topo = Topology::single_switch(8, GBPS, TopoOptions::default());
+        let mut cluster = Cluster::new(topo, ServerConfig { seed: 5, ..Default::default() });
+        let hosts = cluster.net.hosts();
+        let cfg = HdfsConfig::default();
+        let mut fs = populate(&mut cluster, &cfg, &hosts, 256.0 * MB, 5);
+        let exp = CopyExperiment {
+            active: hosts[..4].to_vec(),
+            ops_per_server: 2,
+            think_max: 1.0,
+            file_bytes: 256.0 * MB,
+            kind: OpKind::Read,
+            policy: Policy::CloudTalk,
+            seed: 5,
+        };
+        run_copy_experiment(&mut cluster, &mut fs, &exp)
+            .iter()
+            .map(|r| (r.start.as_nanos(), r.finish.as_nanos()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
