@@ -1,0 +1,803 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses. The build environment has no route to crates.io, so
+//! the real crate cannot be fetched; the test sources compile unchanged
+//! against this drop-in.
+//!
+//! Semantics: each `proptest!` test samples `config.cases` random inputs
+//! from its strategies using a deterministic per-test RNG (seeded from
+//! the test's module path and name, overridable via `PROPTEST_SEED`) and
+//! runs the body on each. Failures report the case number and the
+//! `Debug` rendering of the inputs. There is **no shrinking** — a failing
+//! case prints as-is — which is the main fidelity loss versus the real
+//! crate, accepted for an offline build.
+
+use std::fmt;
+use std::rc::Rc;
+
+pub mod strategy {
+    //! Core [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::fmt;
+    use std::rc::Rc;
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type; `Debug` so failing inputs can be reported.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f`.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: at each of `depth` levels, either
+        /// stay at the current level or wrap it via `recurse`. The
+        /// `desired_size`/`expected_branch_size` hints of the real crate
+        /// are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.boxed();
+            for _ in 0..depth {
+                let deeper = recurse(current.clone()).boxed();
+                current = Union::new(vec![current, deeper]).boxed();
+            }
+            current
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies of one value type.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Builds a union; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// `&str` regex-ish patterns generate strings. Only the size bound of
+    /// the pattern is honoured (`{m,n}` suffix, default `{0,16}`); the
+    /// character class is approximated by a printable palette that
+    /// includes multi-byte code points, which is what the lexer/parser
+    /// robustness tests actually need.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            const PALETTE: &[char] = &[
+                'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '.', ',',
+                ';', ':', '(', ')', '[', ']', '{', '}', '<', '>', '-', '+',
+                '*', '/', '=', '_', '"', '\'', '\\', '|', '!', '?', '#', '$',
+                '%', '&', '@', '^', '~', '`', 'é', 'Ω', '→', '中', '🦀',
+            ];
+            let (lo, hi) = parse_size_suffix(self).unwrap_or((0, 16));
+            let len = rng.between(lo, hi);
+            (0..len)
+                .map(|_| PALETTE[rng.below(PALETTE.len())])
+                .collect()
+        }
+    }
+
+    fn parse_size_suffix(pattern: &str) -> Option<(usize, usize)> {
+        let open = pattern.rfind('{')?;
+        let close = pattern.rfind('}')?;
+        if close != pattern.len() - 1 || close <= open {
+            return None;
+        }
+        let body = &pattern[open + 1..close];
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG, per-test configuration, and failure types.
+
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic RNG driving all strategies of one test.
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// RNG for the named test; seed comes from `PROPTEST_SEED` when
+        /// set, otherwise from a hash of the test name (stable runs).
+        pub fn for_test(name: &str) -> Self {
+            let seed = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+                Err(_) => fnv1a(name.as_bytes()),
+            };
+            TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+        }
+
+        /// Uniform index in `0..n`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            (self.0.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform value in `lo..=hi`.
+        pub fn between(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo <= hi);
+            lo + self.below(hi - lo + 1)
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Per-test-run configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config { cases }
+        }
+    }
+
+    impl Config {
+        /// Default config with the case count replaced.
+        pub fn with_cases(cases: u32) -> Self {
+            let mut c = Config::default();
+            if std::env::var("PROPTEST_CASES").is_err() {
+                c.cases = cases;
+            }
+            c
+        }
+    }
+
+    /// Why a single test case failed.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed with this message.
+        Fail(String),
+        /// The input was rejected (not a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Result of one test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.between(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy yielding `None` some of the time, else `Some(inner)`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` in `Option`, `None` with probability 1/4.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt;
+
+    /// Strategy yielding uniformly-chosen clones of the given items.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice among `items`; panics if empty.
+    pub fn select<T: Clone + fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+// Re-exports so `proptest::...` paths used by tests resolve.
+pub use strategy::{BoxedStrategy, Strategy};
+
+/// Needed so `Rc` shows up as used at crate level in docs; also handy for
+/// downstream code that names the boxed type directly.
+#[doc(hidden)]
+pub type __RcStrategy<T> = Rc<dyn Strategy<Value = T>>;
+
+#[doc(hidden)]
+pub fn __debug_tuple(v: &dyn fmt::Debug) -> String {
+    format!("{v:?}")
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                    l,
+                    r,
+                    ::std::format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                    l,
+                    r,
+                    ::std::format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategy arms (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines a function returning a composed strategy. Supports the
+/// one-stage and two-stage (`fn f()(a in s1)(b in s2(a)) -> T`) forms.
+#[macro_export]
+macro_rules! prop_compose {
+    // Two-stage: second group's strategies may use first group's values.
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:tt)*)
+        ($($arg1:ident in $strat1:expr),+ $(,)?)
+        ($($arg2:ident in $strat2:expr),+ $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        #[allow(unused_variables)]
+        $vis fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            let __stage1 = ($($strat1,)+);
+            $crate::strategy::Strategy::prop_flat_map(__stage1, move |($($arg1,)+)| {
+                let __stage2 = ($($strat2,)+);
+                $crate::strategy::Strategy::prop_map(__stage2, move |($($arg2,)+)| $body)
+            })
+        }
+    };
+    // One-stage.
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:tt)*)
+        ($($arg1:ident in $strat1:expr),+ $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        #[allow(unused_variables)]
+        $vis fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            let __stage1 = ($($strat1,)+);
+            $crate::strategy::Strategy::prop_map(__stage1, move |($($arg1,)+)| $body)
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            // Hoist the strategies once; the per-case bindings below
+            // shadow these names with sampled values.
+            $(let $arg = $strat;)+
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut __rng);)+
+                let __repr = ::std::format!("{:#?}", ($(&$arg,)+));
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> $crate::test_runner::TestCaseResult {
+                            $body
+                            ::core::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::core::result::Result::Err(payload) => {
+                        ::std::eprintln!(
+                            "proptest case #{} of {} panicked; inputs:\n{}",
+                            __case, stringify!($name), __repr,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                    ::core::result::Result::Ok(::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    )) => {}
+                    ::core::result::Result::Ok(::core::result::Result::Err(e)) => {
+                        ::std::panic!(
+                            "proptest case #{} of {} failed: {}\ninputs:\n{}",
+                            __case, stringify!($name), e, __repr,
+                        );
+                    }
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_sample_in_bounds() {
+        let mut rng = TestRng::for_test("self::sample");
+        let s = crate::collection::vec((0usize..5, 1.0f64..2.0), 2..7);
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((2..7).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 5);
+                assert!((1.0..2.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_select_cover_all_arms() {
+        let mut rng = TestRng::for_test("self::oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(Strategy::sample(&s, &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+        let sel = crate::sample::select(vec!["a", "b"]);
+        for _ in 0..20 {
+            let v = Strategy::sample(&sel, &mut rng);
+            assert!(v == "a" || v == "b");
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_size_suffix() {
+        let mut rng = TestRng::for_test("self::strpat");
+        let s: &'static str = "\\PC{0,200}";
+        for _ in 0..50 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v.chars().count() <= 200);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(n in 1usize..4)(
+            items in crate::collection::vec(0usize..10, n..=n),
+            n in Just(n),
+        ) -> (usize, Vec<usize>) {
+            (n, items)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn compose_two_stage_sizes_agree(pair in arb_pair()) {
+            let (n, items) = pair;
+            prop_assert_eq!(items.len(), n);
+        }
+
+        #[test]
+        fn recursive_depth_is_bounded(
+            x in Just(0u8).prop_recursive(3, 16, 2, |inner| {
+                inner.prop_map(|d| d.saturating_add(1))
+            })
+        ) {
+            prop_assert!(x <= 3, "depth {x} exceeds ladder");
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+}

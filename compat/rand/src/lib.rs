@@ -1,0 +1,301 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses (`Rng::{gen, gen_range, gen_bool}`, `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, `seq::SliceRandom::{choose, shuffle}`).
+//!
+//! The build environment has no access to a crates.io mirror, so the real
+//! crate cannot be fetched; this drop-in keeps the workspace self-contained.
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! for a given seed, which is all the reproduction needs (every figure is
+//! regenerated from pinned seeds). Streams are NOT byte-compatible with the
+//! real `rand::rngs::StdRng`; they are stable across runs of this repo,
+//! which is the property the experiments rely on.
+
+#![warn(missing_docs)]
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of `T` from its full "standard" distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits to a uniform f64 in `[0, 1)` (53-bit precision).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (s as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (s, e) = (*self.start(), *self.end());
+        assert!(s <= e, "cannot sample empty range");
+        // 53-bit grid over [0, 1].
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        s + (e - s) * unit
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic RNG: xoshiro256++.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Random selection and shuffling over slices.
+pub mod seq {
+    use super::RngCore;
+
+    /// `rand`-style slice extensions.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = r.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&y));
+            let z: u32 = r.gen_range(0..=0);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_hits_all() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..20).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(*orig.choose(&mut r).unwrap());
+        }
+        assert_eq!(seen.len(), orig.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Criterion benches for the branch-and-bound exhaustive search: the
+//! seed-style allocating sequential scan versus the scratch-based search,
+//! with and without pruning, single- and multi-threaded, on the paper's
+//! 20-server × 3-variable HDFS write query (20·19·18 = 6840 bindings).
+//!
+//! Two load regimes are measured. `mixed` spreads mild loads across every
+//! machine, so almost every binding has a similar makespan and the bound
+//! rarely beats the incumbent. `lopsided` models the paper's motivating
+//! scenario — a mostly idle cluster with a handful of hot machines — where
+//! the incumbent forms early and whole hot-receiver subtrees are discarded
+//! without touching the estimator.
+//!
+//! Before/after numbers are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudtalk::exhaustive::{exhaustive_search_with, SearchOptions};
+use cloudtalk_lang::builder::hdfs_write_query;
+use cloudtalk_lang::problem::{Address, Binding, Problem};
+use estimator::{estimate, HostState, World};
+
+/// The seed implementation this PR replaced: plain recursion, one fresh
+/// estimator allocation per leaf, no bound, no threads. Kept here verbatim
+/// so the speedup is measured against the real "before", not a proxy.
+fn seed_search(problem: &Problem, world: &World) -> (f64, Binding, u64) {
+    fn rec(
+        problem: &Problem,
+        world: &World,
+        current: &mut Binding,
+        best: &mut Option<(f64, Binding)>,
+        evaluated: &mut u64,
+    ) {
+        let idx = current.len();
+        if idx == problem.vars.len() {
+            if !current.is_empty() {
+                *evaluated += 1;
+                if let Ok(e) = estimate(problem, current, world) {
+                    if best.as_ref().is_none_or(|(b, _)| e.makespan < *b) {
+                        *best = Some((e.makespan, current.clone()));
+                    }
+                }
+            }
+            return;
+        }
+        let var = &problem.vars[idx];
+        for &value in &var.candidates {
+            if problem.distinct {
+                let clash = current
+                    .iter()
+                    .enumerate()
+                    .any(|(j, v)| problem.vars[j].pool == var.pool && *v == value);
+                if clash {
+                    continue;
+                }
+            }
+            current.push(value);
+            rec(problem, world, current, best, evaluated);
+            current.pop();
+        }
+    }
+    let mut current = Vec::with_capacity(problem.vars.len());
+    let mut best = None;
+    let mut evaluated = 0;
+    rec(problem, world, &mut current, &mut best, &mut evaluated);
+    let (makespan, binding) = best.expect("feasible");
+    (makespan, binding, evaluated)
+}
+
+/// Mild loads everywhere: the pruning-neutral regime.
+fn mixed_world(addrs: &[Address]) -> World {
+    let mut world = World::uniform(addrs, HostState::gbps_idle());
+    for (i, &a) in addrs.iter().enumerate() {
+        world.set(
+            a,
+            HostState::gbps_idle()
+                .with_up_load(0.08 * (i % 11) as f64)
+                .with_down_load(0.06 * (i % 13) as f64),
+        );
+    }
+    world
+}
+
+/// Mostly idle cluster with a handful of hot machines: the regime the
+/// paper optimises for, and the one where the bound discards subtrees.
+fn lopsided_world(addrs: &[Address]) -> World {
+    let mut world = World::uniform(addrs, HostState::gbps_idle());
+    for (i, &a) in addrs.iter().enumerate() {
+        let load = if i % 4 != 0 { 0.9 } else { 0.05 };
+        world.set(
+            a,
+            HostState::gbps_idle()
+                .with_up_load(load)
+                .with_down_load(load),
+        );
+    }
+    world
+}
+
+fn bench_world(c: &mut Criterion, name: &str, problem: &Problem, world: &World) {
+    // Sanity: every configuration must agree with the seed scan before
+    // any of them is worth timing.
+    let (seed_makespan, seed_binding, seed_evaluated) = seed_search(problem, world);
+    for threads in [1usize, 2, 4] {
+        for prune in [false, true] {
+            let r = exhaustive_search_with(
+                problem,
+                world,
+                &SearchOptions::new(1_000_000).threads(threads).prune(prune),
+            )
+            .expect("feasible");
+            assert_eq!(r.binding, seed_binding, "threads={threads} prune={prune}");
+            assert_eq!(r.makespan.to_bits(), seed_makespan.to_bits());
+            if !prune {
+                assert_eq!(r.evaluated, seed_evaluated);
+            }
+        }
+    }
+
+    let mut g = c.benchmark_group(name);
+    g.bench_function("seed_sequential_allocating", |b| {
+        b.iter(|| seed_search(black_box(problem), black_box(world)))
+    });
+    g.bench_function("scratch_sequential", |b| {
+        let opts = SearchOptions::new(1_000_000).threads(1).prune(false);
+        b.iter(|| exhaustive_search_with(black_box(problem), black_box(world), &opts).unwrap())
+    });
+    g.bench_function("scratch_pruned", |b| {
+        let opts = SearchOptions::new(1_000_000).threads(1).prune(true);
+        b.iter(|| exhaustive_search_with(black_box(problem), black_box(world), &opts).unwrap())
+    });
+    g.bench_function("scratch_pruned_2_threads", |b| {
+        let opts = SearchOptions::new(1_000_000).threads(2).prune(true);
+        b.iter(|| exhaustive_search_with(black_box(problem), black_box(world), &opts).unwrap())
+    });
+    g.bench_function("scratch_pruned_4_threads", |b| {
+        let opts = SearchOptions::new(1_000_000).threads(4).prune(true);
+        b.iter(|| exhaustive_search_with(black_box(problem), black_box(world), &opts).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let nodes: Vec<Address> = (2..=21).map(Address).collect();
+    let problem = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0)
+        .resolve()
+        .expect("well-formed");
+    let addrs = problem.mentioned_addresses();
+
+    bench_world(c, "exhaustive_20x3_mixed", &problem, &mixed_world(&addrs));
+    bench_world(
+        c,
+        "exhaustive_20x3_lopsided",
+        &problem,
+        &lopsided_world(&addrs),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exhaustive
+}
+criterion_main!(benches);

@@ -1,10 +1,35 @@
-//! Brute-force query evaluation: try every binding, score with the
-//! flow-level estimator, keep the best (paper §5.1's accuracy baseline —
-//! "we contrast the results of our algorithm against an exhaustive
-//! evaluation of all possible solutions").
+//! Exhaustive query evaluation (paper §5.1's accuracy baseline — "we
+//! contrast the results of our algorithm against an exhaustive evaluation
+//! of all possible solutions"), implemented as a parallel branch-and-bound
+//! search:
+//!
+//! * **Branch** — the first variable's candidates are split into
+//!   contiguous chunks, one per worker thread ([`SearchOptions::threads`]).
+//! * **Bound** — every flow whose endpoints are already fixed by the
+//!   partial binding cannot finish before
+//!   `start + bytes / min(rate cap, residual capacity of its resources)`;
+//!   the maximum over those flows is an *admissible* lower bound on the
+//!   subtree's makespan (extra flows and sharing only slow things down).
+//!   Subtrees whose bound strictly exceeds the incumbent best are pruned.
+//! * The incumbent makespan is shared across workers through an
+//!   [`AtomicU64`] holding the `f64` bit pattern — for non-negative IEEE
+//!   floats the bit order equals the numeric order, so `fetch_min` on the
+//!   bits is `min` on the values.
+//!
+//! Determinism: pruning uses a strict `>` against the incumbent and the
+//! final cross-worker reduction uses a strict `<` scanning workers in
+//! first-variable order, so the winning binding (and its makespan, bit for
+//! bit) is always the one the plain sequential scan would have returned
+//! first. Only `evaluated` can differ — with `prune` on and more than one
+//! thread it depends on how fast the incumbent propagates between workers.
+//! The [`exhaustive_search`] convenience wrapper runs single-threaded with
+//! pruning, which is fully deterministic.
 
-use cloudtalk_lang::problem::{Binding, Problem};
-use estimator::{estimate, World};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cloudtalk_lang::ast::{AttrKind, RefAttr};
+use cloudtalk_lang::problem::{Binding, BoundEndpoint, Endpoint, ExprR, Problem};
+use estimator::{estimate, estimate_with, resolve_static_sizes, EstimatorScratch, World};
 
 /// Outcome of an exhaustive search.
 #[derive(Clone, Debug, PartialEq)]
@@ -13,7 +38,7 @@ pub struct ExhaustiveResult {
     pub binding: Binding,
     /// Its estimated makespan, seconds.
     pub makespan: f64,
-    /// Bindings evaluated.
+    /// Bindings evaluated (i.e. estimator calls; pruned leaves excluded).
     pub evaluated: u64,
 }
 
@@ -44,32 +69,155 @@ impl std::fmt::Display for ExhaustiveError {
 
 impl std::error::Error for ExhaustiveError {}
 
+/// Knobs for [`exhaustive_search_with`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchOptions {
+    /// Refuse searches whose binding space exceeds this many bindings.
+    pub limit: u64,
+    /// Worker threads; `0` and `1` both mean single-threaded.
+    pub threads: usize,
+    /// Whether to prune subtrees via the admissible lower bound.
+    pub prune: bool,
+}
+
+impl SearchOptions {
+    /// Single-threaded, pruned search bounded by `limit` bindings.
+    pub fn new(limit: u64) -> Self {
+        SearchOptions {
+            limit,
+            threads: 1,
+            prune: true,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Enables or disables lower-bound pruning.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.prune = on;
+        self
+    }
+}
+
 /// Exhaustively searches all bindings (respecting same-pool distinctness),
 /// minimising estimated makespan. `limit` bounds the number of bindings
 /// tried — the brute force is intractable for real queries, which is the
 /// paper's point.
+///
+/// Runs single-threaded with pruning: deterministic and bit-identical to
+/// the plain sequential scan (see the module docs). Use
+/// [`exhaustive_search_with`] to control threading and pruning.
 pub fn exhaustive_search(
     problem: &Problem,
     world: &World,
     limit: u64,
 ) -> Result<ExhaustiveResult, ExhaustiveError> {
-    // Upper-bound the space before committing.
+    exhaustive_search_with(problem, world, &SearchOptions::new(limit))
+}
+
+/// [`exhaustive_search`] with explicit [`SearchOptions`].
+pub fn exhaustive_search_with(
+    problem: &Problem,
+    world: &World,
+    opts: &SearchOptions,
+) -> Result<ExhaustiveResult, ExhaustiveError> {
+    // Upper-bound the space before committing — this runs before any
+    // estimator (or even bound-table) work, so a `TooLarge` query is
+    // rejected in O(|vars|) no matter how pathological its flows are.
     let mut space: u128 = 1;
     for var in &problem.vars {
         space = space.saturating_mul(var.candidates.len() as u128);
-        if space > limit as u128 {
+        if space > opts.limit as u128 {
             return Err(ExhaustiveError::TooLarge {
                 space,
-                limit,
+                limit: opts.limit,
             });
         }
     }
 
-    let n = problem.vars.len();
-    let mut current: Binding = Vec::with_capacity(n);
+    let n_vars = problem.vars.len();
+    if n_vars == 0 {
+        // No variables: a single empty binding.
+        let e = estimate(problem, &Vec::new(), world)
+            .map_err(|_| ExhaustiveError::NoFeasibleBinding)?;
+        return Ok(ExhaustiveResult {
+            binding: Vec::new(),
+            makespan: e.makespan,
+            evaluated: 1,
+        });
+    }
+
+    let bounds = if opts.prune {
+        Bounder::build(problem)
+    } else {
+        None
+    };
+    let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
+    let ctx = Ctx {
+        problem,
+        world,
+        bounds: bounds.as_ref(),
+        incumbent: &incumbent,
+    };
+
+    let first = &problem.vars[0].candidates;
+    let threads = opts.threads.max(1).min(first.len().max(1));
+    let locals: Vec<Local> = if threads <= 1 {
+        let mut local = Local::default();
+        let mut scratch = EstimatorScratch::new();
+        let mut current: Binding = Vec::with_capacity(n_vars);
+        search_rec(ctx, &mut scratch, &mut current, 0.0, &mut local);
+        vec![local]
+    } else {
+        std::thread::scope(|s| {
+            // Contiguous chunks keep the first-variable order intact, so
+            // scanning workers in spawn order below reproduces the
+            // sequential first-found tie-break.
+            let chunk = first.len() / threads;
+            let extra = first.len() % threads;
+            let mut lo = 0usize;
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let hi = lo + chunk + usize::from(w < extra);
+                let mine = &first[lo..hi];
+                lo = hi;
+                handles.push(s.spawn(move || {
+                    let mut local = Local::default();
+                    let mut scratch = EstimatorScratch::new();
+                    let mut current: Binding = Vec::with_capacity(n_vars);
+                    let base_lb = match ctx.bounds {
+                        Some(b) => b.bound_at_depth(0, &current, ctx.world, 0.0),
+                        None => 0.0,
+                    };
+                    for &value in mine {
+                        current.push(value);
+                        search_rec(ctx, &mut scratch, &mut current, base_lb, &mut local);
+                        current.pop();
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+    };
+
     let mut best: Option<(f64, Binding)> = None;
     let mut evaluated = 0u64;
-    search(problem, world, &mut current, &mut best, &mut evaluated);
+    for local in locals {
+        evaluated += local.evaluated;
+        if let Some((m, b)) = local.best {
+            if best.as_ref().is_none_or(|(bm, _)| m < *bm) {
+                best = Some((m, b));
+            }
+        }
+    }
 
     match best {
         Some((makespan, binding)) => Ok(ExhaustiveResult {
@@ -77,53 +225,210 @@ pub fn exhaustive_search(
             makespan,
             evaluated,
         }),
-        None if n == 0 => {
-            // No variables: a single empty binding.
-            let e = estimate(problem, &Vec::new(), world)
-                .map_err(|_| ExhaustiveError::NoFeasibleBinding)?;
-            Ok(ExhaustiveResult {
-                binding: Vec::new(),
-                makespan: e.makespan,
-                evaluated: 1,
-            })
-        }
         None => Err(ExhaustiveError::NoFeasibleBinding),
     }
 }
 
-fn search(
-    problem: &Problem,
-    world: &World,
+/// Per-worker accumulation.
+#[derive(Default)]
+struct Local {
+    best: Option<(f64, Binding)>,
+    evaluated: u64,
+}
+
+/// Read-only search context shared by all workers.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    problem: &'a Problem,
+    world: &'a World,
+    bounds: Option<&'a Bounder>,
+    incumbent: &'a AtomicU64,
+}
+
+fn search_rec(
+    ctx: Ctx<'_>,
+    scratch: &mut EstimatorScratch,
     current: &mut Binding,
-    best: &mut Option<(f64, Binding)>,
-    evaluated: &mut u64,
+    lb: f64,
+    local: &mut Local,
 ) {
-    let idx = current.len();
-    if idx == problem.vars.len() {
-        if !current.is_empty() {
-            *evaluated += 1;
-            if let Ok(e) = estimate(problem, current, world) {
-                if best.as_ref().is_none_or(|(b, _)| e.makespan < *b) {
-                    *best = Some((e.makespan, current.clone()));
-                }
+    let depth = current.len();
+    let mut lb = lb;
+    if let Some(b) = ctx.bounds {
+        lb = b.bound_at_depth(depth, current, ctx.world, lb);
+        // Strict `>`: a subtree whose bound merely *equals* the incumbent
+        // is still explored, preserving the sequential `evaluated` counts
+        // on worlds full of ties and the first-found winner on exact ties.
+        if lb > f64::from_bits(ctx.incumbent.load(Ordering::Relaxed)) {
+            return;
+        }
+    }
+    if depth == ctx.problem.vars.len() {
+        local.evaluated += 1;
+        if let Ok(e) = estimate_with(scratch, ctx.problem, current, ctx.world) {
+            if local.best.as_ref().is_none_or(|(b, _)| e.makespan < *b) {
+                local.best = Some((e.makespan, current.clone()));
+                ctx.incumbent
+                    .fetch_min(e.makespan.to_bits(), Ordering::Relaxed);
             }
         }
         return;
     }
-    let var = &problem.vars[idx];
+    let var = &ctx.problem.vars[depth];
     for &value in &var.candidates {
-        if problem.distinct {
+        if ctx.problem.distinct {
             let clash = current
                 .iter()
                 .enumerate()
-                .any(|(j, v)| problem.vars[j].pool == var.pool && *v == value);
+                .any(|(j, v)| ctx.problem.vars[j].pool == var.pool && *v == value);
             if clash {
                 continue;
             }
         }
         current.push(value);
-        search(problem, world, current, best, evaluated);
+        search_rec(ctx, scratch, current, lb, local);
         current.pop();
+    }
+}
+
+/// Mirror of the estimator's completion tolerances (relative `EPS` plus an
+/// absolute byte slack) — the bound must never exceed what the estimator
+/// can actually report, so it under-counts the bytes by the same slack.
+const EST_EPS: f64 = 1e-6;
+const EST_SLACK: f64 = 1e-3;
+
+/// One flow's binding-independent bound ingredients.
+struct FlowLb {
+    src: Endpoint,
+    dst: Endpoint,
+    /// `start` attribute (0 when absent).
+    start: f64,
+    /// Bytes the estimator must move before declaring the flow done.
+    bytes: f64,
+    /// Constant `rate` cap (`INFINITY` when uncapped or rate-coupled).
+    cap: f64,
+}
+
+/// Admissible lower-bound machinery. `by_depth[d]` lists the flows whose
+/// endpoints become fully determined once the first `d` variables are
+/// bound, so each search node only scores its newly-fixed flows.
+struct Bounder {
+    flows: Vec<FlowLb>,
+    by_depth: Vec<Vec<usize>>,
+}
+
+impl Bounder {
+    /// Builds the bound tables, or `None` when some attribute cannot be
+    /// resolved statically — the estimator would reject every binding of
+    /// such a problem anyway, so the search just runs unpruned.
+    fn build(problem: &Problem) -> Option<Bounder> {
+        let sizes = resolve_static_sizes(problem).ok()?;
+        let mut flows = Vec::with_capacity(problem.flows.len());
+        let mut by_depth = vec![Vec::new(); problem.vars.len() + 1];
+        for (i, flow) in problem.flows.iter().enumerate() {
+            let start = match flow.attr(AttrKind::Start) {
+                None => 0.0,
+                Some(e) => e.as_const()?.max(0.0),
+            };
+            // Constant `transfer` offsets are initial progress; `t(f)`
+            // references are pure precedence (zero initial progress).
+            let initial = match flow.attr(AttrKind::Transfer) {
+                None => 0.0,
+                Some(e) => match e.as_const() {
+                    Some(v) => v.max(0.0),
+                    None => {
+                        let mut only_t = true;
+                        e.for_each_ref(&mut |attr, _| {
+                            if attr != RefAttr::Transferred {
+                                only_t = false;
+                            }
+                        });
+                        if !only_t {
+                            return None;
+                        }
+                        0.0
+                    }
+                },
+            };
+            let cap = match flow.attr(AttrKind::Rate) {
+                None => f64::INFINITY,
+                Some(e) => match e.as_const() {
+                    Some(v) => v.max(0.0),
+                    None => match e {
+                        ExprR::Ref(RefAttr::Rate, _) => f64::INFINITY,
+                        _ => return None,
+                    },
+                },
+            };
+            let remaining = (sizes[i] - initial).max(0.0);
+            let bytes = if remaining <= EST_EPS {
+                0.0
+            } else {
+                (remaining - sizes[i] * EST_EPS - EST_SLACK).max(0.0)
+            };
+            let depth = [flow.src, flow.dst]
+                .iter()
+                .filter_map(|e| e.as_var())
+                .map(|v| v.0 + 1)
+                .max()
+                .unwrap_or(0);
+            by_depth[depth].push(i);
+            flows.push(FlowLb {
+                src: flow.src,
+                dst: flow.dst,
+                start,
+                bytes,
+                cap,
+            });
+        }
+        Some(Bounder { flows, by_depth })
+    }
+
+    /// Folds the flows newly determined at `depth` into `lb`.
+    fn bound_at_depth(&self, depth: usize, prefix: &Binding, world: &World, lb: f64) -> f64 {
+        self.by_depth[depth]
+            .iter()
+            .fold(lb, |acc, &i| acc.max(self.flow_bound(i, prefix, world)))
+    }
+
+    /// Best-case finish time of flow `i` under `prefix`: its rate can
+    /// never exceed the residual capacity of any resource it touches (the
+    /// same resources `estimate` charges it to), nor its constant cap.
+    fn flow_bound(&self, i: usize, prefix: &Binding, world: &World) -> f64 {
+        let f = &self.flows[i];
+        let mut rate = f.cap;
+        match (f.src.bound(prefix), f.dst.bound(prefix)) {
+            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) => {
+                if a != b {
+                    rate = rate
+                        .min(world.get(a).up_free())
+                        .min(world.get(b).down_free());
+                }
+            }
+            (BoundEndpoint::Host(a), BoundEndpoint::Disk) => {
+                let s = world.get(a);
+                rate = rate.min((s.disk_write_capacity - s.disk_write_used).max(0.0));
+            }
+            (BoundEndpoint::Disk, BoundEndpoint::Host(b)) => {
+                let s = world.get(b);
+                rate = rate.min((s.disk_read_capacity - s.disk_read_used).max(0.0));
+            }
+            (BoundEndpoint::Unknown, BoundEndpoint::Host(b)) => {
+                rate = rate.min(world.get(b).down_free());
+            }
+            (BoundEndpoint::Host(a), BoundEndpoint::Unknown) => {
+                rate = rate.min(world.get(a).up_free());
+            }
+            // Loopback, disk↔unknown etc. touch no shared resource.
+            _ => {}
+        }
+        if f.bytes <= 0.0 {
+            f.start
+        } else if rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            f.start + f.bytes / rate
+        }
     }
 }
 
@@ -212,5 +517,135 @@ mod tests {
         let p = Problem::default();
         let r = exhaustive_search(&p, &World::new(), 10).unwrap();
         assert!(r.binding.is_empty());
+        assert_eq!(r.evaluated, 1);
+    }
+
+    #[test]
+    fn empty_problem_same_under_all_options() {
+        let p = Problem::default();
+        let base = exhaustive_search(&p, &World::new(), 10).unwrap();
+        for threads in [1usize, 2, 8] {
+            for prune in [false, true] {
+                let opts = SearchOptions::new(10).threads(threads).prune(prune);
+                let r = exhaustive_search_with(&p, &World::new(), &opts).unwrap();
+                assert_eq!(r, base);
+            }
+        }
+    }
+
+    #[test]
+    fn single_candidate_is_forced() {
+        let p = hdfs_read_query(Address(1), &[Address(2)], 64.0 * MB)
+            .resolve()
+            .unwrap();
+        for threads in [1usize, 8] {
+            let opts = SearchOptions::new(1000).threads(threads);
+            let r = exhaustive_search_with(&p, &world(&[]), &opts).unwrap();
+            assert_eq!(r.binding, vec![Value::Addr(Address(2))]);
+            assert_eq!(r.evaluated, 1);
+        }
+    }
+
+    #[test]
+    fn too_large_fires_before_any_estimator_work() {
+        // Every host unknown → the estimator would stall on every single
+        // binding. The space check must still win: the answer is TooLarge,
+        // not NoFeasibleBinding, and it arrives without estimating.
+        let nodes: Vec<Address> = (2..34).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 64.0 * MB)
+            .resolve()
+            .unwrap();
+        for threads in [1usize, 8] {
+            for prune in [false, true] {
+                let opts = SearchOptions::new(1000).threads(threads).prune(prune);
+                let err = exhaustive_search_with(&p, &World::new(), &opts).unwrap_err();
+                // The guard bails at the first partial product over the
+                // limit (32·32 = 1024), before looking at any flow.
+                assert!(matches!(
+                    err,
+                    ExhaustiveError::TooLarge {
+                        space: 1024,
+                        limit: 1000
+                    }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_problem_reports_no_feasible_binding() {
+        let p = hdfs_read_query(Address(1), &[Address(2), Address(3)], 64.0 * MB)
+            .resolve()
+            .unwrap();
+        // Unknown world: all hosts assumed fully loaded, every flow stalls.
+        for threads in [1usize, 2] {
+            for prune in [false, true] {
+                let opts = SearchOptions::new(1000).threads(threads).prune(prune);
+                let err = exhaustive_search_with(&p, &World::new(), &opts).unwrap_err();
+                assert_eq!(err, ExhaustiveError::NoFeasibleBinding);
+            }
+        }
+    }
+
+    #[test]
+    fn options_agree_with_sequential_reference() {
+        // Asymmetric loads so the optimum is unique and pruning has real
+        // work to do.
+        let nodes: Vec<Address> = (2..7).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * MB)
+            .resolve()
+            .unwrap();
+        let w = world(&[(2, 0.9), (3, 0.5), (4, 0.2), (6, 0.7)]);
+        let reference = exhaustive_search_with(
+            &p,
+            &w,
+            &SearchOptions::new(10_000).threads(1).prune(false),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            for prune in [false, true] {
+                let opts = SearchOptions::new(10_000).threads(threads).prune(prune);
+                let r = exhaustive_search_with(&p, &w, &opts).unwrap();
+                assert_eq!(r.binding, reference.binding, "threads={threads} prune={prune}");
+                assert_eq!(
+                    r.makespan.to_bits(),
+                    reference.makespan.to_bits(),
+                    "threads={threads} prune={prune}"
+                );
+                if !prune {
+                    assert_eq!(r.evaluated, reference.evaluated);
+                } else {
+                    assert!(r.evaluated <= reference.evaluated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_work_on_lopsided_worlds() {
+        // One heavily loaded replica among idle ones: once an all-idle
+        // binding is the incumbent, every subtree routing through the busy
+        // host bounds strictly above it and is skipped wholesale.
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * MB)
+            .resolve()
+            .unwrap();
+        let w = world(&[(7, 0.95)]);
+        let full = exhaustive_search_with(
+            &p,
+            &w,
+            &SearchOptions::new(10_000).threads(1).prune(false),
+        )
+        .unwrap();
+        let pruned =
+            exhaustive_search_with(&p, &w, &SearchOptions::new(10_000).threads(1)).unwrap();
+        assert_eq!(pruned.binding, full.binding);
+        assert_eq!(pruned.makespan.to_bits(), full.makespan.to_bits());
+        assert!(
+            pruned.evaluated < full.evaluated,
+            "pruned {} vs full {}",
+            pruned.evaluated,
+            full.evaluated
+        );
     }
 }

@@ -72,5 +72,5 @@ pub mod status;
 pub mod transport;
 
 pub use heuristic::evaluate_query;
-pub use server::{Answer, CloudTalkServer, EvalMethod, ServerConfig};
+pub use server::{Answer, CloudTalkServer, EvalMethod, ServerConfig, StatusSnapshot};
 pub use status::{StatusSource, TableStatusSource};

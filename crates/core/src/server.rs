@@ -12,6 +12,17 @@
 //! 5. run the selected evaluator (the Listing 1 heuristic by default,
 //!    exhaustive search as the accuracy baseline);
 //! 6. reserve the recommended machines and answer.
+//!
+//! Batching: a tenant submitting several queries at once (a job scheduler
+//! placing a wave of tasks, the Figure-3 sweeps) should not pay one
+//! scatter-gather round per query. [`CloudTalkServer::take_snapshot`]
+//! gathers status once into an immutable, `Arc`-shared [`StatusSnapshot`];
+//! [`CloudTalkServer::answer_batch`] evaluates a whole batch against one
+//! snapshot, and [`CloudTalkServer::answer_with_snapshot`] does the same
+//! for a single query when the caller manages snapshot lifetime itself.
+
+use std::borrow::Cow;
+use std::sync::Arc;
 
 use cloudtalk_lang::problem::{Address, Binding, Problem, Value};
 use cloudtalk_lang::{parse_query, resolve, LangError, MapResolver};
@@ -206,27 +217,26 @@ impl CloudTalkServer {
         reserve: bool,
     ) -> Result<Answer, ServerError> {
         self.reservations.purge(now);
+        let (working, sampled) = self.maybe_sample(problem);
+        let snapshot = self.take_snapshot(&working.mentioned_addresses(), source);
+        self.answer_snapshot_inner(&working, &snapshot, now, reserve, sampled)
+    }
 
-        // §4.3 sampling: shrink oversized candidate pools.
-        let max_pool = problem
-            .vars
-            .iter()
-            .map(|v| v.candidates.len())
-            .max()
-            .unwrap_or(0);
-        let sampled = max_pool > self.cfg.sample_budget;
-        let working: Problem = if sampled {
-            sample_candidates(problem, self.cfg.sample_budget, &mut self.rng)
-        } else {
-            problem.clone()
-        };
-
-        // Gather status for every mentioned address.
-        let addrs = working.mentioned_addresses();
-        let (world, elapsed, missing) = if self.cfg.use_dynamic {
+    /// Gathers status for `addrs` once into an immutable snapshot.
+    ///
+    /// The gathered [`World`] is `Arc`-shared: cloning the snapshot (or
+    /// calling [`StatusSnapshot::share`]) is a reference-count bump, so a
+    /// batch of evaluations — or a pool of worker threads — can read the
+    /// same status data without re-interrogating the status servers.
+    pub fn take_snapshot(
+        &mut self,
+        addrs: &[Address],
+        source: &mut impl StatusSource,
+    ) -> StatusSnapshot {
+        if self.cfg.use_dynamic {
             let outcome = scatter_gather(
                 source,
-                &addrs,
+                addrs,
                 &self.cfg.transport,
                 &mut self.rng,
                 &mut self.ledger,
@@ -235,20 +245,120 @@ impl CloudTalkServer {
             for (addr, state) in &outcome.replies {
                 world.set(*addr, *state);
             }
-            (world, outcome.elapsed, outcome.missing.len())
+            StatusSnapshot {
+                world: Arc::new(world),
+                elapsed: outcome.elapsed,
+                interrogated: addrs.len(),
+                missing: outcome.missing.len(),
+            }
         } else {
             // Static mode: assume idle hosts; no status traffic.
-            let world = World::uniform(&addrs, HostState::gbps_idle());
-            (world, SimDuration::ZERO, 0)
-        };
+            StatusSnapshot {
+                world: Arc::new(World::uniform(addrs, HostState::gbps_idle())),
+                elapsed: SimDuration::ZERO,
+                interrogated: addrs.len(),
+                missing: 0,
+            }
+        }
+    }
 
-        // Overlay reservations: recently recommended machines count as busy.
-        let world = self.overlay_reservations(world, &addrs, now);
+    /// Answers a pre-resolved problem against an existing snapshot — no
+    /// status traffic. Addresses absent from the snapshot are treated as
+    /// overloaded (the same pessimism applied to unanswered hosts), so the
+    /// snapshot should cover every address the problem can mention.
+    pub fn answer_with_snapshot(
+        &mut self,
+        problem: &Problem,
+        snapshot: &StatusSnapshot,
+        now: SimTime,
+        reserve: bool,
+    ) -> Result<Answer, ServerError> {
+        self.reservations.purge(now);
+        let (working, sampled) = self.maybe_sample(problem);
+        self.answer_snapshot_inner(&working, snapshot, now, reserve, sampled)
+    }
+
+    /// Answers a batch of pre-resolved problems with **one** scatter-gather
+    /// round shared by the whole batch: every pool is sampled first, the
+    /// union of mentioned addresses is interrogated once, then each problem
+    /// is evaluated against the shared snapshot. Reservations still apply
+    /// *within* the batch — problem `i + 1` sees the machines problem `i`
+    /// was recommended — so a batch of identical queries fans out across
+    /// idle machines exactly like sequential queries would.
+    ///
+    /// Failures are per-problem: one oversized exhaustive search does not
+    /// void the rest of the batch.
+    pub fn answer_batch(
+        &mut self,
+        problems: &[Problem],
+        source: &mut impl StatusSource,
+        now: SimTime,
+    ) -> Vec<Result<Answer, ServerError>> {
+        self.reservations.purge(now);
+        let working: Vec<(Cow<'_, Problem>, bool)> = problems
+            .iter()
+            .map(|p| self.maybe_sample(p))
+            .collect();
+        let mut addrs: Vec<Address> = Vec::new();
+        for (w, _) in &working {
+            for a in w.mentioned_addresses() {
+                if !addrs.contains(&a) {
+                    addrs.push(a);
+                }
+            }
+        }
+        let snapshot = self.take_snapshot(&addrs, source);
+        working
+            .iter()
+            .map(|(w, sampled)| self.answer_snapshot_inner(w, &snapshot, now, true, *sampled))
+            .collect()
+    }
+
+    /// §4.3 sampling: shrink oversized candidate pools. Borrows the
+    /// problem untouched when every pool fits the budget — the common case
+    /// pays no clone.
+    fn maybe_sample<'a>(&mut self, problem: &'a Problem) -> (Cow<'a, Problem>, bool) {
+        let max_pool = problem
+            .vars
+            .iter()
+            .map(|v| v.candidates.len())
+            .max()
+            .unwrap_or(0);
+        if max_pool > self.cfg.sample_budget {
+            (
+                Cow::Owned(sample_candidates(
+                    problem,
+                    self.cfg.sample_budget,
+                    &mut self.rng,
+                )),
+                true,
+            )
+        } else {
+            (Cow::Borrowed(problem), false)
+        }
+    }
+
+    /// Evaluation + reservation + answer assembly, shared by the direct
+    /// and snapshot paths. Assumes `purge` and sampling already happened.
+    fn answer_snapshot_inner(
+        &mut self,
+        working: &Problem,
+        snapshot: &StatusSnapshot,
+        now: SimTime,
+        reserve: bool,
+        sampled: bool,
+    ) -> Result<Answer, ServerError> {
+        let addrs = working.mentioned_addresses();
+        // Overlay reservations: recently recommended machines count as
+        // busy. Copy-on-write — the shared snapshot world is only cloned
+        // when a mentioned address actually holds a reservation.
+        let overlaid = self.overlay_reservations(snapshot.world(), &addrs, now);
+        let world: &World = overlaid.as_ref().unwrap_or_else(|| snapshot.world());
 
         let (binding, binding_scores) = match self.cfg.method {
-            EvalMethod::Heuristic => evaluate_query_scored(&working, &world, &self.cfg.heuristic),
+            EvalMethod::Heuristic => evaluate_query_scored(working, world, &self.cfg.heuristic),
             EvalMethod::Exhaustive { limit } => {
-                let r = exhaustive_search(&working, &world, limit)
+                let r = exhaustive_search(working, world, limit)
                     .map_err(ServerError::Exhaustive)?;
                 let n = r.binding.len();
                 (r.binding, vec![f64::INFINITY; n])
@@ -269,19 +379,29 @@ impl CloudTalkServer {
         Ok(Answer {
             binding,
             binding_scores,
-            response_time: elapsed + MODELLED_EVAL_TIME,
+            response_time: snapshot.elapsed + MODELLED_EVAL_TIME,
             sampled,
-            interrogated: addrs.len(),
-            missing,
+            interrogated: snapshot.interrogated,
+            missing: snapshot.missing,
         })
     }
 
-    fn overlay_reservations(&self, mut world: World, addrs: &[Address], now: SimTime) -> World {
+    /// Returns a world with reservation penalties applied, or `None` when
+    /// no mentioned address is reserved (callers keep using the shared
+    /// snapshot world unchanged — no clone).
+    fn overlay_reservations(
+        &self,
+        world: &World,
+        addrs: &[Address],
+        now: SimTime,
+    ) -> Option<World> {
         if self.cfg.reservation_hold.is_none() {
-            return world;
+            return None;
         }
+        let mut out: Option<World> = None;
         for &addr in addrs {
             if self.reservations.is_reserved(addr, now) {
+                let world = out.get_or_insert_with(|| world.clone());
                 let mut s = world.get(addr);
                 // Recommended machines are treated as in use until real
                 // feedback catches up. The penalty is *additive* (a full
@@ -298,7 +418,48 @@ impl CloudTalkServer {
                 world.set(addr, s);
             }
         }
-        world
+        out
+    }
+}
+
+/// An immutable, cheaply shareable view of gathered status data.
+///
+/// Produced by [`CloudTalkServer::take_snapshot`]; consumed by
+/// [`CloudTalkServer::answer_with_snapshot`] /
+/// [`CloudTalkServer::answer_batch`]. The world lives behind an [`Arc`],
+/// so `Clone` (and [`StatusSnapshot::share`]) never copies host tables.
+#[derive(Clone, Debug)]
+pub struct StatusSnapshot {
+    world: Arc<World>,
+    elapsed: SimDuration,
+    interrogated: usize,
+    missing: usize,
+}
+
+impl StatusSnapshot {
+    /// The gathered per-host state.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// A reference-counted handle to the world, for handing to workers.
+    pub fn share(&self) -> Arc<World> {
+        Arc::clone(&self.world)
+    }
+
+    /// Time the gather round took.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Status servers interrogated.
+    pub fn interrogated(&self) -> usize {
+        self.interrogated
+    }
+
+    /// Status servers that never answered.
+    pub fn missing(&self) -> usize {
+        self.missing
     }
 }
 
@@ -431,6 +592,108 @@ mod tests {
         let a = server.answer_problem(&p, &mut empty, SimTime::ZERO).unwrap();
         assert_eq!(a.binding.len(), 3);
         assert_eq!(server.ledger().status_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_answers_match_direct_path() {
+        // Static mode removes transport randomness, so the direct and
+        // snapshot paths must agree exactly.
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let cfg = ServerConfig {
+            use_dynamic: false,
+            ..Default::default()
+        };
+        let mut empty = TableStatusSource::new();
+
+        let mut direct = CloudTalkServer::new(cfg.clone());
+        let a = direct.answer_problem(&p, &mut empty, SimTime::ZERO).unwrap();
+
+        let mut snap_server = CloudTalkServer::new(cfg);
+        let snapshot = snap_server.take_snapshot(&p.mentioned_addresses(), &mut empty);
+        let b = snap_server
+            .answer_with_snapshot(&p, &snapshot, SimTime::ZERO, true)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(snap_server.queries_answered(), 1);
+    }
+
+    #[test]
+    fn batch_shares_one_gather_round() {
+        let nodes: Vec<Address> = (2..12).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let problems = vec![p.clone(), p.clone(), p.clone()];
+
+        let mut batch_server = CloudTalkServer::new(ServerConfig::default());
+        let answers =
+            batch_server.answer_batch(&problems, &mut idle_source(12), SimTime::ZERO);
+        assert_eq!(answers.len(), 3);
+        let batch_status = batch_server.ledger().status_bytes();
+
+        let mut seq_server = CloudTalkServer::new(ServerConfig::default());
+        for _ in 0..3 {
+            seq_server
+                .answer_problem(&p, &mut idle_source(12), SimTime::ZERO)
+                .unwrap();
+        }
+        let seq_status = seq_server.ledger().status_bytes();
+
+        // One interrogation of the 11-address union versus three.
+        assert_eq!(batch_status * 3, seq_status);
+        assert_eq!(batch_server.queries_answered(), 3);
+    }
+
+    #[test]
+    fn batch_reservations_steer_queries_apart() {
+        // Within one batch, identical queries must still fan out across
+        // different idle machines.
+        let nodes: Vec<Address> = (2..12).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let problems = vec![p.clone(), p];
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let answers = server.answer_batch(&problems, &mut idle_source(12), SimTime::ZERO);
+        let a1 = answers[0].as_ref().unwrap();
+        let a2 = answers[1].as_ref().unwrap();
+        let s1: std::collections::HashSet<&Value> = a1.binding.iter().collect();
+        let overlap = a2.binding.iter().filter(|v| s1.contains(v)).count();
+        assert_eq!(overlap, 0, "{:?} vs {:?}", a1.binding, a2.binding);
+    }
+
+    #[test]
+    fn batch_errors_are_per_problem() {
+        // An exhaustive search over 32^3 bindings trips the limit; the
+        // other problem in the batch still gets its answer.
+        let huge: Vec<Address> = (2..34).map(Address).collect();
+        let small: Vec<Address> = (2..5).map(Address).collect();
+        let p_huge = hdfs_write_query(Address(1), &huge, 3, 1e6).resolve().unwrap();
+        let p_small = hdfs_write_query(Address(1), &small, 2, 1e6).resolve().unwrap();
+        let cfg = ServerConfig {
+            method: EvalMethod::Exhaustive { limit: 100 },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let answers = server.answer_batch(
+            &[p_huge, p_small],
+            &mut idle_source(40),
+            SimTime::ZERO,
+        );
+        assert!(matches!(
+            answers[0],
+            Err(ServerError::Exhaustive(ExhaustiveError::TooLarge { .. }))
+        ));
+        assert_eq!(answers[1].as_ref().unwrap().binding.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_share_is_refcounted() {
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let snapshot =
+            server.take_snapshot(&[Address(1), Address(2)], &mut idle_source(2));
+        let copy = snapshot.clone();
+        assert!(std::sync::Arc::ptr_eq(&snapshot.share(), &copy.share()));
+        assert_eq!(snapshot.interrogated(), 2);
+        assert_eq!(snapshot.missing(), 0);
+        assert!(snapshot.world().knows(Address(1)));
     }
 
     #[test]

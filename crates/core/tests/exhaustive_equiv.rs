@@ -1,0 +1,194 @@
+//! Equivalence properties for the branch-and-bound exhaustive search:
+//! whatever the thread count {1, 2, 8} and whether pruning is on, the
+//! search must return the same winner (same binding, makespan bit for
+//! bit) as the plain sequential no-pruning scan — on randomly generated
+//! problems covering fixed/variable/unknown/disk endpoints, start delays,
+//! rate caps, rate coupling and transfer precedence.
+
+use cloudtalk::exhaustive::{exhaustive_search_with, SearchOptions};
+use cloudtalk_lang::ast::{AttrKind, RefAttr};
+use cloudtalk_lang::problem::{
+    Address, Endpoint, ExprR, Flow, FlowId, Problem, Value, VarId, Variable,
+};
+use estimator::{HostState, World};
+use proptest::prelude::*;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Raw generated description of one variable: shared-pool id and a
+/// candidate bitmask over the address pool (bit 7 adds `disk`).
+type VarSpec = (u8, u8);
+
+/// Raw generated description of one flow: endpoint selectors, optional
+/// size (MB), optional start (s), rate selector, transfer selector.
+type FlowSpec = (u8, u8, Option<u16>, Option<u8>, u8, u8);
+
+fn endpoint(sel: u8, n_vars: usize, n_addrs: u32) -> Endpoint {
+    match sel % 8 {
+        0..=3 => Endpoint::Var(VarId(sel as usize % n_vars)),
+        4 | 5 => Endpoint::Addr(Address(1 + u32::from(sel) % n_addrs)),
+        6 => Endpoint::Unknown,
+        _ => Endpoint::Disk,
+    }
+}
+
+fn build_problem(
+    n_addrs: u32,
+    var_specs: &[VarSpec],
+    flow_specs: &[FlowSpec],
+    distinct: bool,
+) -> Problem {
+    let n_vars = var_specs.len();
+    let vars: Vec<Variable> = var_specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(pool, mask))| {
+            let mut candidates: Vec<Value> = (0..7u32)
+                .filter(|b| mask & (1 << b) != 0 && b + 1 <= n_addrs)
+                .map(|b| Value::Addr(Address(b + 1)))
+                .collect();
+            if mask & 0x80 != 0 {
+                candidates.push(Value::Disk);
+            }
+            if candidates.is_empty() {
+                candidates.push(Value::Addr(Address(1)));
+            }
+            Variable {
+                name: format!("x{i}"),
+                candidates,
+                pool: usize::from(pool % 2),
+            }
+        })
+        .collect();
+
+    let n_flows = flow_specs.len();
+    let flows: Vec<Flow> = flow_specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(src, dst, size_mb, start, rate_sel, transfer_sel))| {
+            let mut f = Flow::new(
+                Some(format!("f{i}")),
+                endpoint(src, n_vars, n_addrs),
+                endpoint(dst, n_vars, n_addrs),
+            );
+            if let Some(mb) = size_mb {
+                f.set_attr(AttrKind::Size, ExprR::Literal(f64::from(mb) * MB));
+            }
+            if let Some(s) = start {
+                f.set_attr(AttrKind::Start, ExprR::Literal(f64::from(s % 4)));
+            }
+            match rate_sel % 4 {
+                0 => {} // no rate attribute
+                1 => f.set_attr(AttrKind::Rate, ExprR::Literal(2e6 * f64::from(rate_sel))),
+                2 => f.set_attr(
+                    AttrKind::Rate,
+                    ExprR::Ref(RefAttr::Rate, FlowId(usize::from(rate_sel) % n_flows)),
+                ),
+                _ => {}
+            }
+            match transfer_sel % 4 {
+                1 => f.set_attr(
+                    AttrKind::Transfer,
+                    ExprR::Literal(f64::from(transfer_sel) * MB),
+                ),
+                2 => f.set_attr(
+                    AttrKind::Transfer,
+                    ExprR::Ref(
+                        RefAttr::Transferred,
+                        FlowId(usize::from(transfer_sel) % n_flows),
+                    ),
+                ),
+                _ => {}
+            }
+            f
+        })
+        .collect();
+
+    Problem {
+        vars,
+        flows,
+        distinct,
+    }
+}
+
+fn build_world(n_addrs: u32, loads: &[(u8, u8)]) -> World {
+    let addrs: Vec<Address> = (1..=n_addrs).map(Address).collect();
+    let mut w = World::uniform(&addrs, HostState::gbps_idle());
+    if loads.is_empty() {
+        return w;
+    }
+    for (i, &a) in addrs.iter().enumerate() {
+        let (up, down) = loads[i % loads.len()];
+        w.set(
+            a,
+            HostState::gbps_idle()
+                .with_up_load(f64::from(up % 10) / 10.0)
+                .with_down_load(f64::from(down % 10) / 10.0),
+        );
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parallel + pruned search ≡ the sequential reference, across thread
+    /// counts {1, 2, 8}, on arbitrary problems and worlds.
+    #[test]
+    fn branch_and_bound_matches_sequential_reference(
+        n_addrs in 4u32..=8,
+        var_specs in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..=3),
+        flow_specs in proptest::collection::vec(
+            (
+                any::<u8>(),
+                any::<u8>(),
+                proptest::option::of(1u16..400),
+                proptest::option::of(any::<u8>()),
+                any::<u8>(),
+                any::<u8>(),
+            ),
+            1..=3,
+        ),
+        distinct in any::<bool>(),
+        loads in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..10),
+    ) {
+        let p = build_problem(n_addrs, &var_specs, &flow_specs, distinct);
+        let w = build_world(n_addrs, &loads);
+
+        let reference = exhaustive_search_with(
+            &p,
+            &w,
+            &SearchOptions::new(100_000).threads(1).prune(false),
+        );
+        for threads in [1usize, 2, 8] {
+            for prune in [false, true] {
+                let opts = SearchOptions::new(100_000).threads(threads).prune(prune);
+                let r = exhaustive_search_with(&p, &w, &opts);
+                match (&reference, &r) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(
+                            &a.binding, &b.binding,
+                            "winner drifted (threads={} prune={})", threads, prune
+                        );
+                        prop_assert_eq!(
+                            a.makespan.to_bits(), b.makespan.to_bits(),
+                            "makespan {} vs {} (threads={} prune={})",
+                            a.makespan, b.makespan, threads, prune
+                        );
+                        if prune {
+                            prop_assert!(b.evaluated <= a.evaluated);
+                        } else {
+                            prop_assert_eq!(a.evaluated, b.evaluated);
+                        }
+                    }
+                    (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                    _ => prop_assert!(
+                        false,
+                        "outcome mismatch (threads={} prune={}): {:?} vs {:?}",
+                        threads, prune, reference, r
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -44,5 +44,8 @@
 mod model;
 mod world;
 
-pub use model::{estimate, resolve_static_sizes, Estimate, EstimateError};
+pub use model::{
+    estimate, estimate_with, resolve_static_sizes, Estimate, EstimateError, EstimateSummary,
+    EstimatorScratch,
+};
 pub use world::{HostState, World};

@@ -1,13 +1,18 @@
 //! Conversion of a bound problem into demand groups + the rate-stabilising
 //! completion-time simulation.
-
-use std::collections::HashMap;
+//!
+//! The hot entry point is [`estimate_with`], which threads an
+//! [`EstimatorScratch`] through the whole pipeline so that repeated
+//! evaluations (the exhaustive search calls this once per candidate
+//! binding) perform **zero heap allocations after warm-up**: every
+//! working vector lives in the scratch and is cleared, never dropped.
+//! [`estimate`] is the allocating convenience wrapper.
 
 use cloudtalk_lang::ast::{AttrKind, RefAttr};
 use cloudtalk_lang::problem::{
     Address, Binding, BoundEndpoint, ExprR, FlowId, Problem,
 };
-use simnet::sharing::{max_min_rates, Demand, ResourceIdx};
+use simnet::sharing::{max_min_rates_into, Demand, ResourceIdx, SharingScratch};
 
 /// Rate used for flows that touch no shared resource (loopback).
 const LOCAL_RATE: f64 = 1e11;
@@ -68,12 +73,131 @@ impl std::error::Error for EstimateError {}
 /// Default flow size when a query omits `size`: 64 MB (an HDFS block).
 const DEFAULT_SIZE: f64 = 64.0 * 1024.0 * 1024.0;
 
+/// Scalar results of one estimation — `Copy`, so the exhaustive search
+/// can keep the best-so-far without touching the heap. Per-flow detail
+/// (finish times, deadline misses) stays in the [`EstimatorScratch`] and
+/// is read through its accessors when needed.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EstimateSummary {
+    /// Time when the last flow finishes.
+    pub makespan: f64,
+    /// Total bytes moved by all flows.
+    pub total_bytes: f64,
+    /// `total_bytes / makespan` (0 when the problem moves no bytes).
+    pub throughput: f64,
+    /// Number of flows missing their `end` deadline.
+    pub deadline_miss_count: usize,
+}
+
+/// Reusable working memory for [`estimate_with`].
+///
+/// Every vector the estimator needs — static attribute tables, the
+/// resource/usage/group layout, the event-simulation state, and the
+/// max-min allocator's own [`SharingScratch`] — lives here and is cleared
+/// (capacity retained) at the start of each call. After the first few
+/// calls on a given problem shape, `estimate_with` performs no heap
+/// allocations at all; `crates/estimator/tests/alloc_free.rs` pins that
+/// invariant with a counting allocator. Keep it that way: when adding
+/// state to the estimator, add a buffer here rather than allocating
+/// inside the call.
+#[derive(Clone, Debug, Default)]
+pub struct EstimatorScratch {
+    // Static attribute resolution.
+    sizes: Vec<f64>,
+    size_memo: Vec<Option<f64>>,
+    starts: Vec<f64>,
+    initial: Vec<f64>,
+    deadlines: Vec<f64>,
+    caps: Vec<Option<f64>>,
+    couple: Vec<Option<FlowId>>,
+    parent: Vec<usize>,
+    // Resource table: 4 capacities per first-touched address.
+    addr_base: Vec<(Address, usize)>,
+    capacities: Vec<f64>,
+    // Per-flow resource usages in CSR form (items + n+1 start offsets).
+    usage_items: Vec<(ResourceIdx, f64)>,
+    usage_start: Vec<usize>,
+    // Rate-coupling groups: `groups[g]` is a reused member list.
+    group_of: Vec<usize>,
+    root_group: Vec<usize>,
+    groups: Vec<Vec<usize>>,
+    // Event simulation.
+    remaining: Vec<f64>,
+    finish: Vec<f64>,
+    done: Vec<bool>,
+    active: Vec<usize>,
+    active_groups: Vec<usize>,
+    demand_pool: Vec<Demand>,
+    rates: Vec<f64>,
+    flow_rate: Vec<f64>,
+    sharing: SharingScratch,
+    // Transfer precedence (upstream lists in CSR form + DFS state).
+    t_ups_items: Vec<usize>,
+    t_ups_start: Vec<usize>,
+    topo_state: Vec<u8>,
+    topo_order: Vec<usize>,
+    // Per-flow outputs of the last successful call.
+    deadline_misses: Vec<FlowId>,
+}
+
+impl EstimatorScratch {
+    /// Fresh scratch; buffers grow to their high-water marks on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completion time (seconds from query time) per flow, from the last
+    /// successful [`estimate_with`] call on this scratch.
+    pub fn flow_finish(&self) -> &[f64] {
+        &self.finish
+    }
+
+    /// Flows that missed their `end` deadline in the last successful
+    /// [`estimate_with`] call on this scratch.
+    pub fn deadline_misses(&self) -> &[FlowId] {
+        &self.deadline_misses
+    }
+}
+
 /// Estimates completion times for `problem` under `binding` in `world`.
+///
+/// Allocating convenience wrapper over [`estimate_with`]; hot paths
+/// (exhaustive search, Figure-3 sweeps) should hold an
+/// [`EstimatorScratch`] and call `estimate_with` directly.
 pub fn estimate(
     problem: &Problem,
     binding: &Binding,
     world: &crate::World,
 ) -> Result<Estimate, EstimateError> {
+    let mut scratch = EstimatorScratch::new();
+    let summary = estimate_with(&mut scratch, problem, binding, world)?;
+    Ok(Estimate {
+        flow_finish: scratch.finish.clone(),
+        makespan: summary.makespan,
+        total_bytes: summary.total_bytes,
+        throughput: summary.throughput,
+        deadline_misses: scratch.deadline_misses.clone(),
+    })
+}
+
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// Allocation-free core of the estimator: identical semantics (and
+/// bit-identical results) to [`estimate`], with all working memory in
+/// `scratch`. Returns the scalar summary; per-flow detail is available
+/// through the scratch accessors until the next call.
+pub fn estimate_with(
+    scratch: &mut EstimatorScratch,
+    problem: &Problem,
+    binding: &Binding,
+    world: &crate::World,
+) -> Result<EstimateSummary, EstimateError> {
     if binding.len() != problem.vars.len() {
         return Err(EstimateError::BindingArity {
             expected: problem.vars.len(),
@@ -83,13 +207,19 @@ pub fn estimate(
     let n = problem.flows.len();
 
     // --- static attribute resolution -----------------------------------
-    let sizes = resolve_sizes(problem)?;
-    let starts = resolve_consts(problem, AttrKind::Start, "start")?;
-    let initial = resolve_transfer_offsets(problem)?;
+    resolve_sizes_into(problem, &mut scratch.size_memo, &mut scratch.sizes)?;
+    resolve_consts_into(problem, AttrKind::Start, "start", &mut scratch.starts)?;
+    resolve_transfer_offsets_into(problem, &mut scratch.initial)?;
+    let sizes = &scratch.sizes;
+    let starts = &scratch.starts;
 
     // Rate attribute: cap, coupling, or none.
-    let mut caps: Vec<Option<f64>> = vec![None; n];
-    let mut couple: Vec<Option<FlowId>> = vec![None; n];
+    let caps = &mut scratch.caps;
+    let couple = &mut scratch.couple;
+    caps.clear();
+    caps.resize(n, None);
+    couple.clear();
+    couple.resize(n, None);
     for (i, flow) in problem.flows.iter().enumerate() {
         match flow.attr(AttrKind::Rate) {
             None => {}
@@ -106,17 +236,12 @@ pub fn estimate(
     }
 
     // Union-find over rate couplings.
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        x
-    }
+    let parent = &mut scratch.parent;
+    parent.clear();
+    parent.extend(0..n);
     for (i, c) in couple.iter().enumerate() {
         if let Some(f) = c {
-            let (a, b) = (find(&mut parent, i), find(&mut parent, f.0));
+            let (a, b) = (find(parent, i), find(parent, f.0));
             if a != b {
                 parent[a] = b;
             }
@@ -124,90 +249,122 @@ pub fn estimate(
     }
 
     // --- resource table --------------------------------------------------
-    // Four resources per mentioned address: up, down, disk-read, disk-write.
-    let mut res_of: HashMap<Address, usize> = HashMap::new();
-    let mut capacities: Vec<f64> = Vec::new();
-    let resource_base = |addr: Address,
-                             capacities: &mut Vec<f64>,
-                             res_of: &mut HashMap<Address, usize>|
-     -> usize {
-        *res_of.entry(addr).or_insert_with(|| {
-            let base = capacities.len();
-            let s = world.get(addr);
-            capacities.push(s.up_free());
-            capacities.push(s.down_free());
-            capacities.push((s.disk_read_capacity - s.disk_read_used).max(0.0));
-            capacities.push((s.disk_write_capacity - s.disk_write_used).max(0.0));
-            base
-        })
+    // Four resources per mentioned address: up, down, disk-read,
+    // disk-write. Addresses are registered in first-touch order (the same
+    // order the original hash-map `entry` API produced), through a linear
+    // scan — problems mention at most a few dozen addresses.
+    let addr_base = &mut scratch.addr_base;
+    let capacities = &mut scratch.capacities;
+    addr_base.clear();
+    capacities.clear();
+    let mut resource_base = |addr: Address| -> usize {
+        if let Some(&(_, base)) = addr_base.iter().find(|(a, _)| *a == addr) {
+            return base;
+        }
+        let base = capacities.len();
+        let s = world.get(addr);
+        capacities.push(s.up_free());
+        capacities.push(s.down_free());
+        capacities.push((s.disk_read_capacity - s.disk_read_used).max(0.0));
+        capacities.push((s.disk_write_capacity - s.disk_write_used).max(0.0));
+        addr_base.push((addr, base));
+        base
     };
 
-    // Per-flow resource usages.
-    let mut usages: Vec<Vec<(ResourceIdx, f64)>> = Vec::with_capacity(n);
+    // Per-flow resource usages, stored CSR (flow i's usages are
+    // `usage_items[usage_start[i]..usage_start[i + 1]]`).
+    let usage_items = &mut scratch.usage_items;
+    let usage_start = &mut scratch.usage_start;
+    usage_items.clear();
+    usage_start.clear();
     for flow in &problem.flows {
+        usage_start.push(usage_items.len());
+        let span = usage_items.len();
         let src = flow.src.bound(binding);
         let dst = flow.dst.bound(binding);
-        let mut u: Vec<(ResourceIdx, f64)> = Vec::new();
-        let add = |r: usize, u: &mut Vec<(ResourceIdx, f64)>| {
-            if let Some(e) = u.iter_mut().find(|(idx, _)| *idx == r) {
+        let add = |r: usize, items: &mut Vec<(ResourceIdx, f64)>| {
+            if let Some(e) = items[span..].iter_mut().find(|(idx, _)| *idx == r) {
                 e.1 += 1.0;
             } else {
-                u.push((r, 1.0));
+                items.push((r, 1.0));
             }
         };
         match (src, dst) {
             (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) => {
                 if a != b {
-                    let ra = resource_base(a, &mut capacities, &mut res_of);
-                    add(ra, &mut u); // a.up
-                    let rb = resource_base(b, &mut capacities, &mut res_of);
-                    add(rb + 1, &mut u); // b.down
+                    let ra = resource_base(a);
+                    add(ra, usage_items); // a.up
+                    let rb = resource_base(b);
+                    add(rb + 1, usage_items); // b.down
                 }
             }
             (BoundEndpoint::Host(a), BoundEndpoint::Disk) => {
-                let ra = resource_base(a, &mut capacities, &mut res_of);
-                add(ra + 3, &mut u); // a.disk-write
+                let ra = resource_base(a);
+                add(ra + 3, usage_items); // a.disk-write
             }
             (BoundEndpoint::Disk, BoundEndpoint::Host(b)) => {
-                let rb = resource_base(b, &mut capacities, &mut res_of);
-                add(rb + 2, &mut u); // b.disk-read
+                let rb = resource_base(b);
+                add(rb + 2, usage_items); // b.disk-read
             }
             (BoundEndpoint::Unknown, BoundEndpoint::Host(b)) => {
-                let rb = resource_base(b, &mut capacities, &mut res_of);
-                add(rb + 1, &mut u); // only b.down constrained
+                let rb = resource_base(b);
+                add(rb + 1, usage_items); // only b.down constrained
             }
             (BoundEndpoint::Host(a), BoundEndpoint::Unknown) => {
-                let ra = resource_base(a, &mut capacities, &mut res_of);
-                add(ra, &mut u); // only a.up constrained
+                let ra = resource_base(a);
+                add(ra, usage_items); // only a.up constrained
             }
             // Disk↔Unknown or Unknown↔Unknown: nothing shared is used.
             _ => {}
         }
-        usages.push(u);
     }
+    usage_start.push(usage_items.len());
+    let usage_items = &scratch.usage_items;
+    let usage_start = &scratch.usage_start;
+    let capacities = &scratch.capacities;
 
     // --- group assembly ---------------------------------------------------
-    let mut group_of: Vec<usize> = vec![0; n];
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    {
-        let mut root_to_group: HashMap<usize, usize> = HashMap::new();
-        for i in 0..n {
-            let root = find(&mut parent, i);
-            let g = *root_to_group.entry(root).or_insert_with(|| {
-                groups.push(Vec::new());
-                groups.len() - 1
-            });
-            groups[g].push(i);
-            group_of[i] = g;
+    // Union-find roots are flow indices, so root→group is a dense table.
+    // Group ids are assigned in first-touch flow order, matching the
+    // original hash-map version.
+    let group_of = &mut scratch.group_of;
+    let root_group = &mut scratch.root_group;
+    group_of.clear();
+    group_of.resize(n, 0);
+    root_group.clear();
+    root_group.resize(n, usize::MAX);
+    let mut n_groups = 0usize;
+    for i in 0..n {
+        let root = find(&mut scratch.parent, i);
+        if root_group[root] == usize::MAX {
+            root_group[root] = n_groups;
+            n_groups += 1;
         }
+        group_of[i] = root_group[root];
     }
+    while scratch.groups.len() < n_groups {
+        scratch.groups.push(Vec::new());
+    }
+    for g in &mut scratch.groups[..n_groups] {
+        g.clear();
+    }
+    for i in 0..n {
+        scratch.groups[group_of[i]].push(i);
+    }
+    let group_of = &scratch.group_of;
+    let groups = &scratch.groups;
+    let caps = &scratch.caps;
 
     // --- event simulation --------------------------------------------------
-    let mut remaining: Vec<f64> = (0..n)
-        .map(|i| (sizes[i] - initial[i]).max(0.0))
-        .collect();
-    let mut finish: Vec<f64> = vec![0.0; n];
-    let mut done: Vec<bool> = (0..n).map(|i| remaining[i] <= EPS).collect();
+    let remaining = &mut scratch.remaining;
+    let finish = &mut scratch.finish;
+    let done = &mut scratch.done;
+    remaining.clear();
+    remaining.extend((0..n).map(|i| (sizes[i] - scratch.initial[i]).max(0.0)));
+    finish.clear();
+    finish.resize(n, 0.0);
+    done.clear();
+    done.extend((0..n).map(|i| remaining[i] <= EPS));
     for i in 0..n {
         if done[i] {
             finish[i] = starts[i];
@@ -217,9 +374,9 @@ pub fn estimate(
 
     loop {
         // Active flows: started, not done.
-        let active: Vec<usize> = (0..n)
-            .filter(|&i| !done[i] && starts[i] <= now + 1e-12)
-            .collect();
+        let active = &mut scratch.active;
+        active.clear();
+        active.extend((0..n).filter(|&i| !done[i] && starts[i] <= now + 1e-12));
         let pending_start = (0..n)
             .filter(|&i| !done[i] && starts[i] > now + 1e-12)
             .map(|i| starts[i])
@@ -232,41 +389,51 @@ pub fn estimate(
             break;
         }
 
-        // Build one demand per group with active members.
-        let mut active_groups: Vec<usize> = active.iter().map(|&i| group_of[i]).collect();
+        // Build one demand per group with active members. Demands come
+        // from a pool of reused `Demand` structs so their inner usage
+        // vectors keep their capacity across rounds and calls.
+        let active_groups = &mut scratch.active_groups;
+        active_groups.clear();
+        active_groups.extend(active.iter().map(|&i| group_of[i]));
         active_groups.sort_unstable();
         active_groups.dedup();
-        let demands: Vec<Demand> = active_groups
-            .iter()
-            .map(|&g| {
-                let mut merged: Vec<(ResourceIdx, f64)> = Vec::new();
-                let mut cap: Option<f64> = None;
-                for &i in &groups[g] {
-                    if done[i] || starts[i] > now + 1e-12 {
-                        continue;
-                    }
-                    for &(r, m) in &usages[i] {
-                        if let Some(e) = merged.iter_mut().find(|(idx, _)| *idx == r) {
-                            e.1 += m;
-                        } else {
-                            merged.push((r, m));
-                        }
-                    }
-                    if let Some(c) = caps[i] {
-                        cap = Some(cap.map_or(c, |x: f64| x.min(c)));
+        let n_demands = active_groups.len();
+        while scratch.demand_pool.len() < n_demands {
+            scratch.demand_pool.push(Demand::elastic(Vec::new()));
+        }
+        for (gi, &g) in active_groups.iter().enumerate() {
+            let d = &mut scratch.demand_pool[gi];
+            d.usages.clear();
+            d.cap = None;
+            d.inelastic = None;
+            for &i in &groups[g] {
+                if done[i] || starts[i] > now + 1e-12 {
+                    continue;
+                }
+                for &(r, m) in &usage_items[usage_start[i]..usage_start[i + 1]] {
+                    if let Some(e) = d.usages.iter_mut().find(|(idx, _)| *idx == r) {
+                        e.1 += m;
+                    } else {
+                        d.usages.push((r, m));
                     }
                 }
-                Demand {
-                    usages: merged,
-                    cap,
-                    inelastic: None,
+                if let Some(c) = caps[i] {
+                    d.cap = Some(d.cap.map_or(c, |x: f64| x.min(c)));
                 }
-            })
-            .collect();
-        let rates = max_min_rates(&capacities, &demands);
+            }
+        }
+        max_min_rates_into(
+            &mut scratch.sharing,
+            capacities,
+            &scratch.demand_pool[..n_demands],
+            &mut scratch.rates,
+        );
+        let rates = &scratch.rates;
 
         // Per-flow rate = its group's rate (clamped for loopback groups).
-        let mut flow_rate: Vec<f64> = vec![0.0; n];
+        let flow_rate = &mut scratch.flow_rate;
+        flow_rate.clear();
+        flow_rate.resize(n, 0.0);
         for (gi, &g) in active_groups.iter().enumerate() {
             let r = if rates[gi].is_finite() {
                 rates[gi]
@@ -282,7 +449,7 @@ pub fn estimate(
 
         // Next event: earliest completion or pending start.
         let mut next = pending_start;
-        for &i in &active {
+        for &i in active.iter() {
             if flow_rate[i] > 0.0 {
                 next = next.min(now + remaining[i] / flow_rate[i]);
             }
@@ -293,7 +460,7 @@ pub fn estimate(
             return Err(EstimateError::Stalled(FlowId(active[0])));
         }
         let dt = next - now;
-        for &i in &active {
+        for &i in active.iter() {
             remaining[i] -= flow_rate[i] * dt;
             if remaining[i] <= sizes[i] * EPS + 1e-3 {
                 remaining[i] = 0.0;
@@ -308,37 +475,37 @@ pub fn estimate(
     }
 
     // Store-and-forward precedence: a flow with `transfer t(f)` cannot
-    // finish before f does.
-    let order = transfer_topo_order(problem);
-    for i in order {
-        if let Some(expr) = problem.flows[i].attr(AttrKind::Transfer) {
-            let mut upstream_finish = 0.0f64;
-            expr.for_each_ref(&mut |attr, f| {
-                if attr == RefAttr::Transferred {
-                    upstream_finish = upstream_finish.max(finish[f.0]);
-                }
-            });
-            finish[i] = finish[i].max(upstream_finish);
+    // finish before f does. Upstream references are collected once into a
+    // CSR table, then flows are visited in topological order.
+    transfer_topo_order_into(
+        problem,
+        &mut scratch.t_ups_items,
+        &mut scratch.t_ups_start,
+        &mut scratch.topo_state,
+        &mut scratch.topo_order,
+    );
+    let finish = &mut scratch.finish;
+    for &i in &scratch.topo_order {
+        let mut upstream_finish = 0.0f64;
+        for &u in &scratch.t_ups_items[scratch.t_ups_start[i]..scratch.t_ups_start[i + 1]] {
+            upstream_finish = upstream_finish.max(finish[u]);
         }
+        finish[i] = finish[i].max(upstream_finish);
     }
 
     let makespan = finish.iter().copied().fold(0.0, f64::max);
-    let total_bytes: f64 = sizes.iter().sum();
+    let total_bytes: f64 = scratch.sizes.iter().sum();
 
     // Deadline check: `end` attributes are upper bounds on finish times.
-    let deadlines = resolve_consts(problem, AttrKind::End, "end")?;
-    let deadline_misses: Vec<FlowId> = problem
-        .flows
-        .iter()
-        .enumerate()
-        .filter(|(i, flow)| {
-            flow.attr(AttrKind::End).is_some() && finish[*i] > deadlines[*i] + 1e-9
-        })
-        .map(|(i, _)| FlowId(i))
-        .collect();
+    resolve_consts_into(problem, AttrKind::End, "end", &mut scratch.deadlines)?;
+    scratch.deadline_misses.clear();
+    for (i, flow) in problem.flows.iter().enumerate() {
+        if flow.attr(AttrKind::End).is_some() && finish[i] > scratch.deadlines[i] + 1e-9 {
+            scratch.deadline_misses.push(FlowId(i));
+        }
+    }
 
-    Ok(Estimate {
-        flow_finish: finish,
+    Ok(EstimateSummary {
         makespan,
         total_bytes,
         throughput: if makespan > 0.0 {
@@ -346,90 +513,107 @@ pub fn estimate(
         } else {
             0.0
         },
-        deadline_misses,
+        deadline_miss_count: scratch.deadline_misses.len(),
     })
 }
 
 /// Resolves every flow's size statically — public so other evaluation
 /// backends (the packet-level simulator) share the same semantics.
 pub fn resolve_static_sizes(problem: &Problem) -> Result<Vec<f64>, EstimateError> {
-    resolve_sizes(problem)
+    let mut memo = Vec::new();
+    let mut out = Vec::new();
+    resolve_sizes_into(problem, &mut memo, &mut out)?;
+    Ok(out)
 }
 
 /// Resolves every flow's size, following `sz(f)` references (a DAG by
-/// validation) and folding arithmetic.
-fn resolve_sizes(problem: &Problem) -> Result<Vec<f64>, EstimateError> {
+/// validation) and folding arithmetic. `memo` and `out` are caller-owned
+/// buffers (cleared here) so the hot path allocates nothing.
+fn resolve_sizes_into(
+    problem: &Problem,
+    memo: &mut Vec<Option<f64>>,
+    out: &mut Vec<f64>,
+) -> Result<(), EstimateError> {
     let n = problem.flows.len();
-    let mut sizes: Vec<Option<f64>> = vec![None; n];
+    memo.clear();
+    memo.resize(n, None);
+    out.clear();
 
     fn size_of(
         problem: &Problem,
-        sizes: &mut Vec<Option<f64>>,
+        memo: &mut Vec<Option<f64>>,
         i: usize,
     ) -> Result<f64, EstimateError> {
-        if let Some(s) = sizes[i] {
+        if let Some(s) = memo[i] {
             return Ok(s);
         }
         let s = match problem.flows[i].attr(AttrKind::Size) {
             None => DEFAULT_SIZE,
-            Some(expr) => eval_size(problem, sizes, expr)?,
+            Some(expr) => eval_size(problem, memo, expr)?,
         };
-        sizes[i] = Some(s.max(0.0));
+        memo[i] = Some(s.max(0.0));
         Ok(s.max(0.0))
     }
 
     fn eval_size(
         problem: &Problem,
-        sizes: &mut Vec<Option<f64>>,
+        memo: &mut Vec<Option<f64>>,
         expr: &ExprR,
     ) -> Result<f64, EstimateError> {
         Ok(match expr {
             ExprR::Literal(v) => *v,
-            ExprR::Ref(RefAttr::Size, f) => size_of(problem, sizes, f.0)?,
+            ExprR::Ref(RefAttr::Size, f) => size_of(problem, memo, f.0)?,
             ExprR::Ref(..) => return Err(EstimateError::UnsupportedExpr("size")),
             ExprR::Binary(op, lhs, rhs) => op.apply(
-                eval_size(problem, sizes, lhs)?,
-                eval_size(problem, sizes, rhs)?,
+                eval_size(problem, memo, lhs)?,
+                eval_size(problem, memo, rhs)?,
             ),
         })
     }
 
-    (0..n)
-        .map(|i| size_of(problem, &mut sizes, i))
-        .collect()
+    for i in 0..n {
+        let s = size_of(problem, memo, i)?;
+        out.push(s);
+    }
+    Ok(())
 }
 
-/// Resolves an attribute that must be a compile-time constant.
-fn resolve_consts(
+/// Resolves an attribute that must be a compile-time constant into a
+/// caller-owned buffer (cleared here).
+fn resolve_consts_into(
     problem: &Problem,
     kind: AttrKind,
     what: &'static str,
-) -> Result<Vec<f64>, EstimateError> {
-    problem
-        .flows
-        .iter()
-        .map(|flow| match flow.attr(kind) {
-            None => Ok(0.0),
+    out: &mut Vec<f64>,
+) -> Result<(), EstimateError> {
+    out.clear();
+    for flow in &problem.flows {
+        let v = match flow.attr(kind) {
+            None => 0.0,
             Some(expr) => expr
                 .as_const()
                 .map(|v| v.max(0.0))
-                .ok_or(EstimateError::UnsupportedExpr(what)),
-        })
-        .collect()
+                .ok_or(EstimateError::UnsupportedExpr(what))?,
+        };
+        out.push(v);
+    }
+    Ok(())
 }
 
 /// `transfer` attributes: constants become initial progress; `t(f)`
 /// references become precedence (handled after simulation) and contribute
-/// zero initial progress.
-fn resolve_transfer_offsets(problem: &Problem) -> Result<Vec<f64>, EstimateError> {
-    problem
-        .flows
-        .iter()
-        .map(|flow| match flow.attr(AttrKind::Transfer) {
-            None => Ok(0.0),
+/// zero initial progress. Writes into a caller-owned buffer.
+fn resolve_transfer_offsets_into(
+    problem: &Problem,
+    out: &mut Vec<f64>,
+) -> Result<(), EstimateError> {
+    out.clear();
+    for flow in &problem.flows {
+        let v = match flow.attr(AttrKind::Transfer) {
+            None => 0.0,
             Some(expr) => {
                 if let Some(v) = expr.as_const() {
-                    Ok(v.max(0.0))
+                    v.max(0.0)
                 } else {
                     let mut only_t_refs = true;
                     expr.for_each_ref(&mut |attr, _| {
@@ -438,40 +622,63 @@ fn resolve_transfer_offsets(problem: &Problem) -> Result<Vec<f64>, EstimateError
                         }
                     });
                     if only_t_refs {
-                        Ok(0.0)
+                        0.0
                     } else {
-                        Err(EstimateError::UnsupportedExpr("transfer"))
+                        return Err(EstimateError::UnsupportedExpr("transfer"));
                     }
                 }
             }
-        })
-        .collect()
+        };
+        out.push(v);
+    }
+    Ok(())
 }
 
-/// Flows in an order where `t(f)` upstreams come first (cycles — which
-/// validation does not forbid for `t` — are broken arbitrarily; precedence
-/// then still converges because `max` is monotone).
-fn transfer_topo_order(problem: &Problem) -> Vec<usize> {
+/// Computes the transfer-precedence structure into caller-owned buffers:
+/// a CSR table of `t(f)` upstream references (`ups_items`/`ups_start`)
+/// and `order`, a flow order where upstreams come first (cycles — which
+/// validation does not forbid for `t` — are broken arbitrarily;
+/// precedence then still converges because `max` is monotone).
+fn transfer_topo_order_into(
+    problem: &Problem,
+    ups_items: &mut Vec<usize>,
+    ups_start: &mut Vec<usize>,
+    state: &mut Vec<u8>,
+    order: &mut Vec<usize>,
+) {
     let n = problem.flows.len();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = visiting, 2 = done
+    ups_items.clear();
+    ups_start.clear();
+    for flow in &problem.flows {
+        ups_start.push(ups_items.len());
+        if let Some(expr) = flow.attr(AttrKind::Transfer) {
+            expr.for_each_ref(&mut |attr, f| {
+                if attr == RefAttr::Transferred {
+                    ups_items.push(f.0);
+                }
+            });
+        }
+    }
+    ups_start.push(ups_items.len());
 
-    fn visit(problem: &Problem, state: &mut [u8], order: &mut Vec<usize>, i: usize) {
+    state.clear();
+    state.resize(n, 0); // 0 = unvisited, 1 = visiting, 2 = done
+    order.clear();
+
+    fn visit(
+        ups_items: &[usize],
+        ups_start: &[usize],
+        state: &mut [u8],
+        order: &mut Vec<usize>,
+        i: usize,
+    ) {
         if state[i] != 0 {
             return;
         }
         state[i] = 1;
-        if let Some(expr) = problem.flows[i].attr(AttrKind::Transfer) {
-            let mut ups: Vec<usize> = Vec::new();
-            expr.for_each_ref(&mut |attr, f| {
-                if attr == RefAttr::Transferred {
-                    ups.push(f.0);
-                }
-            });
-            for u in ups {
-                if state[u] == 0 {
-                    visit(problem, state, order, u);
-                }
+        for &u in &ups_items[ups_start[i]..ups_start[i + 1]] {
+            if state[u] == 0 {
+                visit(ups_items, ups_start, state, order, u);
             }
         }
         state[i] = 2;
@@ -479,9 +686,8 @@ fn transfer_topo_order(problem: &Problem) -> Vec<usize> {
     }
 
     for i in 0..n {
-        visit(problem, &mut state, &mut order, i);
+        visit(ups_items, ups_start, state, order, i);
     }
-    order
 }
 
 #[cfg(test)]

@@ -1,0 +1,139 @@
+//! Pins the zero-allocation invariant of `estimate_with`: after warm-up,
+//! re-estimating a problem under different bindings must not touch the
+//! heap. This is the property that makes the Figure-3 inner loop (and the
+//! exhaustive search built on it) scale; see `EstimatorScratch`.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator, so this
+//! file holds exactly one `#[test]` — parallel tests would pollute the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cloudtalk_lang::builder::QueryBuilder;
+use cloudtalk_lang::problem::{Address, Problem, Value};
+use estimator::{estimate, estimate_with, EstimatorScratch, HostState, World};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The Figure-3 daisy chain: `f1 x1 -> x2 size 100M; f2 x2 -> x3
+/// size sz(f1) transfer t(f1)`.
+fn daisy_query(addrs: &[Address]) -> Problem {
+    let mut b = QueryBuilder::new();
+    let vars = b.variable_group(
+        ["x1".into(), "x2".into(), "x3".into()],
+        addrs.iter().copied(),
+    );
+    let f1 = b
+        .flow("f1")
+        .from_var(vars[0])
+        .to_var(vars[1])
+        .size(100.0 * 1024.0 * 1024.0);
+    let h1 = f1.handle();
+    drop(f1);
+    b.flow("f2")
+        .from_var(vars[1])
+        .to_var(vars[2])
+        .size_of(h1)
+        .transfer_of(h1);
+    b.resolve().expect("well-formed")
+}
+
+#[test]
+fn estimate_with_is_allocation_free_after_warmup() {
+    let addrs: Vec<Address> = (1..=8).map(Address).collect();
+    let problem = daisy_query(&addrs);
+    let mut world = World::uniform(&addrs, HostState::gbps_idle());
+    // Non-uniform loads so different bindings exercise different resource
+    // tables and round counts.
+    for (i, &a) in addrs.iter().enumerate() {
+        world.set(
+            a,
+            HostState::gbps_idle()
+                .with_up_load(0.1 * (i % 7) as f64)
+                .with_down_load(0.08 * (i % 9) as f64),
+        );
+    }
+
+    let mut scratch = EstimatorScratch::new();
+    let mut binding = vec![
+        Value::Addr(addrs[0]),
+        Value::Addr(addrs[1]),
+        Value::Addr(addrs[2]),
+    ];
+
+    // Warm-up sweep: every distinct triple. Also checks bit-identity
+    // against the allocating wrapper while allocations are still allowed.
+    for i in 0..addrs.len() {
+        for j in 0..addrs.len() {
+            for k in 0..addrs.len() {
+                if i == j || j == k || i == k {
+                    continue;
+                }
+                binding[0] = Value::Addr(addrs[i]);
+                binding[1] = Value::Addr(addrs[j]);
+                binding[2] = Value::Addr(addrs[k]);
+                let fast = estimate_with(&mut scratch, &problem, &binding, &world)
+                    .expect("feasible binding");
+                let slow = estimate(&problem, &binding, &world).expect("feasible binding");
+                assert_eq!(fast.makespan.to_bits(), slow.makespan.to_bits());
+                assert_eq!(fast.throughput.to_bits(), slow.throughput.to_bits());
+                assert_eq!(scratch.flow_finish(), slow.flow_finish.as_slice());
+                assert_eq!(fast.deadline_miss_count, slow.deadline_misses.len());
+            }
+        }
+    }
+
+    // Measured sweep: the same workload must perform zero allocations.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut acc = 0.0f64;
+    for i in 0..addrs.len() {
+        for j in 0..addrs.len() {
+            for k in 0..addrs.len() {
+                if i == j || j == k || i == k {
+                    continue;
+                }
+                binding[0] = Value::Addr(addrs[i]);
+                binding[1] = Value::Addr(addrs[j]);
+                binding[2] = Value::Addr(addrs[k]);
+                let s = estimate_with(&mut scratch, &problem, &binding, &world)
+                    .expect("feasible binding");
+                acc += s.makespan;
+            }
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(acc > 0.0, "estimates must be non-trivial");
+    assert_eq!(
+        after - before,
+        0,
+        "estimate_with allocated {} times after warm-up",
+        after - before
+    );
+}

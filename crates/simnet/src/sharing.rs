@@ -72,6 +72,33 @@ const EPS: f64 = 1e-9;
 /// models that and guarantees elastic flows always make progress.
 pub const MAX_INELASTIC_FRACTION: f64 = 0.98;
 
+/// Reusable buffers for [`max_min_rates_into`].
+///
+/// The estimator calls the allocator once per simulation round, and the
+/// exhaustive search calls the estimator once per candidate binding —
+/// hundreds of thousands of allocator invocations per figure. Keeping the
+/// working set in a scratch that the caller threads through makes the
+/// steady-state allocator entirely allocation-free: every `Vec` below
+/// reaches its high-water capacity during the first call and is reused
+/// (cleared, never shrunk) afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct SharingScratch {
+    /// Residual capacity per resource.
+    remaining: Vec<f64>,
+    /// Indices of elastic demands not yet frozen at a final rate.
+    unfrozen: Vec<usize>,
+    /// Dense per-resource total multiplicity among unfrozen groups.
+    /// `0.0` doubles as the "untouched this round" sentinel (loads are
+    /// sums of strictly positive multiplicities).
+    load: Vec<f64>,
+    /// Resources with non-zero load this round (for sparse resets).
+    touched: Vec<ResourceIdx>,
+    /// Dense bottleneck flags, only ever set for touched resources.
+    bottleneck: Vec<bool>,
+    /// Per-demand aggregation of inelastic usages.
+    per_res: Vec<(ResourceIdx, f64)>,
+}
+
 /// Computes max-min fair rates for `demands` over `capacities`.
 ///
 /// Returns one rate per demand, in input order. Inelastic demands are
@@ -79,6 +106,10 @@ pub const MAX_INELASTIC_FRACTION: f64 = 0.98;
 /// have left); elastic demands then share the residual capacity max-min,
 /// honouring caps. Groups with no resource usages get `f64::INFINITY`
 /// (or their cap): nothing constrains them.
+///
+/// This is a thin wrapper over [`max_min_rates_into`] that allocates a
+/// fresh scratch and output vector; hot paths should hold a
+/// [`SharingScratch`] and call the `_into` form directly.
 ///
 /// # Examples
 ///
@@ -97,15 +128,43 @@ pub const MAX_INELASTIC_FRACTION: f64 = 0.98;
 /// assert_eq!(rates, vec![50.0, 50.0, 100.0]);
 /// ```
 pub fn max_min_rates(capacities: &[f64], demands: &[Demand]) -> Vec<f64> {
-    let mut remaining = capacities.to_vec();
-    let mut rates = vec![0.0f64; demands.len()];
+    let mut scratch = SharingScratch::default();
+    let mut rates = Vec::new();
+    max_min_rates_into(&mut scratch, capacities, demands, &mut rates);
+    rates
+}
+
+/// Allocation-free form of [`max_min_rates`]: writes one rate per demand
+/// into `rates` (cleared first), reusing `scratch` buffers across calls.
+///
+/// Produces bit-identical results to the original allocator: the water
+/// level is an order-independent minimum and the bottleneck set is used
+/// only for membership tests, so replacing the per-round hash map with
+/// dense vectors changes no arithmetic.
+pub fn max_min_rates_into(
+    scratch: &mut SharingScratch,
+    capacities: &[f64],
+    demands: &[Demand],
+    rates: &mut Vec<f64>,
+) {
+    rates.clear();
+    rates.resize(demands.len(), 0.0);
+
+    let remaining = &mut scratch.remaining;
+    remaining.clear();
+    remaining.extend_from_slice(capacities);
+    if scratch.load.len() < capacities.len() {
+        scratch.load.resize(capacities.len(), 0.0);
+        scratch.bottleneck.resize(capacities.len(), false);
+    }
 
     // Phase 1: inelastic demands, greedy in input order. Multiplicities
     // are aggregated per resource first so a demand listing the same
     // resource twice is clipped against its *total* usage there.
     for (i, d) in demands.iter().enumerate() {
         if let Some(want) = d.inelastic {
-            let mut per_res: Vec<(ResourceIdx, f64)> = Vec::with_capacity(d.usages.len());
+            let per_res = &mut scratch.per_res;
+            per_res.clear();
             for &(r, mult) in &d.usages {
                 if mult <= 0.0 {
                     continue;
@@ -117,53 +176,55 @@ pub fn max_min_rates(capacities: &[f64], demands: &[Demand]) -> Vec<f64> {
                 }
             }
             let mut rate = want;
-            for &(r, total) in &per_res {
+            for &(r, total) in per_res.iter() {
                 rate = rate.min((MAX_INELASTIC_FRACTION * remaining[r] / total).max(0.0));
             }
             if let Some(cap) = d.cap {
                 rate = rate.min(cap);
             }
             rates[i] = rate;
-            for &(r, total) in &per_res {
+            for &(r, total) in per_res.iter() {
                 remaining[r] = (remaining[r] - rate * total).max(0.0);
             }
         }
     }
 
-    // Phase 2: elastic demands via progressive filling.
-    let elastic: Vec<usize> = demands
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| d.inelastic.is_none())
-        .map(|(i, _)| i)
-        .collect();
-    let mut unfrozen: Vec<usize> = elastic.clone();
-
-    // Groups with no usages are unconstrained.
-    unfrozen.retain(|&i| {
-        if demands[i].usages.iter().all(|&(_, m)| m <= 0.0) {
-            rates[i] = demands[i].cap.unwrap_or(f64::INFINITY);
-            false
-        } else {
-            true
+    // Phase 2: elastic demands via progressive filling. Groups with no
+    // usages are unconstrained and never enter the loop.
+    let unfrozen = &mut scratch.unfrozen;
+    unfrozen.clear();
+    for (i, d) in demands.iter().enumerate() {
+        if d.inelastic.is_some() {
+            continue;
         }
-    });
+        if d.usages.iter().all(|&(_, m)| m <= 0.0) {
+            rates[i] = d.cap.unwrap_or(f64::INFINITY);
+        } else {
+            unfrozen.push(i);
+        }
+    }
 
     while !unfrozen.is_empty() {
         // Total multiplicity per resource among unfrozen groups.
-        let mut load: std::collections::HashMap<ResourceIdx, f64> =
-            std::collections::HashMap::new();
-        for &i in &unfrozen {
+        for &r in &scratch.touched {
+            scratch.load[r] = 0.0;
+            scratch.bottleneck[r] = false;
+        }
+        scratch.touched.clear();
+        for &i in unfrozen.iter() {
             for &(r, mult) in &demands[i].usages {
                 if mult > 0.0 {
-                    *load.entry(r).or_insert(0.0) += mult;
+                    if scratch.load[r] == 0.0 {
+                        scratch.touched.push(r);
+                    }
+                    scratch.load[r] += mult;
                 }
             }
         }
         // Water level: the lowest per-resource equal share.
         let mut level = f64::INFINITY;
-        for (&r, &total) in &load {
-            let share = (remaining[r] / total).max(0.0);
+        for &r in &scratch.touched {
+            let share = (remaining[r] / scratch.load[r]).max(0.0);
             if share < level {
                 level = share;
             }
@@ -195,19 +256,18 @@ pub fn max_min_rates(capacities: &[f64], demands: &[Demand]) -> Vec<f64> {
         }
 
         // Freeze every group using a bottleneck resource at the level.
-        let bottlenecks: Vec<ResourceIdx> = load
-            .iter()
-            .filter(|(&r, &total)| {
-                (remaining[r] / total).max(0.0) <= level * (1.0 + EPS)
-            })
-            .map(|(&r, _)| r)
-            .collect();
+        for &r in &scratch.touched {
+            if (remaining[r] / scratch.load[r]).max(0.0) <= level * (1.0 + EPS) {
+                scratch.bottleneck[r] = true;
+            }
+        }
+        let bottleneck = &scratch.bottleneck;
         let mut froze = false;
         unfrozen.retain(|&i| {
             let uses_bottleneck = demands[i]
                 .usages
                 .iter()
-                .any(|&(r, mult)| mult > 0.0 && bottlenecks.contains(&r));
+                .any(|&(r, mult)| mult > 0.0 && bottleneck[r]);
             if uses_bottleneck {
                 rates[i] = level;
                 for &(r, mult) in &demands[i].usages {
@@ -222,14 +282,12 @@ pub fn max_min_rates(capacities: &[f64], demands: &[Demand]) -> Vec<f64> {
         debug_assert!(froze, "progressive filling must freeze each round");
         if !froze {
             // Defensive: avoid an infinite loop if float trouble strikes.
-            for &i in &unfrozen {
+            for &i in unfrozen.iter() {
                 rates[i] = level;
             }
             break;
         }
     }
-
-    rates
 }
 
 /// Checks that `rates` is feasible: no resource is used beyond capacity
@@ -414,6 +472,43 @@ mod tests {
             .iter()
             .zip(&caps)
             .any(|(u, c)| (u - c).abs() < 1e-6 * c));
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_allocation() {
+        // One scratch threaded through dissimilar problems (different
+        // resource counts, demand counts, and demand kinds) must give the
+        // same rates as fresh calls — stale buffer contents never leak.
+        let problems: Vec<(Vec<f64>, Vec<Demand>)> = vec![
+            (
+                vec![100.0, 50.0, 25.0, 10.0],
+                vec![
+                    Demand::elastic(vec![(0, 1.0), (1, 1.0)]),
+                    Demand::capped(vec![(1, 1.0), (2, 1.0)], 8.0),
+                    Demand::inelastic(vec![(2, 1.0), (3, 1.0)], 9.0),
+                    Demand::elastic(vec![(0, 2.0), (3, 1.0)]),
+                ],
+            ),
+            (vec![90.0], vec![Demand::elastic(vec![(0, 1.0)])]),
+            (
+                vec![10.0, 100.0],
+                vec![
+                    Demand::elastic(vec![(0, 1.0)]),
+                    Demand::elastic(vec![(0, 1.0), (1, 1.0)]),
+                    Demand::elastic(vec![(1, 1.0)]),
+                    Demand::elastic(vec![]),
+                ],
+            ),
+            (vec![], vec![Demand::capped(vec![], 7.0)]),
+            (vec![0.0], vec![Demand::elastic(vec![(0, 1.0)])]),
+        ];
+        let mut scratch = SharingScratch::default();
+        let mut rates = Vec::new();
+        for (caps, demands) in &problems {
+            max_min_rates_into(&mut scratch, caps, demands, &mut rates);
+            let fresh = max_min_rates(caps, demands);
+            assert_eq!(rates, fresh, "caps {caps:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in the order a failure is
+# cheapest to report. Usage: scripts/ci.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== build (release) ==="
+cargo build --release --workspace
+
+echo "=== tests ==="
+cargo test -q --workspace
+
+echo "=== benches compile ==="
+cargo bench --no-run --workspace
+
+echo "ci: all green"
