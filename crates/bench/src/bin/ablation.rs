@@ -78,8 +78,7 @@ fn priority_ablation() {
                 ["X".into(), "Y".into(), "Z".into()],
                 [a, Address(2), Address(3)],
             );
-            let f1 = b.flow("f1").from_var(vars[0]).to_var(vars[1]).size(100.0 * MB);
-            drop(f1);
+            b.flow("f1").from_var(vars[0]).to_var(vars[1]).size(100.0 * MB);
             b.flow("f2").from_var(vars[2]).to_addr(a).size(100.0 * MB);
             let problem = b.resolve().expect("well-formed");
             let world = random_state(&[a, Address(2), Address(3)], LoadDist::Uniform, &mut rng);

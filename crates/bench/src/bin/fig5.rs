@@ -41,7 +41,7 @@ fn run(kind: OpKind, policy: Policy, busy_frac: f64, seed: u64) -> f64 {
     let n_busy = ((hosts.len() - 1) as f64 * busy_frac).round() as usize;
     disk_hogs(
         &mut cluster.net,
-        &hosts[1..=n_busy.max(0)],
+        &hosts[1..=n_busy],
         kind == OpKind::Write,
     );
 

@@ -398,12 +398,10 @@ impl Bounder {
         let f = &self.flows[i];
         let mut rate = f.cap;
         match (f.src.bound(prefix), f.dst.bound(prefix)) {
-            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) => {
-                if a != b {
-                    rate = rate
-                        .min(world.get(a).up_free())
-                        .min(world.get(b).down_free());
-                }
+            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) if a != b => {
+                rate = rate
+                    .min(world.get(a).up_free())
+                    .min(world.get(b).down_free());
             }
             (BoundEndpoint::Host(a), BoundEndpoint::Disk) => {
                 let s = world.get(a);

@@ -1,0 +1,495 @@
+//! Deterministic fault injection for the status-collection path.
+//!
+//! The paper's central robustness claim is that CloudTalk answers well
+//! from *imperfect* data: lossy UDP scatter-gather, silent hosts "assumed
+//! overloaded", and load reports that lag reality (§4, §4.3). This module
+//! makes every one of those imperfections an explicit, seeded input — the
+//! chaos-middleware approach of CloudSim-style simulators — so tests can
+//! assert that the answer pipeline survives them:
+//!
+//! * **Crashed / restarting status servers** — a host answers nothing
+//!   while its crash [`Window`] is open, and recovers when it closes.
+//! * **Partitions** — per-host or per-rack unreachability windows; unlike
+//!   a crash the host is healthy, the datagrams just never arrive.
+//! * **Stragglers** — the first *k* polls of a host exceed the gather
+//!   timeout (counted missing for that round); a retry recovers them.
+//! * **Stale reports** — replies carry data measured `lag` ago, either by
+//!   aging the live reading or by serving from a frozen
+//!   [`estimator::World`] view.
+//! * **Corrupted readings** — NaN, negative, or overflowed fields, which
+//!   the transport's sanitisation choke point must repair.
+//!
+//! Everything is deterministic: a [`FaultPlan`] is plain data, and
+//! [`FaultPlan::seeded`] derives one reproducibly from a `u64` seed, so a
+//! failing chaos case replays bit-for-bit.
+
+use std::collections::HashMap;
+
+use cloudtalk_lang::problem::Address;
+use desim::rng::stream_rng;
+use desim::{SimDuration, SimTime};
+use estimator::{HostState, World};
+use rand::Rng;
+
+use crate::status::{StatusReport, StatusSource};
+
+/// A simulated-time interval during which a fault is active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Window {
+    from: SimTime,
+    until: Option<SimTime>,
+}
+
+impl Window {
+    /// A fault active for the whole run.
+    pub fn always() -> Self {
+        Window {
+            from: SimTime::ZERO,
+            until: None,
+        }
+    }
+
+    /// A fault active from `from` onwards (a crash with no restart).
+    pub fn starting_at(from: SimTime) -> Self {
+        Window { from, until: None }
+    }
+
+    /// A fault active in `[from, until)` (a crash that restarts at
+    /// `until`).
+    pub fn between(from: SimTime, until: SimTime) -> Self {
+        Window {
+            from,
+            until: Some(until),
+        }
+    }
+
+    /// Whether the fault is active at `now`.
+    pub fn contains(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|u| now < u)
+    }
+}
+
+/// A way a status reading can be garbage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Corruption {
+    /// Transmit usage reads as NaN (a torn read of an uninitialised
+    /// counter).
+    NanUsage,
+    /// Receive usage reads negative (a counter that wrapped backwards).
+    NegativeUsage,
+    /// Disk-read usage overflows far past capacity.
+    OverflowedUsage,
+    /// Disk-write capacity reads negative.
+    NegativeCapacity,
+    /// Transmit capacity reads infinite (a division by a zero interval).
+    InfiniteCapacity,
+}
+
+impl Corruption {
+    /// Every corruption kind, for seeded plan generation.
+    pub const ALL: [Corruption; 5] = [
+        Corruption::NanUsage,
+        Corruption::NegativeUsage,
+        Corruption::OverflowedUsage,
+        Corruption::NegativeCapacity,
+        Corruption::InfiniteCapacity,
+    ];
+
+    /// Applies the corruption to an otherwise honest reading.
+    pub fn apply(self, mut state: HostState) -> HostState {
+        match self {
+            Corruption::NanUsage => state.nic_up_used = f64::NAN,
+            Corruption::NegativeUsage => state.nic_down_used = -1e9,
+            Corruption::OverflowedUsage => state.disk_read_used = f64::MAX,
+            Corruption::NegativeCapacity => state.disk_write_capacity = -450e6,
+            Corruption::InfiniteCapacity => state.nic_up_capacity = f64::INFINITY,
+        }
+        state
+    }
+}
+
+/// Per-fault-class intensities for seeded plan generation. Each fraction
+/// is the independent probability that a given host suffers that fault.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultIntensity {
+    /// Fraction of hosts whose status server is crashed (never answers).
+    pub crash_frac: f64,
+    /// Fraction of hosts cut off by a network partition.
+    pub partition_frac: f64,
+    /// Fraction of hosts whose first replies exceed the gather timeout.
+    pub straggler_frac: f64,
+    /// Rounds a straggler keeps missing before it answers (uniform in
+    /// `1..=max_straggler_rounds`).
+    pub max_straggler_rounds: u32,
+    /// Fraction of hosts serving stale reports.
+    pub stale_frac: f64,
+    /// Age of stale reports.
+    pub stale_age: SimDuration,
+    /// Fraction of hosts returning corrupted readings.
+    pub corrupt_frac: f64,
+}
+
+impl FaultIntensity {
+    /// A mild plan: a few stragglers and stale reports, nothing fatal.
+    pub fn mild() -> Self {
+        FaultIntensity {
+            crash_frac: 0.0,
+            partition_frac: 0.0,
+            straggler_frac: 0.1,
+            max_straggler_rounds: 1,
+            stale_frac: 0.1,
+            stale_age: SimDuration::from_millis(500),
+            corrupt_frac: 0.0,
+        }
+    }
+
+    /// The kitchen sink: every fault class at once, at rates high enough
+    /// that most answers degrade.
+    pub fn chaos() -> Self {
+        FaultIntensity {
+            crash_frac: 0.2,
+            partition_frac: 0.2,
+            straggler_frac: 0.3,
+            max_straggler_rounds: 4,
+            stale_frac: 0.3,
+            stale_age: SimDuration::from_secs_f64(5.0),
+            corrupt_frac: 0.2,
+        }
+    }
+}
+
+impl Default for FaultIntensity {
+    fn default() -> Self {
+        FaultIntensity::mild()
+    }
+}
+
+/// A deterministic description of every injected fault.
+///
+/// Build one explicitly with the `crash`/`partition`/… methods, or derive
+/// one reproducibly from a seed with [`FaultPlan::seeded`]; then wrap any
+/// [`StatusSource`] in a [`FaultySource`] to apply it.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    crashed: HashMap<Address, Window>,
+    partitioned: HashMap<Address, Window>,
+    stragglers: HashMap<Address, u32>,
+    stale: HashMap<Address, SimDuration>,
+    corrupt: HashMap<Address, Corruption>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crashes `addr`'s status server during `window`.
+    pub fn crash(mut self, addr: Address, window: Window) -> Self {
+        self.crashed.insert(addr, window);
+        self
+    }
+
+    /// Partitions `addr` away from the CloudTalk server during `window`.
+    pub fn partition(mut self, addr: Address, window: Window) -> Self {
+        self.partitioned.insert(addr, window);
+        self
+    }
+
+    /// Partitions a whole group (e.g. every host of a rack) at once.
+    pub fn partition_group(
+        mut self,
+        addrs: impl IntoIterator<Item = Address>,
+        window: Window,
+    ) -> Self {
+        for a in addrs {
+            self.partitioned.insert(a, window);
+        }
+        self
+    }
+
+    /// Makes `addr`'s first `rounds` replies exceed the gather timeout.
+    pub fn straggle(mut self, addr: Address, rounds: u32) -> Self {
+        self.stragglers.insert(addr, rounds);
+        self
+    }
+
+    /// Makes `addr` serve reports that are `age` old.
+    pub fn stale(mut self, addr: Address, age: SimDuration) -> Self {
+        self.stale.insert(addr, age);
+        self
+    }
+
+    /// Makes `addr` serve readings corrupted by `kind`.
+    pub fn corrupt(mut self, addr: Address, kind: Corruption) -> Self {
+        self.corrupt.insert(addr, kind);
+        self
+    }
+
+    /// Derives a plan over `addrs` reproducibly from `seed`: each host
+    /// independently rolls each fault class at the configured intensity.
+    pub fn seeded(seed: u64, addrs: &[Address], intensity: &FaultIntensity) -> Self {
+        let mut rng = stream_rng(seed, 0xFA17);
+        let mut plan = FaultPlan::none();
+        for &addr in addrs {
+            if intensity.crash_frac > 0.0 && rng.gen_bool(intensity.crash_frac) {
+                plan.crashed.insert(addr, Window::always());
+            }
+            if intensity.partition_frac > 0.0 && rng.gen_bool(intensity.partition_frac) {
+                plan.partitioned.insert(addr, Window::always());
+            }
+            if intensity.straggler_frac > 0.0 && rng.gen_bool(intensity.straggler_frac) {
+                let rounds = rng.gen_range(1..=intensity.max_straggler_rounds.max(1));
+                plan.stragglers.insert(addr, rounds);
+            }
+            if intensity.stale_frac > 0.0 && rng.gen_bool(intensity.stale_frac) {
+                plan.stale.insert(addr, intensity.stale_age);
+            }
+            if intensity.corrupt_frac > 0.0 && rng.gen_bool(intensity.corrupt_frac) {
+                let kind = Corruption::ALL[rng.gen_range(0..Corruption::ALL.len())];
+                plan.corrupt.insert(addr, kind);
+            }
+        }
+        plan
+    }
+
+    /// Hosts that can never answer while their fault window is open at
+    /// `now` (crashed or partitioned) — the set retries cannot recover.
+    pub fn silenced_at(&self, now: SimTime) -> impl Iterator<Item = Address> + '_ {
+        self.crashed
+            .iter()
+            .chain(self.partitioned.iter())
+            .filter(move |(_, w)| w.contains(now))
+            .map(|(&a, _)| a)
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashed.is_empty()
+            && self.partitioned.is_empty()
+            && self.stragglers.is_empty()
+            && self.stale.is_empty()
+            && self.corrupt.is_empty()
+    }
+}
+
+/// A decorator applying a [`FaultPlan`] to any [`StatusSource`].
+///
+/// Time-dependent faults (crash/partition windows) are evaluated against
+/// the time set with [`FaultySource::set_now`]; straggler faults are
+/// evaluated against a per-host attempt counter, so a retry round
+/// naturally recovers a straggler once its configured miss count is
+/// exhausted. Stale faults serve either the inner source's reading aged
+/// by the configured lag, or — when a frozen world was attached with
+/// [`FaultySource::with_stale_world`] — the old reading itself.
+pub struct FaultySource<S> {
+    inner: S,
+    plan: FaultPlan,
+    now: SimTime,
+    stale_view: Option<World>,
+    attempts: HashMap<Address, u32>,
+}
+
+impl<S> FaultySource<S> {
+    /// Wraps `inner`, applying `plan` to every poll.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultySource {
+            inner,
+            plan,
+            now: SimTime::ZERO,
+            stale_view: None,
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// Attaches a frozen world: hosts marked stale serve *these* readings
+    /// (the cluster as it used to be) instead of the live ones.
+    pub fn with_stale_world(mut self, world: World) -> Self {
+        self.stale_view = Some(world);
+        self
+    }
+
+    /// Sets the current simulated time, against which crash/partition
+    /// windows are evaluated.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The wrapped source.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// How many polls `addr` has seen so far.
+    pub fn attempts(&self, addr: Address) -> u32 {
+        self.attempts.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<S: StatusSource> StatusSource for FaultySource<S> {
+    fn poll(&mut self, addr: Address) -> Option<HostState> {
+        self.poll_report(addr).map(|r| r.state)
+    }
+
+    fn poll_report(&mut self, addr: Address) -> Option<StatusReport> {
+        let attempt = {
+            let a = self.attempts.entry(addr).or_insert(0);
+            *a += 1;
+            *a
+        };
+        let now = self.now;
+        if self
+            .plan
+            .crashed
+            .get(&addr)
+            .is_some_and(|w| w.contains(now))
+        {
+            return None;
+        }
+        if self
+            .plan
+            .partitioned
+            .get(&addr)
+            .is_some_and(|w| w.contains(now))
+        {
+            return None;
+        }
+        if self
+            .plan
+            .stragglers
+            .get(&addr)
+            .is_some_and(|&rounds| attempt <= rounds)
+        {
+            return None; // reply will arrive after the timeout: missed round
+        }
+        let mut report = match self.plan.stale.get(&addr) {
+            Some(&lag) => match &self.stale_view {
+                Some(view) if view.knows(addr) => StatusReport {
+                    state: view.get(addr),
+                    age: lag,
+                },
+                _ => {
+                    let mut r = self.inner.poll_report(addr)?;
+                    r.age += lag;
+                    r
+                }
+            },
+            None => self.inner.poll_report(addr)?,
+        };
+        if let Some(&kind) = self.plan.corrupt.get(&addr) {
+            report.state = kind.apply(report.state);
+        }
+        Some(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::TableStatusSource;
+
+    fn source(n: u32) -> TableStatusSource {
+        let mut s = TableStatusSource::new();
+        for i in 1..=n {
+            s.set(Address(i), HostState::gbps_idle());
+        }
+        s
+    }
+
+    #[test]
+    fn crash_window_silences_then_recovers() {
+        let plan = FaultPlan::none().crash(
+            Address(1),
+            Window::between(SimTime::ZERO, SimTime::from_secs_f64(1.0)),
+        );
+        let mut f = FaultySource::new(source(2), plan);
+        assert!(f.poll_report(Address(1)).is_none(), "crashed: silent");
+        assert!(f.poll_report(Address(2)).is_some(), "others unaffected");
+        f.set_now(SimTime::from_secs_f64(2.0));
+        assert!(f.poll_report(Address(1)).is_some(), "restarted: answers");
+    }
+
+    #[test]
+    fn partition_group_silences_whole_rack() {
+        let rack: Vec<Address> = (1..=3).map(Address).collect();
+        let plan = FaultPlan::none().partition_group(rack.clone(), Window::always());
+        let mut f = FaultySource::new(source(6), plan);
+        for a in &rack {
+            assert!(f.poll_report(*a).is_none());
+        }
+        assert!(f.poll_report(Address(4)).is_some());
+        assert_eq!(f.plan().silenced_at(SimTime::ZERO).count(), 3);
+    }
+
+    #[test]
+    fn straggler_misses_then_answers_on_retry() {
+        let plan = FaultPlan::none().straggle(Address(1), 2);
+        let mut f = FaultySource::new(source(1), plan);
+        assert!(f.poll_report(Address(1)).is_none(), "round 1 times out");
+        assert!(f.poll_report(Address(1)).is_none(), "round 2 times out");
+        assert!(f.poll_report(Address(1)).is_some(), "round 3 arrives");
+        assert_eq!(f.attempts(Address(1)), 3);
+    }
+
+    #[test]
+    fn stale_ages_live_reading_or_serves_frozen_world() {
+        let lag = SimDuration::from_secs_f64(2.0);
+        let plan = FaultPlan::none().stale(Address(1), lag);
+        // Without a frozen world: live state, aged.
+        let mut f = FaultySource::new(source(1), plan.clone());
+        let r = f.poll_report(Address(1)).unwrap();
+        assert_eq!(r.age, lag);
+        assert_eq!(r.state, HostState::gbps_idle());
+        // With one: the old reading itself.
+        let old = World::uniform(&[Address(1)], HostState::gbps_idle().with_up_load(0.9));
+        let mut f = FaultySource::new(source(1), plan).with_stale_world(old);
+        let r = f.poll_report(Address(1)).unwrap();
+        assert_eq!(r.age, lag);
+        assert!(r.state.nic_up_used > 0.0, "served the frozen busy state");
+    }
+
+    #[test]
+    fn corruption_kinds_each_break_sanity() {
+        for kind in Corruption::ALL {
+            let broken = kind.apply(HostState::gbps_idle());
+            assert!(!broken.is_sane(), "{kind:?} must produce garbage");
+            assert!(broken.sanitised().is_sane(), "{kind:?} must be repairable");
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_scale_with_intensity() {
+        let addrs: Vec<Address> = (1..=100).map(Address).collect();
+        let a = FaultPlan::seeded(7, &addrs, &FaultIntensity::chaos());
+        let b = FaultPlan::seeded(7, &addrs, &FaultIntensity::chaos());
+        assert_eq!(a.crashed, b.crashed);
+        assert_eq!(a.stragglers, b.stragglers);
+        assert_eq!(a.stale, b.stale);
+        assert_eq!(a.corrupt, b.corrupt);
+        assert!(!a.is_empty());
+        let crashed = a.crashed.len();
+        assert!(
+            (5..=40).contains(&crashed),
+            "≈20% of 100 hosts crash, got {crashed}"
+        );
+        let none = FaultPlan::seeded(
+            7,
+            &addrs,
+            &FaultIntensity {
+                crash_frac: 0.0,
+                partition_frac: 0.0,
+                straggler_frac: 0.0,
+                max_straggler_rounds: 0,
+                stale_frac: 0.0,
+                stale_age: SimDuration::ZERO,
+                corrupt_frac: 0.0,
+            },
+        );
+        assert!(none.is_empty());
+    }
+}

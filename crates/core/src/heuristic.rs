@@ -118,7 +118,10 @@ pub fn evaluate_query_scored(
             .filter(|v| !problem.distinct || !pool_taken.contains(v))
             .collect();
         if available.is_empty() {
-            // Pool exhausted: reuse values (everyone gets work).
+            // Pool exhausted: reuse values (everyone gets work). A pool
+            // that is empty outright has no values to reuse — the server
+            // rejects such problems with `ServerError::EmptyCandidates`
+            // before evaluation; direct callers must do the same.
             available = var.candidates.iter().collect();
         }
         let mut best: Option<(f64, Value)> = None;

@@ -22,6 +22,11 @@
 //! * [`reservation`] — §5.5 pseudo-reservations preventing oscillation.
 //! * [`server`] — [`server::CloudTalkServer`] tying it all together.
 //! * [`messages`] — wire-format sizes for the §5.5 overhead accounting.
+//! * [`faults`] — deterministic fault injection (crashed status servers,
+//!   partitions, stragglers, stale and corrupted reports) for chaos
+//!   testing the collection/answer path; the server survives all of it
+//!   via retry/backoff, staleness decay, and a graceful-degradation
+//!   ladder ([`server::DegradationRung`]).
 //!
 //! The paper's §7 future-work directions are implemented too:
 //! [`billing`] (workload-described price quotes) and [`scalar`]
@@ -60,6 +65,7 @@
 
 pub mod billing;
 pub mod exhaustive;
+pub mod faults;
 pub mod heuristic;
 pub mod messages;
 pub mod pkteval;
@@ -71,6 +77,10 @@ pub mod server;
 pub mod status;
 pub mod transport;
 
+pub use faults::{Corruption, FaultIntensity, FaultPlan, FaultySource, Window};
 pub use heuristic::evaluate_query;
-pub use server::{Answer, CloudTalkServer, EvalMethod, ServerConfig, StatusSnapshot};
-pub use status::{StatusSource, TableStatusSource};
+pub use server::{
+    Answer, CloudTalkServer, DegradationConfig, DegradationRung, EvalMethod, ServerConfig,
+    ServerError, StatusSnapshot,
+};
+pub use status::{LaggedStatusSource, StatusReport, StatusSource, TableStatusSource};

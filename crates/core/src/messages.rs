@@ -18,6 +18,9 @@ pub struct OverheadLedger {
     pub status_queries: u64,
     /// Status responses received.
     pub status_responses: u64,
+    /// Scatter-gather rounds performed (retries count as extra rounds, so
+    /// multi-round gathers are visible in the accounting).
+    pub rounds: u64,
     /// Bytes of client query text received.
     pub query_text_bytes: u64,
     /// Bytes of answers returned to clients.
@@ -29,6 +32,7 @@ impl OverheadLedger {
     pub fn record_round(&mut self, sent: u64, received: u64) {
         self.status_queries += sent;
         self.status_responses += received;
+        self.rounds += 1;
     }
 
     /// Records a client interaction.
@@ -80,6 +84,7 @@ mod tests {
         ledger.record_round(5, 5);
         assert_eq!(ledger.status_queries, 15);
         assert_eq!(ledger.status_responses, 13);
+        assert_eq!(ledger.rounds, 2, "each retry round is counted");
         ledger.record_client(100, 20);
         assert_eq!(
             ledger.total_bytes(),

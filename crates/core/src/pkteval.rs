@@ -244,7 +244,6 @@ mod tests {
         let mut b = QueryBuilder::new();
         let s1 = b.flow("f1").from_addr(leaf).to_addr(agg).size(100_000.0);
         let h1 = s1.handle();
-        drop(s1);
         b.flow("f2")
             .from_addr(agg)
             .to_addr(fe)
@@ -299,7 +298,6 @@ mod tests {
         let mut b = QueryBuilder::new();
         let d = b.flow("f1").from_addr(a).to_disk().size(1e6);
         let hd = d.handle();
-        drop(d);
         b.flow("f2").from_addr(a).to_addr(bb).size(10_000.0).transfer_of(hd);
         let p = b.resolve().unwrap();
         let r = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap();

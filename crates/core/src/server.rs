@@ -22,6 +22,7 @@
 //! for a single query when the caller manages snapshot lifetime itself.
 
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use cloudtalk_lang::problem::{Address, Binding, Problem, Value};
@@ -36,7 +37,7 @@ use crate::messages::OverheadLedger;
 use crate::reservation::ReservationTable;
 use crate::sampling::{sample_candidates, DEFAULT_SAMPLE_THRESHOLD};
 use crate::status::StatusSource;
-use crate::transport::{scatter_gather, TransportConfig};
+use crate::transport::{scatter_gather_retry, TransportConfig};
 
 /// Which evaluation backend answers the query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -55,7 +56,7 @@ pub enum EvalMethod {
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Scatter-gather transport parameters.
+    /// Scatter-gather transport parameters (including retry/backoff).
     pub transport: TransportConfig,
     /// Heuristic parameters (weight `W`, priority binding).
     pub heuristic: HeuristicConfig,
@@ -70,6 +71,8 @@ pub struct ServerConfig {
     /// Whether to gather dynamic status data; with `false`, evaluation
     /// sees idle hosts everywhere (static/topology-only mode, §4).
     pub use_dynamic: bool,
+    /// Graceful-degradation ladder parameters.
+    pub degradation: DegradationConfig,
     /// RNG seed for sampling and transport loss.
     pub seed: u64,
 }
@@ -83,7 +86,97 @@ impl Default for ServerConfig {
             reservation_hold: Some(SimDuration::from_millis(300)),
             method: EvalMethod::Heuristic,
             use_dynamic: true,
+            degradation: DegradationConfig::default(),
             seed: 0,
+        }
+    }
+}
+
+/// Which rung of the graceful-degradation ladder answered a query.
+///
+/// The ladder trades answer quality for robustness as the gathered status
+/// data degrades; the chosen rung is reported in the [`Answer`] so callers
+/// (and chaos tests) can observe degradation instead of silently absorbing
+/// skewed placements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradationRung {
+    /// Enough fresh data: the configured evaluation backend runs on the
+    /// full snapshot.
+    Full,
+    /// Partially degraded: the heuristic runs against only the *fresh*
+    /// subset of reports; stale/missing hosts count as overloaded. The
+    /// exhaustive backend is never used here — with mostly-pessimistic
+    /// inputs it can find no feasible binding, while the heuristic always
+    /// completes.
+    FreshSubset,
+    /// Collection effectively failed: a static assume-busy fallback — every
+    /// host pessimistic, the heuristic picks deterministically among
+    /// equals. The answer is valid but blind; callers seeing this rung
+    /// should treat the recommendation as a tie-break, not a measurement.
+    AssumeBusy,
+}
+
+impl std::fmt::Display for DegradationRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationRung::Full => write!(f, "full"),
+            DegradationRung::FreshSubset => write!(f, "fresh-subset"),
+            DegradationRung::AssumeBusy => write!(f, "assume-busy"),
+        }
+    }
+}
+
+/// Parameters of the graceful-degradation ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationConfig {
+    /// Staleness-decay half-life: a report `half_life` old contributes 0.5
+    /// to the freshness score, `2·half_life` contributes 0.25, and so on.
+    /// Missing hosts contribute 0.
+    pub half_life: SimDuration,
+    /// Reports older than this are excluded from the fresh subset on the
+    /// [`DegradationRung::FreshSubset`] rung.
+    pub fresh_max_age: SimDuration,
+    /// Freshness score at or above which the full backend runs.
+    pub full_threshold: f64,
+    /// Freshness score below which even the fresh subset is too thin and
+    /// the assume-busy fallback answers.
+    pub fallback_threshold: f64,
+    /// With `strict`, a query that would fall to
+    /// [`DegradationRung::AssumeBusy`] fails with
+    /// [`ServerError::TooStale`] instead — for callers that would rather
+    /// retry later than act on a blind recommendation.
+    pub strict: bool,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            half_life: SimDuration::from_millis(500),
+            fresh_max_age: SimDuration::from_secs_f64(1.0),
+            full_threshold: 0.7,
+            fallback_threshold: 0.2,
+            strict: false,
+        }
+    }
+}
+
+impl DegradationConfig {
+    /// The staleness-decay weight of one report of the given age.
+    pub fn decay(&self, age: SimDuration) -> f64 {
+        if self.half_life == SimDuration::ZERO {
+            return if age == SimDuration::ZERO { 1.0 } else { 0.0 };
+        }
+        0.5_f64.powf(age.as_secs_f64() / self.half_life.as_secs_f64())
+    }
+
+    /// Selects the ladder rung for a snapshot freshness score.
+    pub fn rung_for(&self, freshness: f64) -> DegradationRung {
+        if freshness >= self.full_threshold {
+            DegradationRung::Full
+        } else if freshness >= self.fallback_threshold {
+            DegradationRung::FreshSubset
+        } else {
+            DegradationRung::AssumeBusy
         }
     }
 }
@@ -112,8 +205,15 @@ pub struct Answer {
     pub sampled: bool,
     /// Status servers interrogated.
     pub interrogated: usize,
-    /// Status servers that did not answer.
+    /// Status servers that did not answer (after retries).
     pub missing: usize,
+    /// Scatter-gather rounds spent (1 = no retries needed).
+    pub gather_rounds: u32,
+    /// Freshness score of the snapshot that produced this answer
+    /// (1 = every host reported fresh data, 0 = nothing usable).
+    pub freshness: f64,
+    /// Which rung of the degradation ladder produced the answer.
+    pub rung: DegradationRung,
 }
 
 /// Why a query failed.
@@ -123,6 +223,17 @@ pub enum ServerError {
     Language(LangError),
     /// Exhaustive evaluation failed.
     Exhaustive(ExhaustiveError),
+    /// A variable has an empty candidate pool: no binding can exist.
+    EmptyCandidates {
+        /// Name of the offending variable.
+        var: String,
+    },
+    /// Status data was too stale to answer and the degradation config is
+    /// strict (the assume-busy fallback is disabled).
+    TooStale {
+        /// The snapshot's freshness score.
+        freshness: f64,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -130,6 +241,13 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Language(e) => write!(f, "query error: {e}"),
             ServerError::Exhaustive(e) => write!(f, "exhaustive evaluation failed: {e}"),
+            ServerError::EmptyCandidates { var } => {
+                write!(f, "variable '{var}' has an empty candidate pool")
+            }
+            ServerError::TooStale { freshness } => write!(
+                f,
+                "status data too stale to answer (freshness {freshness:.2}, strict mode)"
+            ),
         }
     }
 }
@@ -234,7 +352,7 @@ impl CloudTalkServer {
         source: &mut impl StatusSource,
     ) -> StatusSnapshot {
         if self.cfg.use_dynamic {
-            let outcome = scatter_gather(
+            let outcome = scatter_gather_retry(
                 source,
                 addrs,
                 &self.cfg.transport,
@@ -242,22 +360,41 @@ impl CloudTalkServer {
                 &mut self.ledger,
             );
             let mut world = World::new();
-            for (addr, state) in &outcome.replies {
-                world.set(*addr, *state);
+            let mut ages = HashMap::with_capacity(outcome.replies.len());
+            let mut decay_sum = 0.0;
+            for (addr, report) in &outcome.replies {
+                world.set(*addr, report.state);
+                ages.insert(*addr, report.age);
+                decay_sum += self.cfg.degradation.decay(report.age);
             }
+            // Missing hosts contribute 0: a snapshot that never heard from
+            // half the fleet is at most half fresh no matter how crisp the
+            // other half's reports are.
+            let freshness = if addrs.is_empty() {
+                1.0
+            } else {
+                decay_sum / addrs.len() as f64
+            };
             StatusSnapshot {
                 world: Arc::new(world),
+                ages: Arc::new(ages),
                 elapsed: outcome.elapsed,
                 interrogated: addrs.len(),
                 missing: outcome.missing.len(),
+                rounds: outcome.rounds,
+                freshness,
             }
         } else {
-            // Static mode: assume idle hosts; no status traffic.
+            // Static mode: assume idle hosts; no status traffic, and the
+            // (synthetic) data is by definition fresh.
             StatusSnapshot {
                 world: Arc::new(World::uniform(addrs, HostState::gbps_idle())),
+                ages: Arc::new(HashMap::new()),
                 elapsed: SimDuration::ZERO,
                 interrogated: addrs.len(),
                 missing: 0,
+                rounds: 0,
+                freshness: 1.0,
             }
         }
     }
@@ -340,6 +477,11 @@ impl CloudTalkServer {
 
     /// Evaluation + reservation + answer assembly, shared by the direct
     /// and snapshot paths. Assumes `purge` and sampling already happened.
+    ///
+    /// This is where the graceful-degradation ladder engages: the
+    /// snapshot's freshness score picks a rung, and the rung picks both
+    /// the data (full world / fresh subset / nothing) and the backend
+    /// (configured method / heuristic) the answer comes from.
     fn answer_snapshot_inner(
         &mut self,
         working: &Problem,
@@ -348,14 +490,49 @@ impl CloudTalkServer {
         reserve: bool,
         sampled: bool,
     ) -> Result<Answer, ServerError> {
+        // A variable with an empty candidate pool can never be bound; fail
+        // with a typed error instead of panicking deep in the evaluator.
+        if let Some(v) = working.vars.iter().find(|v| v.candidates.is_empty()) {
+            return Err(ServerError::EmptyCandidates {
+                var: v.name.clone(),
+            });
+        }
+
+        let rung = self.cfg.degradation.rung_for(snapshot.freshness());
+        if rung == DegradationRung::AssumeBusy && self.cfg.degradation.strict {
+            return Err(ServerError::TooStale {
+                freshness: snapshot.freshness(),
+            });
+        }
+
         let addrs = working.mentioned_addresses();
+        // The world the chosen rung evaluates against. `base` owns the
+        // degraded copies; `Full` keeps borrowing the shared snapshot.
+        let base: Option<World> = match rung {
+            DegradationRung::Full => None,
+            DegradationRung::FreshSubset => {
+                Some(snapshot.fresh_world(self.cfg.degradation.fresh_max_age))
+            }
+            // Static fallback: no data is trusted, every host is assumed
+            // busy (an empty world answers every lookup pessimistically).
+            DegradationRung::AssumeBusy => Some(World::new()),
+        };
+        let base: &World = base.as_ref().unwrap_or_else(|| snapshot.world());
         // Overlay reservations: recently recommended machines count as
         // busy. Copy-on-write — the shared snapshot world is only cloned
         // when a mentioned address actually holds a reservation.
-        let overlaid = self.overlay_reservations(snapshot.world(), &addrs, now);
-        let world: &World = overlaid.as_ref().unwrap_or_else(|| snapshot.world());
+        let overlaid = self.overlay_reservations(base, &addrs, now);
+        let world: &World = overlaid.as_ref().unwrap_or(base);
 
-        let (binding, binding_scores) = match self.cfg.method {
+        // Degraded rungs always use the heuristic: it is total (returns a
+        // complete binding for any world), while the exhaustive backend
+        // can report `NoFeasibleBinding` when pessimistic data stalls
+        // every candidate — precisely the situation degraded rungs are in.
+        let method = match rung {
+            DegradationRung::Full => self.cfg.method,
+            _ => EvalMethod::Heuristic,
+        };
+        let (binding, binding_scores) = match method {
             EvalMethod::Heuristic => evaluate_query_scored(working, world, &self.cfg.heuristic),
             EvalMethod::Exhaustive { limit } => {
                 let r = exhaustive_search(working, world, limit)
@@ -383,6 +560,9 @@ impl CloudTalkServer {
             sampled,
             interrogated: snapshot.interrogated,
             missing: snapshot.missing,
+            gather_rounds: snapshot.rounds,
+            freshness: snapshot.freshness,
+            rung,
         })
     }
 
@@ -395,9 +575,7 @@ impl CloudTalkServer {
         addrs: &[Address],
         now: SimTime,
     ) -> Option<World> {
-        if self.cfg.reservation_hold.is_none() {
-            return None;
-        }
+        self.cfg.reservation_hold?;
         let mut out: Option<World> = None;
         for &addr in addrs {
             if self.reservations.is_reserved(addr, now) {
@@ -431,9 +609,14 @@ impl CloudTalkServer {
 #[derive(Clone, Debug)]
 pub struct StatusSnapshot {
     world: Arc<World>,
+    /// Per-host report age, for hosts that answered. Static-mode
+    /// snapshots have no entries (their data is synthetic, age 0).
+    ages: Arc<HashMap<Address, SimDuration>>,
     elapsed: SimDuration,
     interrogated: usize,
     missing: usize,
+    rounds: u32,
+    freshness: f64,
 }
 
 impl StatusSnapshot {
@@ -447,7 +630,7 @@ impl StatusSnapshot {
         Arc::clone(&self.world)
     }
 
-    /// Time the gather round took.
+    /// Time the gather took (all rounds and backoffs).
     pub fn elapsed(&self) -> SimDuration {
         self.elapsed
     }
@@ -457,9 +640,48 @@ impl StatusSnapshot {
         self.interrogated
     }
 
-    /// Status servers that never answered.
+    /// Status servers that never answered (after retries).
     pub fn missing(&self) -> usize {
         self.missing
+    }
+
+    /// Scatter-gather rounds spent gathering (0 for static snapshots).
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The age of `addr`'s report, if it answered.
+    pub fn report_age(&self, addr: Address) -> Option<SimDuration> {
+        if self.ages.is_empty() && self.world.knows(addr) {
+            return Some(SimDuration::ZERO); // static snapshot
+        }
+        self.ages.get(&addr).copied()
+    }
+
+    /// The snapshot's freshness score in `[0, 1]`: the mean staleness
+    /// decay over every interrogated host, with missing hosts counting 0.
+    /// Drives the degradation-ladder rung selection.
+    pub fn freshness(&self) -> f64 {
+        self.freshness
+    }
+
+    /// The world restricted to hosts whose report is at most `max_age`
+    /// old — what the [`DegradationRung::FreshSubset`] rung evaluates
+    /// against. Excluded hosts fall back to the assumed-overloaded state
+    /// on lookup.
+    pub fn fresh_world(&self, max_age: SimDuration) -> World {
+        let mut out = World::new();
+        for (&addr, &state) in self.world.iter() {
+            let age = self
+                .ages
+                .get(&addr)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
+            if age <= max_age {
+                out.set(addr, state);
+            }
+        }
+        out
     }
 }
 
@@ -694,6 +916,111 @@ mod tests {
         assert_eq!(snapshot.interrogated(), 2);
         assert_eq!(snapshot.missing(), 0);
         assert!(snapshot.world().knows(Address(1)));
+    }
+
+    #[test]
+    fn empty_candidate_pool_is_a_typed_error() {
+        let nodes: Vec<Address> = (2..6).map(Address).collect();
+        let mut p = hdfs_write_query(Address(1), &nodes, 2, 1e6).resolve().unwrap();
+        for v in &mut p.vars {
+            v.candidates.clear();
+        }
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let err = server
+            .answer_problem(&p, &mut idle_source(6), SimTime::ZERO)
+            .unwrap_err();
+        assert!(
+            matches!(err, ServerError::EmptyCandidates { ref var } if !var.is_empty()),
+            "{err}"
+        );
+        assert_eq!(server.queries_answered(), 0);
+    }
+
+    #[test]
+    fn healthy_fleet_answers_on_the_full_rung() {
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let a = server
+            .answer_problem(&p, &mut idle_source(8), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(a.rung, DegradationRung::Full);
+        assert_eq!(a.freshness, 1.0);
+        assert_eq!(a.gather_rounds, 1);
+        assert_eq!(a.missing, 0);
+    }
+
+    #[test]
+    fn silent_fleet_degrades_to_assume_busy_but_still_answers() {
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        // Nobody answers: every poll fails, retries included.
+        let mut silent = TableStatusSource::new();
+        let a = server.answer_problem(&p, &mut silent, SimTime::ZERO).unwrap();
+        assert_eq!(a.rung, DegradationRung::AssumeBusy);
+        assert_eq!(a.freshness, 0.0);
+        assert_eq!(a.missing, a.interrogated);
+        assert_eq!(a.binding.len(), 3, "fallback still returns a valid binding");
+        let retries = ServerConfig::default().transport.retry.max_retries;
+        assert_eq!(a.gather_rounds, 1 + retries, "all retries were spent");
+        // The binding only uses declared candidates.
+        for v in &a.binding {
+            assert!(p.vars.iter().any(|var| var.candidates.contains(v)));
+        }
+    }
+
+    #[test]
+    fn strict_mode_fails_instead_of_answering_blind() {
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let cfg = ServerConfig {
+            degradation: DegradationConfig {
+                strict: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let mut silent = TableStatusSource::new();
+        let err = server
+            .answer_problem(&p, &mut silent, SimTime::ZERO)
+            .unwrap_err();
+        assert!(
+            matches!(err, ServerError::TooStale { freshness } if freshness == 0.0),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stale_majority_degrades_to_fresh_subset() {
+        use crate::faults::FaultPlan;
+        use crate::faults::FaultySource;
+        // 6 of 11 datanodes serve 5-second-old reports claiming the hosts
+        // are busy; the 5 fresh idle ones must win and the rung must say
+        // the answer came from the fresh subset.
+        let nodes: Vec<Address> = (2..13).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 1e6).resolve().unwrap();
+        let mut plan = FaultPlan::none();
+        let mut stale_view = estimator::World::new();
+        for a in 2..8u32 {
+            plan = plan.stale(Address(a), SimDuration::from_secs_f64(5.0));
+            stale_view.set(Address(a), HostState::gbps_idle().with_up_load(0.95));
+        }
+        let mut src =
+            FaultySource::new(idle_source(13), plan).with_stale_world(stale_view);
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let a = server.answer_problem(&p, &mut src, SimTime::ZERO).unwrap();
+        assert_eq!(a.rung, DegradationRung::FreshSubset, "freshness {}", a.freshness);
+        assert!(a.freshness > 0.2 && a.freshness < 0.7, "freshness {}", a.freshness);
+        for v in &a.binding {
+            let Value::Addr(addr) = v else { panic!("disk binding") };
+            assert!(
+                addr.0 >= 8,
+                "stale host {addr:?} chosen over fresh idle ones: {:?}",
+                a.binding
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,33 @@
 //! snapshots; tests use an explicit table.
 
 use cloudtalk_lang::problem::Address;
+use desim::{SimDuration, SimTime};
 use estimator::HostState;
+
+/// One status reply: the measured state plus how old the measurement is.
+///
+/// A healthy status server answers with a fresh reading (`age == 0`). A
+/// lagging collection pipeline — or a fault-injected stale report — answers
+/// with data that was true `age` ago; the CloudTalk server weighs such
+/// replies down via staleness decay (see
+/// [`crate::server::StatusSnapshot::freshness`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct StatusReport {
+    /// The reported I/O state.
+    pub state: HostState,
+    /// Age of the measurement at the time it was served.
+    pub age: SimDuration,
+}
+
+impl StatusReport {
+    /// A report measured just now.
+    pub fn fresh(state: HostState) -> Self {
+        StatusReport {
+            state,
+            age: SimDuration::ZERO,
+        }
+    }
+}
 
 /// A source of per-host status reports.
 ///
@@ -18,6 +44,15 @@ use estimator::HostState;
 pub trait StatusSource {
     /// Measures the current I/O state of `addr`.
     fn poll(&mut self, addr: Address) -> Option<HostState>;
+
+    /// Like [`StatusSource::poll`], but also reporting the measurement's
+    /// age. Sources that always serve live data (the default) report
+    /// `age == 0`; decorators such as
+    /// [`crate::faults::FaultySource`] and [`LaggedStatusSource`]
+    /// override this to serve stale readings.
+    fn poll_report(&mut self, addr: Address) -> Option<StatusReport> {
+        self.poll(addr).map(StatusReport::fresh)
+    }
 }
 
 /// A status source backed by an explicit table (tests, static scenarios).
@@ -67,15 +102,73 @@ impl StatusSource for NetSimStatusSource<'_> {
     fn poll(&mut self, addr: Address) -> Option<HostState> {
         let host = self.net.topology().host_by_addr(addr.0)?;
         let load = self.net.host_load(host);
-        Some(HostState {
-            nic_up_capacity: load.nic_capacity,
-            nic_up_used: load.tx_bps,
-            nic_down_capacity: load.nic_capacity,
-            nic_down_used: load.rx_bps,
-            disk_read_capacity: load.disk_read_capacity,
-            disk_read_used: load.disk_read_bps,
-            disk_write_capacity: load.disk_write_capacity,
-            disk_write_used: load.disk_write_bps,
+        Some(host_state_from_load(&load))
+    }
+}
+
+/// Converts a simnet per-host load sample into the estimator's host state.
+fn host_state_from_load(load: &simnet::engine::HostLoad) -> HostState {
+    HostState {
+        nic_up_capacity: load.nic_capacity,
+        nic_up_used: load.tx_bps,
+        nic_down_capacity: load.nic_capacity,
+        nic_down_used: load.rx_bps,
+        disk_read_capacity: load.disk_read_capacity,
+        disk_read_used: load.disk_read_bps,
+        disk_write_capacity: load.disk_write_capacity,
+        disk_write_used: load.disk_write_bps,
+    }
+}
+
+/// A status source serving from a frozen [`simnet::LoadSnapshot`]: every
+/// poll answers with the cluster state as it was when the snapshot was
+/// captured, aged accordingly. This models a status-collection pipeline
+/// whose reports lag the live simulation — advance the `NetSim`, keep the
+/// old snapshot, and the CloudTalk server sees yesterday's loads with
+/// honest `age` metadata.
+#[derive(Clone, Debug)]
+pub struct LaggedStatusSource {
+    snapshot: simnet::LoadSnapshot,
+    now: SimTime,
+}
+
+impl LaggedStatusSource {
+    /// Captures the current state of `net` as the data this source will
+    /// keep serving.
+    pub fn capture(net: &mut simnet::NetSim) -> Self {
+        LaggedStatusSource {
+            snapshot: net.load_snapshot(),
+            now: net.now(),
+        }
+    }
+
+    /// Wraps an existing snapshot.
+    pub fn from_snapshot(snapshot: simnet::LoadSnapshot) -> Self {
+        let now = snapshot.taken_at();
+        LaggedStatusSource { snapshot, now }
+    }
+
+    /// Sets the current time, so served reports carry the right age.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Age the reports served at the configured current time.
+    pub fn lag(&self) -> SimDuration {
+        self.snapshot.age_at(self.now)
+    }
+}
+
+impl StatusSource for LaggedStatusSource {
+    fn poll(&mut self, addr: Address) -> Option<HostState> {
+        self.snapshot.get(addr.0).map(host_state_from_load)
+    }
+
+    fn poll_report(&mut self, addr: Address) -> Option<StatusReport> {
+        let state = self.poll(addr)?;
+        Some(StatusReport {
+            state,
+            age: self.lag(),
         })
     }
 }
@@ -112,5 +205,38 @@ mod tests {
         assert_eq!(idle.nic_up_used, 0.0);
         // Unknown address: no answer.
         assert!(src.poll(Address(0xFFFF_FFFF)).is_none());
+    }
+
+    #[test]
+    fn default_poll_report_is_fresh() {
+        let mut s = TableStatusSource::new();
+        s.set(Address(1), HostState::gbps_idle());
+        let rep = s.poll_report(Address(1)).unwrap();
+        assert_eq!(rep.age, SimDuration::ZERO);
+        assert_eq!(rep.state, HostState::gbps_idle());
+        assert!(s.poll_report(Address(2)).is_none());
+    }
+
+    #[test]
+    fn lagged_source_serves_old_state_with_age() {
+        let topo = Topology::single_switch(3, GBPS, TopoOptions::default());
+        let mut net = NetSim::new(topo);
+        let hosts = net.hosts();
+        let addr0 = Address(net.topology().host(hosts[0]).addr);
+        net.start(TransferSpec::network(hosts[0], hosts[1], GBPS)); // 1 s of payload
+        let mut lagged = LaggedStatusSource::capture(&mut net);
+
+        // The transfer finishes; live state goes idle, the lagged source
+        // keeps reporting the old busy reading with a growing age.
+        net.run_until_idle();
+        lagged.set_now(net.now());
+        assert!(lagged.lag() > SimDuration::ZERO);
+        let rep = lagged.poll_report(addr0).unwrap();
+        assert!(rep.state.nic_up_used > 0.0, "serves the old busy reading");
+        assert_eq!(rep.age, lagged.lag());
+
+        let mut live = NetSimStatusSource::new(&mut net);
+        assert_eq!(live.poll(addr0).unwrap().nic_up_used, 0.0, "live is idle");
+        assert!(lagged.poll_report(Address(0xFFFF_FFFF)).is_none());
     }
 }

@@ -6,15 +6,73 @@
 //! is high packet loss." The per-reply loss probability here grows with
 //! fan-out beyond a knee, reproducing exactly the behaviour that makes
 //! sampling (§4.3) necessary.
+//!
+//! Resilience: a single round answers with whatever arrived before the
+//! timeout, silently treating everyone else as overloaded — one burst of
+//! loss skews the whole placement. [`scatter_gather_retry`] therefore
+//! re-queries **only the missing set** for a bounded number of rounds with
+//! exponential backoff; because retry fan-out shrinks to the missing set,
+//! the incast-driven loss probability drops with every round, so transient
+//! loss and stragglers are recovered quickly while crashed hosts stay
+//! missing. Elapsed time and [`OverheadLedger`] bytes are accounted per
+//! round.
+//!
+//! This is also the ingestion choke point for status data: every reply is
+//! passed through [`estimator::HostState::sanitised`] here, so no garbage
+//! reading (NaN, negative, overflowed) ever reaches the estimator or the
+//! scoring arithmetic.
 
 use cloudtalk_lang::problem::Address;
 use desim::rng::DetRng;
 use desim::SimDuration;
-use estimator::HostState;
 use rand::Rng;
 
 use crate::messages::OverheadLedger;
-use crate::status::StatusSource;
+use crate::status::{StatusReport, StatusSource};
+
+/// The saturation point of the loss model: beyond this, extra fan-out
+/// cannot make things worse (some replies always squeak through).
+pub const MAX_LOSS_PROBABILITY: f64 = 0.9;
+
+/// Retry/backoff policy for re-querying hosts that missed a round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Extra rounds after the first (0 = the paper's one-shot behaviour).
+    pub max_retries: u32,
+    /// Wait before the first retry.
+    pub backoff: SimDuration,
+    /// Backoff multiplier per further retry (exponential, saturating).
+    pub backoff_multiplier: u32,
+}
+
+impl RetryPolicy {
+    /// No retries: single-round scatter-gather.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        backoff: SimDuration::ZERO,
+        backoff_multiplier: 1,
+    };
+
+    /// The backoff to wait before retry number `retry` (1-based).
+    pub fn backoff_before(&self, retry: u32) -> SimDuration {
+        let mut factor: u64 = 1;
+        for _ in 1..retry {
+            factor = factor.saturating_mul(self.backoff_multiplier.max(1) as u64);
+        }
+        self.backoff.saturating_mul(factor)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Two retries, 2 ms initial backoff, doubling.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: SimDuration::from_millis(2),
+            backoff_multiplier: 2,
+        }
+    }
+}
 
 /// Scatter-gather parameters.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +87,8 @@ pub struct TransportConfig {
     pub timeout: SimDuration,
     /// Network round-trip for one status exchange under no loss.
     pub rtt: SimDuration,
+    /// Retry/backoff policy for missing hosts.
+    pub retry: RetryPolicy,
 }
 
 impl Default for TransportConfig {
@@ -38,23 +98,62 @@ impl Default for TransportConfig {
             loss_per_doubling: 0.25,
             timeout: SimDuration::from_millis(10),
             rtt: SimDuration::from_micros(200),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// Result of one scatter-gather round.
+/// Result of a scatter-gather exchange (one round or several).
 #[derive(Clone, Debug)]
 pub struct GatherOutcome {
-    /// Replies that made it back, in query order.
-    pub replies: Vec<(Address, HostState)>,
+    /// Replies that made it back, in query order (first round first, then
+    /// each retry round's recoveries).
+    pub replies: Vec<(Address, StatusReport)>,
     /// Addresses that never answered (lost datagram or silent host).
     pub missing: Vec<Address>,
-    /// Time the round took: full RTT when everyone answered, the timeout
-    /// when somebody didn't.
+    /// Addresses missing after the *first* round — the set retries had to
+    /// recover. `missing.len() / first_round_missing` is the unrecovered
+    /// fraction.
+    pub first_round_missing: usize,
+    /// Rounds performed (1 = no retries needed or allowed).
+    pub rounds: u32,
+    /// Total time: per-round RTT/timeout plus inter-round backoff.
     pub elapsed: SimDuration,
 }
 
-/// Performs one scatter-gather round against `addrs`.
+/// One query/reply round against `addrs`; replies are sanitised here —
+/// the single choke point between raw status reports and the estimator.
+fn gather_round(
+    source: &mut impl StatusSource,
+    addrs: &[Address],
+    cfg: &TransportConfig,
+    rng: &mut DetRng,
+    ledger: &mut OverheadLedger,
+    replies: &mut Vec<(Address, StatusReport)>,
+    missing: &mut Vec<Address>,
+) -> SimDuration {
+    let n = addrs.len();
+    let loss_p = loss_probability(n, cfg);
+    let before = replies.len();
+    for &addr in addrs {
+        let lost = loss_p > 0.0 && rng.gen_bool(loss_p);
+        match (lost, source.poll_report(addr)) {
+            (false, Some(mut report)) => {
+                report.state = report.state.sanitised();
+                replies.push((addr, report));
+            }
+            _ => missing.push(addr),
+        }
+    }
+    ledger.record_round(n as u64, (replies.len() - before) as u64);
+    if missing.is_empty() {
+        cfg.rtt
+    } else {
+        cfg.timeout
+    }
+}
+
+/// Performs **one** scatter-gather round against `addrs`.
 ///
 /// Loss model: with fan-out `n`, each reply is independently lost with
 /// probability `min(0.9, loss_per_doubling · log2(n / knee))` for
@@ -67,44 +166,83 @@ pub fn scatter_gather(
     rng: &mut DetRng,
     ledger: &mut OverheadLedger,
 ) -> GatherOutcome {
-    let n = addrs.len();
-    let loss_p = loss_probability(n, cfg);
-    let mut replies = Vec::with_capacity(n);
+    let mut replies = Vec::with_capacity(addrs.len());
     let mut missing = Vec::new();
-    for &addr in addrs {
-        let lost = loss_p > 0.0 && rng.gen_bool(loss_p);
-        match (lost, source.poll(addr)) {
-            (false, Some(state)) => replies.push((addr, state)),
-            _ => missing.push(addr),
-        }
-    }
-    ledger.record_round(n as u64, replies.len() as u64);
-    let elapsed = if missing.is_empty() {
-        cfg.rtt
-    } else {
-        cfg.timeout
-    };
+    let elapsed = gather_round(source, addrs, cfg, rng, ledger, &mut replies, &mut missing);
     GatherOutcome {
+        first_round_missing: missing.len(),
+        rounds: 1,
         replies,
         missing,
         elapsed,
     }
 }
 
+/// Scatter-gather with bounded retries: after the first round, up to
+/// `cfg.retry.max_retries` further rounds re-query **only** the hosts
+/// still missing, waiting an exponentially growing backoff before each.
+/// Stops early once everyone answered. Every round's queries and replies
+/// are recorded in `ledger`; every round's duration (and each backoff)
+/// accrues into `elapsed`.
+pub fn scatter_gather_retry(
+    source: &mut impl StatusSource,
+    addrs: &[Address],
+    cfg: &TransportConfig,
+    rng: &mut DetRng,
+    ledger: &mut OverheadLedger,
+) -> GatherOutcome {
+    let mut out = scatter_gather(source, addrs, cfg, rng, ledger);
+    for retry in 1..=cfg.retry.max_retries {
+        if out.missing.is_empty() {
+            break;
+        }
+        let targets = std::mem::take(&mut out.missing);
+        out.elapsed += cfg.retry.backoff_before(retry);
+        out.elapsed += gather_round(
+            source,
+            &targets,
+            cfg,
+            rng,
+            ledger,
+            &mut out.replies,
+            &mut out.missing,
+        );
+        out.rounds += 1;
+    }
+    out
+}
+
 /// The per-reply loss probability at fan-out `n`.
+///
+/// Edge cases, made explicit:
+///
+/// * `n == 0` — no queries are sent, so nothing can be lost: `0.0`.
+/// * `knee == 0` — every positive fan-out is infinitely far beyond the
+///   knee; the former `log2(n / 0) = ∞` relied on the `min` clamp by
+///   accident, now it returns [`MAX_LOSS_PROBABILITY`] directly.
+/// * The probability never exceeds [`MAX_LOSS_PROBABILITY`] (0.9): even
+///   catastrophic incast lets some replies through.
 pub fn loss_probability(n: usize, cfg: &TransportConfig) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if cfg.knee == 0 {
+        return MAX_LOSS_PROBABILITY;
+    }
     if n <= cfg.knee {
         0.0
     } else {
-        (cfg.loss_per_doubling * (n as f64 / cfg.knee as f64).log2()).min(0.9)
+        (cfg.loss_per_doubling * (n as f64 / cfg.knee as f64).log2()).min(MAX_LOSS_PROBABILITY)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultySource};
     use crate::status::TableStatusSource;
     use desim::rng::stream_rng;
+    use estimator::HostState;
 
     fn source(n: u32) -> TableStatusSource {
         let mut s = TableStatusSource::new();
@@ -112,6 +250,15 @@ mod tests {
             s.set(Address(i), HostState::gbps_idle());
         }
         s
+    }
+
+    /// Single-round config (the paper's one-shot behaviour) so the legacy
+    /// loss-shape tests are unaffected by retries.
+    fn one_shot() -> TransportConfig {
+        TransportConfig {
+            retry: RetryPolicy::NONE,
+            ..TransportConfig::default()
+        }
     }
 
     #[test]
@@ -129,13 +276,15 @@ mod tests {
         );
         assert_eq!(out.replies.len(), 100);
         assert!(out.missing.is_empty());
+        assert_eq!(out.rounds, 1);
         assert_eq!(out.elapsed, TransportConfig::default().rtt);
         assert_eq!(ledger.status_bytes(), 100 * (64 + 78));
+        assert_eq!(ledger.rounds, 1);
     }
 
     #[test]
     fn thousand_way_fanout_loses_many() {
-        let cfg = TransportConfig::default();
+        let cfg = one_shot();
         let p = loss_probability(1000, &cfg);
         assert!(p > 0.5, "1000-way loss probability {p}");
         let mut src = source(1000);
@@ -169,7 +318,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = TransportConfig::default();
+        let cfg = one_shot();
         let addrs: Vec<Address> = (1..=500).map(Address).collect();
         let run = || {
             let mut src = source(500);
@@ -179,5 +328,169 @@ mod tests {
                 .len()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn loss_probability_zero_fanout_is_lossless() {
+        for knee in [0, 1, 100] {
+            let cfg = TransportConfig {
+                knee,
+                ..TransportConfig::default()
+            };
+            assert_eq!(loss_probability(0, &cfg), 0.0, "knee {knee}");
+        }
+    }
+
+    #[test]
+    fn loss_probability_zero_knee_saturates_explicitly() {
+        let cfg = TransportConfig {
+            knee: 0,
+            ..TransportConfig::default()
+        };
+        for n in [1, 10, 1_000_000] {
+            let p = loss_probability(n, &cfg);
+            assert_eq!(p, MAX_LOSS_PROBABILITY, "n = {n}");
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn loss_probability_clamp_boundary() {
+        let cfg = TransportConfig::default(); // knee 100, 0.25/doubling
+        // 0.25 · log2(n/100) reaches 0.9 at n = 100 · 2^3.6 ≈ 1213.
+        let below = loss_probability(1200, &cfg);
+        assert!(below < MAX_LOSS_PROBABILITY, "1200-way {below}");
+        let above = loss_probability(1300, &cfg);
+        assert_eq!(above, MAX_LOSS_PROBABILITY, "clamp engaged");
+        // Exactly at the knee: still lossless; one past it: positive.
+        assert_eq!(loss_probability(cfg.knee, &cfg), 0.0);
+        assert!(loss_probability(cfg.knee + 1, &cfg) > 0.0);
+    }
+
+    #[test]
+    fn retry_recovers_stragglers_and_leaves_crashed_missing() {
+        // Hosts 1-4 straggle for one round; host 5 is crashed for good.
+        let mut plan = FaultPlan::none().crash(Address(5), crate::faults::Window::always());
+        for i in 1..=4 {
+            plan = plan.straggle(Address(i), 1);
+        }
+        let mut src = FaultySource::new(source(5), plan);
+        let addrs: Vec<Address> = (1..=5).map(Address).collect();
+        let cfg = TransportConfig::default();
+        let mut ledger = OverheadLedger::default();
+        let out =
+            scatter_gather_retry(&mut src, &addrs, &cfg, &mut stream_rng(1, 0), &mut ledger);
+        assert_eq!(out.first_round_missing, 5);
+        assert_eq!(out.replies.len(), 4, "stragglers recovered on retry");
+        assert_eq!(out.missing, vec![Address(5)], "crashed host stays missing");
+        assert_eq!(out.rounds, 3, "two retries spent on the crashed host");
+        // Elapsed: three timed-out rounds plus exponentially growing backoff.
+        let expected = cfg.timeout * 3
+            + cfg.retry.backoff_before(1)
+            + cfg.retry.backoff_before(2);
+        assert_eq!(out.elapsed, expected);
+    }
+
+    #[test]
+    fn retry_stops_early_when_everyone_answered() {
+        let plan = FaultPlan::none().straggle(Address(2), 1);
+        let mut src = FaultySource::new(source(3), plan);
+        let addrs: Vec<Address> = (1..=3).map(Address).collect();
+        let mut ledger = OverheadLedger::default();
+        let out = scatter_gather_retry(
+            &mut src,
+            &addrs,
+            &TransportConfig::default(),
+            &mut stream_rng(1, 0),
+            &mut ledger,
+        );
+        assert_eq!(out.rounds, 2, "no third round once complete");
+        assert!(out.missing.is_empty());
+        assert_eq!(out.first_round_missing, 1);
+        assert_eq!(ledger.rounds, 2);
+        // Round 1 queried 3 hosts, round 2 only the missing one.
+        assert_eq!(ledger.status_queries, 4);
+        assert_eq!(ledger.status_responses, 3);
+    }
+
+    #[test]
+    fn ledger_accounts_bytes_and_rounds_across_retries() {
+        // 1000-way fan-out with heavy loss: every retry targets only the
+        // missing set, and the ledger must sum queries/replies/rounds over
+        // every round, not just the first.
+        let cfg = TransportConfig::default(); // 2 retries
+        let addrs: Vec<Address> = (1..=1000).map(Address).collect();
+        let mut src = source(1000);
+        let mut ledger = OverheadLedger::default();
+        let out =
+            scatter_gather_retry(&mut src, &addrs, &cfg, &mut stream_rng(2, 0), &mut ledger);
+        assert_eq!(out.rounds, 3, "heavy loss forces both retries");
+        assert_eq!(ledger.rounds, u64::from(out.rounds));
+        assert!(out.first_round_missing > 300);
+        // Retry fan-out shrinks (1000 → ~840 → ~640), so the per-reply
+        // loss probability drops each round and hosts keep recovering —
+        // but at this scale it stays beyond the knee, so recovery is
+        // partial (sampling, §4.3, remains the real fix at 1000-way).
+        assert!(
+            (out.missing.len() as f64) < 0.65 * out.first_round_missing as f64,
+            "retries at shrinking fan-out recover hosts: {} of {} still missing",
+            out.missing.len(),
+            out.first_round_missing
+        );
+        // Exact conservation: queries = 1000 + retried sets; every query
+        // either produced a reply or a final miss... per round.
+        assert_eq!(
+            ledger.status_responses as usize,
+            out.replies.len(),
+            "responses sum over rounds"
+        );
+        assert!(
+            ledger.status_queries > 1000,
+            "retry queries are accounted on top of the first round"
+        );
+        assert_eq!(
+            ledger.status_bytes(),
+            ledger.status_queries * 64 + ledger.status_responses * 78
+        );
+    }
+
+    #[test]
+    fn replies_are_sanitised_at_the_choke_point() {
+        use crate::faults::Corruption;
+        let plan = FaultPlan::none()
+            .corrupt(Address(1), Corruption::NanUsage)
+            .corrupt(Address(2), Corruption::NegativeCapacity);
+        let mut src = FaultySource::new(source(3), plan);
+        let addrs: Vec<Address> = (1..=3).map(Address).collect();
+        let mut ledger = OverheadLedger::default();
+        let out = scatter_gather(
+            &mut src,
+            &addrs,
+            &TransportConfig::default(),
+            &mut stream_rng(1, 0),
+            &mut ledger,
+        );
+        assert_eq!(out.replies.len(), 3);
+        for (addr, report) in &out.replies {
+            assert!(
+                report.state.is_sane(),
+                "garbage leaked past the choke point for {addr:?}: {:?}",
+                report.state
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_before(1), SimDuration::from_millis(2));
+        assert_eq!(p.backoff_before(2), SimDuration::from_millis(4));
+        assert_eq!(p.backoff_before(3), SimDuration::from_millis(8));
+        let huge = RetryPolicy {
+            max_retries: 100,
+            backoff: SimDuration::from_secs_f64(1e6),
+            backoff_multiplier: u32::MAX,
+        };
+        let _ = huge.backoff_before(90); // must not overflow/panic
     }
 }

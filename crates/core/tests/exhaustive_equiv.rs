@@ -44,7 +44,7 @@ fn build_problem(
         .enumerate()
         .map(|(i, &(pool, mask))| {
             let mut candidates: Vec<Value> = (0..7u32)
-                .filter(|b| mask & (1 << b) != 0 && b + 1 <= n_addrs)
+                .filter(|b| mask & (1 << b) != 0 && *b < n_addrs)
                 .map(|b| Value::Addr(Address(b + 1)))
                 .collect();
             if mask & 0x80 != 0 {

@@ -8,7 +8,6 @@ use desim::rng::stream_rng;
 use estimator::{estimate, HostState, World};
 use proptest::prelude::*;
 
-const NIC: f64 = 125e6;
 
 fn world_from(loads: &[(u8, u8)]) -> World {
     // Host i gets load pair loads[i % len] interpreted as tenths.

@@ -290,13 +290,11 @@ pub fn estimate_with(
             }
         };
         match (src, dst) {
-            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) => {
-                if a != b {
-                    let ra = resource_base(a);
-                    add(ra, usage_items); // a.up
-                    let rb = resource_base(b);
-                    add(rb + 1, usage_items); // b.down
-                }
+            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) if a != b => {
+                let ra = resource_base(a);
+                add(ra, usage_items); // a.up
+                let rb = resource_base(b);
+                add(rb + 1, usage_items); // b.down
             }
             (BoundEndpoint::Host(a), BoundEndpoint::Disk) => {
                 let ra = resource_base(a);
@@ -314,7 +312,7 @@ pub fn estimate_with(
                 let ra = resource_base(a);
                 add(ra, usage_items); // only a.up constrained
             }
-            // Disk↔Unknown or Unknown↔Unknown: nothing shared is used.
+            // Loopback, disk↔unknown, unknown↔unknown: nothing shared is used.
             _ => {}
         }
     }
@@ -334,13 +332,13 @@ pub fn estimate_with(
     root_group.clear();
     root_group.resize(n, usize::MAX);
     let mut n_groups = 0usize;
-    for i in 0..n {
+    for (i, g) in group_of.iter_mut().enumerate() {
         let root = find(&mut scratch.parent, i);
         if root_group[root] == usize::MAX {
             root_group[root] = n_groups;
             n_groups += 1;
         }
-        group_of[i] = root_group[root];
+        *g = root_group[root];
     }
     while scratch.groups.len() < n_groups {
         scratch.groups.push(Vec::new());
@@ -348,8 +346,8 @@ pub fn estimate_with(
     for g in &mut scratch.groups[..n_groups] {
         g.clear();
     }
-    for i in 0..n {
-        scratch.groups[group_of[i]].push(i);
+    for (i, &g) in group_of.iter().enumerate() {
+        scratch.groups[g].push(i);
     }
     let group_of = &scratch.group_of;
     let groups = &scratch.groups;

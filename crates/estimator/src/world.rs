@@ -87,6 +87,62 @@ impl HostState {
     pub fn down_free(&self) -> f64 {
         (self.nic_down_capacity - self.nic_down_used).max(0.0)
     }
+
+    /// Whether every field is a finite, non-negative reading with
+    /// `used ≤ capacity` — what a correctly functioning status server
+    /// reports, and what the estimator's arithmetic assumes.
+    pub fn is_sane(&self) -> bool {
+        let dim = |cap: f64, used: f64| {
+            cap.is_finite() && used.is_finite() && cap >= 0.0 && (0.0..=cap).contains(&used)
+        };
+        dim(self.nic_up_capacity, self.nic_up_used)
+            && dim(self.nic_down_capacity, self.nic_down_used)
+            && dim(self.disk_read_capacity, self.disk_read_used)
+            && dim(self.disk_write_capacity, self.disk_write_used)
+    }
+
+    /// Repairs a possibly corrupted status reading so the estimator and
+    /// scoring arithmetic never see garbage. Per dimension:
+    ///
+    /// * non-finite or negative *capacity* → `0` (the dimension is treated
+    ///   as having nothing to offer — indistinguishable from overloaded);
+    /// * non-finite *usage* → the capacity (pessimistic: fully loaded);
+    /// * negative usage → `0`; usage above capacity → saturated at
+    ///   capacity.
+    ///
+    /// Sane states pass through bit-identical. The ingestion choke point
+    /// for live reports is `cloudtalk::transport::scatter_gather` — every
+    /// reply is sanitised there, so internal consumers (which may
+    /// deliberately construct `used > capacity` overlays, e.g. reservation
+    /// penalties) stay unclamped.
+    #[must_use]
+    pub fn sanitised(&self) -> Self {
+        let dim = |cap: f64, used: f64| {
+            let cap = if cap.is_finite() { cap.max(0.0) } else { 0.0 };
+            let used = if used.is_finite() {
+                used.clamp(0.0, cap)
+            } else {
+                cap
+            };
+            (cap, used)
+        };
+        let (nic_up_capacity, nic_up_used) = dim(self.nic_up_capacity, self.nic_up_used);
+        let (nic_down_capacity, nic_down_used) = dim(self.nic_down_capacity, self.nic_down_used);
+        let (disk_read_capacity, disk_read_used) =
+            dim(self.disk_read_capacity, self.disk_read_used);
+        let (disk_write_capacity, disk_write_used) =
+            dim(self.disk_write_capacity, self.disk_write_used);
+        HostState {
+            nic_up_capacity,
+            nic_up_used,
+            nic_down_capacity,
+            nic_down_used,
+            disk_read_capacity,
+            disk_read_used,
+            disk_write_capacity,
+            disk_write_used,
+        }
+    }
 }
 
 /// Per-host state for every address the estimator may encounter.
@@ -150,6 +206,28 @@ mod tests {
         let s = HostState::gbps_idle().with_up_load(0.6).with_down_load(0.9);
         assert!((s.up_free() - 0.4 * 125e6).abs() < 1.0);
         assert!((s.down_free() - 0.1 * 125e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn sanitised_repairs_each_kind_of_garbage() {
+        let mut s = HostState::gbps_idle();
+        s.nic_up_used = f64::NAN;
+        s.nic_down_used = -3.0;
+        s.disk_read_used = s.disk_read_capacity * 2.0;
+        s.disk_write_capacity = f64::INFINITY;
+        let fixed = s.sanitised();
+        assert!(fixed.is_sane(), "{fixed:?}");
+        assert_eq!(fixed.nic_up_used, fixed.nic_up_capacity, "NaN usage → pessimistic");
+        assert_eq!(fixed.nic_down_used, 0.0, "negative usage → zero");
+        assert_eq!(fixed.disk_read_used, fixed.disk_read_capacity, "overflow saturates");
+        assert_eq!(fixed.disk_write_capacity, 0.0, "infinite capacity → nothing to offer");
+    }
+
+    #[test]
+    fn sanitised_is_identity_on_sane_states() {
+        let s = HostState::gbps_idle().with_up_load(0.4);
+        assert!(s.is_sane());
+        assert_eq!(s.sanitised(), s);
     }
 
     #[test]

@@ -56,7 +56,6 @@ fn daisy_query(addrs: &[Address]) -> Problem {
         .to_var(vars[1])
         .size(100.0 * 1024.0 * 1024.0);
     let h1 = f1.handle();
-    drop(f1);
     b.flow("f2")
         .from_var(vars[1])
         .to_var(vars[2])

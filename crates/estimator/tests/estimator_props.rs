@@ -113,6 +113,50 @@ proptest! {
         prop_assert!((e.flow_finish[1] - size2 / NIC).abs() < 1e-6);
     }
 
+    /// Any garbage reading — NaN, ±∞, negative, used beyond capacity —
+    /// becomes a sane state after `sanitised()`, and the estimator and
+    /// rate arithmetic built on it stay finite: sanitised states always
+    /// produce finite, non-negative rates (a stalled `0` is allowed,
+    /// garbage `NaN`/`∞` is not).
+    #[test]
+    fn sanitised_garbage_always_yields_finite_rates(
+        fields in proptest::collection::vec(
+            prop_oneof![
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                Just(f64::MAX),
+                -1e12f64..1e12,
+            ],
+            8,
+        ),
+    ) {
+        let garbage = HostState {
+            nic_up_capacity: fields[0],
+            nic_up_used: fields[1],
+            nic_down_capacity: fields[2],
+            nic_down_used: fields[3],
+            disk_read_capacity: fields[4],
+            disk_read_used: fields[5],
+            disk_write_capacity: fields[6],
+            disk_write_used: fields[7],
+        };
+        let s = garbage.sanitised();
+        prop_assert!(s.is_sane(), "{garbage:?} -> {s:?}");
+        prop_assert!(s.up_free().is_finite() && s.up_free() >= 0.0);
+        prop_assert!(s.down_free().is_finite() && s.down_free() >= 0.0);
+        // A read served by a host in this state has a finite completion
+        // time whenever any rate is achievable, and never a NaN one.
+        let p = hdfs_read_query(Address(1), &[Address(2)], 64e6).resolve().unwrap();
+        let mut w = world_with_loads(vec![]);
+        w.set(Address(2), s);
+        if let Ok(e) = estimate(&p, &vec![Value::Addr(Address(2))], &w) {
+            prop_assert!(!e.makespan.is_nan(), "NaN makespan from {s:?}");
+            prop_assert!(!e.throughput.is_nan() && e.throughput.is_finite());
+            prop_assert!(e.throughput >= 0.0);
+        }
+    }
+
     /// The estimator is a pure function (no hidden state).
     #[test]
     fn estimate_is_deterministic(

@@ -320,7 +320,6 @@ pub fn hdfs_write_query(
             net = net.transfer_of(upstream_disk);
         }
         let net_handle = net.handle();
-        drop(net);
         // Local store at replica i, rate-coupled with its network hop.
         let disk = b
             .flow(&disk_name)
@@ -329,7 +328,6 @@ pub fn hdfs_write_query(
             .size(block_bytes)
             .rate_of(net_handle);
         let disk_handle = disk.handle();
-        drop(disk);
         // Couple the network hop's rate back to the disk write.
         let net_def = &mut b.flows[net_handle.0];
         net_def.attrs.push(Attr {
@@ -371,7 +369,6 @@ pub fn reduce_placement_query(nodes: &[Address], m: usize, bytes: f64) -> QueryB
             .to_var(var)
             .size(bytes);
         let net_handle = net.handle();
-        drop(net);
         let disk = b
             .flow(&disk_name)
             .from_var(var)
@@ -379,7 +376,6 @@ pub fn reduce_placement_query(nodes: &[Address], m: usize, bytes: f64) -> QueryB
             .size(bytes)
             .rate_of(net_handle);
         let disk_handle = disk.handle();
-        drop(disk);
         let net_def = &mut b.flows[net_handle.0];
         net_def.attrs.push(Attr {
             kind: AttrKind::Rate,
@@ -402,7 +398,6 @@ pub fn map_placement_query(worker: Address, holders: &[Address], bytes: f64) -> 
     let x = b.variable("X", holders.iter().copied());
     let read = b.flow("f1").from_disk().to_var(x).size(bytes);
     let read_handle = read.handle();
-    drop(read);
     let send = b
         .flow("f2")
         .from_var(x)
@@ -410,7 +405,6 @@ pub fn map_placement_query(worker: Address, holders: &[Address], bytes: f64) -> 
         .size_of(read_handle)
         .rate_of(read_handle);
     let send_handle = send.handle();
-    drop(send);
     let read_def = &mut b.flows[read_handle.0];
     read_def.attrs.push(Attr {
         kind: AttrKind::Rate,

@@ -104,8 +104,8 @@ proptest! {
         let mut sim = star(n_lossy + 2, SimConfig::default());
         let h = sim.topology().host_ids();
         let sink = h[n_lossy + 1];
-        for i in 0..n_lossy {
-            sim.add_flow(h[i], sink, 10 * 1024, SimTime::ZERO);
+        for &src in h.iter().take(n_lossy) {
+            sim.add_flow(src, sink, 10 * 1024, SimTime::ZERO);
         }
         let protected = sim.add_flow_with_class(
             h[n_lossy],

@@ -166,6 +166,43 @@ pub struct HostLoad {
     pub disk_write_bps: f64,
 }
 
+/// A frozen all-hosts load capture, keyed by host address.
+///
+/// Produced by [`NetSim::load_snapshot`]; served later (while the
+/// simulation has moved on) to model status reports that lag reality.
+#[derive(Clone, Debug)]
+pub struct LoadSnapshot {
+    taken_at: SimTime,
+    loads: HashMap<u32, HostLoad>,
+}
+
+impl LoadSnapshot {
+    /// When the snapshot was captured.
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+
+    /// The captured load of the host with address `addr`, if it exists.
+    pub fn get(&self, addr: u32) -> Option<&HostLoad> {
+        self.loads.get(&addr)
+    }
+
+    /// How old the snapshot is at `now`.
+    pub fn age_at(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.taken_at)
+    }
+
+    /// Number of hosts captured.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+}
+
 struct Active {
     usages: Vec<(ResourceIdx, f64)>,
     cap: Option<f64>,
@@ -386,6 +423,25 @@ impl NetSim {
         }
     }
 
+    /// Captures the load of **every** host at the current simulated time.
+    ///
+    /// This is the hook for modelling *stale* status reports: capture a
+    /// snapshot, let the simulation advance, and serve status polls from
+    /// the old snapshot — readers observe the cluster as it was
+    /// `now − taken_at` ago, exactly the lag a slow status-collection
+    /// pipeline would introduce.
+    pub fn load_snapshot(&mut self) -> LoadSnapshot {
+        let hosts: Vec<HostId> = (0..self.topo.host_count()).map(HostId).collect();
+        let loads = hosts
+            .iter()
+            .map(|&h| (self.topo.host(h).addr, self.host_load(h)))
+            .collect();
+        LoadSnapshot {
+            taken_at: self.now,
+            loads,
+        }
+    }
+
     /// Number of currently active transfers.
     pub fn active_count(&self) -> usize {
         self.transfers.len()
@@ -583,6 +639,26 @@ mod tests {
         assert!((l1.rx_bps - GBPS).abs() < 1e-3);
         assert!(l2.tx_bps.abs() < 1e-9 && l2.rx_bps.abs() < 1e-9);
         assert_eq!(l0.nic_capacity, GBPS);
+    }
+
+    #[test]
+    fn load_snapshot_freezes_past_state() {
+        let mut net = star(3);
+        let h = net.hosts();
+        let busy_addr = net.topology().host(h[0]).addr;
+        let t = net.start(TransferSpec::network(h[0], h[1], GBPS)); // 1 s of payload
+        let snap = net.load_snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(!snap.is_empty());
+        assert!((snap.get(busy_addr).unwrap().tx_bps - GBPS).abs() < 1e-3);
+        // The world moves on; the snapshot does not.
+        net.run_until_idle();
+        assert_eq!(net.rate(t), None);
+        assert!(net.host_load(h[0]).tx_bps.abs() < 1e-9, "live load is idle again");
+        assert!((snap.get(busy_addr).unwrap().tx_bps - GBPS).abs() < 1e-3);
+        assert!(snap.age_at(net.now()) > SimDuration::ZERO);
+        assert_eq!(snap.age_at(snap.taken_at()), SimDuration::ZERO);
+        assert!(snap.get(0xFFFF_FFFF).is_none());
     }
 
     #[test]

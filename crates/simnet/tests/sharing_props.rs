@@ -114,7 +114,7 @@ proptest! {
             last = c.finished;
         }
         let _ = expect; // progress is dropped at completion; the engine owed us completions only
-        prop_assert_eq!(completions.len() > 0, true);
+        prop_assert!(!completions.is_empty());
     }
 
     /// The engine never allocates more than NIC capacity at any host.

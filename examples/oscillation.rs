@@ -47,13 +47,11 @@ fn run(kind: OpKind, reservations: bool) -> (f64, f64) {
 
 fn main() {
     println!("Oscillation (§5.5): 30 writers, 250 ms measurement staleness\n");
-    for (label, kind) in [("writes (centralized at the NameNode)", OpKind::Write)] {
-        let (oa, op) = run(kind, false);
-        let (ra, rp) = run(kind, true);
-        println!("{label}:");
-        println!("  no reservations: avg {oa:>6.1}s   p99 {op:>6.1}s   <- herding");
-        println!("  t = 300 ms:      avg {ra:>6.1}s   p99 {rp:>6.1}s");
-    }
+    let (oa, op) = run(OpKind::Write, false);
+    let (ra, rp) = run(OpKind::Write, true);
+    println!("writes (centralized at the NameNode):");
+    println!("  no reservations: avg {oa:>6.1}s   p99 {op:>6.1}s   <- herding");
+    println!("  t = 300 ms:      avg {ra:>6.1}s   p99 {rp:>6.1}s");
     // Reads choose among just 3 replicas each, from many different
     // clients: no centralized decision point, so far less herding even
     // without reservations (the paper saw none at all).

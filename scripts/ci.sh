@@ -7,8 +7,14 @@ cd "$(dirname "$0")/.."
 echo "=== build (release) ==="
 cargo build --release --workspace
 
+echo "=== clippy ==="
+cargo clippy --workspace -- -D warnings
+
 echo "=== tests ==="
 cargo test -q --workspace
+
+echo "=== chaos suite ==="
+cargo test -q -p cloudtalk --test chaos
 
 echo "=== benches compile ==="
 cargo bench --no-run --workspace
