@@ -17,6 +17,8 @@
 //! * [`exhaustive`] — brute-force search over all bindings, scored by the
 //!   flow-level estimator; the accuracy baseline of §5.1.
 //! * [`pkteval`] — the packet-level evaluation backend (§5.4 web search).
+//! * [`pktsearch`] — the packet-level *search* backend: parallel binding
+//!   enumeration with symmetry memoisation and incumbent early-abort.
 //! * [`sampling`] — §4.3: how many servers to sample for near-optimal
 //!   answers, plus the analytic n(d, p, confidence) calculator (Figure 4).
 //! * [`reservation`] — §5.5 pseudo-reservations preventing oscillation.
@@ -69,6 +71,7 @@ pub mod faults;
 pub mod heuristic;
 pub mod messages;
 pub mod pkteval;
+pub mod pktsearch;
 pub mod reservation;
 pub mod sampling;
 pub mod scalar;
@@ -79,8 +82,11 @@ pub mod transport;
 
 pub use faults::{Corruption, FaultIntensity, FaultPlan, FaultySource, Window};
 pub use heuristic::evaluate_query;
+pub use pktsearch::{
+    pkt_search, MirrorTopology, PktSearchError, PktSearchOptions, PktSearchResult,
+};
 pub use server::{
-    Answer, CloudTalkServer, DegradationConfig, DegradationRung, EvalMethod, ServerConfig,
-    ServerError, StatusSnapshot,
+    Answer, CloudTalkServer, DegradationConfig, DegradationRung, EvalMethod, PktBackendConfig,
+    ServerConfig, ServerError, StatusSnapshot,
 };
 pub use status::{LaggedStatusSource, StatusReport, StatusSource, TableStatusSource};

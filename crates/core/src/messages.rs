@@ -25,6 +25,10 @@ pub struct OverheadLedger {
     pub query_text_bytes: u64,
     /// Bytes of answers returned to clients.
     pub answer_bytes: u64,
+    /// Packet-level search: bindings answered from the symmetry cache.
+    pub pkt_memo_hits: u64,
+    /// Packet-level search: bindings that had to simulate.
+    pub pkt_memo_misses: u64,
 }
 
 impl OverheadLedger {
@@ -33,6 +37,12 @@ impl OverheadLedger {
         self.status_queries += sent;
         self.status_responses += received;
         self.rounds += 1;
+    }
+
+    /// Records one packet-level search's symmetry-cache counters.
+    pub fn record_pkt_memo(&mut self, hits: u64, misses: u64) {
+        self.pkt_memo_hits += hits;
+        self.pkt_memo_misses += misses;
     }
 
     /// Records a client interaction.

@@ -11,11 +11,25 @@
 //! TCP flow in [`pktsim`], honouring `start` attributes and
 //! `transfer t(f)` store-and-forward dependencies (a dependent flow starts
 //! when its upstream finishes), and reports the simulated makespan.
+//!
+//! The hot path for search ([`crate::pktsearch`]) is split in two so a
+//! candidate enumeration does not redo binding-independent work per
+//! binding:
+//!
+//! * [`PktProgram::compile`] resolves sizes, starts, and `t(f)`
+//!   dependencies once per problem;
+//! * [`pkt_evaluate_program`] runs one binding on a caller-owned
+//!   [`PktSim`] (reset between bindings, so port tables and route caches
+//!   are reused) and can be given a `deadline`: the moment simulated time
+//!   crosses it with query flows still unfinished, the run is abandoned —
+//!   its makespan provably exceeds the deadline, so a search holding an
+//!   incumbent at that deadline can discard the binding without finishing
+//!   the simulation.
 
 use std::collections::HashMap;
 
 use cloudtalk_lang::ast::{AttrKind, RefAttr};
-use cloudtalk_lang::problem::{Address, Binding, BoundEndpoint, Problem};
+use cloudtalk_lang::problem::{Address, Binding, BoundEndpoint, Endpoint, Problem};
 use desim::SimTime;
 use estimator::{resolve_static_sizes, EstimateError};
 use pktsim::{FlowIdx, PktSim, SimConfig};
@@ -35,10 +49,27 @@ pub struct PktEvalResult {
     pub timeouts: u64,
 }
 
+/// Outcome of one bounded evaluation ([`pkt_evaluate_program`]).
+#[derive(Clone, Debug)]
+pub enum PktEvalOutcome {
+    /// The simulation ran to completion.
+    Completed(PktEvalResult),
+    /// Simulated time crossed the deadline with query flows unfinished:
+    /// the binding's true makespan is *strictly greater* than the deadline
+    /// (every unfinished flow finishes no earlier than the abort instant),
+    /// so an argmin search whose incumbent set the deadline loses nothing
+    /// by discarding it.
+    DeadlineExceeded,
+}
+
 /// Errors from packet-level evaluation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum PktEvalError {
-    /// A size/start expression could not be resolved statically.
+    /// The query cannot be simulated: a size/start expression could not be
+    /// resolved statically, or the bound problem moves no bytes over the
+    /// network at all (nothing for a *packet* simulator to measure — disk
+    /// work is invisible to it, so a trivially-zero makespan would be a
+    /// lie rather than an answer).
     Unsupported(EstimateError),
     /// An address in the bound problem has no host in the topology.
     UnknownAddress(Address),
@@ -50,6 +81,10 @@ pub enum PktEvalError {
         got: usize,
     },
 }
+
+/// The [`EstimateError`] payload used for the zero-network-flow case.
+pub(crate) const NO_NETWORK_FLOWS: EstimateError =
+    EstimateError::UnsupportedExpr("flows: nothing crosses the network");
 
 impl std::fmt::Display for PktEvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -65,57 +100,105 @@ impl std::fmt::Display for PktEvalError {
 
 impl std::error::Error for PktEvalError {}
 
-/// Evaluates `problem` under `binding` by packet-level simulation over
-/// `topo`. `addr_to_host` maps query addresses into the simulated
-/// topology (the provider placing the tenant's VMs in its model).
-pub fn pkt_evaluate(
-    problem: &Problem,
+/// A problem compiled for repeated packet-level evaluation: every
+/// binding-independent ingredient — flow sizes, static starts, and the
+/// `t(f)` dependency graph — resolved exactly once.
+#[derive(Clone, Debug)]
+pub struct PktProgram {
+    n_vars: usize,
+    sizes: Vec<f64>,
+    starts: Vec<f64>,
+    /// Flow `i` starts when all of `deps[i]` have finished.
+    deps: Vec<Vec<usize>>,
+    srcs: Vec<Endpoint>,
+    dsts: Vec<Endpoint>,
+}
+
+impl PktProgram {
+    /// Compiles `problem`, resolving sizes, starts, and dependencies.
+    pub fn compile(problem: &Problem) -> Result<Self, PktEvalError> {
+        let sizes = resolve_static_sizes(problem).map_err(PktEvalError::Unsupported)?;
+        let n = problem.flows.len();
+
+        // Dependencies: flow i waits for all flows referenced via `t(f)`.
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, flow) in problem.flows.iter().enumerate() {
+            if let Some(expr) = flow.attr(AttrKind::Transfer) {
+                expr.for_each_ref(&mut |attr, f| {
+                    if attr == RefAttr::Transferred {
+                        deps[i].push(f.0);
+                    }
+                });
+            }
+        }
+
+        // Static starts.
+        let mut starts = vec![0.0f64; n];
+        for (i, flow) in problem.flows.iter().enumerate() {
+            if let Some(expr) = flow.attr(AttrKind::Start) {
+                starts[i] = expr
+                    .as_const()
+                    .ok_or(PktEvalError::Unsupported(EstimateError::UnsupportedExpr(
+                        "start",
+                    )))?
+                    .max(0.0);
+            }
+        }
+
+        Ok(PktProgram {
+            n_vars: problem.vars.len(),
+            sizes,
+            starts,
+            deps,
+            srcs: problem.flows.iter().map(|f| f.src).collect(),
+            dsts: problem.flows.iter().map(|f| f.dst).collect(),
+        })
+    }
+
+    /// Number of flows in the compiled problem.
+    pub fn flow_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of variables the binding must cover.
+    pub fn var_count(&self) -> usize {
+        self.n_vars
+    }
+}
+
+/// Evaluates one binding of a compiled problem on a caller-owned simulator.
+///
+/// `sim` must be empty (freshly constructed over the mirror topology, or
+/// [`PktSim::reset`] after a previous evaluation) — reusing one simulator
+/// across bindings keeps its port tables and route cache warm instead of
+/// allocating the world from scratch per candidate.
+///
+/// With `deadline = Some(d)`, the run is abandoned as
+/// [`PktEvalOutcome::DeadlineExceeded`] the moment simulated time passes
+/// `d` seconds while query flows are still unfinished; completed runs
+/// always report their exact makespan, even when it exceeds `d`.
+pub fn pkt_evaluate_program(
+    prog: &PktProgram,
     binding: &Binding,
-    topo: &Topology,
+    sim: &mut PktSim,
     addr_to_host: &HashMap<Address, HostId>,
-    cfg: SimConfig,
-) -> Result<PktEvalResult, PktEvalError> {
-    if binding.len() != problem.vars.len() {
+    deadline: Option<f64>,
+) -> Result<PktEvalOutcome, PktEvalError> {
+    if binding.len() != prog.n_vars {
         return Err(PktEvalError::BindingArity {
-            expected: problem.vars.len(),
+            expected: prog.n_vars,
             got: binding.len(),
         });
     }
-    let sizes = resolve_static_sizes(problem).map_err(PktEvalError::Unsupported)?;
-    let n = problem.flows.len();
-
-    // Dependencies: flow i waits for all flows referenced via `t(f)`.
-    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, flow) in problem.flows.iter().enumerate() {
-        if let Some(expr) = flow.attr(AttrKind::Transfer) {
-            expr.for_each_ref(&mut |attr, f| {
-                if attr == RefAttr::Transferred {
-                    deps[i].push(f.0);
-                }
-            });
-        }
-    }
-
-    // Static starts.
-    let mut starts = vec![0.0f64; n];
-    for (i, flow) in problem.flows.iter().enumerate() {
-        if let Some(expr) = flow.attr(AttrKind::Start) {
-            starts[i] = expr
-                .as_const()
-                .ok_or(PktEvalError::Unsupported(EstimateError::UnsupportedExpr(
-                    "start",
-                )))?
-                .max(0.0);
-        }
-    }
+    let n = prog.flow_count();
 
     // Network endpoints per flow (None = not a network flow: completes
     // instantly for dependency purposes — its work is disk-side and the
     // packet simulator has no disks).
     let mut endpoints: Vec<Option<(HostId, HostId)>> = Vec::with_capacity(n);
-    for flow in &problem.flows {
-        let src = flow.src.bound(binding);
-        let dst = flow.dst.bound(binding);
+    for i in 0..n {
+        let src = prog.srcs[i].bound(binding);
+        let dst = prog.dsts[i].bound(binding);
         let pair = match (src, dst) {
             (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) => {
                 let ha = *addr_to_host
@@ -130,35 +213,41 @@ pub fn pkt_evaluate(
         };
         endpoints.push(pair);
     }
+    if n == 0 || endpoints.iter().all(Option::is_none) {
+        return Err(PktEvalError::Unsupported(NO_NETWORK_FLOWS));
+    }
 
-    let mut sim = PktSim::new(topo.clone(), cfg);
     let mut sim_flow: Vec<Option<FlowIdx>> = vec![None; n];
     let mut finished: Vec<Option<f64>> = vec![None; n];
     let mut launched = vec![false; n];
 
     // Launch everything whose dependencies are already met.
     let mut progress = true;
-    while progress {
+    'outer: while progress {
         progress = false;
         // Start flows whose upstreams are all finished.
         for i in 0..n {
             if launched[i] {
                 continue;
             }
-            let ready = deps[i].iter().all(|&u| finished[u].is_some());
+            let ready = prog.deps[i].iter().all(|&u| finished[u].is_some());
             if !ready {
                 continue;
             }
-            let dep_finish = deps[i]
+            let dep_finish = prog.deps[i]
                 .iter()
                 .map(|&u| finished[u].expect("checked ready"))
                 .fold(0.0f64, f64::max);
-            let at = SimTime::from_secs_f64(starts[i].max(dep_finish).max(sim.now().as_secs_f64()));
+            let at = SimTime::from_secs_f64(
+                prog.starts[i]
+                    .max(dep_finish)
+                    .max(sim.now().as_secs_f64()),
+            );
             launched[i] = true;
             progress = true;
             match endpoints[i] {
                 Some((src, dst)) => {
-                    sim_flow[i] = Some(sim.add_flow(src, dst, sizes[i].ceil() as u64, at));
+                    sim_flow[i] = Some(sim.add_flow(src, dst, prog.sizes[i].ceil() as u64, at));
                 }
                 None => {
                     // Non-network flow: instant for dependency purposes.
@@ -169,19 +258,35 @@ pub fn pkt_evaluate(
         // Drive the simulation, collecting finishes.
         loop {
             let mut any_new = false;
+            let mut all_done = true;
             for i in 0..n {
                 if finished[i].is_none() {
                     if let Some(fi) = sim_flow[i] {
                         if let Some(t) = sim.finish_time(fi) {
                             finished[i] = Some(t.as_secs_f64());
                             any_new = true;
+                            continue;
                         }
                     }
+                    all_done = false;
                 }
+            }
+            if all_done {
+                // Every query flow finished: stray in-flight events (e.g.
+                // trailing ACKs) cannot change the makespan — skip them.
+                break 'outer;
             }
             if any_new {
                 progress = true;
                 break;
+            }
+            // Incumbent early-abort: some query flow is still unfinished,
+            // and it can finish no earlier than `now` — once `now` passes
+            // the deadline the makespan provably exceeds it.
+            if let Some(d) = deadline {
+                if sim.now().as_secs_f64() > d {
+                    return Ok(PktEvalOutcome::DeadlineExceeded);
+                }
             }
             if !sim.step() {
                 break;
@@ -191,12 +296,34 @@ pub fn pkt_evaluate(
 
     let flow_finish: Vec<f64> = finished.iter().map(|f| f.unwrap_or(0.0)).collect();
     let makespan = flow_finish.iter().copied().fold(0.0, f64::max);
-    Ok(PktEvalResult {
+    Ok(PktEvalOutcome::Completed(PktEvalResult {
         makespan,
         flow_finish,
         drops: sim.stats().drops,
         timeouts: sim.stats().timeouts,
-    })
+    }))
+}
+
+/// Evaluates `problem` under `binding` by packet-level simulation over
+/// `topo`. `addr_to_host` maps query addresses into the simulated
+/// topology (the provider placing the tenant's VMs in its model).
+///
+/// One-shot convenience over [`PktProgram::compile`] +
+/// [`pkt_evaluate_program`]; enumerations over many bindings should use
+/// those directly with a reused simulator.
+pub fn pkt_evaluate(
+    problem: &Problem,
+    binding: &Binding,
+    topo: &Topology,
+    addr_to_host: &HashMap<Address, HostId>,
+    cfg: SimConfig,
+) -> Result<PktEvalResult, PktEvalError> {
+    let prog = PktProgram::compile(problem)?;
+    let mut sim = PktSim::new(topo.clone(), cfg);
+    match pkt_evaluate_program(&prog, binding, &mut sim, addr_to_host, None)? {
+        PktEvalOutcome::Completed(r) => Ok(r),
+        PktEvalOutcome::DeadlineExceeded => unreachable!("no deadline was set"),
+    }
 }
 
 #[cfg(test)]
@@ -303,5 +430,94 @@ mod tests {
         let r = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap();
         assert_eq!(r.flow_finish[0], 0.0);
         assert!(r.flow_finish[1] > 0.0);
+    }
+
+    #[test]
+    fn zero_network_flows_is_unsupported_not_zero() {
+        // A disk-only problem: the packet simulator has no disks, so a
+        // "0 s makespan" would be silently wrong. It must refuse instead.
+        let (topo, map) = setup(2);
+        let a = addr_of(&topo, 0);
+        let mut b = QueryBuilder::new();
+        b.flow("f1").from_addr(a).to_disk().size(1e6);
+        b.flow("f2").from_addr(a).to_disk().size(2e6);
+        let p = b.resolve().unwrap();
+        let err = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, PktEvalError::Unsupported(_)),
+            "disk-only problem must be Unsupported, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_problem_is_unsupported() {
+        let (topo, map) = setup(2);
+        let p = Problem::default();
+        let err = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap_err();
+        assert!(matches!(err, PktEvalError::Unsupported(_)));
+    }
+
+    #[test]
+    fn reused_sim_matches_fresh_sim() {
+        let (topo, map) = setup(60);
+        let sink = addr_of(&topo, 59);
+        let mut b = QueryBuilder::new();
+        for i in 0..50 {
+            b.flow(format!("f{i}"))
+                .from_addr(addr_of(&topo, i))
+                .to_addr(sink)
+                .size(10.0 * 1024.0);
+        }
+        let p = b.resolve().unwrap();
+        let fresh = pkt_evaluate(&p, &vec![], &topo, &map, SimConfig::default()).unwrap();
+
+        let prog = PktProgram::compile(&p).unwrap();
+        let mut sim = PktSim::new(topo.clone(), SimConfig::default());
+        for _ in 0..3 {
+            sim.reset();
+            let out = pkt_evaluate_program(&prog, &vec![], &mut sim, &map, None).unwrap();
+            let PktEvalOutcome::Completed(r) = out else {
+                panic!("no deadline set")
+            };
+            assert_eq!(r.makespan.to_bits(), fresh.makespan.to_bits());
+            assert_eq!(r.drops, fresh.drops);
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_hopeless_runs_and_spares_winners() {
+        let (topo, map) = setup(60);
+        let sink = addr_of(&topo, 59);
+        let mut b = QueryBuilder::new();
+        for i in 0..50 {
+            b.flow(format!("f{i}"))
+                .from_addr(addr_of(&topo, i))
+                .to_addr(sink)
+                .size(10.0 * 1024.0);
+        }
+        let p = b.resolve().unwrap();
+        let prog = PktProgram::compile(&p).unwrap();
+        let mut sim = PktSim::new(topo.clone(), SimConfig::default());
+        let out = pkt_evaluate_program(&prog, &vec![], &mut sim, &map, None).unwrap();
+        let PktEvalOutcome::Completed(full) = out else {
+            panic!("no deadline set")
+        };
+        assert!(full.makespan > 0.2, "incast run crosses an RTO");
+
+        // A deadline below the true makespan aborts…
+        sim.reset();
+        let out =
+            pkt_evaluate_program(&prog, &vec![], &mut sim, &map, Some(full.makespan / 2.0))
+                .unwrap();
+        assert!(matches!(out, PktEvalOutcome::DeadlineExceeded));
+
+        // …and one at/above it completes with the exact same answer.
+        sim.reset();
+        let out =
+            pkt_evaluate_program(&prog, &vec![], &mut sim, &map, Some(full.makespan)).unwrap();
+        let PktEvalOutcome::Completed(again) = out else {
+            panic!("deadline == makespan must still complete")
+        };
+        assert_eq!(again.makespan.to_bits(), full.makespan.to_bits());
     }
 }

@@ -1,0 +1,753 @@
+//! Packet-level binding search (the tentpole of the §5.4 story).
+//!
+//! The paper's incast-dominated queries — the web-search aggregator
+//! placement — must be answered with the packet-level simulator, because
+//! the flow-level estimator cannot see drops and RTOs. But the simulator
+//! is "quite slow", so enumerating a binding space at packet fidelity is
+//! only affordable with the optimisations implemented here:
+//!
+//! * **Parallel fan-out** — the first variable's candidates are split
+//!   into contiguous chunks, one per worker thread, exactly like
+//!   [`crate::exhaustive`]; the final reduction scans workers in chunk
+//!   order with a strict `<`, so the winning binding (and its makespan,
+//!   bit for bit) is always the one the plain sequential scan would have
+//!   found first, at any thread count.
+//! * **Incumbent early-abort** — workers share the best makespan so far
+//!   through an [`AtomicU64`] holding the `f64` bit pattern (for
+//!   non-negative IEEE floats bit order equals numeric order, so
+//!   `fetch_min` on bits is `min` on values). Each simulation runs with
+//!   the incumbent as its deadline and is abandoned the moment simulated
+//!   time passes it with query flows unfinished — the binding's true
+//!   makespan is then *strictly greater* than the incumbent, hence
+//!   strictly greater than the final best, so it can neither win nor tie.
+//!   Hopeless bindings cost a fraction of a full run.
+//! * **Symmetry memoisation** — bindings are canonicalised by the
+//!   topology equivalence class of their chosen hosts. Two hosts are
+//!   interchangeable when they sit in the same rack behind access links
+//!   of identical capacity and latency and neither is pinned by a fixed
+//!   endpoint of the query; swapping them is a topology automorphism, and
+//!   the simulator is deterministic, so isomorphic bindings produce
+//!   bit-identical makespans and can share one cached simulation result.
+//!   Only *completed* runs are cached (an aborted run has no makespan).
+//! * **Simulator reuse** — each worker owns a single [`PktSim`] that is
+//!   [`PktSim::reset`] between bindings, keeping ports and the route
+//!   cache warm instead of allocating the world per candidate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cloudtalk_lang::problem::{Address, Binding, Endpoint, Problem, Value};
+use pktsim::{PktSim, SimConfig};
+use simnet::topology::{HostId, Topology};
+
+use crate::pkteval::{pkt_evaluate_program, PktEvalError, PktEvalOutcome, PktProgram};
+
+/// The provider's simulated mirror of (part of) its datacenter: the
+/// topology the packet-level backend evaluates bindings against, plus the
+/// address → host mapping placing the tenant's VMs in it.
+#[derive(Clone, Debug)]
+pub struct MirrorTopology {
+    topo: Topology,
+    addr_to_host: HashMap<Address, HostId>,
+}
+
+impl MirrorTopology {
+    /// Wraps `topo`, mapping every simulated host by its own address.
+    pub fn new(topo: Topology) -> Self {
+        let addr_to_host = topo
+            .host_ids()
+            .into_iter()
+            .map(|h| (Address(topo.host(h).addr), h))
+            .collect();
+        MirrorTopology { topo, addr_to_host }
+    }
+
+    /// The mirrored topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The address → simulated-host mapping.
+    pub fn addr_to_host(&self) -> &HashMap<Address, HostId> {
+        &self.addr_to_host
+    }
+}
+
+/// Knobs for [`pkt_search`].
+#[derive(Clone, Copy, Debug)]
+pub struct PktSearchOptions {
+    /// Refuse searches whose binding space exceeds this many bindings.
+    pub limit: u64,
+    /// Worker threads; `0` and `1` both mean single-threaded.
+    pub threads: usize,
+    /// Share one simulation result across symmetry-equivalent bindings.
+    pub memoise: bool,
+    /// Abandon simulations that can no longer beat the incumbent.
+    pub early_abort: bool,
+    /// Packet-simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl PktSearchOptions {
+    /// Single-threaded search bounded by `limit` bindings, with
+    /// memoisation and early-abort on.
+    pub fn new(limit: u64) -> Self {
+        PktSearchOptions {
+            limit,
+            threads: 1,
+            memoise: true,
+            early_abort: true,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Enables or disables symmetry memoisation.
+    pub fn memoise(mut self, on: bool) -> Self {
+        self.memoise = on;
+        self
+    }
+
+    /// Enables or disables incumbent early-abort.
+    pub fn early_abort(mut self, on: bool) -> Self {
+        self.early_abort = on;
+        self
+    }
+
+    /// Sets the simulator configuration.
+    pub fn sim(mut self, cfg: SimConfig) -> Self {
+        self.sim = cfg;
+        self
+    }
+}
+
+/// Outcome of a packet-level search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PktSearchResult {
+    /// The binding with the minimum simulated makespan.
+    pub binding: Binding,
+    /// Its makespan, seconds.
+    pub makespan: f64,
+    /// Simulations run to completion.
+    pub evaluated: u64,
+    /// Simulations abandoned by the incumbent deadline.
+    pub aborted: u64,
+    /// Bindings answered from the symmetry cache.
+    pub memo_hits: u64,
+    /// Bindings that had to simulate (memoisation on only).
+    pub memo_misses: u64,
+}
+
+/// Errors from the packet-level search.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PktSearchError {
+    /// The search space exceeds `limit` bindings.
+    TooLarge {
+        /// Upper bound on the number of bindings.
+        space: u128,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// No binding could be simulated (e.g. every binding is disk-only).
+    NoFeasibleBinding,
+    /// The problem itself cannot be packet-simulated.
+    Eval(PktEvalError),
+}
+
+impl std::fmt::Display for PktSearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PktSearchError::TooLarge { space, limit } => {
+                write!(f, "search space of {space} bindings exceeds limit {limit}")
+            }
+            PktSearchError::NoFeasibleBinding => write!(f, "no feasible binding"),
+            PktSearchError::Eval(e) => write!(f, "packet-level evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PktSearchError {}
+
+impl From<PktEvalError> for PktSearchError {
+    fn from(e: PktEvalError) -> Self {
+        PktSearchError::Eval(e)
+    }
+}
+
+/// Class id of a binding position. `Value::Disk` gets the reserved class
+/// [`DISK_CLASS`]; every pinned or unclassifiable host gets a unique id.
+const DISK_CLASS: u32 = u32::MAX;
+
+/// One position of a canonical binding key: the host's equivalence class
+/// plus the index of the first position bound to the *same* value (self
+/// for first occurrences). The equality pattern distinguishes `(h, h)`
+/// from `(h, h')` even when `h` and `h'` share a class — the former
+/// shares one NIC, the latter does not.
+type CanonKey = Vec<(u32, u32)>;
+
+/// What the symmetry cache knows about an equivalence class.
+#[derive(Clone, Copy, Debug)]
+enum MemoEntry {
+    /// A member ran to completion: the class's exact makespan.
+    Exact(f64),
+    /// A member was abandoned at this deadline: the class's makespan is
+    /// *strictly greater*. The deadline was an incumbent snapshot and the
+    /// incumbent only decreases, so `final best <= bound < makespan` —
+    /// every member of the class is provably not the argmin (nor a tie)
+    /// and can be discarded without simulating.
+    ExceedsBound(f64),
+}
+
+struct Canonicaliser {
+    /// Class of each candidate address.
+    class_of: HashMap<Address, u32>,
+}
+
+impl Canonicaliser {
+    /// Assigns classes to every candidate address. Two addresses share a
+    /// class iff their hosts sit in the same rack behind access links of
+    /// identical capacity and latency *and* neither appears as a fixed
+    /// endpoint of the query (a fixed endpoint is pinned: an automorphism
+    /// must map it to itself, so it cannot be swapped with anything).
+    fn build(problem: &Problem, mirror: &MirrorTopology) -> Canonicaliser {
+        let mut pinned: Vec<Address> = Vec::new();
+        for flow in &problem.flows {
+            for ep in [flow.src, flow.dst] {
+                if let Endpoint::Addr(a) = ep {
+                    if !pinned.contains(&a) {
+                        pinned.push(a);
+                    }
+                }
+            }
+        }
+        let mut class_of: HashMap<Address, u32> = HashMap::new();
+        // (rack, capacity bits, latency nanos) → class id. Ids are
+        // assigned in candidate declaration order, so they are stable
+        // across runs and thread counts.
+        let mut interned: HashMap<(usize, u64, u64), u32> = HashMap::new();
+        let mut next = 0u32;
+        for var in &problem.vars {
+            for value in &var.candidates {
+                let Value::Addr(a) = value else { continue };
+                if class_of.contains_key(a) {
+                    continue;
+                }
+                let id = match mirror.addr_to_host.get(a) {
+                    Some(&h) if !pinned.contains(a) => {
+                        let host = mirror.topo.host(h);
+                        let link = mirror.topo.link(host.access_link);
+                        let key = (
+                            host.rack,
+                            link.capacity_bps.to_bits(),
+                            link.latency.as_nanos(),
+                        );
+                        *interned.entry(key).or_insert_with(|| {
+                            let id = next;
+                            next += 1;
+                            id
+                        })
+                    }
+                    // Pinned (or unmapped) hosts are singleton classes.
+                    _ => {
+                        let id = next;
+                        next += 1;
+                        id
+                    }
+                };
+                class_of.insert(*a, id);
+            }
+        }
+        Canonicaliser { class_of }
+    }
+
+    /// The canonical key of `binding`.
+    fn key(&self, binding: &Binding) -> CanonKey {
+        binding
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let class = match v {
+                    Value::Addr(a) => self.class_of[a],
+                    Value::Disk => DISK_CLASS,
+                };
+                let first = binding[..i]
+                    .iter()
+                    .position(|w| w == v)
+                    .unwrap_or(i) as u32;
+                (class, first)
+            })
+            .collect()
+    }
+}
+
+/// Searches all bindings of `problem` (respecting same-pool
+/// distinctness) for the minimum packet-simulated makespan over
+/// `mirror`. Deterministic: the winning binding and its makespan are
+/// bit-identical at any thread count and with memoisation on or off;
+/// only the `evaluated`/`aborted`/memo counters vary.
+pub fn pkt_search(
+    problem: &Problem,
+    mirror: &MirrorTopology,
+    opts: &PktSearchOptions,
+) -> Result<PktSearchResult, PktSearchError> {
+    // Space guard first: a TooLarge query is rejected in O(|vars|).
+    let mut space: u128 = 1;
+    for var in &problem.vars {
+        space = space.saturating_mul(var.candidates.len() as u128);
+        if space > opts.limit as u128 {
+            return Err(PktSearchError::TooLarge {
+                space,
+                limit: opts.limit,
+            });
+        }
+    }
+
+    let prog = PktProgram::compile(problem)?;
+
+    // Every mentioned address must exist in the mirror, so per-binding
+    // evaluation can never hit UnknownAddress mid-search.
+    for a in problem.mentioned_addresses() {
+        if !mirror.addr_to_host.contains_key(&a) {
+            return Err(PktSearchError::Eval(PktEvalError::UnknownAddress(a)));
+        }
+    }
+
+    let n_vars = problem.vars.len();
+    if n_vars == 0 {
+        let mut sim = PktSim::new(mirror.topo.clone(), opts.sim);
+        let out = pkt_evaluate_program(&prog, &Vec::new(), &mut sim, &mirror.addr_to_host, None)?;
+        let PktEvalOutcome::Completed(r) = out else {
+            unreachable!("no deadline was set")
+        };
+        return Ok(PktSearchResult {
+            binding: Vec::new(),
+            makespan: r.makespan,
+            evaluated: 1,
+            aborted: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+        });
+    }
+
+    let canon = opts.memoise.then(|| Canonicaliser::build(problem, mirror));
+    let memo: Mutex<HashMap<CanonKey, MemoEntry>> = Mutex::new(HashMap::new());
+    let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
+    let ctx = Ctx {
+        problem,
+        prog: &prog,
+        mirror,
+        canon: canon.as_ref(),
+        memo: &memo,
+        incumbent: &incumbent,
+        early_abort: opts.early_abort,
+    };
+
+    let first = &problem.vars[0].candidates;
+    let threads = opts.threads.max(1).min(first.len().max(1));
+    let locals: Vec<Local> = if threads <= 1 {
+        let mut local = Local::default();
+        let mut sim = PktSim::new(mirror.topo.clone(), opts.sim);
+        let mut current: Binding = Vec::with_capacity(n_vars);
+        search_rec(ctx, &mut sim, &mut current, &mut local);
+        vec![local]
+    } else {
+        std::thread::scope(|s| {
+            // Contiguous chunks keep the first-variable order intact, so
+            // scanning workers in spawn order below reproduces the
+            // sequential first-found tie-break.
+            let chunk = first.len() / threads;
+            let extra = first.len() % threads;
+            let mut lo = 0usize;
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let hi = lo + chunk + usize::from(w < extra);
+                let mine = &first[lo..hi];
+                lo = hi;
+                let sim_cfg = opts.sim;
+                handles.push(s.spawn(move || {
+                    let mut local = Local::default();
+                    let mut sim = PktSim::new(ctx.mirror.topo.clone(), sim_cfg);
+                    let mut current: Binding = Vec::with_capacity(n_vars);
+                    for &value in mine {
+                        current.push(value);
+                        search_rec(ctx, &mut sim, &mut current, &mut local);
+                        current.pop();
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pktsearch worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut best: Option<(f64, Binding)> = None;
+    let mut evaluated = 0u64;
+    let mut aborted = 0u64;
+    let mut memo_hits = 0u64;
+    let mut memo_misses = 0u64;
+    for local in locals {
+        evaluated += local.evaluated;
+        aborted += local.aborted;
+        memo_hits += local.memo_hits;
+        memo_misses += local.memo_misses;
+        if let Some((m, b)) = local.best {
+            if best.as_ref().is_none_or(|(bm, _)| m < *bm) {
+                best = Some((m, b));
+            }
+        }
+    }
+
+    match best {
+        Some((makespan, binding)) => Ok(PktSearchResult {
+            binding,
+            makespan,
+            evaluated,
+            aborted,
+            memo_hits,
+            memo_misses,
+        }),
+        None => Err(PktSearchError::NoFeasibleBinding),
+    }
+}
+
+/// Per-worker accumulation.
+#[derive(Default)]
+struct Local {
+    best: Option<(f64, Binding)>,
+    evaluated: u64,
+    aborted: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl Local {
+    /// Records a binding's exact score, keeping the first-found minimum
+    /// (strict `<`) and publishing it to the shared incumbent.
+    fn score(&mut self, makespan: f64, binding: &Binding, incumbent: &AtomicU64) {
+        if self.best.as_ref().is_none_or(|(b, _)| makespan < *b) {
+            self.best = Some((makespan, binding.clone()));
+            incumbent.fetch_min(makespan.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Read-only search context shared by all workers.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    problem: &'a Problem,
+    prog: &'a PktProgram,
+    mirror: &'a MirrorTopology,
+    canon: Option<&'a Canonicaliser>,
+    memo: &'a Mutex<HashMap<CanonKey, MemoEntry>>,
+    incumbent: &'a AtomicU64,
+    early_abort: bool,
+}
+
+fn search_rec(ctx: Ctx<'_>, sim: &mut PktSim, current: &mut Binding, local: &mut Local) {
+    let depth = current.len();
+    if depth == ctx.problem.vars.len() {
+        evaluate_leaf(ctx, sim, current, local);
+        return;
+    }
+    let var = &ctx.problem.vars[depth];
+    for &value in &var.candidates {
+        if ctx.problem.distinct {
+            let clash = current
+                .iter()
+                .enumerate()
+                .any(|(j, v)| ctx.problem.vars[j].pool == var.pool && *v == value);
+            if clash {
+                continue;
+            }
+        }
+        current.push(value);
+        search_rec(ctx, sim, current, local);
+        current.pop();
+    }
+}
+
+fn evaluate_leaf(ctx: Ctx<'_>, sim: &mut PktSim, binding: &Binding, local: &mut Local) {
+    // Symmetry cache: isomorphic bindings simulate bit-identically, so a
+    // cached `Exact` makespan is *exact*, not approximate — winners stay
+    // bit-identical with memoisation on or off. An `ExceedsBound` entry
+    // discards the whole class without simulating (see [`MemoEntry`]).
+    let key = ctx.canon.map(|c| c.key(binding));
+    if let Some(k) = &key {
+        let cached = ctx.memo.lock().expect("memo poisoned").get(k).copied();
+        match cached {
+            Some(MemoEntry::Exact(m)) => {
+                local.memo_hits += 1;
+                local.score(m, binding, ctx.incumbent);
+                return;
+            }
+            Some(MemoEntry::ExceedsBound(_)) => {
+                local.memo_hits += 1;
+                return;
+            }
+            None => local.memo_misses += 1,
+        }
+    }
+
+    sim.reset();
+    let deadline = if ctx.early_abort {
+        let inc = f64::from_bits(ctx.incumbent.load(Ordering::Relaxed));
+        inc.is_finite().then_some(inc)
+    } else {
+        None
+    };
+    match pkt_evaluate_program(ctx.prog, binding, sim, &ctx.mirror.addr_to_host, deadline) {
+        Ok(PktEvalOutcome::Completed(r)) => {
+            local.evaluated += 1;
+            if let Some(k) = key {
+                // Exact results always overwrite: an `ExceedsBound` left
+                // by a concurrent worker is strictly less informative.
+                ctx.memo
+                    .lock()
+                    .expect("memo poisoned")
+                    .insert(k, MemoEntry::Exact(r.makespan));
+            }
+            local.score(r.makespan, binding, ctx.incumbent);
+        }
+        Ok(PktEvalOutcome::DeadlineExceeded) => {
+            // Strictly worse than the incumbent, hence than the final
+            // best: cannot win, cannot tie. Score +inf by not scoring.
+            local.aborted += 1;
+            if let (Some(k), Some(d)) = (key, deadline) {
+                // Remember the proof, not just the failure: the class's
+                // makespan strictly exceeds `d`, so siblings skip their
+                // own doomed simulation. Never downgrade an entry —
+                // `Exact` beats any bound, a larger bound beats a smaller.
+                let mut memo = ctx.memo.lock().expect("memo poisoned");
+                match memo.get(&k).copied() {
+                    Some(MemoEntry::Exact(_)) => {}
+                    Some(MemoEntry::ExceedsBound(prev)) if prev >= d => {}
+                    _ => {
+                        memo.insert(k, MemoEntry::ExceedsBound(d));
+                    }
+                }
+            }
+        }
+        // Per-binding degeneracy (e.g. a Disk value turning the whole
+        // query disk-only): this binding is infeasible, skip it.
+        Err(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudtalk_lang::ast::{AttrKind, BinOp, Expr, FlowRef, RefAttr};
+    use cloudtalk_lang::builder::QueryBuilder;
+    use cloudtalk_lang::Span;
+    use simnet::topology::TopoOptions;
+    use simnet::GBPS;
+
+    fn mirror(n: usize) -> MirrorTopology {
+        MirrorTopology::new(Topology::single_switch(n, GBPS, TopoOptions::default()))
+    }
+
+    fn addr_of(m: &MirrorTopology, i: usize) -> Address {
+        Address(m.topology().host(HostId(i)).addr)
+    }
+
+    /// `t(f)` reference for the 1-based flow index `idx`.
+    fn t_ref(idx: usize) -> Expr {
+        Expr::Ref {
+            attr: RefAttr::Transferred,
+            flow: FlowRef::Index {
+                index: idx,
+                span: Span::DUMMY,
+            },
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Fan-in query: each leaf sends to a free aggregator drawn from
+    /// `candidates`, which forwards the gathered bytes to a sink.
+    fn fan_in(m: &MirrorTopology, leaves: &[usize], candidates: &[usize], sink: usize) -> Problem {
+        let mut b = QueryBuilder::new();
+        let pool: Vec<Address> = candidates.iter().map(|&i| addr_of(m, i)).collect();
+        let agg = b.variable("agg", pool);
+        for &leaf in leaves {
+            b.flow(format!("g{leaf}"))
+                .from_addr(addr_of(m, leaf))
+                .to_var(agg)
+                .size(10.0 * 1024.0);
+        }
+        // transfer t(g1)+t(g2)+…: the upward flow starts once every
+        // gather flow has delivered.
+        let mut dep = t_ref(1);
+        for idx in 2..=leaves.len() {
+            dep = Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(dep),
+                rhs: Box::new(t_ref(idx)),
+            };
+        }
+        b.flow("up")
+            .from_var(agg)
+            .to_addr(addr_of(m, sink))
+            .size(10.0 * 1024.0 * leaves.len() as f64)
+            .attr(AttrKind::Transfer, dep);
+        b.resolve().unwrap()
+    }
+
+    #[test]
+    fn finds_minimum_and_counts_work() {
+        let m = mirror(12);
+        let p = fan_in(&m, &[0, 1, 2, 3], &[8, 9, 10], 11);
+        let r = pkt_search(&p, &m, &PktSearchOptions::new(100)).unwrap();
+        assert_eq!(r.binding.len(), 1);
+        assert!(r.makespan > 0.0);
+        assert!(r.evaluated + r.memo_hits >= 3 || r.aborted > 0);
+    }
+
+    #[test]
+    fn space_guard_fires_without_simulation() {
+        let m = mirror(12);
+        let p = fan_in(&m, &[0, 1], &[4, 5, 6, 7, 8, 9], 11);
+        let err = pkt_search(&p, &m, &PktSearchOptions::new(3)).unwrap_err();
+        assert!(matches!(err, PktSearchError::TooLarge { space: 6, limit: 3 }));
+    }
+
+    #[test]
+    fn unknown_candidate_rejected_up_front() {
+        let m = mirror(4);
+        let mut b = QueryBuilder::new();
+        let v = b.variable("x", [addr_of(&m, 1), Address(0xDEAD)]);
+        b.flow("f").from_addr(addr_of(&m, 0)).to_var(v).size(1e4);
+        let p = b.resolve().unwrap();
+        let err = pkt_search(&p, &m, &PktSearchOptions::new(100)).unwrap_err();
+        assert_eq!(
+            err,
+            PktSearchError::Eval(PktEvalError::UnknownAddress(Address(0xDEAD)))
+        );
+    }
+
+    #[test]
+    fn symmetric_candidates_collapse_to_one_class() {
+        // Single switch: every non-pinned host is interchangeable, so all
+        // candidate aggregators share a class and the cache answers all
+        // but the first binding.
+        let m = mirror(12);
+        let p = fan_in(&m, &[0, 1, 2, 3], &[8, 9, 10], 11);
+        let opts = PktSearchOptions::new(100).early_abort(false);
+        let r = pkt_search(&p, &m, &opts).unwrap();
+        assert_eq!(r.evaluated, 1, "one class, one simulation");
+        assert_eq!(r.memo_misses, 1);
+        assert_eq!(r.memo_hits, 2);
+        // First-found tie-break: the first candidate wins.
+        assert_eq!(r.binding, vec![Value::Addr(addr_of(&m, 8))]);
+    }
+
+    #[test]
+    fn memoisation_does_not_change_the_answer() {
+        let m = mirror(12);
+        let p = fan_in(&m, &[0, 1, 2, 3], &[8, 9, 10], 11);
+        let plain = pkt_search(
+            &p,
+            &m,
+            &PktSearchOptions::new(100).memoise(false).early_abort(false),
+        )
+        .unwrap();
+        let memo = pkt_search(&p, &m, &PktSearchOptions::new(100).early_abort(false)).unwrap();
+        assert_eq!(memo.binding, plain.binding);
+        assert_eq!(memo.makespan.to_bits(), plain.makespan.to_bits());
+        assert_eq!(plain.evaluated, 3);
+        assert!(memo.evaluated < plain.evaluated);
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_for_bit() {
+        let m = mirror(16);
+        let p = fan_in(&m, &[0, 1, 2, 3, 4], &[8, 9, 10, 11, 12, 13], 15);
+        let reference = pkt_search(
+            &p,
+            &m,
+            &PktSearchOptions::new(100).memoise(false).early_abort(false),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            for memoise in [false, true] {
+                for abort in [false, true] {
+                    let opts = PktSearchOptions::new(100)
+                        .threads(threads)
+                        .memoise(memoise)
+                        .early_abort(abort);
+                    let r = pkt_search(&p, &m, &opts).unwrap();
+                    assert_eq!(
+                        r.binding, reference.binding,
+                        "threads={threads} memo={memoise} abort={abort}"
+                    );
+                    assert_eq!(
+                        r.makespan.to_bits(),
+                        reference.makespan.to_bits(),
+                        "threads={threads} memo={memoise} abort={abort}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_hosts_are_never_pooled() {
+        // Host 11 is the sink (pinned) *and* a candidate: binding the
+        // aggregator onto the sink loopbacks the upward flow, which is
+        // very different from binding a free host — the canonicaliser
+        // must keep it in its own class.
+        let m = mirror(12);
+        let p = fan_in(&m, &[0, 1, 2], &[8, 11], 11);
+        let plain = pkt_search(
+            &p,
+            &m,
+            &PktSearchOptions::new(100).memoise(false).early_abort(false),
+        )
+        .unwrap();
+        let memo = pkt_search(&p, &m, &PktSearchOptions::new(100).early_abort(false)).unwrap();
+        assert_eq!(memo.binding, plain.binding);
+        assert_eq!(memo.makespan.to_bits(), plain.makespan.to_bits());
+        assert_eq!(memo.memo_hits, 0, "a pinned and a free host never share a class");
+    }
+
+    #[test]
+    fn disk_only_bindings_are_skipped_not_fatal() {
+        // Table 1 allows `disk` in a candidate pool ("read from a replica
+        // *or* the local disk"); binding it turns the only flow
+        // non-network, which the evaluator rejects — the search must skip
+        // that binding and still answer from the remaining ones.
+        use cloudtalk_lang::problem::{Flow, Variable};
+        let m = mirror(4);
+        let src = addr_of(&m, 0);
+        let mut p = Problem {
+            vars: vec![Variable {
+                name: "x".into(),
+                candidates: vec![Value::Disk, Value::Addr(addr_of(&m, 1))],
+                pool: 0,
+            }],
+            flows: vec![],
+            distinct: true,
+        };
+        let mut f = Flow::new(
+            Some("f".into()),
+            cloudtalk_lang::problem::Endpoint::Addr(src),
+            cloudtalk_lang::problem::Endpoint::Var(cloudtalk_lang::problem::VarId(0)),
+        );
+        f.set_attr(
+            AttrKind::Size,
+            cloudtalk_lang::problem::ExprR::Literal(1e4),
+        );
+        p.flows.push(f);
+        let r = pkt_search(&p, &m, &PktSearchOptions::new(100)).unwrap();
+        assert_eq!(r.binding, vec![Value::Addr(addr_of(&m, 1))]);
+        assert_eq!(r.evaluated, 1);
+    }
+}

@@ -34,6 +34,7 @@ use estimator::{HostState, World};
 use crate::exhaustive::{exhaustive_search, ExhaustiveError};
 use crate::heuristic::{evaluate_query_scored, HeuristicConfig};
 use crate::messages::OverheadLedger;
+use crate::pktsearch::{pkt_search, MirrorTopology, PktSearchError, PktSearchOptions};
 use crate::reservation::ReservationTable;
 use crate::sampling::{sample_candidates, DEFAULT_SAMPLE_THRESHOLD};
 use crate::status::StatusSource;
@@ -48,6 +49,15 @@ pub enum EvalMethod {
     Heuristic,
     /// Brute force over all bindings, scored by the flow-level estimator.
     Exhaustive {
+        /// Maximum bindings to try before refusing.
+        limit: u64,
+    },
+    /// Enumerate all bindings at *packet* fidelity over the provider's
+    /// mirror topology ([`ServerConfig::pkt`]), picking the minimum
+    /// simulated makespan. The paper's backend for incast-dominated
+    /// queries (§5.4 web search) that the flow-level estimator cannot
+    /// score — drops and RTOs are invisible to it.
+    PacketLevel {
         /// Maximum bindings to try before refusing.
         limit: u64,
     },
@@ -73,6 +83,9 @@ pub struct ServerConfig {
     pub use_dynamic: bool,
     /// Graceful-degradation ladder parameters.
     pub degradation: DegradationConfig,
+    /// Packet-level backend parameters (only used by
+    /// [`EvalMethod::PacketLevel`]).
+    pub pkt: PktBackendConfig,
     /// RNG seed for sampling and transport loss.
     pub seed: u64,
 }
@@ -87,7 +100,44 @@ impl Default for ServerConfig {
             method: EvalMethod::Heuristic,
             use_dynamic: true,
             degradation: DegradationConfig::default(),
+            pkt: PktBackendConfig::default(),
             seed: 0,
+        }
+    }
+}
+
+/// Configuration of the packet-level search backend.
+///
+/// The backend evaluates bindings against the provider's simulated
+/// *mirror* of its datacenter, not against gathered status data — packet
+/// simulation models the query's own traffic on the mirrored fabric
+/// (which is how the paper answers the web-search placement). Status
+/// freshness still gates it: on degraded rungs the server answers with
+/// the heuristic instead, exactly as it does for [`EvalMethod::Exhaustive`].
+#[derive(Clone, Debug)]
+pub struct PktBackendConfig {
+    /// The mirror topology. `Arc`-shared: one mirror serves every query
+    /// (and every server clone). `None` fails `PacketLevel` queries with
+    /// [`ServerError::MirrorMissing`].
+    pub mirror: Option<Arc<MirrorTopology>>,
+    /// Packet-simulator parameters.
+    pub sim: pktsim::SimConfig,
+    /// Worker threads for the binding fan-out.
+    pub threads: usize,
+    /// Share simulation results across symmetry-equivalent bindings.
+    pub memoise: bool,
+    /// Abandon simulations that can no longer beat the incumbent.
+    pub early_abort: bool,
+}
+
+impl Default for PktBackendConfig {
+    fn default() -> Self {
+        PktBackendConfig {
+            mirror: None,
+            sim: pktsim::SimConfig::default(),
+            threads: 1,
+            memoise: true,
+            early_abort: true,
         }
     }
 }
@@ -223,6 +273,10 @@ pub enum ServerError {
     Language(LangError),
     /// Exhaustive evaluation failed.
     Exhaustive(ExhaustiveError),
+    /// Packet-level search failed.
+    PktSearch(PktSearchError),
+    /// A `PacketLevel` query arrived but no mirror topology is configured.
+    MirrorMissing,
     /// A variable has an empty candidate pool: no binding can exist.
     EmptyCandidates {
         /// Name of the offending variable.
@@ -241,6 +295,10 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Language(e) => write!(f, "query error: {e}"),
             ServerError::Exhaustive(e) => write!(f, "exhaustive evaluation failed: {e}"),
+            ServerError::PktSearch(e) => write!(f, "packet-level search failed: {e}"),
+            ServerError::MirrorMissing => {
+                write!(f, "packet-level method requires a mirror topology")
+            }
             ServerError::EmptyCandidates { var } => {
                 write!(f, "variable '{var}' has an empty candidate pool")
             }
@@ -525,9 +583,10 @@ impl CloudTalkServer {
         let world: &World = overlaid.as_ref().unwrap_or(base);
 
         // Degraded rungs always use the heuristic: it is total (returns a
-        // complete binding for any world), while the exhaustive backend
-        // can report `NoFeasibleBinding` when pessimistic data stalls
-        // every candidate — precisely the situation degraded rungs are in.
+        // complete binding for any world), while the exhaustive and
+        // packet-level backends can report `NoFeasibleBinding` when
+        // pessimistic data stalls every candidate — precisely the
+        // situation degraded rungs are in.
         let method = match rung {
             DegradationRung::Full => self.cfg.method,
             _ => EvalMethod::Heuristic,
@@ -537,6 +596,24 @@ impl CloudTalkServer {
             EvalMethod::Exhaustive { limit } => {
                 let r = exhaustive_search(working, world, limit)
                     .map_err(ServerError::Exhaustive)?;
+                let n = r.binding.len();
+                (r.binding, vec![f64::INFINITY; n])
+            }
+            EvalMethod::PacketLevel { limit } => {
+                let mirror = self
+                    .cfg
+                    .pkt
+                    .mirror
+                    .clone()
+                    .ok_or(ServerError::MirrorMissing)?;
+                let opts = PktSearchOptions::new(limit)
+                    .threads(self.cfg.pkt.threads)
+                    .memoise(self.cfg.pkt.memoise)
+                    .early_abort(self.cfg.pkt.early_abort)
+                    .sim(self.cfg.pkt.sim);
+                let r = pkt_search(working, &mirror, &opts)
+                    .map_err(ServerError::PktSearch)?;
+                self.ledger.record_pkt_memo(r.memo_hits, r.memo_misses);
                 let n = r.binding.len();
                 (r.binding, vec![f64::INFINITY; n])
             }
@@ -1021,6 +1098,95 @@ mod tests {
                 a.binding
             );
         }
+    }
+
+    fn websearch_mirror(n: usize) -> Arc<MirrorTopology> {
+        Arc::new(MirrorTopology::new(simnet::topology::Topology::single_switch(
+            n,
+            simnet::GBPS,
+            simnet::topology::TopoOptions::default(),
+        )))
+    }
+
+    /// Status source answering for the mirror's 10.0.0.x addresses.
+    fn mirror_source(n: u32) -> TableStatusSource {
+        let mut s = TableStatusSource::new();
+        for i in 1..=n {
+            s.set(Address(NET + i), HostState::gbps_idle());
+        }
+        s
+    }
+
+    #[test]
+    fn packet_level_method_works_end_to_end() {
+        // Aggregation onto a free host: 10.0.0.1..3 send to `agg`, which
+        // forwards to 10.0.0.8. All candidates are symmetric on a single
+        // switch, so the first one wins and the symmetry cache answers
+        // the rest.
+        let cfg = ServerConfig {
+            method: EvalMethod::PacketLevel { limit: 100 },
+            pkt: PktBackendConfig {
+                mirror: Some(websearch_mirror(8)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let a = server
+            .answer_text(
+                "agg = (10.0.0.5 10.0.0.6 10.0.0.7)\n\
+                 f1 10.0.0.1 -> agg size 100K\n\
+                 f2 10.0.0.2 -> agg size 100K\n\
+                 f3 10.0.0.3 -> agg size 100K\n\
+                 f4 agg -> 10.0.0.8 size 300K transfer t(f1)+t(f2)+t(f3)",
+                &mut mirror_source(8),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(a.rung, DegradationRung::Full);
+        assert_eq!(a.binding, vec![Value::Addr(Address(NET + 5))]);
+        assert_eq!(server.ledger().pkt_memo_misses, 1);
+        assert_eq!(server.ledger().pkt_memo_hits, 2);
+    }
+
+    #[test]
+    fn packet_level_without_mirror_is_a_typed_error() {
+        let cfg = ServerConfig {
+            method: EvalMethod::PacketLevel { limit: 100 },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let err = server
+            .answer_text(
+                "agg = (10.0.0.2 10.0.0.3)\nf1 10.0.0.1 -> agg size 100K",
+                &mut mirror_source(4),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::MirrorMissing), "{err}");
+    }
+
+    #[test]
+    fn packet_level_degrades_to_heuristic_when_status_is_stale() {
+        // Silent fleet → AssumeBusy rung → the heuristic answers, even
+        // though the configured method is PacketLevel (and even though no
+        // mirror is configured at all — degraded rungs never touch it).
+        let cfg = ServerConfig {
+            method: EvalMethod::PacketLevel { limit: 100 },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let mut silent = TableStatusSource::new();
+        let a = server
+            .answer_text(
+                "agg = (10.0.0.2 10.0.0.3)\nf1 10.0.0.1 -> agg size 100K",
+                &mut silent,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(a.rung, DegradationRung::AssumeBusy);
+        assert_eq!(a.binding.len(), 1);
+        assert_eq!(server.ledger().pkt_memo_misses, 0, "no simulation ran");
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Determinism suite for the packet-level search backend: whatever the
+//! worker-thread count {1, 2, 8} and whichever optimisations are on
+//! (symmetry memoisation, incumbent early-abort), the search must return
+//! the same winner — same binding, makespan bit for bit — as the plain
+//! serial no-memo no-abort scan. The optimisations trade work, never
+//! answers.
+//!
+//! The scenario is deliberately asymmetric: a two-tier fabric where one
+//! candidate rack is shared with the pinned frontend and another is not,
+//! so equivalence classes have genuinely different makespans and the
+//! tie-break discipline is exercised across class boundaries.
+
+use std::sync::Arc;
+
+use cloudtalk::pktsearch::{pkt_search, MirrorTopology, PktSearchOptions};
+use cloudtalk::server::{
+    CloudTalkServer, DegradationRung, EvalMethod, PktBackendConfig, ServerConfig,
+};
+use cloudtalk::status::TableStatusSource;
+use cloudtalk_lang::ast::{AttrKind, BinOp, Expr, FlowRef, RefAttr};
+use cloudtalk_lang::builder::QueryBuilder;
+use cloudtalk_lang::problem::{Address, Problem};
+use cloudtalk_lang::Span;
+use desim::SimTime;
+use estimator::HostState;
+use simnet::topology::{HostId, TopoOptions, Topology};
+use simnet::GBPS;
+
+const LEAF_BYTES: f64 = 50.0 * 1024.0;
+
+fn t_ref(idx: usize) -> Expr {
+    Expr::Ref {
+        attr: RefAttr::Transferred,
+        flow: FlowRef::Index {
+            index: idx,
+            span: Span::DUMMY,
+        },
+        span: Span::DUMMY,
+    }
+}
+
+fn t_sum(lo: usize, hi: usize) -> Expr {
+    let mut expr = t_ref(lo);
+    for idx in lo + 1..=hi {
+        expr = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(expr),
+            rhs: Box::new(t_ref(idx)),
+        };
+    }
+    expr
+}
+
+/// Two-aggregator fan-in over a 4-rack fabric. Candidates span two
+/// racks: hosts 1–2 share rack 0 with the (pinned) frontend, hosts 4–5
+/// sit alone in rack 1, so the search sees two equivalence classes with
+/// different makespans plus within-class ties.
+fn scenario() -> (MirrorTopology, Problem) {
+    let topo = Topology::two_tier(4, 4, GBPS, f64::INFINITY, TopoOptions::default());
+    let hosts = topo.host_ids();
+    let frontend = hosts[0];
+    let leaves: Vec<HostId> = hosts[8..16].to_vec();
+    let candidates = [hosts[1], hosts[2], hosts[4], hosts[5]];
+
+    let addr = |h: HostId| Address(topo.host(h).addr);
+    let mut b = QueryBuilder::new();
+    let aggs = b.variable_group(
+        ["agg1".to_string(), "agg2".to_string()],
+        candidates.iter().map(|&h| addr(h)).collect::<Vec<_>>(),
+    );
+    let half = leaves.len() / 2;
+    let halves = [&leaves[..half], &leaves[half..]];
+    for (g, half_leaves) in halves.iter().enumerate() {
+        for &leaf in *half_leaves {
+            b.flow(format!("g{g}_{}", leaf.0))
+                .from_addr(addr(leaf))
+                .to_var(aggs[g])
+                .size(LEAF_BYTES);
+        }
+    }
+    let mut lo = 1;
+    for (g, half_leaves) in halves.iter().enumerate() {
+        let hi = lo + half_leaves.len() - 1;
+        b.flow(format!("up{g}"))
+            .from_var(aggs[g])
+            .to_addr(addr(frontend))
+            .size(LEAF_BYTES * half_leaves.len() as f64)
+            .attr(AttrKind::Transfer, t_sum(lo, hi));
+        lo = hi + 1;
+    }
+    let problem = b.resolve().expect("builder query is structurally valid");
+    (MirrorTopology::new(topo), problem)
+}
+
+#[test]
+fn every_configuration_matches_the_serial_full_scan_bit_for_bit() {
+    let (mirror, problem) = scenario();
+    let golden = pkt_search(
+        &problem,
+        &mirror,
+        &PktSearchOptions::new(100).memoise(false).early_abort(false),
+    )
+    .expect("serial full scan succeeds");
+    assert!(golden.makespan.is_finite());
+
+    for threads in [1usize, 2, 8] {
+        for memoise in [false, true] {
+            for early_abort in [false, true] {
+                let opts = PktSearchOptions::new(100)
+                    .threads(threads)
+                    .memoise(memoise)
+                    .early_abort(early_abort);
+                let r = pkt_search(&problem, &mirror, &opts).expect("search succeeds");
+                assert_eq!(
+                    r.binding, golden.binding,
+                    "winner differs (threads={threads} memoise={memoise} abort={early_abort})"
+                );
+                assert_eq!(
+                    r.makespan.to_bits(),
+                    golden.makespan.to_bits(),
+                    "makespan not bit-identical (threads={threads} memoise={memoise} abort={early_abort})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn memoisation_changes_work_not_answers() {
+    let (mirror, problem) = scenario();
+    let plain = pkt_search(&problem, &mirror, &PktSearchOptions::new(100).memoise(false))
+        .expect("unmemoised search succeeds");
+    let memo = pkt_search(&problem, &mirror, &PktSearchOptions::new(100))
+        .expect("memoised search succeeds");
+
+    assert_eq!(memo.binding, plain.binding);
+    assert_eq!(memo.makespan.to_bits(), plain.makespan.to_bits());
+    // The cache actually fired and skipped simulations.
+    assert_eq!(plain.memo_hits, 0);
+    assert!(memo.memo_hits > 0, "symmetric classes should share results");
+    assert!(
+        memo.evaluated + memo.aborted < plain.evaluated + plain.aborted,
+        "memoisation should reduce simulated bindings ({} + {} vs {} + {})",
+        memo.evaluated,
+        memo.aborted,
+        plain.evaluated,
+        plain.aborted
+    );
+}
+
+#[test]
+fn server_packet_level_answers_are_thread_count_invariant() {
+    let (mirror, problem) = scenario();
+    let mirror = Arc::new(mirror);
+    let mut status = TableStatusSource::new();
+    for &a in &problem.mentioned_addresses() {
+        status.set(a, HostState::gbps_idle());
+    }
+
+    let mut answers = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let cfg = ServerConfig {
+            method: EvalMethod::PacketLevel { limit: 100 },
+            pkt: PktBackendConfig {
+                mirror: Some(Arc::clone(&mirror)),
+                threads,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let a = server
+            .answer_problem(&problem, &mut status, SimTime::ZERO)
+            .expect("packet-level answer succeeds");
+        assert_eq!(a.rung, DegradationRung::Full);
+        answers.push(a.binding);
+    }
+    assert_eq!(answers[0], answers[1], "1 vs 2 threads");
+    assert_eq!(answers[0], answers[2], "1 vs 8 threads");
+}

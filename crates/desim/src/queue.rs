@@ -6,12 +6,32 @@ use std::collections::BinaryHeap;
 use crate::time::SimTime;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Packs a slab slot index (low 32 bits) and that slot's generation at
+/// schedule time (high 32 bits): once the event fires or is cancelled the
+/// slot's generation advances, so a stale handle can never cancel a later
+/// event that happens to reuse the slot.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventHandle(u64);
+
+impl EventHandle {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventHandle((generation as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -38,11 +58,22 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Per-slot bookkeeping. A slot is owned by exactly one heap entry from
+/// `push` until that entry leaves the heap (pop, or removal during
+/// compaction), so liveness is a single flag — no hashing per operation.
+#[derive(Clone, Copy)]
+struct Slot {
+    generation: u32,
+    live: bool,
+}
+
 /// A deterministic min-priority queue of timed events.
 ///
 /// Events scheduled for the same instant pop in insertion (FIFO) order.
-/// Cancellation is lazy: cancelled events stay in the heap until popped,
-/// then are skipped, which keeps both operations `O(log n)`.
+/// Cancellation is lazy — cancelled events stay in the heap until popped
+/// or compacted away — but the heap is compacted whenever cancelled
+/// entries outnumber live ones, so memory stays proportional to the number
+/// of *live* events even under adversarial schedule/cancel churn.
 ///
 /// # Examples
 ///
@@ -59,9 +90,16 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Seq ids scheduled and neither popped nor cancelled yet.
-    pending: std::collections::HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Events scheduled and neither popped nor cancelled.
+    live: usize,
+    /// Cancelled entries still sitting in the heap.
+    cancelled: usize,
 }
+
+/// Below this many cancelled entries compaction is not worth the rebuild.
+const COMPACT_MIN: usize = 64;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -75,7 +113,10 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            cancelled: 0,
         }
     }
 
@@ -83,9 +124,28 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.pending.insert(seq);
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].live = true;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    live: true,
+                });
+                s
+            }
+        };
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            event,
+        });
+        self.live += 1;
+        EventHandle::new(slot, self.slots[slot as usize].generation)
     }
 
     /// Cancels a previously scheduled event.
@@ -93,15 +153,29 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending (and is now dropped),
     /// `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.pending.remove(&handle.0)
+        let idx = handle.slot();
+        match self.slots.get_mut(idx) {
+            Some(slot) if slot.live && slot.generation == handle.generation() => {
+                slot.live = false;
+                self.live -= 1;
+                self.cancelled += 1;
+                self.maybe_compact();
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
+            let was_live = self.slots[entry.slot as usize].live;
+            self.release(entry.slot);
+            if was_live {
+                self.live -= 1;
                 return Some((entry.at, entry.event));
             }
+            self.cancelled -= 1;
         }
         None
     }
@@ -109,28 +183,76 @@ impl<E> EventQueue<E> {
     /// Returns the timestamp of the earliest pending event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
+            if self.slots[entry.slot as usize].live {
                 return Some(entry.at);
             }
-            self.heap.pop();
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.release(entry.slot);
+            self.cancelled -= 1;
         }
         None
     }
 
     /// Returns the number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
+    }
+
+    /// Entries physically in the heap, cancelled ones included — a
+    /// diagnostic for the compaction policy (always `< 2·len() +`
+    /// a small constant).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
+        for slot in &mut self.slots {
+            if slot.live {
+                slot.live = false;
+            }
+            // Advance every generation so handles from before the clear can
+            // never cancel events scheduled after it.
+            slot.generation = slot.generation.wrapping_add(1);
+        }
+        self.free.clear();
+        self.free.extend((0..self.slots.len() as u32).rev());
+        self.live = 0;
+        self.cancelled = 0;
+    }
+
+    /// Returns `slot` to the free list, invalidating outstanding handles.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.live = false;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Rebuilds the heap without its cancelled entries once they outnumber
+    /// the live ones. Amortised O(1) per operation: a compaction of n
+    /// entries is paid for by the ≥ n/2 cancellations since the last one.
+    fn maybe_compact(&mut self) {
+        if self.cancelled < COMPACT_MIN || self.cancelled <= self.live {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut kept = Vec::with_capacity(self.live);
+        for entry in entries {
+            if self.slots[entry.slot as usize].live {
+                kept.push(entry);
+            } else {
+                self.release(entry.slot);
+            }
+        }
+        self.heap = BinaryHeap::from(kept);
+        self.cancelled = 0;
     }
 }
 
@@ -172,8 +294,19 @@ mod tests {
     #[test]
     fn cancel_unknown_handle_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventHandle(99)));
+        assert!(!q.cancel(EventHandle::new(99, 0)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "a")));
+        // "b" reuses slot 0; the stale handle for "a" must not touch it.
+        q.push(SimTime::from_nanos(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), "b")));
     }
 
     #[test]
@@ -207,5 +340,59 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_invalidates_outstanding_handles() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::ZERO, 1);
+        q.clear();
+        q.push(SimTime::ZERO, 2);
+        assert!(!q.cancel(h), "pre-clear handle must not cancel a new event");
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 2)));
+    }
+
+    #[test]
+    fn schedule_cancel_churn_keeps_heap_bounded() {
+        // The RTO-restart pattern: every push is followed by a cancel of
+        // the previous event. Without compaction the heap would hold every
+        // cancelled entry until its timestamp pops; with it, heap size must
+        // stay within a constant factor of the live count.
+        let mut q = EventQueue::new();
+        let mut handles: Vec<EventHandle> = (0..10u64)
+            .map(|i| q.push(SimTime::from_nanos(1 << 40 | i), i))
+            .collect();
+        for round in 0..100_000u64 {
+            for h in handles.iter_mut() {
+                assert!(q.cancel(*h));
+                *h = q.push(SimTime::from_nanos(1 << 40 | round), round);
+            }
+            assert!(
+                q.heap_len() <= 2 * q.len() + 2 * COMPACT_MIN,
+                "heap grew unboundedly: {} entries for {} live events",
+                q.heap_len(),
+                q.len()
+            );
+        }
+        assert_eq!(q.len(), 10);
+        // Slots are recycled, not leaked: 10 live + a bounded surplus from
+        // entries awaiting compaction.
+        assert!(q.slots.len() <= 2 * 10 + 2 * COMPACT_MIN, "{}", q.slots.len());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_fifo_ties() {
+        let mut q = EventQueue::new();
+        // Interleave survivors with doomed events until compaction fires.
+        let mut doomed = Vec::new();
+        for i in 0..200u64 {
+            q.push(SimTime::from_nanos(100 + i), i as i64);
+            doomed.push(q.push(SimTime::from_nanos(50), -(i as i64)));
+        }
+        for h in doomed {
+            assert!(q.cancel(h));
+        }
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..200).map(|i| i as i64).collect::<Vec<_>>());
     }
 }

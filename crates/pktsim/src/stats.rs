@@ -1,6 +1,6 @@
 //! Aggregate simulation statistics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters accumulated over a simulation run.
 #[derive(Clone, Debug, Default)]
@@ -9,8 +9,10 @@ pub struct Stats {
     pub data_sent: u64,
     /// Packets dropped at full ports.
     pub drops: u64,
-    /// Drops per port index (diagnosing where incast bites).
-    pub drops_per_port: HashMap<usize, u64>,
+    /// Drops per port index (diagnosing where incast bites). A `BTreeMap`
+    /// so iteration order is the port order — stats dumps and golden tests
+    /// must not depend on hasher state.
+    pub drops_per_port: BTreeMap<usize, u64>,
     /// RTO events across all flows.
     pub timeouts: u64,
 }
@@ -44,5 +46,15 @@ mod tests {
         s.drops_per_port.insert(3, 10);
         s.drops_per_port.insert(7, 10);
         assert_eq!(s.hottest_port(), Some((3, 10)));
+    }
+
+    #[test]
+    fn drops_iterate_in_port_order() {
+        let mut s = Stats::default();
+        for port in [9, 2, 5, 1] {
+            s.drops_per_port.insert(port, port as u64);
+        }
+        let ports: Vec<usize> = s.drops_per_port.keys().copied().collect();
+        assert_eq!(ports, vec![1, 2, 5, 9]);
     }
 }

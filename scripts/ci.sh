@@ -19,4 +19,7 @@ cargo test -q -p cloudtalk --test chaos
 echo "=== benches compile ==="
 cargo bench --no-run --workspace
 
+echo "=== pktsearch smoke ==="
+cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke
+
 echo "ci: all green"
