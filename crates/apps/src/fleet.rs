@@ -38,6 +38,19 @@ impl FleetCluster {
     /// Builds the fleet: one server per host, each seeded independently
     /// (deterministically) from `cfg.seed`.
     pub fn new(topo: simnet::Topology, cfg: ServerConfig) -> Self {
+        Self::with_engine_mode(topo, cfg, simnet::EngineMode::default())
+    }
+
+    /// Like [`FleetCluster::new`], but selecting the network engine's rate
+    /// maintenance strategy. Answers are bit-identical across modes — the
+    /// incremental engine is pinned to the full-recompute oracle — so this
+    /// exists for benchmarking and for cross-checking that very claim at
+    /// the application layer.
+    pub fn with_engine_mode(
+        topo: simnet::Topology,
+        cfg: ServerConfig,
+        mode: simnet::EngineMode,
+    ) -> Self {
         let n = topo.host_count();
         let servers = (0..n)
             .map(|i| {
@@ -47,7 +60,7 @@ impl FleetCluster {
             })
             .collect();
         FleetCluster {
-            net: NetSim::new(topo),
+            net: NetSim::with_mode(topo, mode),
             servers,
             measurement_interval: None,
             status_cache: HashMap::new(),
@@ -210,6 +223,50 @@ mod tests {
         // by its own server's reservation.
         let a0b = f.ask_local(hosts[0], &p0).unwrap();
         assert_ne!(a0.binding, a0b.binding);
+    }
+
+    #[test]
+    fn fleet_answers_identical_across_engine_modes() {
+        // Load the network, advance through completions, then ask servers
+        // on every host: the engine mode must be unobservable all the way
+        // up at the application layer — same bindings, same predicted
+        // durations, byte for byte.
+        use desim::SimDuration;
+        use simnet::EngineMode;
+
+        let run = |mode: EngineMode| {
+            let mut f = FleetCluster::with_engine_mode(
+                Topology::single_switch(8, GBPS, TopoOptions::default()),
+                ServerConfig::default(),
+                mode,
+            );
+            let hosts = f.net.hosts();
+            f.net
+                .start(TransferSpec::network(hosts[2], hosts[3], f64::INFINITY));
+            f.net.start(TransferSpec::pipeline(
+                hosts[4],
+                &[hosts[5], hosts[6]],
+                3e8,
+            ));
+            let mut out = Vec::new();
+            for step in 0..6 {
+                let t = f.net.now() + SimDuration::from_secs_f64(0.08);
+                let done = f.net.advance_to(t);
+                out.push(format!("{done:?}"));
+                let client = hosts[step % 4];
+                let replicas: Vec<Address> =
+                    hosts[3..7].iter().map(|&h| f.addr(h)).collect();
+                let p = hdfs_read_query(f.addr(client), &replicas, 64e6)
+                    .resolve()
+                    .unwrap();
+                let a = f.ask_local(client, &p).unwrap();
+                let scores: Vec<u64> =
+                    a.binding_scores.iter().map(|s| s.to_bits()).collect();
+                out.push(format!("{:?} {:?}", a.binding, scores));
+            }
+            out
+        };
+        assert_eq!(run(EngineMode::Incremental), run(EngineMode::FullRecompute));
     }
 
     #[test]

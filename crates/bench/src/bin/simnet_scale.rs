@@ -1,0 +1,215 @@
+//! Scaling benchmark for the incremental component-aware rate engine.
+//!
+//! Loads a single-switch cluster (full-bisection datacenter networks
+//! bottleneck at access links, so this is the honest large-scale shape)
+//! with the paper's background traffic — `iperf_mesh` TCP elephants on 70%
+//! of hosts plus inelastic `udp_blast` streams — then drives a foreground
+//! start/complete churn and measures events/sec in both engine modes at
+//! 100 / 1 000 / 10 000 hosts. The incremental engine re-rates only the
+//! resource-connected component an event touches; the `FullRecompute`
+//! oracle re-rates every flow, which is what every event cost before this
+//! rework.
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin simnet_scale            # full table
+//! cargo run --release -p cloudtalk-bench --bin simnet_scale -- --smoke # CI gate
+//! ```
+//!
+//! `--smoke` runs small clusters only and asserts the two modes produce
+//! bit-identical completion streams, rates, and loads — the equivalence
+//! gate wired into `scripts/ci.sh`. The full run also performs the
+//! equivalence check at the smallest scale before timing anything.
+
+use std::time::Instant;
+
+use desim::rng::{stream_rng, DetRng};
+use desim::SimDuration;
+use rand::Rng;
+use simnet::topology::{TopoOptions, Topology};
+use simnet::traffic::{iperf_mesh, random_subset, udp_blast};
+use simnet::{Completion, EngineMode, HostId, NetSim, TransferSpec, GBPS};
+
+const SEED: u64 = 2017;
+/// Foreground churn draws endpoints from a bounded pool so the route cache
+/// (and, at 10k hosts, per-pair BFS cost) stays out of the measured loop.
+const FG_POOL: usize = 200;
+
+fn build(n_hosts: usize, mode: EngineMode) -> NetSim {
+    let topo = Topology::single_switch(n_hosts, GBPS, TopoOptions::default());
+    let mut net = NetSim::with_mode(topo, mode);
+    let mut rng = stream_rng(SEED, 1);
+    iperf_mesh(&mut net, &mut rng, 0.7, &[]);
+    let hosts = net.hosts();
+    let targets = random_subset(&mut rng, &hosts, 0.05);
+    let senders = random_subset(&mut rng, &hosts, 0.05);
+    udp_blast(&mut net, &mut rng, &senders, &targets, 0.5 * GBPS);
+    net
+}
+
+/// Steady-state population of in-flight foreground transfers. Bounding it
+/// keeps the workload honest: completions keep pace with starts, so the
+/// component structure reflects the background traffic plus a realistic
+/// sprinkle of foreground churn rather than an ever-growing backlog.
+const FG_WINDOW: usize = 32;
+
+/// One foreground operation: start a finite transfer inside the pool, then
+/// drain completions until the in-flight window is respected.
+fn churn_op(
+    net: &mut NetSim,
+    rng: &mut DetRng,
+    pool: &[HostId],
+    k: usize,
+    bg: usize,
+    buf: &mut Vec<Completion>,
+    completions: &mut Vec<Completion>,
+) {
+    let src = pool[rng.gen_range(0..pool.len())];
+    let mut dst = pool[rng.gen_range(0..pool.len())];
+    while dst == src {
+        dst = pool[rng.gen_range(0..pool.len())];
+    }
+    let bytes = 2.0e7 + (k % 7) as f64 * 1.0e6;
+    net.start(TransferSpec::network(src, dst, bytes));
+    while net.active_count() - bg > FG_WINDOW {
+        match net.next_completion_time() {
+            Some(t) => {
+                net.advance_into(t, buf);
+                completions.extend(buf.iter().copied());
+            }
+            None => break,
+        }
+    }
+}
+
+struct Perf {
+    events: u64,
+    wall: f64,
+    events_per_sec: f64,
+    demands_rated: u64,
+    max_component: usize,
+}
+
+fn run_churn(net: &mut NetSim, ops: usize) -> (Perf, Vec<Completion>) {
+    let hosts = net.hosts();
+    let pool: Vec<HostId> = hosts.iter().copied().take(FG_POOL).collect();
+    let mut rng = stream_rng(SEED, 2);
+    let mut buf = Vec::new();
+    let mut completions = Vec::new();
+    // Settle the background ramp-up outside the measured window.
+    net.advance_into(net.now() + SimDuration::from_secs_f64(0.5), &mut buf);
+    let bg = net.active_count();
+    net.reset_stats();
+    let t0 = Instant::now();
+    for k in 0..ops {
+        churn_op(net, &mut rng, &pool, k, bg, &mut buf, &mut completions);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = net.stats();
+    let events = ops as u64 + stats.events;
+    (
+        Perf {
+            events,
+            wall,
+            events_per_sec: events as f64 / wall,
+            demands_rated: stats.demands_rated,
+            max_component: stats.max_component,
+        },
+        completions,
+    )
+}
+
+/// Runs the identical workload in both modes and asserts every observable
+/// output is bit-identical. Panics (non-zero exit) on divergence.
+fn assert_equivalence(n_hosts: usize, ops: usize) {
+    let mut inc = build(n_hosts, EngineMode::Incremental);
+    let mut orc = build(n_hosts, EngineMode::FullRecompute);
+    let (pi, ci) = run_churn(&mut inc, ops);
+    let (po, co) = run_churn(&mut orc, ops);
+    assert_eq!(
+        ci.len(),
+        co.len(),
+        "{n_hosts} hosts: completion counts diverge"
+    );
+    for (a, b) in ci.iter().zip(&co) {
+        assert_eq!(a, b, "{n_hosts} hosts: completion diverges");
+    }
+    for h in inc.hosts() {
+        let a = inc.host_load(h);
+        let b = orc.host_load(h);
+        assert_eq!(
+            a.tx_bps.to_bits(),
+            b.tx_bps.to_bits(),
+            "{n_hosts} hosts: host {h:?} tx diverges"
+        );
+        assert_eq!(a.rx_bps.to_bits(), b.rx_bps.to_bits());
+        assert_eq!(a.disk_read_bps.to_bits(), b.disk_read_bps.to_bits());
+        assert_eq!(a.disk_write_bps.to_bits(), b.disk_write_bps.to_bits());
+    }
+    assert!(
+        pi.demands_rated <= po.demands_rated,
+        "incremental must not rate more demands than the oracle"
+    );
+    println!(
+        "  equivalence OK at {n_hosts:>5} hosts: {} completions, \
+         demands rated {} (incremental) vs {} (oracle)",
+        ci.len(),
+        pi.demands_rated,
+        po.demands_rated
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    println!("--- oracle equivalence (bit-identical completions/rates/loads) ---");
+    if smoke {
+        assert_equivalence(30, 300);
+        assert_equivalence(80, 400);
+        println!("smoke OK");
+        return;
+    }
+    assert_equivalence(100, 600);
+
+    println!();
+    println!("--- events/sec under iperf_mesh(0.7) + udp_blast background ---");
+    println!(
+        "{:>6} {:>9} {:>13} {:>8} {:>9} {:>12} {:>10} {:>9}",
+        "hosts", "bg_flows", "mode", "events", "wall(s)", "events/sec", "dem/event", "speedup"
+    );
+    // (hosts, incremental ops, oracle ops) — the oracle gets a smaller
+    // budget at scale because each of its events is Θ(all flows).
+    for &(n, inc_ops, orc_ops) in &[(100, 4000, 4000), (1000, 4000, 500), (10_000, 4000, 60)] {
+        let mut inc = build(n, EngineMode::Incremental);
+        let bg = inc.active_count();
+        let (pi, _) = run_churn(&mut inc, inc_ops);
+        let mut orc = build(n, EngineMode::FullRecompute);
+        let (po, _) = run_churn(&mut orc, orc_ops);
+        let speedup = pi.events_per_sec / po.events_per_sec;
+        println!(
+            "{:>6} {:>9} {:>13} {:>8} {:>9.3} {:>12.0} {:>10.1} {:>9}",
+            n,
+            bg,
+            "incremental",
+            pi.events,
+            pi.wall,
+            pi.events_per_sec,
+            pi.demands_rated as f64 / pi.events as f64,
+            format!("{speedup:.1}x"),
+        );
+        println!(
+            "{:>6} {:>9} {:>13} {:>8} {:>9.3} {:>12.0} {:>10.1} {:>9}",
+            "",
+            "",
+            "oracle",
+            po.events,
+            po.wall,
+            po.events_per_sec,
+            po.demands_rated as f64 / po.events as f64,
+            "1.0x",
+        );
+        println!(
+            "       max component rated: {} (incremental) vs {} (oracle)",
+            pi.max_component, po.max_component
+        );
+    }
+}

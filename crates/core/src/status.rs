@@ -239,4 +239,51 @@ mod tests {
         assert_eq!(live.poll(addr0).unwrap().nic_up_used, 0.0, "live is idle");
         assert!(lagged.poll_report(Address(0xFFFF_FFFF)).is_none());
     }
+
+    #[test]
+    fn status_reports_identical_across_engine_modes() {
+        // Status collection must be oblivious to the engine's rate
+        // maintenance strategy: mid-simulation snapshots and live polls
+        // serve bit-identical readings in both modes.
+        use simnet::EngineMode;
+
+        let collect = |mode: EngineMode| {
+            let topo = Topology::two_tier(2, 3, GBPS, 2.0 * GBPS, TopoOptions::default());
+            let mut net = NetSim::with_mode(topo, mode);
+            let hosts = net.hosts();
+            net.start(TransferSpec::network(hosts[0], hosts[3], 2e8));
+            net.start(TransferSpec::network(hosts[1], hosts[3], 5e8));
+            net.start(TransferSpec::pipeline(hosts[2], &[hosts[4], hosts[5]], 3e8));
+            net.advance_to(net.now() + SimDuration::from_secs_f64(0.3));
+            let lagged = LaggedStatusSource::capture(&mut net);
+            net.run_until_idle();
+            let mut readings = Vec::new();
+            let addrs: Vec<Address> = net
+                .hosts()
+                .iter()
+                .map(|&h| Address(net.topology().host(h).addr))
+                .collect();
+            let mut lagged = lagged;
+            lagged.set_now(net.now());
+            for &a in &addrs {
+                let rep = lagged.poll_report(a).unwrap();
+                readings.push((
+                    rep.age,
+                    rep.state.nic_up_used.to_bits(),
+                    rep.state.nic_down_used.to_bits(),
+                    rep.state.disk_write_used.to_bits(),
+                ));
+            }
+            let mut live = NetSimStatusSource::new(&mut net);
+            for &a in &addrs {
+                let s = live.poll(a).unwrap();
+                readings.push((SimDuration::ZERO, s.nic_up_used.to_bits(), 0, 0));
+            }
+            readings
+        };
+        assert_eq!(
+            collect(EngineMode::Incremental),
+            collect(EngineMode::FullRecompute)
+        );
+    }
 }

@@ -238,20 +238,30 @@ impl<E> EventQueue<E> {
     /// Rebuilds the heap without its cancelled entries once they outnumber
     /// the live ones. Amortised O(1) per operation: a compaction of n
     /// entries is paid for by the ≥ n/2 cancellations since the last one.
+    ///
+    /// The rebuild is allocation-free: survivors are retained in place in
+    /// the heap's own backing vector and re-heapified, so a queue at its
+    /// high-water capacity compacts without touching the allocator.
     fn maybe_compact(&mut self) {
         if self.cancelled < COMPACT_MIN || self.cancelled <= self.live {
             return;
         }
-        let entries = std::mem::take(&mut self.heap).into_vec();
-        let mut kept = Vec::with_capacity(self.live);
-        for entry in entries {
-            if self.slots[entry.slot as usize].live {
-                kept.push(entry);
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        let slots = &mut self.slots;
+        let free = &mut self.free;
+        entries.retain(|entry| {
+            let s = &mut slots[entry.slot as usize];
+            if s.live {
+                true
             } else {
-                self.release(entry.slot);
+                // Inline `release`: the slot is already dead, so just
+                // invalidate outstanding handles and recycle it.
+                s.generation = s.generation.wrapping_add(1);
+                free.push(entry.slot);
+                false
             }
-        }
-        self.heap = BinaryHeap::from(kept);
+        });
+        self.heap = BinaryHeap::from(entries);
         self.cancelled = 0;
     }
 }

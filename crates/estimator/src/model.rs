@@ -12,7 +12,7 @@ use cloudtalk_lang::ast::{AttrKind, RefAttr};
 use cloudtalk_lang::problem::{
     Address, Binding, BoundEndpoint, ExprR, FlowId, Problem,
 };
-use simnet::sharing::{max_min_rates_into, Demand, ResourceIdx, SharingScratch};
+use simnet::sharing::{coalesce_usages, max_min_rates_into, Demand, ResourceIdx, SharingScratch};
 
 /// Rate used for flows that touch no shared resource (loopback).
 const LOCAL_RATE: f64 = 1e11;
@@ -408,17 +408,16 @@ pub fn estimate_with(
                 if done[i] || starts[i] > now + 1e-12 {
                     continue;
                 }
-                for &(r, m) in &usage_items[usage_start[i]..usage_start[i + 1]] {
-                    if let Some(e) = d.usages.iter_mut().find(|(idx, _)| *idx == r) {
-                        e.1 += m;
-                    } else {
-                        d.usages.push((r, m));
-                    }
-                }
+                d.usages
+                    .extend_from_slice(&usage_items[usage_start[i]..usage_start[i + 1]]);
                 if let Some(c) = caps[i] {
                     d.cap = Some(d.cap.map_or(c, |x: f64| x.min(c)));
                 }
             }
+            // Coalesce duplicates in one sort+dedup pass instead of the old
+            // quadratic scan; per-resource sums accumulate left-to-right in
+            // the same order, so rates are bit-identical.
+            coalesce_usages(&mut d.usages);
         }
         max_min_rates_into(
             &mut scratch.sharing,

@@ -7,21 +7,60 @@
 //! ([`crate::sharing`]); between changes every transfer progresses
 //! linearly, so completions can be scheduled exactly.
 //!
+//! # Incremental, component-aware rate maintenance
+//!
+//! Max-min fairness has a locality property the engine exploits: two
+//! transfers can only influence each other's rates if they are connected
+//! through a chain of shared resources. The engine therefore maintains the
+//! partition of active transfers into *resource-connected components*
+//! (merged on `start`, lazily re-split after removals) and, on each
+//! mutation, re-rates only the dirty component(s) against a compact
+//! per-component capacity view. Untouched components keep their rates,
+//! their scheduled completion events, and their contribution to per-host
+//! load — so the cost of an event is proportional to the size of the
+//! component it touches, not to the total number of flows.
+//!
+//! Three further mechanisms keep the per-event cost down:
+//!
+//! * completions live in a cancellable ETA priority queue
+//!   ([`desim::EventQueue`]); only transfers whose rate actually changed
+//!   (bit-wise) are re-keyed;
+//! * progress accounting is lazy: each transfer carries the bytes done as
+//!   of its last rate change and is *settled* only when its rate changes
+//!   or it is queried — `advance_to` never walks the flow table;
+//! * transfers are slab-allocated with generation-tagged ids, so `cancel`
+//!   and lookup are O(1) and the steady state allocates nothing.
+//!
+//! [`EngineMode::FullRecompute`] retains the global-recompute behaviour as
+//! an oracle: it shares this event loop, settle arithmetic, and ETA
+//! quantisation, differing only in re-rating *everything* on every
+//! mutation. Per-component re-rating performs the identical floating-point
+//! operations on each component as a global run does (demands are ordered
+//! by start sequence in both, and the allocator's arithmetic never mixes
+//! values across disconnected components), so the two modes produce
+//! bit-identical completion streams — asserted by the property suite and
+//! the `simnet_scale --smoke` CI gate.
+//!
 //! Applications drive time explicitly: [`NetSim::advance_to`] moves the
 //! clock and returns the transfers that completed on the way. Per-host
 //! load snapshots ([`NetSim::host_load`]) expose exactly what a CloudTalk
 //! status server would measure on that machine.
 
 use std::collections::HashMap;
+use std::mem;
 
-use desim::{SimDuration, SimTime};
+use desim::{EventHandle, EventQueue, SimDuration, SimTime};
 
 use crate::routing::Router;
-use crate::sharing::{max_min_rates, Demand, ResourceIdx};
+use crate::sharing::{coalesce_usages, max_min_rates_into, Demand, ResourceIdx, SharingScratch};
 use crate::topology::{HostId, LinkDir, Topology};
 use crate::LOCAL_RATE;
 
 /// Identifier of a transfer within a [`NetSim`].
+///
+/// Packs a slab slot (low 32 bits) and that slot's generation at start
+/// time (high 32 bits), so lookup and cancellation are O(1) and an id can
+/// never alias a later transfer that reuses the slot.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TransferId(pub u64);
 
@@ -203,14 +242,136 @@ impl LoadSnapshot {
     }
 }
 
+/// How the engine recomputes rates after a mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineMode {
+    /// Re-rate only the resource-connected component(s) a mutation touched.
+    #[default]
+    Incremental,
+    /// Re-rate every active transfer on every mutation — the original
+    /// global behaviour, retained as a correctness oracle and baseline.
+    FullRecompute,
+}
+
+/// Counters describing the work the engine has performed.
+///
+/// Read with [`NetSim::stats`]; the incremental/oracle scaling bench and
+/// the allocator-invocation regression tests are built on these.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineStats {
+    /// Invocations of the max-min allocator.
+    pub allocator_calls: u64,
+    /// Total demands passed to the allocator (Σ component sizes rated).
+    pub demands_rated: u64,
+    /// Completion-queue events processed.
+    pub events: u64,
+    /// Progress settlements (rate changes applied to a running transfer).
+    pub settles: u64,
+    /// Component merges performed by `start`.
+    pub merges: u64,
+    /// Extra components produced by lazy re-splits (repartition fan-out).
+    pub splits: u64,
+    /// Largest component (or global batch, in oracle mode) ever rated.
+    pub max_component: usize,
+}
+
+/// Sentinel for "not a member of any component".
+const NO_COMP: u32 = u32::MAX;
+
+/// Slab slot for an active (or vacant) transfer.
 struct Active {
+    /// Monotonic start sequence: demand ordering and the ECMP flow hash.
+    seq: u64,
+    generation: u32,
+    live: bool,
+    /// Sorted, duplicate-free `(resource, multiplicity)` usages.
     usages: Vec<(ResourceIdx, f64)>,
     cap: Option<f64>,
     inelastic: Option<f64>,
     bytes: f64,
-    done: f64,
+    /// Bytes moved as of `last_sync`; progress since then is implied by
+    /// `rate` (lazy settlement).
+    done_at_sync: f64,
+    last_sync: SimTime,
     rate: f64,
     started: SimTime,
+    /// Owning component, or `NO_COMP` (loopback transfers; oracle mode).
+    comp: u32,
+    /// Index of this slot inside `comp`'s member list.
+    member_pos: u32,
+    /// Pending completion event, if one is scheduled.
+    event: Option<EventHandle>,
+}
+
+impl Active {
+    fn vacant() -> Self {
+        Active {
+            seq: 0,
+            generation: 0,
+            live: false,
+            usages: Vec::new(),
+            cap: None,
+            inelastic: None,
+            bytes: 0.0,
+            done_at_sync: 0.0,
+            last_sync: SimTime::ZERO,
+            rate: 0.0,
+            started: SimTime::ZERO,
+            comp: NO_COMP,
+            member_pos: 0,
+            event: None,
+        }
+    }
+}
+
+/// A resource-connected component of active transfers.
+struct Component {
+    /// Member slots, unordered (positions tracked in `Active::member_pos`).
+    members: Vec<u32>,
+    dirty: bool,
+    live: bool,
+}
+
+/// Reusable buffers for the engine hot path. Every vector reaches its
+/// high-water capacity during warm-up and is cleared, never shrunk, so the
+/// steady state performs no allocation (asserted by the counting-allocator
+/// test in `tests/engine_alloc.rs`).
+#[derive(Default)]
+struct EngineScratch {
+    sharing: SharingScratch,
+    /// Demand pool reused across allocator calls.
+    demands: Vec<Demand>,
+    rates: Vec<f64>,
+    /// `(seq, slot)` members of the component being rated, in start order.
+    sorted: Vec<(u64, u32)>,
+    /// Event batch drained at one timestamp.
+    batch: Vec<(u64, u32)>,
+    /// Members of the component being repartitioned, in start order.
+    part: Vec<(u64, u32)>,
+    /// Union-find parents over local member indices.
+    uf: Vec<u32>,
+    /// Local member index → sub-component ordinal.
+    sub_of: Vec<u32>,
+    /// Union-find root → sub-component ordinal (first-occurrence order).
+    root_sub: Vec<u32>,
+    /// CSR offsets and items bucketing members by sub-component.
+    sub_start: Vec<u32>,
+    sub_cursor: Vec<u32>,
+    sub_items: Vec<u32>,
+    /// First member touching each resource (epoch-stamped).
+    res_first: Vec<u32>,
+    res_first_mark: Vec<u64>,
+    /// Global resource → dense per-component index (epoch-stamped).
+    res_dense: Vec<u32>,
+    res_dense_mark: Vec<u64>,
+    epoch: u64,
+    /// Per-component capacity view and its dense → global mapping.
+    cap_view: Vec<f64>,
+    comp_res: Vec<ResourceIdx>,
+    /// Members being moved during a component merge.
+    moved: Vec<u32>,
+    /// Distinct neighbour components seen while starting a transfer.
+    neigh: Vec<u32>,
 }
 
 /// The fluid network/disk simulator.
@@ -220,15 +381,34 @@ pub struct NetSim {
     capacities: Vec<f64>,
     usage: Vec<f64>,
     now: SimTime,
-    transfers: HashMap<u64, Active>,
-    order: Vec<u64>,
-    next_id: u64,
-    dirty: bool,
+    slots: Vec<Active>,
+    free_slots: Vec<u32>,
+    next_seq: u64,
+    live_count: usize,
+    comps: Vec<Component>,
+    free_comps: Vec<u32>,
+    dirty_comps: Vec<u32>,
+    /// Number of live transfers using each resource.
+    res_users: Vec<u32>,
+    /// Component owning each resource (valid only while `res_users > 0`).
+    res_comp: Vec<u32>,
+    /// Completion ETAs; payload is the transfer's slot.
+    queue: EventQueue<u32>,
+    mode: EngineMode,
+    /// Oracle-mode pending-recompute flag (unused incrementally).
+    global_dirty: bool,
+    scratch: EngineScratch,
+    stats: EngineStats,
 }
 
 impl NetSim {
-    /// Creates a simulator over `topo` at time zero.
+    /// Creates an incremental simulator over `topo` at time zero.
     pub fn new(topo: Topology) -> Self {
+        Self::with_mode(topo, EngineMode::Incremental)
+    }
+
+    /// Creates a simulator with an explicit [`EngineMode`].
+    pub fn with_mode(topo: Topology, mode: EngineMode) -> Self {
         let n_res = 2 * topo.link_count() + 2 * topo.host_count();
         let mut capacities = vec![0.0; n_res];
         for l in 0..topo.link_count() {
@@ -248,11 +428,43 @@ impl NetSim {
             capacities,
             usage,
             now: SimTime::ZERO,
-            transfers: HashMap::new(),
-            order: Vec::new(),
-            next_id: 0,
-            dirty: false,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            next_seq: 0,
+            live_count: 0,
+            comps: Vec::new(),
+            free_comps: Vec::new(),
+            dirty_comps: Vec::new(),
+            res_users: vec![0; n_res],
+            res_comp: vec![NO_COMP; n_res],
+            queue: EventQueue::new(),
+            mode,
+            global_dirty: false,
+            scratch: EngineScratch::default(),
+            stats: EngineStats::default(),
         }
+    }
+
+    /// The engine's rate-maintenance mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Work counters accumulated since construction (or the last
+    /// [`NetSim::reset_stats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Zeroes the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of live resource-connected components (always 0 in oracle
+    /// mode, which does not maintain the decomposition).
+    pub fn component_count(&self) -> usize {
+        self.comps.iter().filter(|c| c.live).count()
     }
 
     /// The underlying topology.
@@ -270,130 +482,177 @@ impl NetSim {
         self.now
     }
 
-    /// Starts a transfer, recomputing rates.
+    /// Starts a transfer, marking the touched component for re-rating.
     pub fn start(&mut self, spec: TransferSpec) -> TransferId {
         assert!(spec.bytes >= 0.0, "transfer bytes must be non-negative");
-        let id = self.next_id;
-        self.next_id += 1;
-        let usages = self.spec_usages(&spec, id);
-        self.transfers.insert(
-            id,
-            Active {
-                usages,
-                cap: spec.cap,
-                inelastic: spec.inelastic_rate,
-                bytes: spec.bytes,
-                done: 0.0,
-                rate: 0.0,
-                started: self.now,
-            },
-        );
-        self.order.push(id);
-        self.dirty = true;
-        TransferId(id)
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.alloc_slot();
+        self.build_usages(&spec, seq, slot);
+        let now = self.now;
+        {
+            let t = &mut self.slots[slot as usize];
+            t.seq = seq;
+            t.live = true;
+            t.cap = spec.cap;
+            t.inelastic = spec.inelastic_rate;
+            t.bytes = spec.bytes;
+            t.done_at_sync = 0.0;
+            t.last_sync = now;
+            t.rate = 0.0;
+            t.started = now;
+            t.comp = NO_COMP;
+            t.member_pos = 0;
+            t.event = None;
+        }
+        self.live_count += 1;
+        if self.slots[slot as usize].usages.is_empty() {
+            // Loopback-style transfer: nothing in the topology constrains
+            // it, so its rate is fixed for life. Both modes assign the same
+            // value the global allocator would, so oracle recomputes never
+            // re-key it.
+            let t = &mut self.slots[slot as usize];
+            let raw = match t.inelastic {
+                Some(want) => t.cap.map_or(want, |c| want.min(c)),
+                None => t.cap.unwrap_or(f64::INFINITY),
+            };
+            t.rate = if raw.is_finite() { raw } else { LOCAL_RATE };
+            if matches!(self.mode, EngineMode::FullRecompute) {
+                self.global_dirty = true;
+            }
+        } else {
+            match self.mode {
+                EngineMode::Incremental => self.attach_to_component(slot),
+                EngineMode::FullRecompute => {
+                    for k in 0..self.slots[slot as usize].usages.len() {
+                        let r = self.slots[slot as usize].usages[k].0;
+                        self.res_users[r] += 1;
+                    }
+                    self.global_dirty = true;
+                }
+            }
+        }
+        // Schedules the completion event when one is already determined:
+        // loopback transfers (rate fixed above) and zero-byte transfers
+        // (which complete at `now` regardless of rate).
+        self.rekey(slot);
+        self.id_of(slot)
     }
 
     /// Cancels an active transfer (no completion is recorded).
     ///
-    /// Returns `true` if it was active.
+    /// Returns `true` if it was active. O(1): the slot is recycled and only
+    /// the transfer's own component is marked for re-rating.
     pub fn cancel(&mut self, id: TransferId) -> bool {
-        if self.transfers.remove(&id.0).is_some() {
-            self.order.retain(|&x| x != id.0);
-            self.dirty = true;
-            true
-        } else {
-            false
+        match self.lookup(id) {
+            Some(slot) => {
+                self.remove_slot(slot);
+                true
+            }
+            None => false,
         }
     }
 
     /// Bytes moved so far by an active transfer (`None` once finished).
+    ///
+    /// Lazy settlement makes this exact without touching engine state:
+    /// a transfer's stored rate is valid over `[last_sync, now]` because
+    /// rates only ever change at the current instant.
     pub fn progress(&self, id: TransferId) -> Option<f64> {
-        self.transfers.get(&id.0).map(|t| t.done)
+        let slot = self.lookup(id)?;
+        let t = &self.slots[slot as usize];
+        let dt = (self.now - t.last_sync).as_secs_f64();
+        let mut done = t.done_at_sync + t.rate * dt;
+        if t.bytes.is_finite() && done > t.bytes {
+            done = t.bytes;
+        }
+        Some(done)
     }
 
     /// Current rate of an active transfer, bytes/second.
     pub fn rate(&mut self, id: TransferId) -> Option<f64> {
         self.ensure_rates();
-        self.transfers.get(&id.0).map(|t| t.rate)
+        self.lookup(id).map(|s| self.slots[s as usize].rate)
     }
 
     /// The earliest upcoming completion time, if any transfer is finite.
     pub fn next_completion_time(&mut self) -> Option<SimTime> {
         self.ensure_rates();
-        let mut best: Option<SimTime> = None;
-        for t in self.transfers.values() {
-            let remaining = t.bytes - t.done;
-            if !remaining.is_finite() {
-                continue;
-            }
-            let eta = if remaining <= 1e-6 {
-                self.now
-            } else if t.rate <= 0.0 {
-                continue;
-            } else {
-                // Round sub-nanosecond completions up to one tick so the
-                // clock always advances (otherwise a remaining sliver whose
-                // transfer time truncates to zero nanoseconds would stall
-                // `advance_to` forever).
-                let d = SimDuration::from_secs_f64(remaining / t.rate);
-                self.now + d.max(SimDuration::from_nanos(1))
-            };
-            best = Some(best.map_or(eta, |b: SimTime| b.min(eta)));
-        }
-        best
+        self.queue.peek_time()
     }
 
     /// Advances the clock to `t`, processing completions on the way.
     ///
-    /// Returns the completions in chronological order.
+    /// Returns the completions in chronological order (ties broken by
+    /// start order).
     ///
     /// # Panics
     ///
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.advance_into(t, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`NetSim::advance_to`]: clears `out` and
+    /// fills it with the completions.
+    pub fn advance_into(&mut self, t: SimTime, out: &mut Vec<Completion>) {
         assert!(t >= self.now, "cannot advance into the past");
-        let mut completions = Vec::new();
+        out.clear();
         loop {
+            // One invalidation check per step: `ensure_rates` both re-rates
+            // dirty components and (via re-keying) repairs the ETA queue,
+            // so peeking it afterwards is exact.
             self.ensure_rates();
-            let next = self.next_completion_time();
-            let step_to = match next {
-                Some(tc) if tc <= t => tc,
-                _ => {
-                    self.progress_all_to(t);
-                    break;
-                }
+            let next = match self.queue.peek_time() {
+                Some(at) if at <= t => at,
+                _ => break,
             };
-            self.progress_all_to(step_to);
-            // Collect every transfer that is now finished.
-            let mut finished: Vec<u64> = Vec::new();
-            for &id in &self.order {
-                let tr = &self.transfers[&id];
-                if tr.bytes.is_finite() && tr.bytes - tr.done <= 1e-6 {
-                    finished.push(id);
+            debug_assert!(next >= self.now, "event scheduled in the past");
+            self.now = next;
+            // Drain every event at this instant and process in start order,
+            // so simultaneous completions are deterministic regardless of
+            // how re-keying interleaved their queue insertions.
+            let mut batch = mem::take(&mut self.scratch.batch);
+            batch.clear();
+            while self.queue.peek_time() == Some(next) {
+                let (_, slot) = self.queue.pop().expect("peeked event exists");
+                self.slots[slot as usize].event = None;
+                batch.push((self.slots[slot as usize].seq, slot));
+            }
+            batch.sort_unstable();
+            self.stats.events += batch.len() as u64;
+            for &(_, slot) in batch.iter() {
+                self.settle(slot);
+                let tr = &self.slots[slot as usize];
+                if tr.bytes - tr.done_at_sync <= 1e-6 {
+                    out.push(Completion {
+                        id: self.id_of(slot),
+                        started: tr.started,
+                        finished: self.now,
+                    });
+                    self.remove_slot(slot);
+                } else {
+                    // A remaining sliver whose transfer time truncated to
+                    // zero nanoseconds: re-key one tick ahead so the clock
+                    // always advances.
+                    self.rekey(slot);
                 }
             }
-            for id in finished {
-                let tr = self.transfers.remove(&id).expect("just seen");
-                self.order.retain(|&x| x != id);
-                completions.push(Completion {
-                    id: TransferId(id),
-                    started: tr.started,
-                    finished: self.now,
-                });
-                self.dirty = true;
-            }
+            self.scratch.batch = batch;
         }
-        completions
+        self.now = t;
     }
 
     /// Runs until every finite transfer completes; returns their ids in
     /// completion order. Unbounded (background) transfers keep running.
     pub fn run_until_idle(&mut self) -> Vec<TransferId> {
         let mut out = Vec::new();
+        let mut buf = Vec::new();
         while let Some(t) = self.next_completion_time() {
-            for c in self.advance_to(t) {
-                out.push(c.id);
-            }
+            self.advance_into(t, &mut buf);
+            out.extend(buf.iter().map(|c| c.id));
         }
         out
     }
@@ -444,83 +703,578 @@ impl NetSim {
 
     /// Number of currently active transfers.
     pub fn active_count(&self) -> usize {
-        self.transfers.len()
+        self.live_count
     }
 
-    // --- internals --------------------------------------------------------
+    // --- slab management --------------------------------------------------
 
-    fn spec_usages(&mut self, spec: &TransferSpec, id: u64) -> Vec<(ResourceIdx, f64)> {
-        let mut usages: Vec<(ResourceIdx, f64)> = Vec::new();
-        let mut add = |res: ResourceIdx| {
-            if let Some(u) = usages.iter_mut().find(|(r, _)| *r == res) {
-                u.1 += 1.0;
-            } else {
-                usages.push((res, 1.0));
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            s
+        } else {
+            self.slots.push(Active::vacant());
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn id_of(&self, slot: u32) -> TransferId {
+        TransferId((self.slots[slot as usize].generation as u64) << 32 | slot as u64)
+    }
+
+    fn lookup(&self, id: TransferId) -> Option<u32> {
+        let slot = (id.0 & 0xFFFF_FFFF) as u32;
+        let generation = (id.0 >> 32) as u32;
+        let t = self.slots.get(slot as usize)?;
+        (t.live && t.generation == generation).then_some(slot)
+    }
+
+    /// Removes a live transfer: releases its resources, detaches it from
+    /// its component (marking the remainder dirty), recycles the slot.
+    fn remove_slot(&mut self, slot: u32) {
+        let s = slot as usize;
+        if let Some(h) = self.slots[s].event.take() {
+            self.queue.cancel(h);
+        }
+        self.slots[s].live = false;
+        self.slots[s].generation = self.slots[s].generation.wrapping_add(1);
+        for k in 0..self.slots[s].usages.len() {
+            let r = self.slots[s].usages[k].0;
+            self.res_users[r] -= 1;
+            if self.res_users[r] == 0 {
+                // Last user gone: nothing will re-rate this resource, so
+                // its load must drop to zero here.
+                self.usage[r] = 0.0;
+                self.res_comp[r] = NO_COMP;
             }
-        };
+        }
+        let c = self.slots[s].comp;
+        self.slots[s].comp = NO_COMP;
+        if c != NO_COMP {
+            let pos = self.slots[s].member_pos as usize;
+            self.comps[c as usize].members.swap_remove(pos);
+            if let Some(&moved) = self.comps[c as usize].members.get(pos) {
+                self.slots[moved as usize].member_pos = pos as u32;
+            }
+            if self.comps[c as usize].members.is_empty() {
+                self.free_comp(c);
+            } else {
+                self.mark_dirty(c);
+            }
+        }
+        if matches!(self.mode, EngineMode::FullRecompute) {
+            self.global_dirty = true;
+        }
+        self.free_slots.push(slot);
+        self.live_count -= 1;
+    }
+
+    // --- demand assembly --------------------------------------------------
+
+    /// Builds the transfer's coalesced usage list in place (the slot's
+    /// vector keeps its capacity across reuse). The start sequence doubles
+    /// as the ECMP flow discriminator.
+    fn build_usages(&mut self, spec: &TransferSpec, flow_hash: u64, slot: u32) {
         let disk_base = 2 * self.topo.link_count();
+        let NetSim {
+            topo,
+            router,
+            slots,
+            ..
+        } = self;
+        let usages = &mut slots[slot as usize].usages;
+        usages.clear();
         for seg in &spec.segments {
             match *seg {
                 Segment::Net { src, dst } => {
-                    for hop in self.router.route(&self.topo, src, dst, id) {
+                    for hop in router.route_ref(topo, src, dst, flow_hash) {
                         let dir_off = match hop.dir {
                             LinkDir::Forward => 0,
                             LinkDir::Backward => 1,
                         };
-                        add(2 * hop.link.0 + dir_off);
+                        usages.push((2 * hop.link.0 + dir_off, 1.0));
                     }
                 }
-                Segment::DiskRead(h) => add(disk_base + 2 * h.0),
-                Segment::DiskWrite(h) => add(disk_base + 2 * h.0 + 1),
+                Segment::DiskRead(h) => usages.push((disk_base + 2 * h.0, 1.0)),
+                Segment::DiskWrite(h) => usages.push((disk_base + 2 * h.0 + 1, 1.0)),
             }
         }
-        usages
+        coalesce_usages(usages);
     }
 
+    // --- component maintenance -------------------------------------------
+
+    fn alloc_comp(&mut self) -> u32 {
+        if let Some(c) = self.free_comps.pop() {
+            let comp = &mut self.comps[c as usize];
+            debug_assert!(comp.members.is_empty());
+            comp.live = true;
+            comp.dirty = false;
+            c
+        } else {
+            self.comps.push(Component {
+                members: Vec::new(),
+                dirty: false,
+                live: true,
+            });
+            (self.comps.len() - 1) as u32
+        }
+    }
+
+    fn free_comp(&mut self, c: u32) {
+        let comp = &mut self.comps[c as usize];
+        debug_assert!(comp.members.is_empty());
+        comp.live = false;
+        comp.dirty = false;
+        self.free_comps.push(c);
+    }
+
+    fn mark_dirty(&mut self, c: u32) {
+        let comp = &mut self.comps[c as usize];
+        if !comp.dirty {
+            comp.dirty = true;
+            self.dirty_comps.push(c);
+        }
+    }
+
+    fn install_member(&mut self, comp: u32, slot: u32) {
+        let pos = self.comps[comp as usize].members.len() as u32;
+        self.comps[comp as usize].members.push(slot);
+        {
+            let t = &mut self.slots[slot as usize];
+            t.comp = comp;
+            t.member_pos = pos;
+        }
+        for &(r, _) in &self.slots[slot as usize].usages {
+            self.res_comp[r] = comp;
+        }
+    }
+
+    /// Registers a freshly started transfer's resources and unions every
+    /// component it bridges into one (smaller merged into larger), marking
+    /// the result dirty.
+    fn attach_to_component(&mut self, slot: u32) {
+        let mut neigh = mem::take(&mut self.scratch.neigh);
+        neigh.clear();
+        for k in 0..self.slots[slot as usize].usages.len() {
+            let r = self.slots[slot as usize].usages[k].0;
+            if self.res_users[r] > 0 {
+                let c = self.res_comp[r];
+                debug_assert!(self.comps[c as usize].live);
+                if !neigh.contains(&c) {
+                    neigh.push(c);
+                }
+            }
+            self.res_users[r] += 1;
+        }
+        let target = if neigh.is_empty() {
+            self.alloc_comp()
+        } else {
+            let mut target = neigh[0];
+            for &c in &neigh[1..] {
+                if self.comps[c as usize].members.len() > self.comps[target as usize].members.len()
+                {
+                    target = c;
+                }
+            }
+            for &c in &neigh {
+                if c != target {
+                    self.merge_into(c, target);
+                }
+            }
+            target
+        };
+        self.install_member(target, slot);
+        self.mark_dirty(target);
+        self.scratch.neigh = neigh;
+    }
+
+    /// Moves every member of `src` into `dst` and frees `src`.
+    fn merge_into(&mut self, src: u32, dst: u32) {
+        let mut moved = mem::take(&mut self.scratch.moved);
+        moved.clear();
+        moved.extend_from_slice(&self.comps[src as usize].members);
+        self.comps[src as usize].members.clear();
+        self.free_comp(src);
+        for &s in &moved {
+            self.install_member(dst, s);
+        }
+        self.stats.merges += 1;
+        self.scratch.moved = moved;
+    }
+
+    // --- rate maintenance -------------------------------------------------
+
     fn ensure_rates(&mut self) {
-        if !self.dirty {
+        match self.mode {
+            EngineMode::Incremental => self.rerate_dirty_components(),
+            EngineMode::FullRecompute => self.rerate_all(),
+        }
+    }
+
+    fn rerate_dirty_components(&mut self) {
+        // Index loop: repartitioning allocates/frees components but never
+        // marks new ones dirty, so the list only shrinks semantically.
+        let mut i = 0;
+        while i < self.dirty_comps.len() {
+            let c = self.dirty_comps[i];
+            i += 1;
+            // Stale entries: the component was freed (emptied or merged
+            // away) after being queued, or its slot was reused by a clean
+            // successor. The flag, cleared on free, disambiguates.
+            if !self.comps[c as usize].live || !self.comps[c as usize].dirty {
+                continue;
+            }
+            self.comps[c as usize].dirty = false;
+            self.repartition_and_rerate(c);
+        }
+        self.dirty_comps.clear();
+    }
+
+    /// Splits a dirty component into its true resource-connected parts
+    /// (removals may have disconnected it) and re-rates each part.
+    fn repartition_and_rerate(&mut self, c: u32) {
+        // Snapshot the members in start order; the old component dissolves.
+        let mut part = mem::take(&mut self.scratch.part);
+        part.clear();
+        for k in 0..self.comps[c as usize].members.len() {
+            let s = self.comps[c as usize].members[k];
+            part.push((self.slots[s as usize].seq, s));
+        }
+        self.comps[c as usize].members.clear();
+        self.free_comp(c);
+        part.sort_unstable();
+        let m = part.len();
+
+        // Union-find over local indices: all members touching a resource
+        // unite with the first member that touched it.
+        let mut uf = mem::take(&mut self.scratch.uf);
+        uf.clear();
+        uf.extend(0..m as u32);
+        if self.scratch.res_first_mark.len() < self.capacities.len() {
+            self.scratch.res_first_mark.resize(self.capacities.len(), 0);
+            self.scratch.res_first.resize(self.capacities.len(), 0);
+        }
+        self.scratch.epoch += 1;
+        let epoch = self.scratch.epoch;
+        for (i_local, &(_, s)) in part.iter().enumerate() {
+            for &(r, _) in &self.slots[s as usize].usages {
+                if self.scratch.res_first_mark[r] == epoch {
+                    let first = self.scratch.res_first[r];
+                    union(&mut uf, i_local as u32, first);
+                } else {
+                    self.scratch.res_first_mark[r] = epoch;
+                    self.scratch.res_first[r] = i_local as u32;
+                }
+            }
+        }
+
+        // Number the sub-components in first-occurrence (start) order.
+        let mut sub_of = mem::take(&mut self.scratch.sub_of);
+        let mut root_sub = mem::take(&mut self.scratch.root_sub);
+        sub_of.clear();
+        root_sub.clear();
+        root_sub.resize(m, u32::MAX);
+        let mut n_subs: u32 = 0;
+        for i_local in 0..m {
+            let root = find(&mut uf, i_local as u32) as usize;
+            if root_sub[root] == u32::MAX {
+                root_sub[root] = n_subs;
+                n_subs += 1;
+            }
+            sub_of.push(root_sub[root]);
+        }
+
+        if n_subs == 1 {
+            // Fast path: still one component.
+            let nc = self.alloc_comp();
+            for &(_, s) in part.iter() {
+                self.install_member(nc, s);
+            }
+            self.scratch.part = part;
+            self.scratch.uf = uf;
+            self.scratch.sub_of = sub_of;
+            self.scratch.root_sub = root_sub;
+            self.rerate_component(nc);
             return;
         }
-        let demands: Vec<Demand> = self
-            .order
-            .iter()
-            .map(|id| {
-                let t = &self.transfers[id];
-                Demand {
-                    usages: t.usages.clone(),
-                    cap: t.cap,
-                    inelastic: t.inelastic,
-                }
-            })
-            .collect();
-        let rates = max_min_rates(&self.capacities, &demands);
-        self.usage.iter_mut().for_each(|u| *u = 0.0);
-        for (idx, id) in self.order.iter().enumerate() {
-            let rate = if rates[idx].is_finite() {
-                rates[idx]
+        self.stats.splits += (n_subs - 1) as u64;
+
+        // Bucket members by sub-component (stable counting sort preserves
+        // start order within each bucket).
+        let mut sub_start = mem::take(&mut self.scratch.sub_start);
+        let mut sub_cursor = mem::take(&mut self.scratch.sub_cursor);
+        let mut sub_items = mem::take(&mut self.scratch.sub_items);
+        sub_start.clear();
+        sub_start.resize(n_subs as usize + 1, 0);
+        for &sub in &sub_of {
+            sub_start[sub as usize + 1] += 1;
+        }
+        for k in 1..sub_start.len() {
+            sub_start[k] += sub_start[k - 1];
+        }
+        sub_cursor.clear();
+        sub_cursor.extend_from_slice(&sub_start[..n_subs as usize]);
+        sub_items.clear();
+        sub_items.resize(m, 0);
+        for (i_local, &sub) in sub_of.iter().enumerate() {
+            sub_items[sub_cursor[sub as usize] as usize] = i_local as u32;
+            sub_cursor[sub as usize] += 1;
+        }
+
+        for sub in 0..n_subs as usize {
+            let nc = self.alloc_comp();
+            for k in sub_start[sub]..sub_start[sub + 1] {
+                let i_local = sub_items[k as usize] as usize;
+                let s = part[i_local].1;
+                self.install_member(nc, s);
+            }
+            self.rerate_component(nc);
+        }
+
+        self.scratch.part = part;
+        self.scratch.uf = uf;
+        self.scratch.sub_of = sub_of;
+        self.scratch.root_sub = root_sub;
+        self.scratch.sub_start = sub_start;
+        self.scratch.sub_cursor = sub_cursor;
+        self.scratch.sub_items = sub_items;
+    }
+
+    /// Re-rates one component against a compact capacity view of exactly
+    /// the resources its members touch, then settles/re-keys the members
+    /// whose rate changed and rebuilds this component's resource usage.
+    ///
+    /// Demands are ordered by start sequence and resources enter the view
+    /// in first-touch order, so the allocator performs, value for value,
+    /// the same floating-point operations it would on this component's
+    /// slice of a global recompute — the basis for oracle bit-identity.
+    fn rerate_component(&mut self, c: u32) {
+        let mut sorted = mem::take(&mut self.scratch.sorted);
+        sorted.clear();
+        for k in 0..self.comps[c as usize].members.len() {
+            let s = self.comps[c as usize].members[k];
+            sorted.push((self.slots[s as usize].seq, s));
+        }
+        sorted.sort_unstable();
+        self.stats.max_component = self.stats.max_component.max(sorted.len());
+
+        let mut demands = mem::take(&mut self.scratch.demands);
+        let mut cap_view = mem::take(&mut self.scratch.cap_view);
+        let mut comp_res = mem::take(&mut self.scratch.comp_res);
+        cap_view.clear();
+        comp_res.clear();
+        if self.scratch.res_dense_mark.len() < self.capacities.len() {
+            self.scratch.res_dense_mark.resize(self.capacities.len(), 0);
+            self.scratch.res_dense.resize(self.capacities.len(), 0);
+        }
+        self.scratch.epoch += 1;
+        let epoch = self.scratch.epoch;
+        for (k, &(_, s)) in sorted.iter().enumerate() {
+            if demands.len() <= k {
+                demands.push(Demand::elastic(Vec::new()));
+            }
+            let d = &mut demands[k];
+            d.usages.clear();
+            let t = &self.slots[s as usize];
+            d.cap = t.cap;
+            d.inelastic = t.inelastic;
+            for &(r, mult) in &t.usages {
+                let dense = if self.scratch.res_dense_mark[r] == epoch {
+                    self.scratch.res_dense[r]
+                } else {
+                    self.scratch.res_dense_mark[r] = epoch;
+                    let idx = cap_view.len() as u32;
+                    self.scratch.res_dense[r] = idx;
+                    cap_view.push(self.capacities[r]);
+                    comp_res.push(r);
+                    idx
+                };
+                d.usages.push((dense as usize, mult));
+            }
+        }
+
+        let n = sorted.len();
+        max_min_rates_into(
+            &mut self.scratch.sharing,
+            &cap_view,
+            &demands[..n],
+            &mut self.scratch.rates,
+        );
+        self.stats.allocator_calls += 1;
+        self.stats.demands_rated += n as u64;
+
+        let rates = mem::take(&mut self.scratch.rates);
+        for (k, &(_, s)) in sorted.iter().enumerate() {
+            let new_rate = if rates[k].is_finite() {
+                rates[k]
             } else {
                 LOCAL_RATE
             };
-            let t = self.transfers.get_mut(id).expect("ordered id is active");
-            t.rate = rate;
-            for &(r, mult) in &t.usages {
-                self.usage[r] += rate * mult;
+            if new_rate.to_bits() != self.slots[s as usize].rate.to_bits() {
+                self.settle(s);
+                self.slots[s as usize].rate = new_rate;
+                self.rekey(s);
             }
         }
-        self.dirty = false;
+
+        // Rebuild usage over exactly this component's resources. Members
+        // accumulate in start order, matching a global rebuild's
+        // per-resource addition sequence bit for bit.
+        for &r in &comp_res {
+            self.usage[r] = 0.0;
+        }
+        for &(_, s) in &sorted {
+            let t = &self.slots[s as usize];
+            for &(r, mult) in &t.usages {
+                self.usage[r] += t.rate * mult;
+            }
+        }
+
+        self.scratch.rates = rates;
+        self.scratch.sorted = sorted;
+        self.scratch.demands = demands;
+        self.scratch.cap_view = cap_view;
+        self.scratch.comp_res = comp_res;
     }
 
-    fn progress_all_to(&mut self, t: SimTime) {
-        let dt = (t - self.now).as_secs_f64();
-        if dt > 0.0 {
-            for tr in self.transfers.values_mut() {
-                tr.done += tr.rate * dt;
-                if tr.bytes.is_finite() && tr.done > tr.bytes {
-                    tr.done = tr.bytes;
-                }
+    /// Oracle: one global allocator call over every live transfer, sharing
+    /// the incremental path's demand ordering, settle logic, ETA
+    /// quantisation, and usage-rebuild arithmetic.
+    fn rerate_all(&mut self) {
+        if !self.global_dirty {
+            return;
+        }
+        self.global_dirty = false;
+        let mut sorted = mem::take(&mut self.scratch.sorted);
+        sorted.clear();
+        for (s, t) in self.slots.iter().enumerate() {
+            if t.live {
+                sorted.push((t.seq, s as u32));
             }
         }
-        self.now = t;
+        sorted.sort_unstable();
+        self.stats.max_component = self.stats.max_component.max(sorted.len());
+
+        let mut demands = mem::take(&mut self.scratch.demands);
+        for (k, &(_, s)) in sorted.iter().enumerate() {
+            if demands.len() <= k {
+                demands.push(Demand::elastic(Vec::new()));
+            }
+            let d = &mut demands[k];
+            let t = &self.slots[s as usize];
+            d.usages.clear();
+            d.usages.extend_from_slice(&t.usages);
+            d.cap = t.cap;
+            d.inelastic = t.inelastic;
+        }
+        let n = sorted.len();
+        max_min_rates_into(
+            &mut self.scratch.sharing,
+            &self.capacities,
+            &demands[..n],
+            &mut self.scratch.rates,
+        );
+        self.stats.allocator_calls += 1;
+        self.stats.demands_rated += n as u64;
+
+        let rates = mem::take(&mut self.scratch.rates);
+        for (k, &(_, s)) in sorted.iter().enumerate() {
+            let new_rate = if rates[k].is_finite() {
+                rates[k]
+            } else {
+                LOCAL_RATE
+            };
+            if new_rate.to_bits() != self.slots[s as usize].rate.to_bits() {
+                self.settle(s);
+                self.slots[s as usize].rate = new_rate;
+                self.rekey(s);
+            }
+        }
+        for u in self.usage.iter_mut() {
+            *u = 0.0;
+        }
+        for &(_, s) in &sorted {
+            let t = &self.slots[s as usize];
+            for &(r, mult) in &t.usages {
+                self.usage[r] += t.rate * mult;
+            }
+        }
+        self.scratch.rates = rates;
+        self.scratch.sorted = sorted;
+        self.scratch.demands = demands;
+    }
+
+    // --- progress + scheduling -------------------------------------------
+
+    /// Banks the bytes moved at the *old* rate up to `now`. Must run before
+    /// a transfer's rate is overwritten; exact because rates only ever
+    /// change at the current instant.
+    fn settle(&mut self, slot: u32) {
+        let now = self.now;
+        let t = &mut self.slots[slot as usize];
+        if t.last_sync < now {
+            let dt = (now - t.last_sync).as_secs_f64();
+            t.done_at_sync += t.rate * dt;
+            if t.bytes.is_finite() && t.done_at_sync > t.bytes {
+                t.done_at_sync = t.bytes;
+            }
+            self.stats.settles += 1;
+        }
+        t.last_sync = now;
+    }
+
+    /// Reschedules a transfer's completion event from its settled progress
+    /// and current rate. Infinite transfers and stalled (zero-rate)
+    /// transfers carry no event.
+    fn rekey(&mut self, slot: u32) {
+        if let Some(h) = self.slots[slot as usize].event.take() {
+            self.queue.cancel(h);
+        }
+        let t = &self.slots[slot as usize];
+        debug_assert_eq!(t.last_sync, self.now, "rekey requires settled progress");
+        if !t.bytes.is_finite() {
+            return;
+        }
+        let remaining = t.bytes - t.done_at_sync;
+        let at = if remaining <= 1e-6 {
+            self.now
+        } else if t.rate <= 0.0 {
+            return;
+        } else {
+            // Round the transfer time UP to the next nanosecond tick.
+            // Truncating (as `SimDuration::from_secs_f64` does) would
+            // systematically schedule the event a fraction of a tick
+            // early, leaving a ~0.1-byte sliver that costs every
+            // completion a second event; rounding up finishes in one.
+            // The `as u64` cast saturates for huge/infinite values, and
+            // the 1-tick floor keeps the clock advancing even when the
+            // remainder is sub-nanosecond.
+            let nanos = ((remaining / t.rate) * 1e9).ceil();
+            let d = SimDuration::from_nanos(nanos as u64);
+            self.now + d.max(SimDuration::from_nanos(1))
+        };
+        let handle = self.queue.push(at, slot);
+        self.slots[slot as usize].event = Some(handle);
+    }
+}
+
+// --- union-find over local member indices --------------------------------
+
+fn find(uf: &mut [u32], mut x: u32) -> u32 {
+    // Path halving.
+    while uf[x as usize] != x {
+        let grand = uf[uf[x as usize] as usize];
+        uf[x as usize] = grand;
+        x = grand;
+    }
+    x
+}
+
+fn union(uf: &mut [u32], a: u32, b: u32) {
+    let ra = find(uf, a);
+    let rb = find(uf, b);
+    if ra != rb {
+        uf[rb as usize] = ra;
     }
 }
 
@@ -618,9 +1372,7 @@ mod tests {
     fn inelastic_udp_starves_elastic_flow() {
         let mut net = star(3);
         let h = net.hosts();
-        net.start(
-            TransferSpec::network(h[0], h[2], f64::INFINITY).with_inelastic(0.9 * GBPS),
-        );
+        net.start(TransferSpec::network(h[0], h[2], f64::INFINITY).with_inelastic(0.9 * GBPS));
         let tcp = net.start(TransferSpec::network(h[1], h[2], GBPS));
         let r = net.rate(tcp).unwrap();
         assert!((r - 0.1 * GBPS).abs() < 1e-3, "tcp squeezed to {r}");
@@ -654,7 +1406,10 @@ mod tests {
         // The world moves on; the snapshot does not.
         net.run_until_idle();
         assert_eq!(net.rate(t), None);
-        assert!(net.host_load(h[0]).tx_bps.abs() < 1e-9, "live load is idle again");
+        assert!(
+            net.host_load(h[0]).tx_bps.abs() < 1e-9,
+            "live load is idle again"
+        );
         assert!((snap.get(busy_addr).unwrap().tx_bps - GBPS).abs() < 1e-3);
         assert!(snap.age_at(net.now()) > SimDuration::ZERO);
         assert_eq!(snap.age_at(snap.taken_at()), SimDuration::ZERO);
@@ -738,5 +1493,172 @@ mod tests {
             net.now()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn components_merge_on_start_and_split_on_removal() {
+        let mut net = star(6);
+        let h = net.hosts();
+        // Two disjoint pairs → two components.
+        let a = net.start(TransferSpec::network(h[0], h[1], f64::INFINITY));
+        let b = net.start(TransferSpec::network(h[2], h[3], f64::INFINITY));
+        net.rate(a).unwrap();
+        assert_eq!(net.component_count(), 2);
+        // A coupled two-segment transfer sending from both h0 and h2
+        // shares h0's and h2's uplinks with the two pairs, uniting them.
+        // (Resources are directional, so a plain h1→h2 flow would touch
+        // h1-tx/h2-rx — disjoint from both pairs.)
+        let bridge = net.start(TransferSpec {
+            segments: vec![
+                Segment::Net {
+                    src: h[0],
+                    dst: h[4],
+                },
+                Segment::Net {
+                    src: h[2],
+                    dst: h[5],
+                },
+            ],
+            bytes: f64::INFINITY,
+            cap: None,
+            inelastic_rate: None,
+        });
+        net.rate(bridge).unwrap();
+        assert_eq!(net.component_count(), 1);
+        assert!(net.stats().merges >= 1);
+        // Cancelling the bridge lazily splits the component again.
+        net.cancel(bridge);
+        net.rate(a).unwrap(); // forces the dirty re-rate
+        assert_eq!(net.component_count(), 2);
+        assert!(net.stats().splits >= 1);
+        net.cancel(a);
+        net.cancel(b);
+        net.rate(a); // drains dirty bookkeeping; both components vanished
+        assert_eq!(net.component_count(), 0);
+        assert_eq!(net.active_count(), 0);
+    }
+
+    #[test]
+    fn allocator_runs_once_per_completion_event() {
+        // Regression for the historical double invalidation in the
+        // advance loop (`ensure_rates` + `next_completion_time` both
+        // recomputing): with K sequential completions in one component the
+        // allocator must run exactly once for the initial ramp-up and once
+        // per rate-changing completion — not twice.
+        let mut net = star(3);
+        let h = net.hosts();
+        net.start(TransferSpec::network(h[0], h[2], GBPS * 0.5));
+        net.start(TransferSpec::network(h[1], h[2], GBPS));
+        let done = net.advance_to(SimTime::from_secs_f64(10.0));
+        assert_eq!(done.len(), 2);
+        let stats = net.stats();
+        // Call 1: initial ramp-up. Call 2: survivor re-rate after the first
+        // completion. The second completion empties the component — no
+        // further allocator work.
+        assert_eq!(stats.allocator_calls, 2, "{stats:?}");
+        assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn duplicate_segments_coalesce_deterministically() {
+        // A spec crossing the same hop twice must produce one usage entry
+        // with multiplicity 2 (sorted demand form), halving its rate.
+        let mut net = star(2);
+        let h = net.hosts();
+        let spec = TransferSpec {
+            segments: vec![
+                Segment::Net {
+                    src: h[0],
+                    dst: h[1],
+                },
+                Segment::Net {
+                    src: h[0],
+                    dst: h[1],
+                },
+            ],
+            bytes: GBPS,
+            cap: None,
+            inelastic_rate: None,
+        };
+        let id = net.start(spec);
+        let r = net.rate(id).unwrap();
+        assert!((r - 0.5 * GBPS).abs() < 1e-3, "doubled hop halves rate: {r}");
+        // The usage list is sorted and duplicate-free.
+        let slot = net.lookup(id).unwrap();
+        let usages = &net.slots[slot as usize].usages;
+        assert!(usages.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(usages.iter().any(|&(_, m)| m == 2.0));
+    }
+
+    #[test]
+    fn oracle_mode_matches_incremental_bitwise() {
+        // Scripted mixed scenario: pipelines, UDP blasts, caps, cancels and
+        // partial advances across rack boundaries must produce identical
+        // completion streams, rates, and snapshots in both modes.
+        let mk = |mode| {
+            NetSim::with_mode(
+                Topology::two_tier(3, 4, GBPS, 2.0 * GBPS, TopoOptions::default()),
+                mode,
+            )
+        };
+        let script = |net: &mut NetSim| {
+            let h = net.hosts();
+            let mut completions = Vec::new();
+            let mut rates = Vec::new();
+            let mut ids = Vec::new();
+            ids.push(net.start(TransferSpec::network(h[0], h[5], 3e8)));
+            ids.push(net.start(TransferSpec::pipeline(h[1], &[h[4], h[8]], 2e8)));
+            ids.push(net.start(
+                TransferSpec::network(h[2], h[5], f64::INFINITY).with_inelastic(0.8 * GBPS),
+            ));
+            completions.extend(net.advance_to(SimTime::from_secs_f64(0.7)));
+            ids.push(net.start(TransferSpec::network(h[6], h[5], 5e8).with_cap(0.3 * GBPS)));
+            ids.push(net.start(TransferSpec::read_and_send(h[3], h[9], 4e8)));
+            ids.push(net.start(TransferSpec::network(h[7], h[7], 1e8)));
+            completions.extend(net.advance_to(SimTime::from_secs_f64(1.9)));
+            net.cancel(ids[2]);
+            ids.push(net.start(TransferSpec::send_and_store(h[10], h[0], 6e8)));
+            completions.extend(net.advance_to(SimTime::from_secs_f64(4.0)));
+            for &id in &ids {
+                rates.push(net.rate(id).map(f64::to_bits));
+            }
+            let snap = net.load_snapshot();
+            completions.extend(net.advance_to(SimTime::from_secs_f64(30.0)));
+            (completions, rates, snap, net.now())
+        };
+        let mut inc = mk(EngineMode::Incremental);
+        let mut orc = mk(EngineMode::FullRecompute);
+        let (ci, ri, si, ni) = script(&mut inc);
+        let (co, ro, so, no) = script(&mut orc);
+        assert_eq!(ci, co, "completion streams diverge");
+        assert_eq!(ri, ro, "rates diverge");
+        assert_eq!(ni, no);
+        assert_eq!(si.taken_at(), so.taken_at());
+        for host in inc.hosts() {
+            let addr = inc.topology().host(host).addr;
+            let a = si.get(addr).unwrap();
+            let b = so.get(addr).unwrap();
+            assert_eq!(a.tx_bps.to_bits(), b.tx_bps.to_bits(), "host {addr}");
+            assert_eq!(a.rx_bps.to_bits(), b.rx_bps.to_bits());
+            assert_eq!(a.disk_read_bps.to_bits(), b.disk_read_bps.to_bits());
+            assert_eq!(a.disk_write_bps.to_bits(), b.disk_write_bps.to_bits());
+        }
+        // The incremental run must actually have exploited locality.
+        assert!(inc.stats().demands_rated <= orc.stats().demands_rated);
+    }
+
+    #[test]
+    fn transfer_ids_do_not_alias_after_slot_reuse() {
+        let mut net = star(3);
+        let h = net.hosts();
+        let a = net.start(TransferSpec::network(h[0], h[1], 1e8));
+        assert!(net.cancel(a));
+        // The slot is recycled; the stale id must not see the new transfer.
+        let b = net.start(TransferSpec::network(h[0], h[2], 1e8));
+        assert_ne!(a, b);
+        assert_eq!(net.progress(a), None);
+        assert_eq!(net.rate(a), None);
+        assert!(!net.cancel(a));
+        assert!(net.progress(b).is_some());
     }
 }

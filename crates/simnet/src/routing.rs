@@ -35,18 +35,22 @@ impl Router {
     ///
     /// Returns an empty route when `src == dst` (loopback).
     pub fn route(&mut self, topo: &Topology, src: HostId, dst: HostId, flow_hash: u64) -> Vec<Hop> {
+        self.route_ref(topo, src, dst, flow_hash).to_vec()
+    }
+
+    /// Borrowing form of [`Router::route`]: returns the cached hop slice
+    /// without cloning, computing and caching the path on first use. This
+    /// is the engine's hot path — a cache hit performs no allocation.
+    pub fn route_ref(&mut self, topo: &Topology, src: HostId, dst: HostId, flow_hash: u64) -> &[Hop] {
         let s = topo.host(src).node;
         let d = topo.host(dst).node;
         if s == d {
-            return Vec::new();
+            return &[];
         }
-        let key = (s, d, flow_hash % ECMP_BUCKETS);
-        if let Some(hops) = self.cache.get(&key) {
-            return hops.clone();
-        }
-        let hops = shortest_path(topo, s, d, flow_hash % ECMP_BUCKETS);
-        self.cache.insert(key, hops.clone());
-        hops
+        let bucket = flow_hash % ECMP_BUCKETS;
+        self.cache
+            .entry((s, d, bucket))
+            .or_insert_with(|| shortest_path(topo, s, d, bucket))
     }
 
     /// Number of hops on the (any) shortest path between two hosts —

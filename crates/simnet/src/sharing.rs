@@ -63,9 +63,6 @@ impl Demand {
     }
 }
 
-/// Relative tolerance for float comparisons in the allocator.
-const EPS: f64 = 1e-9;
-
 /// Largest fraction of a resource inelastic (UDP-like) traffic may claim.
 /// Real congestion-responsive flows competing with a line-rate UDP blast
 /// still get a trickle of service; capping inelastic usage below 100%
@@ -235,12 +232,12 @@ pub fn max_min_rates_into(
             .filter_map(|&i| demands[i].cap)
             .fold(f64::INFINITY, f64::min);
 
-        if min_cap <= level * (1.0 + EPS) {
+        if min_cap <= level {
             // Freeze all capped groups whose cap is at/below the level.
             let mut froze = false;
             unfrozen.retain(|&i| {
                 match demands[i].cap {
-                    Some(cap) if cap <= level * (1.0 + EPS) => {
+                    Some(cap) if cap <= level => {
                         rates[i] = cap;
                         for &(r, mult) in &demands[i].usages {
                             remaining[r] = (remaining[r] - cap * mult).max(0.0);
@@ -256,8 +253,18 @@ pub fn max_min_rates_into(
         }
 
         // Freeze every group using a bottleneck resource at the level.
+        //
+        // The comparison is EXACT (bit-wise), not tolerance-banded: the
+        // level is itself one of the computed shares, so the argmin always
+        // freezes and the loop still terminates in ≤ n rounds. Exactness
+        // is what makes per-component progressive filling bit-identical
+        // to a global run — a tolerance band would let a share that is
+        // mathematically equal but a few ULPs above the level (computed
+        // through a different operation order in another component)
+        // freeze at the *other* component's level, coupling components
+        // at the last mantissa bit.
         for &r in &scratch.touched {
-            if (remaining[r] / scratch.load[r]).max(0.0) <= level * (1.0 + EPS) {
+            if (remaining[r] / scratch.load[r]).max(0.0) <= level {
                 scratch.bottleneck[r] = true;
             }
         }
@@ -288,6 +295,27 @@ pub fn max_min_rates_into(
             break;
         }
     }
+}
+
+/// Sorts a usage list by resource index and merges duplicate entries by
+/// summing their multiplicities, in place and allocation-free.
+///
+/// Both the engine and the estimator assemble demand usage lists from
+/// route hops and disk legs, where the same directed resource can appear
+/// several times (a pipeline crossing a link twice). Coalescing to a
+/// sorted, duplicate-free form makes demand contents deterministic
+/// regardless of assembly order and replaces the quadratic
+/// `iter_mut().find` dedup previously scattered across callers.
+pub fn coalesce_usages(usages: &mut Vec<(ResourceIdx, f64)>) {
+    usages.sort_unstable_by_key(|&(r, _)| r);
+    usages.dedup_by(|later, kept| {
+        if kept.0 == later.0 {
+            kept.1 += later.1;
+            true
+        } else {
+            false
+        }
+    });
 }
 
 /// Checks that `rates` is feasible: no resource is used beyond capacity

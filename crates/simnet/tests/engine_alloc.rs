@@ -1,0 +1,139 @@
+//! Pins the zero-allocation invariant of the engine's steady state: once
+//! warm (route cache populated, slab/scratch/queue at their high-water
+//! capacity), a start → advance → complete → cancel churn cycle must not
+//! touch the heap. This extends the estimator's counting-allocator test
+//! (`crates/estimator/tests/alloc_free.rs`) to the simulation engine
+//! itself, as pinned down in the incremental-engine rework.
+//!
+//! `TransferSpec` construction allocates by design (the segment vector),
+//! so the measured cycles consume specs pre-built outside the measured
+//! window; moving a spec into `NetSim::start` performs no allocation.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator, so this
+//! file holds exactly one `#[test]` — parallel tests would pollute the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use desim::SimDuration;
+use simnet::topology::TopoOptions;
+use simnet::{HostId, NetSim, Topology, TransferSpec, GBPS};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The seven specs one churn cycle starts: five plain finite transfers, a
+/// pipeline, and an unbounded inelastic stream. Seven starts per cycle is
+/// coprime with the 64 ECMP buckets, so a 64-cycle warm-up visits every
+/// route-cache entry the measured cycles can reach.
+fn cycle_specs(h: &[HostId], cycle: usize) -> Vec<TransferSpec> {
+    let payload = GBPS * (0.2 + 0.05 * (cycle % 4) as f64);
+    vec![
+        TransferSpec::network(h[0], h[2], payload),
+        TransferSpec::network(h[1], h[2], payload * 1.5),
+        TransferSpec::pipeline(h[3], &[h[4], h[5]], payload),
+        TransferSpec::network(h[6], h[7], payload).with_cap(0.4 * GBPS),
+        TransferSpec::read_and_send(h[5], h[0], payload),
+        TransferSpec::network(h[7], h[1], f64::INFINITY).with_inelastic(0.3 * GBPS),
+        TransferSpec::network(h[2], h[6], payload),
+    ]
+}
+
+/// One churn cycle: the burst of starts, a mid-flight cancel that dirties
+/// a live component, then drive every finite transfer to completion and
+/// tear down the background stream. Returns completions observed.
+fn churn_cycle(
+    net: &mut NetSim,
+    completions: &mut Vec<simnet::Completion>,
+    specs: Vec<TransferSpec>,
+) -> usize {
+    let mut specs = specs.into_iter();
+    let mut done = 0;
+    let a = net.start(specs.next().unwrap());
+    for _ in 0..4 {
+        net.start(specs.next().unwrap());
+    }
+    let udp = net.start(specs.next().unwrap());
+    net.start(specs.next().unwrap());
+    // Partial progress, then a cancel that dirties a live component.
+    let mid = net.now() + SimDuration::from_secs_f64(0.05);
+    net.advance_into(mid, completions);
+    done += completions.len();
+    assert!(net.cancel(a) || net.progress(a).is_none());
+    // Drain all finite transfers.
+    while let Some(t) = net.next_completion_time() {
+        net.advance_into(t, completions);
+        done += completions.len();
+    }
+    assert!(net.cancel(udp));
+    done
+}
+
+#[test]
+fn engine_steady_state_is_allocation_free() {
+    let mut net = NetSim::new(Topology::single_switch(8, GBPS, TopoOptions::default()));
+    let hosts = net.hosts();
+    let mut completions: Vec<simnet::Completion> = Vec::new();
+
+    // Warm-up: 64 cycles walk the full ECMP bucket space for every
+    // (src, dst) pair the cycle uses, and push every slab, queue,
+    // component, and scratch vector to its high-water capacity.
+    let mut warm_done = 0;
+    for cycle in 0..64 {
+        warm_done += churn_cycle(&mut net, &mut completions, cycle_specs(&hosts, cycle));
+    }
+    assert!(warm_done > 0, "warm-up must complete transfers");
+    assert_eq!(net.active_count(), 0);
+
+    // Specs for the measured cycles are built while allocations are still
+    // allowed; the cycles below only move them into the engine.
+    let measured_specs: Vec<Vec<TransferSpec>> = (64..96)
+        .map(|cycle| cycle_specs(&hosts, cycle))
+        .collect();
+
+    // Measured: the same churn must perform zero heap allocations.
+    net.reset_stats();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut measured_done = 0;
+    for specs in measured_specs {
+        measured_done += churn_cycle(&mut net, &mut completions, specs);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let stats = net.stats();
+    // 6 finite starts per cycle, at most one removed by the cancel.
+    assert!(measured_done >= 32 * 5, "cycles must complete their transfers");
+    assert!(stats.allocator_calls > 0, "rates were recomputed: {stats:?}");
+    assert!(stats.events > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "engine steady state allocated {} times over 32 churn cycles ({stats:?})",
+        after - before
+    );
+}

@@ -22,4 +22,7 @@ cargo bench --no-run --workspace
 echo "=== pktsearch smoke ==="
 cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke
 
+echo "=== simnet_scale smoke (incremental == oracle, bit-identical) ==="
+cargo run --release -q -p cloudtalk-bench --bin simnet_scale -- --smoke
+
 echo "ci: all green"
