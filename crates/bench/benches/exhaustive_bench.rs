@@ -11,13 +11,27 @@
 //! without touching the estimator.
 //!
 //! Before/after numbers are recorded in EXPERIMENTS.md.
+//!
+//! `--trace <path>` skips the timed runs: it answers the same HDFS query
+//! once through the full [`CloudTalkServer`] exhaustive path and writes
+//! the answer's span tree as Chrome `trace_event` JSON (load it in
+//! `chrome://tracing` or Perfetto) plus a flat metrics dump at
+//! `<path>.metrics`:
+//!
+//! ```text
+//! cargo bench -p cloudtalk-bench --bench exhaustive_bench -- --trace trace.json
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use cloudtalk::exhaustive::{exhaustive_search_with, SearchOptions};
+use cloudtalk::server::{CloudTalkServer, EvalMethod, ObsConfig, ServerConfig};
+use cloudtalk::status::TableStatusSource;
+use cloudtalk_bench::{flag_value, write_trace};
 use cloudtalk_lang::builder::hdfs_write_query;
 use cloudtalk_lang::problem::{Address, Binding, Problem};
+use desim::SimTime;
 use estimator::{estimate, HostState, World};
 
 /// The seed implementation this PR replaced: plain recursion, one fresh
@@ -161,4 +175,50 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_exhaustive
 }
-criterion_main!(benches);
+
+/// Answers the 20-server HDFS query through the server's exhaustive path
+/// and exports the query trace plus the server's metrics registry.
+fn export_trace(path: &str) {
+    let nodes: Vec<Address> = (2..=21).map(Address).collect();
+    let problem = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0)
+        .resolve()
+        .expect("well-formed");
+    let world = lopsided_world(&problem.mentioned_addresses());
+    let mut status = TableStatusSource::new();
+    for (&a, &s) in world.iter() {
+        status.set(a, s);
+    }
+    let mut server = CloudTalkServer::new(ServerConfig {
+        method: EvalMethod::Exhaustive { limit: 1_000_000 },
+        obs: ObsConfig {
+            host_timer: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let a = server
+        .answer_problem(&problem, &mut status, SimTime::ZERO)
+        .expect("exhaustive answer succeeds");
+    let mpath = write_trace(
+        path,
+        &[("query", &a.provenance.trace)],
+        Some(server.metrics()),
+    )
+    .expect("trace files are writable");
+    println!(
+        "trace: {} spans ({} bindings evaluated, {} subtrees pruned) -> {path} (metrics -> {})",
+        a.provenance.trace.spans.len(),
+        a.provenance.search.enumerated,
+        a.provenance.search.pruned,
+        mpath.as_deref().unwrap_or("-")
+    );
+}
+
+fn main() {
+    if let Some(path) = flag_value("--trace") {
+        export_trace(&path);
+        return;
+    }
+    benches();
+    Criterion::default().final_summary();
+}

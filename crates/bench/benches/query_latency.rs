@@ -6,9 +6,12 @@ use std::hint::black_box;
 
 use cloudtalk::exhaustive::exhaustive_search;
 use cloudtalk::heuristic::{evaluate_query, HeuristicConfig};
+use cloudtalk::server::{CloudTalkServer, ObsConfig, ServerConfig};
+use cloudtalk::status::TableStatusSource;
 use cloudtalk_lang::builder::hdfs_write_query;
 use cloudtalk_lang::problem::Address;
 use cloudtalk_lang::{parse_query, resolve, MapResolver};
+use desim::SimTime;
 use estimator::{HostState, World};
 
 fn bench_query_path(c: &mut Criterion) {
@@ -36,6 +39,34 @@ fn bench_query_path(c: &mut Criterion) {
     c.bench_function("exhaustive_eval_20_servers", |b| {
         b.iter(|| exhaustive_search(black_box(&problem), black_box(&world), 1_000_000).unwrap())
     });
+
+    // End-to-end server answers with query tracing on (the default) vs
+    // off — the answer-path half of the observability-overhead row.
+    for tracing in [false, true] {
+        let mut server = CloudTalkServer::new(ServerConfig {
+            obs: ObsConfig {
+                tracing,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut status = TableStatusSource::new();
+        for &a in &problem.mentioned_addresses() {
+            status.set(a, HostState::gbps_idle().with_up_load(0.4));
+        }
+        let name = if tracing {
+            "server_answer_20_servers_traced"
+        } else {
+            "server_answer_20_servers_untraced"
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                server
+                    .answer_problem(black_box(&problem), &mut status, SimTime::ZERO)
+                    .unwrap()
+            })
+        });
+    }
 }
 
 criterion_group! {

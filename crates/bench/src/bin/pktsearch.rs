@@ -10,14 +10,29 @@
 //! ```text
 //! cargo run --release -p cloudtalk-bench --bin pktsearch          # full table
 //! cargo run --release -p cloudtalk-bench --bin pktsearch -- --smoke  # CI-sized
+//! cargo run --release -p cloudtalk-bench --bin pktsearch -- --smoke --trace t.json
+//! cargo run --release -p cloudtalk-bench --bin pktsearch -- --obs-overhead
 //! ```
+//!
+//! `--trace <path>` answers the scenario once through the full
+//! [`CloudTalkServer`] packet-level path and writes the answer's span tree
+//! as Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto)
+//! plus a flat metrics dump at `<path>.metrics`. `--obs-overhead` times
+//! repeated server answers with query tracing on vs off — the
+//! observability-overhead row of EXPERIMENTS.md.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cloudtalk::pktsearch::{pkt_search, MirrorTopology, PktSearchOptions, PktSearchResult};
 use cloudtalk::pkteval::pkt_evaluate;
+use cloudtalk::server::{CloudTalkServer, EvalMethod, ObsConfig, PktBackendConfig, ServerConfig};
+use cloudtalk::status::TableStatusSource;
 use cloudtalk_apps::websearch::aggregator_placement_query;
+use cloudtalk_bench::{flag_value, write_trace};
 use cloudtalk_lang::problem::{Binding, Problem, Value};
+use desim::SimTime;
+use estimator::HostState;
 use pktsim::SimConfig;
 use simnet::topology::{HostId, TopoOptions, Topology};
 use simnet::GBPS;
@@ -129,8 +144,116 @@ fn fmt_binding(b: &Binding) -> String {
         .join(", ")
 }
 
+/// A server answering `problem` through the packet-level backend.
+fn server_for(
+    problem: &Problem,
+    threads: usize,
+    mirror: Arc<MirrorTopology>,
+    tracing: bool,
+) -> CloudTalkServer {
+    let n_cands = problem.vars[0].candidates.len() as u64;
+    CloudTalkServer::new(ServerConfig {
+        method: EvalMethod::PacketLevel {
+            limit: n_cands * n_cands,
+        },
+        pkt: PktBackendConfig {
+            mirror: Some(mirror),
+            threads,
+            ..Default::default()
+        },
+        obs: ObsConfig {
+            tracing,
+            host_timer: tracing,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+fn idle_status(problem: &Problem) -> TableStatusSource {
+    let mut status = TableStatusSource::new();
+    for &a in &problem.mentioned_addresses() {
+        status.set(a, HostState::gbps_idle());
+    }
+    status
+}
+
+/// Answers once through the server and exports the query's span tree and
+/// the server's metrics registry.
+fn export_trace(s: Scenario, path: &str) {
+    let Scenario {
+        mirror,
+        problem,
+        threads,
+        ..
+    } = s;
+    let mut server = server_for(&problem, threads, Arc::new(mirror), true);
+    let mut status = idle_status(&problem);
+    let a = server
+        .answer_problem(&problem, &mut status, SimTime::ZERO)
+        .expect("packet-level answer succeeds");
+    let mpath = write_trace(
+        path,
+        &[("query", &a.provenance.trace)],
+        Some(server.metrics()),
+    )
+    .expect("trace files are writable");
+    println!(
+        "trace: {} spans -> {path} (metrics -> {})",
+        a.provenance.trace.spans.len(),
+        mpath.as_deref().unwrap_or("-")
+    );
+}
+
+/// Times repeated server answers with tracing on vs off. Serial search
+/// (one thread): per-answer thread spawns would drown the signal.
+fn obs_overhead(reps: usize) {
+    let time_arm = |tracing: bool| -> f64 {
+        let s = smoke_scenario();
+        let mut server = server_for(&s.problem, 1, Arc::new(s.mirror), tracing);
+        let mut status = idle_status(&s.problem);
+        // Warm-up answer outside the timed window.
+        server
+            .answer_problem(&s.problem, &mut status, SimTime::ZERO)
+            .expect("warm-up answer");
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let a = server
+                .answer_problem(&s.problem, &mut status, SimTime::ZERO)
+                .expect("answer succeeds");
+            std::hint::black_box(a.binding.len());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Five interleaved off/on pairs, best of each: the minimum is the
+    // least noise-polluted estimate and interleaving cancels drift.
+    let (mut off, mut on) = (f64::MAX, f64::MAX);
+    for _ in 0..5 {
+        off = off.min(time_arm(false));
+        on = on.min(time_arm(true));
+    }
+    let delta = (on - off) / off * 100.0;
+    println!(
+        "pktsearch server answers x{reps}: tracing off {:.3}s ({:.1}/s), \
+         tracing on {:.3}s ({:.1}/s), overhead {delta:+.1}%",
+        off,
+        reps as f64 / off,
+        on,
+        reps as f64 / on
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if let Some(path) = flag_value("--trace") {
+        let s = if smoke { smoke_scenario() } else { full_scenario() };
+        export_trace(s, &path);
+        return;
+    }
+    if std::env::args().any(|a| a == "--obs-overhead") {
+        obs_overhead(2_000);
+        return;
+    }
     let s = if smoke { smoke_scenario() } else { full_scenario() };
     println!(
         "pktsearch: web-search aggregator placement, {} ordered pairs{}\n",

@@ -13,17 +13,26 @@
 //! ```text
 //! cargo run --release -p cloudtalk-bench --bin simnet_scale            # full table
 //! cargo run --release -p cloudtalk-bench --bin simnet_scale -- --smoke # CI gate
+//! cargo run --release -p cloudtalk-bench --bin simnet_scale -- --trace t.json
+//! cargo run --release -p cloudtalk-bench --bin simnet_scale -- --obs-overhead
 //! ```
 //!
 //! `--smoke` runs small clusters only and asserts the two modes produce
 //! bit-identical completion streams, rates, and loads — the equivalence
 //! gate wired into `scripts/ci.sh`. The full run also performs the
 //! equivalence check at the smallest scale before timing anything.
+//! `--trace <path>` records build/warm/churn phase spans on a 100-host
+//! run and writes Chrome `trace_event` JSON plus the engine's `engine.*`
+//! metrics dump at `<path>.metrics`. `--obs-overhead` times the churn
+//! loop with and without per-op span recording — the
+//! observability-overhead row of EXPERIMENTS.md.
 
 use std::time::Instant;
 
+use cloudtalk_bench::{flag_value, write_trace};
 use desim::rng::{stream_rng, DetRng};
 use desim::SimDuration;
+use obs::{MonotonicClock, Trace};
 use rand::Rng;
 use simnet::topology::{TopoOptions, Topology};
 use simnet::traffic::{iperf_mesh, random_subset, udp_blast};
@@ -158,8 +167,103 @@ fn assert_equivalence(n_hosts: usize, ops: usize) {
     );
 }
 
+/// Records build/warm/churn phase spans on a 100-host incremental run and
+/// exports them with the engine's metrics.
+fn export_trace(path: &str) {
+    let mut trace = Trace::new(8, Box::new(MonotonicClock::new()));
+    let root = trace.begin("simnet_scale", desim::SimTime::ZERO);
+
+    let build_span = trace.begin("build", desim::SimTime::ZERO);
+    let mut net = build(100, EngineMode::Incremental);
+    trace.end(build_span, net.now());
+
+    let warm = trace.begin("warm", net.now());
+    let mut buf = Vec::new();
+    net.advance_into(net.now() + SimDuration::from_secs_f64(0.5), &mut buf);
+    let bg = net.active_count();
+    trace.set_arg(warm, "bg_flows", bg as u64);
+    trace.end(warm, net.now());
+
+    net.reset_stats();
+    let churn = trace.begin("churn", net.now());
+    let hosts = net.hosts();
+    let pool: Vec<HostId> = hosts.iter().copied().take(FG_POOL).collect();
+    let mut rng = stream_rng(SEED, 2);
+    let mut completions = Vec::new();
+    for k in 0..600 {
+        churn_op(&mut net, &mut rng, &pool, k, bg, &mut buf, &mut completions);
+    }
+    trace.set_arg(churn, "completions", completions.len() as u64);
+    trace.end(churn, net.now());
+    trace.end(root, net.now());
+
+    let report = trace.into_report();
+    let mpath = write_trace(path, &[("engine", &report)], Some(net.metrics()))
+        .expect("trace files are writable");
+    println!(
+        "trace: {} spans -> {path} (metrics -> {})",
+        report.spans.len(),
+        mpath.as_deref().unwrap_or("-")
+    );
+}
+
+/// Times the churn loop with and without per-op span recording.
+fn obs_overhead(ops: usize) {
+    let time_arm = |traced: bool| -> f64 {
+        let mut net = build(100, EngineMode::Incremental);
+        let hosts = net.hosts();
+        let pool: Vec<HostId> = hosts.iter().copied().take(FG_POOL).collect();
+        let mut rng = stream_rng(SEED, 2);
+        let mut buf = Vec::new();
+        let mut completions = Vec::new();
+        net.advance_into(net.now() + SimDuration::from_secs_f64(0.5), &mut buf);
+        let bg = net.active_count();
+        net.reset_stats();
+        // Arena sized for one op's span; reset per op (warm, alloc-free).
+        let mut trace = if traced {
+            Trace::new(2, Box::new(MonotonicClock::new()))
+        } else {
+            Trace::disabled()
+        };
+        let t0 = Instant::now();
+        for k in 0..ops {
+            trace.reset();
+            let span = trace.begin("churn_op", net.now());
+            churn_op(&mut net, &mut rng, &pool, k, bg, &mut buf, &mut completions);
+            trace.end(span, net.now());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // One throwaway warm-up arm pages everything in; then five
+    // interleaved off/on pairs, best of each — the minimum is the least
+    // noise-polluted estimate and interleaving cancels machine drift.
+    let _ = time_arm(false);
+    let (mut off, mut on) = (f64::MAX, f64::MAX);
+    for _ in 0..5 {
+        off = off.min(time_arm(false));
+        on = on.min(time_arm(true));
+    }
+    let delta = (on - off) / off * 100.0;
+    println!(
+        "simnet churn x{ops}: tracing off {:.3}s ({:.0} ops/s), \
+         tracing on {:.3}s ({:.0} ops/s), overhead {delta:+.1}%",
+        off,
+        ops as f64 / off,
+        on,
+        ops as f64 / on
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if let Some(path) = flag_value("--trace") {
+        export_trace(&path);
+        return;
+    }
+    if std::env::args().any(|a| a == "--obs-overhead") {
+        obs_overhead(40_000);
+        return;
+    }
 
     println!("--- oracle equivalence (bit-identical completions/rates/loads) ---");
     if smoke {

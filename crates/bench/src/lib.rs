@@ -118,6 +118,34 @@ pub fn random_binding(problem: &Problem, rng: &mut DetRng) -> Binding {
         .collect()
 }
 
+/// Value of a `--name <value>` command-line flag, if present.
+pub fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes a Chrome `trace_event` JSON file at `path` plus a flat metrics
+/// dump at `<path>.metrics` (omitted when `registry` is `None`). Returns
+/// the metrics-dump path, when written.
+pub fn write_trace(
+    path: &str,
+    traces: &[(&str, &obs::TraceReport)],
+    registry: Option<&obs::MetricsRegistry>,
+) -> std::io::Result<Option<String>> {
+    std::fs::write(path, obs::chrome_trace_json(traces))?;
+    if let Some(reg) = registry {
+        let mpath = format!("{path}.metrics");
+        std::fs::write(&mpath, obs::metrics_dump(reg))?;
+        return Ok(Some(mpath));
+    }
+    Ok(None)
+}
+
 /// Prints a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

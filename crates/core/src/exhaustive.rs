@@ -40,6 +40,10 @@ pub struct ExhaustiveResult {
     pub makespan: f64,
     /// Bindings evaluated (i.e. estimator calls; pruned leaves excluded).
     pub evaluated: u64,
+    /// Subtrees cut by the admissible lower bound (0 with pruning off).
+    /// Each cut skips a whole suffix of the binding space, so this counts
+    /// pruning *decisions*, not skipped bindings.
+    pub pruned_subtrees: u64,
 }
 
 /// Errors from exhaustive evaluation.
@@ -148,6 +152,7 @@ pub fn exhaustive_search_with(
             binding: Vec::new(),
             makespan: e.makespan,
             evaluated: 1,
+            pruned_subtrees: 0,
         });
     }
 
@@ -210,8 +215,10 @@ pub fn exhaustive_search_with(
 
     let mut best: Option<(f64, Binding)> = None;
     let mut evaluated = 0u64;
+    let mut pruned_subtrees = 0u64;
     for local in locals {
         evaluated += local.evaluated;
+        pruned_subtrees += local.pruned;
         if let Some((m, b)) = local.best {
             if best.as_ref().is_none_or(|(bm, _)| m < *bm) {
                 best = Some((m, b));
@@ -224,6 +231,7 @@ pub fn exhaustive_search_with(
             binding,
             makespan,
             evaluated,
+            pruned_subtrees,
         }),
         None => Err(ExhaustiveError::NoFeasibleBinding),
     }
@@ -234,6 +242,7 @@ pub fn exhaustive_search_with(
 struct Local {
     best: Option<(f64, Binding)>,
     evaluated: u64,
+    pruned: u64,
 }
 
 /// Read-only search context shared by all workers.
@@ -260,6 +269,7 @@ fn search_rec(
         // is still explored, preserving the sequential `evaluated` counts
         // on worlds full of ties and the first-found winner on exact ties.
         if lb > f64::from_bits(ctx.incumbent.load(Ordering::Relaxed)) {
+            local.pruned += 1;
             return;
         }
     }
@@ -644,6 +654,11 @@ mod tests {
             "pruned {} vs full {}",
             pruned.evaluated,
             full.evaluated
+        );
+        assert_eq!(full.pruned_subtrees, 0, "pruning off reports no cuts");
+        assert!(
+            pruned.pruned_subtrees > 0,
+            "cuts must be counted when the bound fires"
         );
     }
 }

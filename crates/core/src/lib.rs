@@ -23,12 +23,20 @@
 //!   answers, plus the analytic n(d, p, confidence) calculator (Figure 4).
 //! * [`reservation`] — §5.5 pseudo-reservations preventing oscillation.
 //! * [`server`] — [`server::CloudTalkServer`] tying it all together.
-//! * [`messages`] — wire-format sizes for the §5.5 overhead accounting.
+//! * [`messages`] — wire-format sizes for the §5.5 overhead accounting,
+//!   hosted in the server's [`obs`] metrics registry.
 //! * [`faults`] — deterministic fault injection (crashed status servers,
 //!   partitions, stragglers, stale and corrupted reports) for chaos
 //!   testing the collection/answer path; the server survives all of it
 //!   via retry/backoff, staleness decay, and a graceful-degradation
 //!   ladder ([`server::DegradationRung`]).
+//!
+//! Observability: every answer carries a structured
+//! [`server::Provenance`] — rung, backend, search-effort counters, gather
+//! bytes, stale-host list, and a per-phase span tree recorded with the
+//! `obs` crate (deterministic by default; see [`server::ObsConfig`]).
+//! [`server::CloudTalkServer::metrics`] exposes the server's metrics
+//! registry for flat dumps.
 //!
 //! The paper's §7 future-work directions are implemented too:
 //! [`billing`] (workload-described price quotes) and [`scalar`]
@@ -86,7 +94,7 @@ pub use pktsearch::{
     pkt_search, MirrorTopology, PktSearchError, PktSearchOptions, PktSearchResult,
 };
 pub use server::{
-    Answer, CloudTalkServer, DegradationConfig, DegradationRung, EvalMethod, PktBackendConfig,
-    ServerConfig, ServerError, StatusSnapshot,
+    Answer, Backend, CloudTalkServer, DegradationConfig, DegradationRung, EvalMethod, ObsConfig,
+    PktBackendConfig, Provenance, SearchStats, ServerConfig, ServerError, StatusSnapshot,
 };
 pub use status::{LaggedStatusSource, StatusReport, StatusSource, TableStatusSource};

@@ -4,6 +4,21 @@
 //! and quantifies per-operation CloudTalk overhead (HDFS read 1.3 KB,
 //! 100-node HDFS write 45 KB, 50-reducer placement 43 KB). This module
 //! reproduces that accounting.
+//!
+//! [`OverheadLedger`] is the portable accounting record: a plain `Copy`
+//! struct that collection code fills in as traffic happens. The server
+//! re-hosts these totals in its [`obs::MetricsRegistry`] via
+//! [`LedgerCounters`], so the same numbers are visible through the
+//! exported-metrics surface; `CloudTalkServer::ledger()` reconstructs an
+//! `OverheadLedger` from the registry, keeping the §5.5 API intact.
+//!
+//! First-round and retry traffic are accounted separately: a retry re-send
+//! in `scatter_gather_retry` bumps `retry_queries`/`retry_responses`, never
+//! the first-round counters, so [`OverheadLedger::status_bytes`] (the §5.5
+//! per-operation figure) cannot double-count a host that had to be asked
+//! twice. [`OverheadLedger::total_bytes`] includes both.
+
+use obs::{CounterId, MetricsRegistry};
 
 /// Bytes of one status query on the wire.
 pub const STATUS_QUERY_BYTES: u64 = 64;
@@ -14,13 +29,18 @@ pub const STATUS_RESPONSE_BYTES: u64 = 78;
 /// Running totals of CloudTalk-related network overhead.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OverheadLedger {
-    /// Status queries sent.
+    /// Status queries sent in first rounds.
     pub status_queries: u64,
-    /// Status responses received.
+    /// Status responses received in first rounds.
     pub status_responses: u64,
     /// Scatter-gather rounds performed (retries count as extra rounds, so
     /// multi-round gathers are visible in the accounting).
     pub rounds: u64,
+    /// Status queries re-sent by retry rounds (distinct from
+    /// `status_queries` so retries can never double-count §5.5 bytes).
+    pub retry_queries: u64,
+    /// Status responses received by retry rounds.
+    pub retry_responses: u64,
     /// Bytes of client query text received.
     pub query_text_bytes: u64,
     /// Bytes of answers returned to clients.
@@ -32,10 +52,20 @@ pub struct OverheadLedger {
 }
 
 impl OverheadLedger {
-    /// Records one scatter-gather round: `sent` queries, `received` replies.
+    /// Records one first-round scatter-gather exchange: `sent` queries,
+    /// `received` replies.
     pub fn record_round(&mut self, sent: u64, received: u64) {
         self.status_queries += sent;
         self.status_responses += received;
+        self.rounds += 1;
+    }
+
+    /// Records one *retry* round. Retry traffic lands in its own counters:
+    /// folding re-sends into `status_queries` would double-count hosts in
+    /// the §5.5 `status_bytes` figure.
+    pub fn record_retry_round(&mut self, sent: u64, received: u64) {
+        self.retry_queries += sent;
+        self.retry_responses += received;
         self.rounds += 1;
     }
 
@@ -51,14 +81,86 @@ impl OverheadLedger {
         self.answer_bytes += answer_bytes;
     }
 
-    /// Total status-traffic bytes (the §5.5 numbers).
+    /// First-round status-traffic bytes (the §5.5 numbers: each
+    /// interrogated host counted once).
     pub fn status_bytes(&self) -> u64 {
         self.status_queries * STATUS_QUERY_BYTES + self.status_responses * STATUS_RESPONSE_BYTES
     }
 
-    /// Total bytes attributable to CloudTalk.
+    /// Extra bytes spent re-querying stragglers in retry rounds.
+    pub fn retry_bytes(&self) -> u64 {
+        self.retry_queries * STATUS_QUERY_BYTES + self.retry_responses * STATUS_RESPONSE_BYTES
+    }
+
+    /// Total bytes attributable to CloudTalk, retries included.
     pub fn total_bytes(&self) -> u64 {
-        self.status_bytes() + self.query_text_bytes + self.answer_bytes
+        self.status_bytes() + self.retry_bytes() + self.query_text_bytes + self.answer_bytes
+    }
+}
+
+/// The ledger's counters hosted in an [`obs::MetricsRegistry`].
+///
+/// The server registers these once (names under `overhead.`), absorbs each
+/// gather's [`OverheadLedger`] delta into them, and reconstructs a ledger
+/// on demand — so tests and exporters read overhead through the same
+/// metrics surface as everything else while `OverheadLedger` stays the
+/// API-compatible value type.
+#[derive(Clone, Copy, Debug)]
+pub struct LedgerCounters {
+    status_queries: CounterId,
+    status_responses: CounterId,
+    rounds: CounterId,
+    retry_queries: CounterId,
+    retry_responses: CounterId,
+    query_text_bytes: CounterId,
+    answer_bytes: CounterId,
+    pkt_memo_hits: CounterId,
+    pkt_memo_misses: CounterId,
+}
+
+impl LedgerCounters {
+    /// Registers the overhead counters in `reg` (idempotent).
+    pub fn register(reg: &mut MetricsRegistry) -> Self {
+        LedgerCounters {
+            status_queries: reg.counter("overhead.status_queries"),
+            status_responses: reg.counter("overhead.status_responses"),
+            rounds: reg.counter("overhead.rounds"),
+            retry_queries: reg.counter("overhead.retry_queries"),
+            retry_responses: reg.counter("overhead.retry_responses"),
+            query_text_bytes: reg.counter("overhead.query_text_bytes"),
+            answer_bytes: reg.counter("overhead.answer_bytes"),
+            pkt_memo_hits: reg.counter("overhead.pkt_memo_hits"),
+            pkt_memo_misses: reg.counter("overhead.pkt_memo_misses"),
+        }
+    }
+
+    /// Adds an accounting delta (one gather, one client exchange, …) to the
+    /// registry-hosted totals.
+    pub fn absorb(&self, reg: &mut MetricsRegistry, delta: &OverheadLedger) {
+        reg.inc(self.status_queries, delta.status_queries);
+        reg.inc(self.status_responses, delta.status_responses);
+        reg.inc(self.rounds, delta.rounds);
+        reg.inc(self.retry_queries, delta.retry_queries);
+        reg.inc(self.retry_responses, delta.retry_responses);
+        reg.inc(self.query_text_bytes, delta.query_text_bytes);
+        reg.inc(self.answer_bytes, delta.answer_bytes);
+        reg.inc(self.pkt_memo_hits, delta.pkt_memo_hits);
+        reg.inc(self.pkt_memo_misses, delta.pkt_memo_misses);
+    }
+
+    /// Reconstructs the accumulated ledger from the registry.
+    pub fn ledger(&self, reg: &MetricsRegistry) -> OverheadLedger {
+        OverheadLedger {
+            status_queries: reg.counter_value(self.status_queries),
+            status_responses: reg.counter_value(self.status_responses),
+            rounds: reg.counter_value(self.rounds),
+            retry_queries: reg.counter_value(self.retry_queries),
+            retry_responses: reg.counter_value(self.retry_responses),
+            query_text_bytes: reg.counter_value(self.query_text_bytes),
+            answer_bytes: reg.counter_value(self.answer_bytes),
+            pkt_memo_hits: reg.counter_value(self.pkt_memo_hits),
+            pkt_memo_misses: reg.counter_value(self.pkt_memo_misses),
+        }
     }
 }
 
@@ -96,9 +198,48 @@ mod tests {
         assert_eq!(ledger.status_responses, 13);
         assert_eq!(ledger.rounds, 2, "each retry round is counted");
         ledger.record_client(100, 20);
-        assert_eq!(
-            ledger.total_bytes(),
-            15 * 64 + 13 * 78 + 120
-        );
+        assert_eq!(ledger.total_bytes(), 15 * 64 + 13 * 78 + 120);
+    }
+
+    #[test]
+    fn retry_rounds_split_from_first_round_bytes() {
+        // Pin the double-counting fix: 10 hosts queried, 8 answer; the
+        // retry re-asks the 2 stragglers and recovers them. First-round
+        // bytes must reflect 10 queries / 8 responses exactly once, with
+        // the re-sends in their own bucket.
+        let mut ledger = OverheadLedger::default();
+        ledger.record_round(10, 8);
+        ledger.record_retry_round(2, 2);
+        assert_eq!(ledger.status_queries, 10, "retries must not inflate §5.5 queries");
+        assert_eq!(ledger.status_responses, 8);
+        assert_eq!(ledger.retry_queries, 2);
+        assert_eq!(ledger.retry_responses, 2);
+        assert_eq!(ledger.rounds, 2);
+        assert_eq!(ledger.status_bytes(), 10 * 64 + 8 * 78);
+        assert_eq!(ledger.retry_bytes(), 2 * 64 + 2 * 78);
+        assert_eq!(ledger.total_bytes(), ledger.status_bytes() + ledger.retry_bytes());
+    }
+
+    #[test]
+    fn ledger_counters_round_trip_through_registry() {
+        let mut reg = MetricsRegistry::new();
+        let lc = LedgerCounters::register(&mut reg);
+        let mut delta = OverheadLedger::default();
+        delta.record_round(7, 6);
+        delta.record_retry_round(1, 1);
+        delta.record_client(120, 40);
+        delta.record_pkt_memo(3, 2);
+        lc.absorb(&mut reg, &delta);
+        lc.absorb(&mut reg, &delta);
+
+        let total = lc.ledger(&reg);
+        assert_eq!(total.status_queries, 14);
+        assert_eq!(total.retry_responses, 2);
+        assert_eq!(total.rounds, 4);
+        assert_eq!(total.pkt_memo_hits, 6);
+        assert_eq!(total.total_bytes(), 2 * delta.total_bytes());
+        // The same numbers are visible through the exported-metrics surface.
+        assert_eq!(reg.counter_named("overhead.status_queries"), Some(14));
+        assert_eq!(reg.counter_named("overhead.retry_queries"), Some(2));
     }
 }

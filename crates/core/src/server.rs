@@ -31,9 +31,11 @@ use desim::rng::{stream_rng, DetRng};
 use desim::{SimDuration, SimTime};
 use estimator::{HostState, World};
 
+use obs::{CounterId, HistogramId, MetricsRegistry, MonotonicClock, NullClock, Trace, TraceReport};
+
 use crate::exhaustive::{exhaustive_search, ExhaustiveError};
 use crate::heuristic::{evaluate_query_scored, HeuristicConfig};
-use crate::messages::OverheadLedger;
+use crate::messages::{LedgerCounters, OverheadLedger};
 use crate::pktsearch::{pkt_search, MirrorTopology, PktSearchError, PktSearchOptions};
 use crate::reservation::ReservationTable;
 use crate::sampling::{sample_candidates, DEFAULT_SAMPLE_THRESHOLD};
@@ -86,6 +88,8 @@ pub struct ServerConfig {
     /// Packet-level backend parameters (only used by
     /// [`EvalMethod::PacketLevel`]).
     pub pkt: PktBackendConfig,
+    /// Observability: per-query span tracing and host-timer selection.
+    pub obs: ObsConfig,
     /// RNG seed for sampling and transport loss.
     pub seed: u64,
 }
@@ -101,7 +105,39 @@ impl Default for ServerConfig {
             use_dynamic: true,
             degradation: DegradationConfig::default(),
             pkt: PktBackendConfig::default(),
+            obs: ObsConfig::default(),
             seed: 0,
+        }
+    }
+}
+
+/// Observability configuration for a server.
+///
+/// The default records every answer's span tree with the deterministic
+/// [`obs::NullClock`] (host timestamps all zero), so answers — including
+/// their provenance — compare equal across identical runs. Benches enable
+/// `host_timer` to see real per-phase durations; latency-critical setups
+/// disable `tracing` entirely, which makes every span operation a no-op
+/// and leaves an empty [`obs::TraceReport`] in the answer.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Record per-query spans (collect → sanitise → search → bind).
+    pub tracing: bool,
+    /// Stamp spans with a real monotonic host timer instead of the
+    /// deterministic null clock. Host timestamps become run-dependent;
+    /// simulated timestamps stay deterministic either way.
+    pub host_timer: bool,
+    /// Span-arena capacity per query. Spans beyond this are counted in
+    /// [`obs::TraceReport::dropped`], never allocated.
+    pub span_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            tracing: true,
+            host_timer: false,
+            span_capacity: 16,
         }
     }
 }
@@ -239,6 +275,89 @@ pub const MODELLED_PARSE_TIME: SimDuration = SimDuration::from_micros(320);
 /// Modelled heuristic evaluation time.
 pub const MODELLED_EVAL_TIME: SimDuration = SimDuration::from_micros(130);
 
+/// Which evaluation backend actually produced a binding (reported in
+/// [`Provenance`]; degraded rungs force [`Backend::Heuristic`] regardless
+/// of the configured [`EvalMethod`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// The Listing 1 heuristic.
+    Heuristic,
+    /// Branch-and-bound exhaustive search over the flow-level estimator.
+    Exhaustive,
+    /// Packet-level enumeration over the mirror topology.
+    PacketLevel,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Heuristic => write!(f, "heuristic"),
+            Backend::Exhaustive => write!(f, "exhaustive"),
+            Backend::PacketLevel => write!(f, "packet-level"),
+        }
+    }
+}
+
+/// How much of the binding space the search backend actually visited.
+///
+/// Semantics per backend: the heuristic scores every candidate of every
+/// variable once (`enumerated` = Σ pool sizes, nothing pruned); the
+/// exhaustive backend counts estimator calls in `enumerated` and
+/// lower-bound subtree cuts in `pruned`; the packet-level backend counts
+/// completed simulations in `enumerated`, deadline-abandoned ones in
+/// `aborted`, and symmetry-cache answers in `memo_hits`/`memo_misses`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Upper bound on the binding space (product of candidate-pool sizes,
+    /// saturating; distinctness constraints may make the real space
+    /// smaller).
+    pub space: u64,
+    /// Candidates/bindings actually evaluated.
+    pub enumerated: u64,
+    /// Subtrees cut by the exhaustive lower bound (0 for other backends).
+    pub pruned: u64,
+    /// Packet simulations abandoned by the incumbent deadline.
+    pub aborted: u64,
+    /// Bindings answered from the packet-search symmetry cache.
+    pub memo_hits: u64,
+    /// Bindings the packet search had to simulate (memoisation on only).
+    pub memo_misses: u64,
+}
+
+/// Structured provenance of one answer: which rung and backend produced
+/// it, how much search work ran, what the gather cost, which hosts were
+/// distrusted, and the per-phase span tree
+/// (`answer` ⊃ `collect` → `sanitise` → `search` → `bind`).
+///
+/// With the default [`ObsConfig`] this is fully deterministic — identical
+/// runs produce identical (`PartialEq`-comparable) provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Provenance {
+    /// Which rung of the degradation ladder answered.
+    pub rung: DegradationRung,
+    /// The backend that produced the binding (the configured method on
+    /// [`DegradationRung::Full`], otherwise the heuristic).
+    pub backend: Backend,
+    /// Search-effort counters.
+    pub search: SearchStats,
+    /// Scatter-gather rounds behind this answer's snapshot.
+    pub gather_rounds: u32,
+    /// First-round status bytes of the gather behind this answer's
+    /// snapshot (shared across a batch answered from one snapshot; 0 for
+    /// static snapshots).
+    pub status_bytes: u64,
+    /// Retry-round bytes of the same gather (kept separate so retries
+    /// never double-count the §5.5 figure).
+    pub retry_bytes: u64,
+    /// Hosts whose reports existed but were dropped for staleness on the
+    /// [`DegradationRung::FreshSubset`] rung, sorted by address. Empty on
+    /// other rungs ([`DegradationRung::Full`] trusts everything,
+    /// [`DegradationRung::AssumeBusy`] trusts nothing).
+    pub stale_dropped: Vec<Address>,
+    /// The per-phase span tree.
+    pub trace: TraceReport,
+}
+
 /// The server's reply.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Answer {
@@ -264,6 +383,9 @@ pub struct Answer {
     pub freshness: f64,
     /// Which rung of the degradation ladder produced the answer.
     pub rung: DegradationRung,
+    /// Structured provenance: backend, search effort, gather cost,
+    /// stale-host list, and the per-phase span tree.
+    pub provenance: Provenance,
 }
 
 /// Why a query failed.
@@ -318,13 +440,38 @@ impl From<LangError> for ServerError {
     }
 }
 
+/// Handles to the server's own registered metrics.
+#[derive(Clone, Copy, Debug)]
+struct ServerMetricIds {
+    queries: CounterId,
+    rung_full: CounterId,
+    rung_fresh_subset: CounterId,
+    rung_assume_busy: CounterId,
+    gather_rounds: HistogramId,
+    freshness: HistogramId,
+}
+
+impl ServerMetricIds {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        ServerMetricIds {
+            queries: reg.counter("server.queries_answered"),
+            rung_full: reg.counter("server.rung_full"),
+            rung_fresh_subset: reg.counter("server.rung_fresh_subset"),
+            rung_assume_busy: reg.counter("server.rung_assume_busy"),
+            gather_rounds: reg.histogram("server.gather_rounds", &[1.0, 2.0, 3.0, 4.0]),
+            freshness: reg.histogram("server.freshness", &[0.25, 0.5, 0.75, 1.0]),
+        }
+    }
+}
+
 /// A CloudTalk server instance.
 pub struct CloudTalkServer {
     cfg: ServerConfig,
     reservations: ReservationTable,
-    ledger: OverheadLedger,
+    metrics: MetricsRegistry,
+    lc: LedgerCounters,
+    ids: ServerMetricIds,
     rng: DetRng,
-    queries_answered: u64,
 }
 
 impl CloudTalkServer {
@@ -332,23 +479,35 @@ impl CloudTalkServer {
     pub fn new(cfg: ServerConfig) -> Self {
         let hold = cfg.reservation_hold.unwrap_or(SimDuration::ZERO);
         let rng = stream_rng(cfg.seed, 0xC10D);
+        let mut metrics = MetricsRegistry::new();
+        let lc = LedgerCounters::register(&mut metrics);
+        let ids = ServerMetricIds::register(&mut metrics);
         CloudTalkServer {
             reservations: ReservationTable::new(hold),
-            ledger: OverheadLedger::default(),
+            metrics,
+            lc,
+            ids,
             rng,
             cfg,
-            queries_answered: 0,
         }
     }
 
-    /// Cumulative network-overhead ledger (§5.5 accounting).
-    pub fn ledger(&self) -> &OverheadLedger {
-        &self.ledger
+    /// Cumulative network-overhead ledger (§5.5 accounting), reconstructed
+    /// from the server's metrics registry.
+    pub fn ledger(&self) -> OverheadLedger {
+        self.lc.ledger(&self.metrics)
+    }
+
+    /// The server's metrics registry: overhead counters (`overhead.*`),
+    /// query/rung counters and gather histograms (`server.*`). Feed it to
+    /// [`obs::metrics_dump`] for a flat export.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Queries answered so far.
     pub fn queries_answered(&self) -> u64 {
-        self.queries_answered
+        self.metrics.counter_value(self.ids.queries)
     }
 
     /// Answers a textual CloudTalk query at simulated time `now`.
@@ -362,8 +521,9 @@ impl CloudTalkServer {
         let problem = resolve(&query, &MapResolver::new())?;
         let mut answer = self.answer_problem(&problem, source, now)?;
         answer.response_time += MODELLED_PARSE_TIME;
-        self.ledger
-            .record_client(text.len() as u64, 8 * answer.binding.len() as u64);
+        let mut delta = OverheadLedger::default();
+        delta.record_client(text.len() as u64, 8 * answer.binding.len() as u64);
+        self.lc.absorb(&mut self.metrics, &delta);
         Ok(answer)
     }
 
@@ -410,13 +570,18 @@ impl CloudTalkServer {
         source: &mut impl StatusSource,
     ) -> StatusSnapshot {
         if self.cfg.use_dynamic {
+            // Account the gather into a local delta first: the snapshot
+            // keeps it for per-query provenance, the registry accumulates
+            // it into the server-lifetime totals.
+            let mut gather = OverheadLedger::default();
             let outcome = scatter_gather_retry(
                 source,
                 addrs,
                 &self.cfg.transport,
                 &mut self.rng,
-                &mut self.ledger,
+                &mut gather,
             );
+            self.lc.absorb(&mut self.metrics, &gather);
             let mut world = World::new();
             let mut ages = HashMap::with_capacity(outcome.replies.len());
             let mut decay_sum = 0.0;
@@ -441,6 +606,7 @@ impl CloudTalkServer {
                 missing: outcome.missing.len(),
                 rounds: outcome.rounds,
                 freshness,
+                gather,
             }
         } else {
             // Static mode: assume idle hosts; no status traffic, and the
@@ -453,6 +619,7 @@ impl CloudTalkServer {
                 missing: 0,
                 rounds: 0,
                 freshness: 1.0,
+                gather: OverheadLedger::default(),
             }
         }
     }
@@ -563,7 +730,43 @@ impl CloudTalkServer {
             });
         }
 
+        // The query's span tree. With the default NullClock all host
+        // timestamps are zero and the trace — like the whole answer — is
+        // deterministic; sim timestamps reconstruct the modelled timeline
+        // (the gather already happened when the snapshot was taken, so the
+        // collect span is synthesised from the snapshot's metadata).
+        let mut trace = if self.cfg.obs.tracing {
+            let cap = self.cfg.obs.span_capacity;
+            if self.cfg.obs.host_timer {
+                Trace::new(cap, Box::new(MonotonicClock::new()))
+            } else {
+                Trace::new(cap, Box::new(NullClock))
+            }
+        } else {
+            Trace::disabled()
+        };
+        let root = trace.begin("answer", now);
+        let t_collected = now + snapshot.elapsed;
+        let collect = trace.begin("collect", now);
+        trace.set_arg(collect, "rounds", u64::from(snapshot.rounds));
+        trace.end(collect, t_collected);
+
+        let sanitise = trace.begin("sanitise", t_collected);
         let addrs = working.mentioned_addresses();
+        // Hosts whose report exists but is too old to trust — the set the
+        // FreshSubset rung excludes. Reported in the provenance so callers
+        // can see exactly *which* hosts the answer distrusted.
+        let mut stale_dropped: Vec<Address> = Vec::new();
+        if rung == DegradationRung::FreshSubset {
+            let max_age = self.cfg.degradation.fresh_max_age;
+            for &a in &addrs {
+                if matches!(snapshot.report_age(a), Some(age) if age > max_age) {
+                    stale_dropped.push(a);
+                }
+            }
+            stale_dropped.sort_unstable_by_key(|a| a.0);
+            stale_dropped.dedup();
+        }
         // The world the chosen rung evaluates against. `base` owns the
         // degraded copies; `Full` keeps borrowing the shared snapshot.
         let base: Option<World> = match rung {
@@ -581,6 +784,8 @@ impl CloudTalkServer {
         // when a mentioned address actually holds a reservation.
         let overlaid = self.overlay_reservations(base, &addrs, now);
         let world: &World = overlaid.as_ref().unwrap_or(base);
+        trace.set_arg(sanitise, "stale_dropped", stale_dropped.len() as u64);
+        trace.end(sanitise, t_collected);
 
         // Degraded rungs always use the heuristic: it is total (returns a
         // complete binding for any world), while the exhaustive and
@@ -591,13 +796,38 @@ impl CloudTalkServer {
             DegradationRung::Full => self.cfg.method,
             _ => EvalMethod::Heuristic,
         };
-        let (binding, binding_scores) = match method {
-            EvalMethod::Heuristic => evaluate_query_scored(working, world, &self.cfg.heuristic),
+        let space = working
+            .vars
+            .iter()
+            .fold(1u64, |acc, v| acc.saturating_mul(v.candidates.len() as u64));
+        let search_span = trace.begin("search", t_collected);
+        let t_evaluated = t_collected + MODELLED_EVAL_TIME;
+        let (backend, search, binding, binding_scores) = match method {
+            EvalMethod::Heuristic => {
+                let (b, s) = evaluate_query_scored(working, world, &self.cfg.heuristic);
+                let enumerated = working
+                    .vars
+                    .iter()
+                    .map(|v| v.candidates.len() as u64)
+                    .sum();
+                let stats = SearchStats {
+                    space,
+                    enumerated,
+                    ..SearchStats::default()
+                };
+                (Backend::Heuristic, stats, b, s)
+            }
             EvalMethod::Exhaustive { limit } => {
                 let r = exhaustive_search(working, world, limit)
                     .map_err(ServerError::Exhaustive)?;
+                let stats = SearchStats {
+                    space,
+                    enumerated: r.evaluated,
+                    pruned: r.pruned_subtrees,
+                    ..SearchStats::default()
+                };
                 let n = r.binding.len();
-                (r.binding, vec![f64::INFINITY; n])
+                (Backend::Exhaustive, stats, r.binding, vec![f64::INFINITY; n])
             }
             EvalMethod::PacketLevel { limit } => {
                 let mirror = self
@@ -613,12 +843,30 @@ impl CloudTalkServer {
                     .sim(self.cfg.pkt.sim);
                 let r = pkt_search(working, &mirror, &opts)
                     .map_err(ServerError::PktSearch)?;
-                self.ledger.record_pkt_memo(r.memo_hits, r.memo_misses);
+                let mut delta = OverheadLedger::default();
+                delta.record_pkt_memo(r.memo_hits, r.memo_misses);
+                self.lc.absorb(&mut self.metrics, &delta);
+                let stats = SearchStats {
+                    space,
+                    enumerated: r.evaluated,
+                    pruned: 0,
+                    aborted: r.aborted,
+                    memo_hits: r.memo_hits,
+                    memo_misses: r.memo_misses,
+                };
                 let n = r.binding.len();
-                (r.binding, vec![f64::INFINITY; n])
+                (
+                    Backend::PacketLevel,
+                    stats,
+                    r.binding,
+                    vec![f64::INFINITY; n],
+                )
             }
         };
+        trace.set_arg(search_span, "enumerated", search.enumerated);
+        trace.end(search_span, t_evaluated);
 
+        let bind = trace.begin("bind", t_evaluated);
         if reserve && self.cfg.reservation_hold.is_some() {
             self.reservations.reserve(
                 binding.iter().filter_map(|v| match v {
@@ -628,8 +876,22 @@ impl CloudTalkServer {
                 now,
             );
         }
+        trace.end(bind, t_evaluated);
+        trace.end(root, t_evaluated);
 
-        self.queries_answered += 1;
+        self.metrics.inc(self.ids.queries, 1);
+        let rung_counter = match rung {
+            DegradationRung::Full => self.ids.rung_full,
+            DegradationRung::FreshSubset => self.ids.rung_fresh_subset,
+            DegradationRung::AssumeBusy => self.ids.rung_assume_busy,
+        };
+        self.metrics.inc(rung_counter, 1);
+        if snapshot.rounds > 0 {
+            self.metrics
+                .observe(self.ids.gather_rounds, f64::from(snapshot.rounds));
+        }
+        self.metrics.observe(self.ids.freshness, snapshot.freshness);
+
         Ok(Answer {
             binding,
             binding_scores,
@@ -640,6 +902,16 @@ impl CloudTalkServer {
             gather_rounds: snapshot.rounds,
             freshness: snapshot.freshness,
             rung,
+            provenance: Provenance {
+                rung,
+                backend,
+                search,
+                gather_rounds: snapshot.rounds,
+                status_bytes: snapshot.gather.status_bytes(),
+                retry_bytes: snapshot.gather.retry_bytes(),
+                stale_dropped,
+                trace: trace.into_report(),
+            },
         })
     }
 
@@ -694,6 +966,9 @@ pub struct StatusSnapshot {
     missing: usize,
     rounds: u32,
     freshness: f64,
+    /// Accounting delta of the gather that produced this snapshot (zeroed
+    /// for static snapshots). Feeds per-answer provenance bytes.
+    gather: OverheadLedger,
 }
 
 impl StatusSnapshot {
@@ -725,6 +1000,13 @@ impl StatusSnapshot {
     /// Scatter-gather rounds spent gathering (0 for static snapshots).
     pub fn rounds(&self) -> u32 {
         self.rounds
+    }
+
+    /// The overhead-accounting delta of the gather behind this snapshot:
+    /// first-round and retry traffic, separately. Zero for static
+    /// snapshots.
+    pub fn gather_ledger(&self) -> OverheadLedger {
+        self.gather
     }
 
     /// The age of `addr`'s report, if it answered.
@@ -1208,5 +1490,89 @@ mod tests {
             )
             .unwrap();
         assert_eq!(a.binding, vec![Value::Addr(Address(NET + 3))]);
+    }
+
+    #[test]
+    fn provenance_carries_backend_counters_and_span_tree() {
+        let problem = hdfs_write_query(Address(1), &[Address(2), Address(3), Address(4)], 2, 1e8)
+            .resolve()
+            .unwrap();
+        let mut server = CloudTalkServer::new(ServerConfig::default());
+        let a = server
+            .answer_problem(&problem, &mut idle_source(4), SimTime::ZERO)
+            .unwrap();
+        let p = &a.provenance;
+        assert_eq!(p.rung, DegradationRung::Full);
+        assert_eq!(p.backend, Backend::Heuristic);
+        // Two variables over a shared 3-candidate pool.
+        assert_eq!(p.search.space, 9);
+        assert_eq!(p.search.enumerated, 6, "heuristic enumerates Σ pool sizes");
+        assert_eq!(p.search.pruned, 0);
+        assert!(p.stale_dropped.is_empty());
+        assert_eq!(p.gather_rounds, 1);
+        assert!(p.status_bytes > 0);
+        assert_eq!(p.retry_bytes, 0);
+        // The default (deterministic) trace records the full phase tree,
+        // with sim timestamps ordered along the modelled pipeline.
+        let names = p.trace.span_names();
+        for name in ["answer", "collect", "sanitise", "search", "bind"] {
+            assert!(names.contains(&name), "missing span {name:?} in {names:?}");
+        }
+        let answer = p.trace.span("answer").unwrap();
+        let collect = p.trace.span("collect").unwrap();
+        let search = p.trace.span("search").unwrap();
+        assert_eq!(answer.sim_start, collect.sim_start);
+        assert!(collect.sim_end <= search.sim_start);
+        assert_eq!(search.sim_end, answer.sim_end);
+        // NullClock: host timestamps are identically zero (determinism).
+        assert!(p.trace.spans.iter().all(|s| s.host_end_ns == 0));
+        // The metrics registry saw the same query.
+        let m = server.metrics();
+        assert_eq!(m.counter_named("server.queries_answered"), Some(1));
+        assert_eq!(m.counter_named("server.rung_full"), Some(1));
+    }
+
+    #[test]
+    fn exhaustive_provenance_counts_estimator_calls_and_prunes() {
+        let nodes: Vec<Address> = (2..=5).map(Address).collect();
+        let problem = hdfs_write_query(Address(1), &nodes, 3, 1e8).resolve().unwrap();
+        let cfg = ServerConfig {
+            method: EvalMethod::Exhaustive { limit: 100 },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let a = server
+            .answer_problem(&problem, &mut idle_source(5), SimTime::ZERO)
+            .unwrap();
+        let p = &a.provenance;
+        assert_eq!(p.backend, Backend::Exhaustive);
+        assert_eq!(p.search.space, 64, "3 vars × 4 candidates");
+        // Distinctness caps the walk at 4·3·2 = 24 estimator calls; the
+        // branch-and-bound may cut further, and every cut is accounted.
+        assert!(p.search.enumerated >= 1 && p.search.enumerated <= 24);
+        assert_eq!(p.search.aborted, 0);
+        assert_eq!(p.search.memo_hits, 0);
+    }
+
+    #[test]
+    fn tracing_can_be_disabled_leaving_an_empty_trace() {
+        let problem = hdfs_write_query(Address(1), &[Address(2), Address(3)], 1, 1e8)
+            .resolve()
+            .unwrap();
+        let cfg = ServerConfig {
+            obs: ObsConfig {
+                tracing: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut server = CloudTalkServer::new(cfg);
+        let a = server
+            .answer_problem(&problem, &mut idle_source(3), SimTime::ZERO)
+            .unwrap();
+        assert!(a.provenance.trace.spans.is_empty(), "tracing off → no spans");
+        // Provenance counters are still populated.
+        assert_eq!(a.provenance.backend, Backend::Heuristic);
+        assert!(a.provenance.search.enumerated > 0);
     }
 }

@@ -123,30 +123,37 @@ pub struct GatherOutcome {
 
 /// One query/reply round against `addrs`; replies are sanitised here —
 /// the single choke point between raw status reports and the estimator.
+/// Retry rounds (`retry = true`) account their traffic in the ledger's
+/// distinct retry counters so re-sends never inflate the §5.5 bytes.
 fn gather_round(
     source: &mut impl StatusSource,
     addrs: &[Address],
     cfg: &TransportConfig,
     rng: &mut DetRng,
     ledger: &mut OverheadLedger,
-    replies: &mut Vec<(Address, StatusReport)>,
-    missing: &mut Vec<Address>,
+    out: &mut GatherOutcome,
+    retry: bool,
 ) -> SimDuration {
     let n = addrs.len();
     let loss_p = loss_probability(n, cfg);
-    let before = replies.len();
+    let before = out.replies.len();
     for &addr in addrs {
         let lost = loss_p > 0.0 && rng.gen_bool(loss_p);
         match (lost, source.poll_report(addr)) {
             (false, Some(mut report)) => {
                 report.state = report.state.sanitised();
-                replies.push((addr, report));
+                out.replies.push((addr, report));
             }
-            _ => missing.push(addr),
+            _ => out.missing.push(addr),
         }
     }
-    ledger.record_round(n as u64, (replies.len() - before) as u64);
-    if missing.is_empty() {
+    let received = (out.replies.len() - before) as u64;
+    if retry {
+        ledger.record_retry_round(n as u64, received);
+    } else {
+        ledger.record_round(n as u64, received);
+    }
+    if out.missing.is_empty() {
         cfg.rtt
     } else {
         cfg.timeout
@@ -166,24 +173,26 @@ pub fn scatter_gather(
     rng: &mut DetRng,
     ledger: &mut OverheadLedger,
 ) -> GatherOutcome {
-    let mut replies = Vec::with_capacity(addrs.len());
-    let mut missing = Vec::new();
-    let elapsed = gather_round(source, addrs, cfg, rng, ledger, &mut replies, &mut missing);
-    GatherOutcome {
-        first_round_missing: missing.len(),
+    let mut out = GatherOutcome {
+        replies: Vec::with_capacity(addrs.len()),
+        missing: Vec::new(),
+        first_round_missing: 0,
         rounds: 1,
-        replies,
-        missing,
-        elapsed,
-    }
+        elapsed: SimDuration::ZERO,
+    };
+    out.elapsed = gather_round(source, addrs, cfg, rng, ledger, &mut out, false);
+    out.first_round_missing = out.missing.len();
+    out
 }
 
 /// Scatter-gather with bounded retries: after the first round, up to
 /// `cfg.retry.max_retries` further rounds re-query **only** the hosts
 /// still missing, waiting an exponentially growing backoff before each.
-/// Stops early once everyone answered. Every round's queries and replies
-/// are recorded in `ledger`; every round's duration (and each backoff)
-/// accrues into `elapsed`.
+/// Stops early once everyone answered. The first round's queries and
+/// replies land in the ledger's `status_*` counters, retry rounds in its
+/// distinct `retry_*` counters (so §5.5 `status_bytes` never double-counts
+/// a re-queried host); every round's duration (and each backoff) accrues
+/// into `elapsed`.
 pub fn scatter_gather_retry(
     source: &mut impl StatusSource,
     addrs: &[Address],
@@ -198,15 +207,8 @@ pub fn scatter_gather_retry(
         }
         let targets = std::mem::take(&mut out.missing);
         out.elapsed += cfg.retry.backoff_before(retry);
-        out.elapsed += gather_round(
-            source,
-            &targets,
-            cfg,
-            rng,
-            ledger,
-            &mut out.replies,
-            &mut out.missing,
-        );
+        let round = gather_round(source, &targets, cfg, rng, ledger, &mut out, true);
+        out.elapsed += round;
         out.rounds += 1;
     }
     out
@@ -408,9 +410,14 @@ mod tests {
         assert!(out.missing.is_empty());
         assert_eq!(out.first_round_missing, 1);
         assert_eq!(ledger.rounds, 2);
-        // Round 1 queried 3 hosts, round 2 only the missing one.
-        assert_eq!(ledger.status_queries, 4);
-        assert_eq!(ledger.status_responses, 3);
+        // Round 1 queried 3 hosts; round 2's re-send of the missing one
+        // lands in the retry counters, not the first-round ones.
+        assert_eq!(ledger.status_queries, 3);
+        assert_eq!(ledger.status_responses, 2);
+        assert_eq!(ledger.retry_queries, 1);
+        assert_eq!(ledger.retry_responses, 1);
+        assert_eq!(ledger.status_bytes(), 3 * 64 + 2 * 78);
+        assert_eq!(ledger.retry_bytes(), 64 + 78);
     }
 
     #[test]
@@ -437,20 +444,34 @@ mod tests {
             out.missing.len(),
             out.first_round_missing
         );
-        // Exact conservation: queries = 1000 + retried sets; every query
-        // either produced a reply or a final miss... per round.
+        // Exact conservation: the first round queried every host exactly
+        // once; retries re-queried only missing sets, in their own bucket.
+        assert_eq!(ledger.status_queries, 1000, "first round, counted once");
         assert_eq!(
-            ledger.status_responses as usize,
+            (ledger.status_responses + ledger.retry_responses) as usize,
             out.replies.len(),
-            "responses sum over rounds"
+            "responses sum over first-round and retry buckets"
         );
-        assert!(
-            ledger.status_queries > 1000,
-            "retry queries are accounted on top of the first round"
+        // Retry 1 re-asked the whole first-round missing set; retry 2 only
+        // what was still missing after that — strictly fewer than 2·M1.
+        assert!(ledger.retry_queries as usize > out.first_round_missing);
+        assert!((ledger.retry_queries as usize) < 2 * out.first_round_missing);
+        assert_eq!(
+            ledger.retry_responses as usize,
+            out.first_round_missing - out.missing.len(),
+            "every recovered host answered exactly one retry"
         );
         assert_eq!(
             ledger.status_bytes(),
-            ledger.status_queries * 64 + ledger.status_responses * 78
+            1000 * 64 + ledger.status_responses * 78
+        );
+        assert_eq!(
+            ledger.retry_bytes(),
+            ledger.retry_queries * 64 + ledger.retry_responses * 78
+        );
+        assert_eq!(
+            ledger.total_bytes(),
+            ledger.status_bytes() + ledger.retry_bytes()
         );
     }
 

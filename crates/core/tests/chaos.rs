@@ -256,6 +256,40 @@ fn stale_reports_are_discounted_not_trusted() {
 }
 
 #[test]
+fn provenance_names_exactly_the_staleness_dropped_hosts() {
+    // Same fault plan as `stale_reports_are_discounted_not_trusted`: every
+    // even-numbered host serves 5-second-old reports (fresh_max_age is
+    // 1 s), the odd half stays fresh. The answer's provenance must name
+    // exactly the dropped hosts — sorted, no duplicates, nobody missing.
+    for seed in SEEDS {
+        let world = bimodal_world(seed);
+        let mut plan = FaultPlan::none();
+        for a in addrs().into_iter().filter(|a| a.0 % 2 == 0) {
+            plan = plan.stale(a, SimDuration::from_secs_f64(5.0));
+        }
+        let (_, a) =
+            quality_under(seed, plan, Some(inverted(&world)), TransportConfig::default());
+        assert_eq!(a.rung, DegradationRung::FreshSubset);
+        assert_eq!(a.provenance.rung, DegradationRung::FreshSubset);
+        // Degraded rungs answer with the heuristic.
+        assert_eq!(a.provenance.backend, cloudtalk::Backend::Heuristic);
+        let expected: Vec<Address> =
+            addrs().into_iter().filter(|a| a.0 % 2 == 0).collect();
+        assert_eq!(
+            a.provenance.stale_dropped, expected,
+            "seed {seed}: stale_dropped must be exactly the stale half, sorted"
+        );
+        // The per-phase span tree is recorded by default.
+        for name in ["answer", "collect", "sanitise", "search", "bind"] {
+            assert!(
+                a.provenance.trace.span(name).is_some(),
+                "seed {seed}: missing span {name:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn corrupted_readings_are_sanitised_before_evaluation() {
     for seed in SEEDS {
         // 40 % of hosts return garbage; the sanitisation choke point must

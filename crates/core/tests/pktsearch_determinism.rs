@@ -178,3 +178,45 @@ fn server_packet_level_answers_are_thread_count_invariant() {
     assert_eq!(answers[0], answers[1], "1 vs 2 threads");
     assert_eq!(answers[0], answers[2], "1 vs 8 threads");
 }
+
+#[test]
+fn server_provenance_matches_the_direct_serial_scan() {
+    // The answer's provenance must report the same search-effort counters
+    // (simulations completed, deadline-aborted, memo hits/misses) as a
+    // direct `pkt_search` run with the server's own options — the serial
+    // memoised scan this suite pins everywhere else.
+    let (mirror, problem) = scenario();
+    let mirror = Arc::new(mirror);
+    let direct = pkt_search(&problem, &mirror, &PktSearchOptions::new(100))
+        .expect("direct serial scan succeeds");
+
+    let mut status = TableStatusSource::new();
+    for &a in &problem.mentioned_addresses() {
+        status.set(a, HostState::gbps_idle());
+    }
+    let cfg = ServerConfig {
+        method: EvalMethod::PacketLevel { limit: 100 },
+        pkt: PktBackendConfig {
+            mirror: Some(Arc::clone(&mirror)),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut server = CloudTalkServer::new(cfg);
+    let a = server
+        .answer_problem(&problem, &mut status, SimTime::ZERO)
+        .expect("packet-level answer succeeds");
+
+    assert_eq!(a.provenance.backend, cloudtalk::Backend::PacketLevel);
+    assert_eq!(a.binding, direct.binding);
+    let s = &a.provenance.search;
+    assert_eq!(s.enumerated, direct.evaluated, "completed simulations");
+    assert_eq!(s.aborted, direct.aborted, "deadline-abandoned simulations");
+    assert_eq!(s.memo_hits, direct.memo_hits);
+    assert_eq!(s.memo_misses, direct.memo_misses);
+    assert!(s.memo_hits > 0, "symmetric classes should share results");
+    // The memo traffic also lands in the server's overhead ledger.
+    let ledger = server.ledger();
+    assert_eq!(ledger.pkt_memo_hits, direct.memo_hits);
+    assert_eq!(ledger.pkt_memo_misses, direct.memo_misses);
+}

@@ -6,13 +6,19 @@
 //! A counting `#[global_allocator]` wraps the system allocator, so this
 //! file holds exactly one `#[test]` — parallel tests would pollute the
 //! counter.
+//!
+//! The measured sweep also records spans into a warm `obs::Trace` — the
+//! hot estimator loop must stay allocation-free with tracing enabled,
+//! which is what lets the server leave tracing on by default.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cloudtalk_lang::builder::QueryBuilder;
 use cloudtalk_lang::problem::{Address, Problem, Value};
+use desim::SimTime;
 use estimator::{estimate, estimate_with, EstimatorScratch, HostState, World};
+use obs::{ManualClock, Trace};
 
 struct CountingAlloc;
 
@@ -109,10 +115,17 @@ fn estimate_with_is_allocation_free_after_warmup() {
         }
     }
 
-    // Measured sweep: the same workload must perform zero allocations.
+    // A warm trace: arena sized up front, clock boxed before measuring.
+    let mut trace = Trace::new(4, Box::new(ManualClock::with_step(250)));
+
+    // Measured sweep: the same workload must perform zero allocations,
+    // with a span recorded around every inner estimator sweep.
     let before = ALLOCS.load(Ordering::Relaxed);
     let mut acc = 0.0f64;
+    let mut spans_recorded = 0usize;
     for i in 0..addrs.len() {
+        trace.reset();
+        let sweep = trace.begin("estimate_sweep", SimTime::ZERO);
         for j in 0..addrs.len() {
             for k in 0..addrs.len() {
                 if i == j || j == k || i == k {
@@ -126,9 +139,13 @@ fn estimate_with_is_allocation_free_after_warmup() {
                 acc += s.makespan;
             }
         }
+        trace.set_arg(sweep, "outer_index", i as u64);
+        trace.end(sweep, SimTime::ZERO);
+        spans_recorded += trace.len();
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert!(acc > 0.0, "estimates must be non-trivial");
+    assert_eq!(spans_recorded, addrs.len(), "one span per outer sweep");
     assert_eq!(
         after - before,
         0,

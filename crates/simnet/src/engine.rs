@@ -50,6 +50,7 @@ use std::collections::HashMap;
 use std::mem;
 
 use desim::{EventHandle, EventQueue, SimDuration, SimTime};
+use obs::{CounterId, GaugeId, MetricsRegistry};
 
 use crate::routing::Router;
 use crate::sharing::{coalesce_usages, max_min_rates_into, Demand, ResourceIdx, SharingScratch};
@@ -256,7 +257,10 @@ pub enum EngineMode {
 /// Counters describing the work the engine has performed.
 ///
 /// Read with [`NetSim::stats`]; the incremental/oracle scaling bench and
-/// the allocator-invocation regression tests are built on these.
+/// the allocator-invocation regression tests are built on these. The
+/// counters live in the engine's [`MetricsRegistry`] (see
+/// [`NetSim::metrics`]) under the `engine.*` names; this struct is the
+/// by-value snapshot reconstructed from it.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct EngineStats {
     /// Invocations of the max-min allocator.
@@ -273,6 +277,35 @@ pub struct EngineStats {
     pub splits: u64,
     /// Largest component (or global batch, in oracle mode) ever rated.
     pub max_component: usize,
+}
+
+/// Registry handles for the engine's exported work counters.
+///
+/// Registered once at construction; updates are single array writes, so
+/// the hot paths stay allocation-free.
+#[derive(Clone, Copy, Debug)]
+struct EngineMetricIds {
+    allocator_calls: CounterId,
+    demands_rated: CounterId,
+    events: CounterId,
+    settles: CounterId,
+    merges: CounterId,
+    splits: CounterId,
+    max_component: GaugeId,
+}
+
+impl EngineMetricIds {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        EngineMetricIds {
+            allocator_calls: reg.counter("engine.allocator_calls"),
+            demands_rated: reg.counter("engine.demands_rated"),
+            events: reg.counter("engine.events"),
+            settles: reg.counter("engine.settles"),
+            merges: reg.counter("engine.merges"),
+            splits: reg.counter("engine.splits"),
+            max_component: reg.gauge("engine.max_component"),
+        }
+    }
 }
 
 /// Sentinel for "not a member of any component".
@@ -398,7 +431,8 @@ pub struct NetSim {
     /// Oracle-mode pending-recompute flag (unused incrementally).
     global_dirty: bool,
     scratch: EngineScratch,
-    stats: EngineStats,
+    metrics: MetricsRegistry,
+    ids: EngineMetricIds,
 }
 
 impl NetSim {
@@ -422,6 +456,8 @@ impl NetSim {
             capacities[2 * topo.link_count() + 2 * h + 1] = disk.write_bps;
         }
         let usage = vec![0.0; n_res];
+        let mut metrics = MetricsRegistry::new();
+        let ids = EngineMetricIds::register(&mut metrics);
         NetSim {
             topo,
             router: Router::new(),
@@ -441,7 +477,8 @@ impl NetSim {
             mode,
             global_dirty: false,
             scratch: EngineScratch::default(),
-            stats: EngineStats::default(),
+            metrics,
+            ids,
         }
     }
 
@@ -451,14 +488,28 @@ impl NetSim {
     }
 
     /// Work counters accumulated since construction (or the last
-    /// [`NetSim::reset_stats`]).
+    /// [`NetSim::reset_stats`]), snapshotted from the metrics registry.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            allocator_calls: self.metrics.counter_value(self.ids.allocator_calls),
+            demands_rated: self.metrics.counter_value(self.ids.demands_rated),
+            events: self.metrics.counter_value(self.ids.events),
+            settles: self.metrics.counter_value(self.ids.settles),
+            merges: self.metrics.counter_value(self.ids.merges),
+            splits: self.metrics.counter_value(self.ids.splits),
+            max_component: self.metrics.gauge_value(self.ids.max_component) as usize,
+        }
     }
 
-    /// Zeroes the work counters.
+    /// The engine's metrics registry (`engine.*` counters and the
+    /// `engine.max_component` gauge), for exported dumps.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Zeroes the work counters (handles stay valid; allocation-free).
     pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
+        self.metrics.reset();
     }
 
     /// Number of live resource-connected components (always 0 in oracle
@@ -622,7 +673,7 @@ impl NetSim {
                 batch.push((self.slots[slot as usize].seq, slot));
             }
             batch.sort_unstable();
-            self.stats.events += batch.len() as u64;
+            self.metrics.inc(self.ids.events, batch.len() as u64);
             for &(_, slot) in batch.iter() {
                 self.settle(slot);
                 let tr = &self.slots[slot as usize];
@@ -898,7 +949,7 @@ impl NetSim {
         for &s in &moved {
             self.install_member(dst, s);
         }
-        self.stats.merges += 1;
+        self.metrics.inc(self.ids.merges, 1);
         self.scratch.moved = moved;
     }
 
@@ -997,7 +1048,7 @@ impl NetSim {
             self.rerate_component(nc);
             return;
         }
-        self.stats.splits += (n_subs - 1) as u64;
+        self.metrics.inc(self.ids.splits, (n_subs - 1) as u64);
 
         // Bucket members by sub-component (stable counting sort preserves
         // start order within each bucket).
@@ -1056,7 +1107,8 @@ impl NetSim {
             sorted.push((self.slots[s as usize].seq, s));
         }
         sorted.sort_unstable();
-        self.stats.max_component = self.stats.max_component.max(sorted.len());
+        self.metrics
+            .gauge_max(self.ids.max_component, sorted.len() as f64);
 
         let mut demands = mem::take(&mut self.scratch.demands);
         let mut cap_view = mem::take(&mut self.scratch.cap_view);
@@ -1100,8 +1152,8 @@ impl NetSim {
             &demands[..n],
             &mut self.scratch.rates,
         );
-        self.stats.allocator_calls += 1;
-        self.stats.demands_rated += n as u64;
+        self.metrics.inc(self.ids.allocator_calls, 1);
+        self.metrics.inc(self.ids.demands_rated, n as u64);
 
         let rates = mem::take(&mut self.scratch.rates);
         for (k, &(_, s)) in sorted.iter().enumerate() {
@@ -1153,7 +1205,8 @@ impl NetSim {
             }
         }
         sorted.sort_unstable();
-        self.stats.max_component = self.stats.max_component.max(sorted.len());
+        self.metrics
+            .gauge_max(self.ids.max_component, sorted.len() as f64);
 
         let mut demands = mem::take(&mut self.scratch.demands);
         for (k, &(_, s)) in sorted.iter().enumerate() {
@@ -1174,8 +1227,8 @@ impl NetSim {
             &demands[..n],
             &mut self.scratch.rates,
         );
-        self.stats.allocator_calls += 1;
-        self.stats.demands_rated += n as u64;
+        self.metrics.inc(self.ids.allocator_calls, 1);
+        self.metrics.inc(self.ids.demands_rated, n as u64);
 
         let rates = mem::take(&mut self.scratch.rates);
         for (k, &(_, s)) in sorted.iter().enumerate() {
@@ -1218,7 +1271,7 @@ impl NetSim {
             if t.bytes.is_finite() && t.done_at_sync > t.bytes {
                 t.done_at_sync = t.bytes;
             }
-            self.stats.settles += 1;
+            self.metrics.inc(self.ids.settles, 1);
         }
         t.last_sync = now;
     }
@@ -1551,12 +1604,23 @@ mod tests {
         net.start(TransferSpec::network(h[1], h[2], GBPS));
         let done = net.advance_to(SimTime::from_secs_f64(10.0));
         assert_eq!(done.len(), 2);
-        let stats = net.stats();
+        // Assert on the exported metrics, not private fields — the
+        // registry is the source of truth and `stats()` merely snapshots
+        // it.
+        let m = net.metrics();
         // Call 1: initial ramp-up. Call 2: survivor re-rate after the first
         // completion. The second completion empties the component — no
         // further allocator work.
-        assert_eq!(stats.allocator_calls, 2, "{stats:?}");
-        assert_eq!(stats.events, 2);
+        assert_eq!(
+            m.counter_named("engine.allocator_calls"),
+            Some(2),
+            "{:?}",
+            net.stats()
+        );
+        assert_eq!(m.counter_named("engine.events"), Some(2));
+        // The snapshot view must agree with the registry.
+        assert_eq!(net.stats().allocator_calls, 2);
+        assert_eq!(net.stats().events, 2);
     }
 
     #[test]
@@ -1643,8 +1707,10 @@ mod tests {
             assert_eq!(a.disk_read_bps.to_bits(), b.disk_read_bps.to_bits());
             assert_eq!(a.disk_write_bps.to_bits(), b.disk_write_bps.to_bits());
         }
-        // The incremental run must actually have exploited locality.
-        assert!(inc.stats().demands_rated <= orc.stats().demands_rated);
+        // The incremental run must actually have exploited locality
+        // (asserted on the exported metrics).
+        let rated = |net: &NetSim| net.metrics().counter_named("engine.demands_rated").unwrap();
+        assert!(rated(&inc) <= rated(&orc));
     }
 
     #[test]

@@ -12,11 +12,17 @@
 //! A counting `#[global_allocator]` wraps the system allocator, so this
 //! file holds exactly one `#[test]` — parallel tests would pollute the
 //! counter.
+//!
+//! The measured window also exercises the observability surface: a warm
+//! `obs::Trace` records one span per cycle and the engine's exported
+//! metrics are read back through the registry — proving that tracing and
+//! metric reads stay off the heap too.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use desim::SimDuration;
+use obs::{ManualClock, Trace};
 use simnet::topology::TopoOptions;
 use simnet::{HostId, NetSim, Topology, TransferSpec, GBPS};
 
@@ -117,19 +123,32 @@ fn engine_steady_state_is_allocation_free() {
         .map(|cycle| cycle_specs(&hosts, cycle))
         .collect();
 
-    // Measured: the same churn must perform zero heap allocations.
+    // A warm trace: arena sized up front, clock boxed outside the window.
+    let mut trace = Trace::new(4, Box::new(ManualClock::with_step(1_000)));
+
+    // Measured: the same churn must perform zero heap allocations —
+    // including the per-cycle span recording and metric reads.
     net.reset_stats();
     let before = ALLOCS.load(Ordering::Relaxed);
     let mut measured_done = 0;
+    let mut spans_recorded = 0usize;
     for specs in measured_specs {
+        trace.reset();
+        let cycle_span = trace.begin("churn_cycle", net.now());
         measured_done += churn_cycle(&mut net, &mut completions, specs);
+        trace.set_arg(cycle_span, "completions", measured_done as u64);
+        trace.end(cycle_span, net.now());
+        spans_recorded += trace.len();
     }
+    let rated = net.metrics().counter_named("engine.demands_rated");
     let after = ALLOCS.load(Ordering::Relaxed);
     let stats = net.stats();
     // 6 finite starts per cycle, at most one removed by the cancel.
     assert!(measured_done >= 32 * 5, "cycles must complete their transfers");
     assert!(stats.allocator_calls > 0, "rates were recomputed: {stats:?}");
     assert!(stats.events > 0);
+    assert_eq!(spans_recorded, 32, "one span per measured cycle");
+    assert!(rated.unwrap() > 0, "registry read must see allocator work");
     assert_eq!(
         after - before,
         0,

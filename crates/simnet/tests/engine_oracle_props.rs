@@ -89,8 +89,11 @@ fn gen_ops(seed: u64, steps: usize, n_hosts: usize) -> Vec<Op> {
 }
 
 /// Applies one op stream to a fresh engine, recording everything a caller
-/// can observe. Rates are captured as raw bits.
-fn run(mode: EngineMode, topo: Topology, ops: &[Op]) -> Trace {
+/// can observe. Rates are captured as raw bits. Alongside the equality
+/// trace, returns the engine's exported `engine.demands_rated` metric —
+/// kept out of [`Trace`] because the two modes legitimately differ in how
+/// much allocator work they perform.
+fn run(mode: EngineMode, topo: Topology, ops: &[Op]) -> (Trace, u64) {
     let mut net = NetSim::with_mode(topo, mode);
     let mut trace = Trace::default();
     let mut ids: Vec<TransferId> = Vec::new();
@@ -142,8 +145,15 @@ fn run(mode: EngineMode, topo: Topology, ops: &[Op]) -> Trace {
     ));
     trace.active_at_end = net.active_count();
     trace.end = net.now();
-    trace
+    let rated = net
+        .metrics()
+        .counter_named("engine.demands_rated")
+        .expect("engine exports demands_rated");
+    (trace, rated)
 }
+
+/// Per-host load snapshot at a point in sim time: `(host, [tx, rx, read, write])`.
+type LoadSnapshot = (SimTime, Vec<(u32, [u64; 4])>);
 
 #[derive(Default, PartialEq, Debug)]
 struct Trace {
@@ -152,7 +162,7 @@ struct Trace {
     completions: Vec<Completion>,
     rates: Vec<Option<u64>>,
     progress: Vec<Option<u64>>,
-    snapshots: Vec<(SimTime, Vec<(u32, [u64; 4])>)>,
+    snapshots: Vec<LoadSnapshot>,
     next: Option<SimTime>,
     active_at_end: usize,
     end: SimTime,
@@ -178,8 +188,8 @@ proptest! {
     ) {
         let n_hosts = topo_for(topo_pick).host_count();
         let ops = gen_ops(seed, steps, n_hosts);
-        let inc = run(EngineMode::Incremental, topo_for(topo_pick), &ops);
-        let orc = run(EngineMode::FullRecompute, topo_for(topo_pick), &ops);
+        let (inc, inc_rated) = run(EngineMode::Incremental, topo_for(topo_pick), &ops);
+        let (orc, orc_rated) = run(EngineMode::FullRecompute, topo_for(topo_pick), &ops);
         prop_assert_eq!(&inc.ids, &orc.ids, "id allocation diverged");
         prop_assert_eq!(&inc.cancels, &orc.cancels);
         prop_assert_eq!(&inc.completions, &orc.completions, "completion streams diverged");
@@ -189,5 +199,8 @@ proptest! {
         prop_assert_eq!(inc.next, orc.next);
         prop_assert_eq!(inc.active_at_end, orc.active_at_end);
         prop_assert_eq!(inc.end, orc.end);
+        // Component-aware re-rating must never do more allocator work than
+        // the global oracle (exported-metric view).
+        prop_assert!(inc_rated <= orc_rated, "inc rated {} > oracle {}", inc_rated, orc_rated);
     }
 }

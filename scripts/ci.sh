@@ -25,4 +25,23 @@ cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke
 echo "=== simnet_scale smoke (incremental == oracle, bit-identical) ==="
 cargo run --release -q -p cloudtalk-bench --bin simnet_scale -- --smoke
 
+echo "=== trace smoke (chrome trace_event export parses, spans present) ==="
+cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke --trace /tmp/ct_trace.json
+python3 - <<'EOF'
+import json
+with open("/tmp/ct_trace.json") as f:
+    trace = json.load(f)
+names = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+required = {"answer", "collect", "sanitise", "search", "bind"}
+missing = required - names
+assert not missing, f"trace missing spans: {missing} (got {names})"
+print(f"trace OK: {len(trace['traceEvents'])} events, spans {sorted(names)}")
+EOF
+
+echo "=== no stray prints in library crates (exporters own all output) ==="
+if grep -rn "println!\|eprintln!" crates/core/src crates/simnet/src; then
+    echo "error: println!/eprintln! found in library code — use obs exporters"
+    exit 1
+fi
+
 echo "ci: all green"

@@ -12,10 +12,12 @@
 //! * [`apps`] — CloudTalk-enabled HDFS, MapReduce, and web search.
 //! * [`probing`] — the §3 cloud-probing toolkit.
 //! * [`sim`] — the discrete-event kernel everything runs on.
+//! * [`obs`] — query-scoped tracing, metrics registry, trace exporters.
 
 #![warn(missing_docs)]
 
 pub use cloudtalk as core;
+pub use obs;
 pub use cloudtalk_apps as apps;
 pub use cloudtalk_lang as lang;
 pub use desim as sim;
