@@ -21,15 +21,30 @@
 //! ```text
 //! cargo bench -p cloudtalk-bench --bench exhaustive_bench -- --trace trace.json
 //! ```
+//!
+//! `--delta` also skips Criterion: it times [`EvalStrategy::Scratch`]
+//! against [`EvalStrategy::Delta`] on the fig3 daisy chains and the HDFS
+//! write query over the lopsided world — candidates/sec with pruning off,
+//! wall time with pruning on — asserting bit-identical winners first. Add
+//! `--json` to write the rows to `BENCH_exhaustive.json`, or `--smoke`
+//! (CI) to run only the equivalence assertions and skip the timing:
+//!
+//! ```text
+//! cargo bench -p cloudtalk-bench --bench exhaustive_bench -- --delta --json
+//! ```
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use cloudtalk::exhaustive::{exhaustive_search_with, SearchOptions};
+use cloudtalk::exhaustive::{
+    exhaustive_search_in, exhaustive_search_with, EvalStrategy, ExhaustiveResult, SearchOptions,
+    SearchWorkspace,
+};
 use cloudtalk::server::{CloudTalkServer, EvalMethod, ObsConfig, ServerConfig};
 use cloudtalk::status::TableStatusSource;
-use cloudtalk_bench::{flag_value, write_trace};
-use cloudtalk_lang::builder::hdfs_write_query;
+use cloudtalk_bench::{flag_present, flag_value, row, write_trace};
+use cloudtalk_lang::builder::{hdfs_write_query, QueryBuilder};
 use cloudtalk_lang::problem::{Address, Binding, Problem};
 use desim::SimTime;
 use estimator::{estimate, HostState, World};
@@ -214,9 +229,273 @@ fn export_trace(path: &str) {
     );
 }
 
+/// The fig3 daisy chain generalised to `n_vars` hops: `f1 x1 -> x2 size
+/// 100M`, then `f_i x_i -> x_{i+1} size sz(f_{i-1}) transfer t(f_{i-1})`.
+/// Each hop is its own rate component, linked only by transfer
+/// precedence — the delta evaluator's best case, since rebinding the
+/// variable at depth `d` dirties at most two of the `n_vars - 1`
+/// components.
+fn daisy_chain(addrs: &[Address], n_vars: usize) -> Problem {
+    let mut b = QueryBuilder::new();
+    let names: Vec<String> = (1..=n_vars).map(|i| format!("x{i}")).collect();
+    let vars = b.variable_group(names, addrs.iter().copied());
+    let mut prev = None;
+    for i in 0..n_vars - 1 {
+        let f = b
+            .flow(format!("f{}", i + 1))
+            .from_var(vars[i])
+            .to_var(vars[i + 1]);
+        let f = match prev {
+            None => f.size(100.0 * 1024.0 * 1024.0),
+            Some(h) => f.size_of(h).transfer_of(h),
+        };
+        prev = Some(f.handle());
+    }
+    b.resolve().expect("well-formed")
+}
+
+/// The fig3 chain with hop `i` carried by `shards[i]` parallel transfers
+/// of staggered sizes (a sharded pipeline), one variable per pool. All of
+/// a hop's shards contend on the same two NICs, so each hop is one
+/// multi-flow rate component — rebinding the deepest variable leaves
+/// every other hop's rating replayable from the delta cache while the
+/// scratch path re-simulates them all. Give the deepest variable the
+/// widest pool and its hop a single flow (a consolidated final gather):
+/// the search's inner loop then churns only that one cheap component.
+fn sharded_chain(pools: &[Vec<Address>], shards: &[usize]) -> Problem {
+    assert_eq!(shards.len(), pools.len() - 1, "one shard count per hop");
+    let mut b = QueryBuilder::new();
+    let vars: Vec<_> = pools
+        .iter()
+        .enumerate()
+        .map(|(i, p)| b.variable(format!("x{}", i + 1), p.iter().copied()))
+        .collect();
+    let mut prev = Vec::new();
+    for (i, &n_shards) in shards.iter().enumerate() {
+        let mut cur = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let f = b
+                .flow(format!("f{}_{}", i + 1, s + 1))
+                .from_var(vars[i])
+                .to_var(vars[i + 1])
+                .size((s + 1) as f64 * 32.0 * 1024.0 * 1024.0);
+            let f = match prev.get(s) {
+                Some(&h) => f.transfer_of(h),
+                None => f,
+            };
+            cur.push(f.handle());
+        }
+        prev = cur;
+    }
+    b.resolve().expect("well-formed")
+}
+
+/// One timed configuration of the scratch-vs-delta comparison.
+struct DeltaRow {
+    query: &'static str,
+    strategy: EvalStrategy,
+    prune: bool,
+    wall_ms: f64,
+    candidates: u64,
+    cps: f64,
+    rerated_per_candidate: f64,
+    makespan: f64,
+}
+
+/// Repeats the search with a warm workspace until ~0.25 s of wall time
+/// has accumulated and reports per-candidate throughput.
+fn time_search(
+    query: &'static str,
+    problem: &Problem,
+    world: &World,
+    eval: EvalStrategy,
+    prune: bool,
+) -> DeltaRow {
+    let opts = SearchOptions::new(1_000_000).prune(prune).eval(eval);
+    let mut ws = SearchWorkspace::new();
+    let mut out = ExhaustiveResult::default();
+    exhaustive_search_in(problem, world, &opts, &mut ws, &mut out).expect("feasible");
+    let candidates = out.evaluated;
+    let rerated_per_candidate = if out.delta.estimates > 0 {
+        out.delta.components_rerated as f64 / out.delta.estimates as f64
+    } else {
+        0.0
+    };
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < 3 || start.elapsed().as_secs_f64() < 0.25 {
+        exhaustive_search_in(problem, world, &opts, &mut ws, &mut out).expect("feasible");
+        iters += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let wall_ms = secs * 1e3 / f64::from(iters);
+    DeltaRow {
+        query,
+        strategy: eval,
+        prune,
+        wall_ms,
+        candidates,
+        cps: candidates as f64 * f64::from(iters) / secs,
+        rerated_per_candidate,
+        makespan: out.makespan,
+    }
+}
+
+fn strategy_name(eval: EvalStrategy) -> &'static str {
+    match eval {
+        EvalStrategy::Scratch => "scratch",
+        EvalStrategy::Delta => "delta",
+    }
+}
+
+/// Asserts that delta and scratch return bit-identical winners on
+/// `problem` for every prune × thread combination exercised by the
+/// comparison (the `--smoke` CI gate).
+fn assert_strategies_agree(query: &str, problem: &Problem, world: &World) {
+    for prune in [false, true] {
+        for threads in [1usize, 2] {
+            let base = SearchOptions::new(1_000_000).prune(prune).threads(threads);
+            let s = exhaustive_search_with(problem, world, &base.eval(EvalStrategy::Scratch))
+                .expect("feasible");
+            let d = exhaustive_search_with(problem, world, &base.eval(EvalStrategy::Delta))
+                .expect("feasible");
+            assert_eq!(
+                d.binding, s.binding,
+                "{query}: winner differs (prune={prune} threads={threads})"
+            );
+            assert_eq!(
+                d.makespan.to_bits(),
+                s.makespan.to_bits(),
+                "{query}: objective differs (prune={prune} threads={threads})"
+            );
+        }
+    }
+}
+
+/// The `--delta` mode: scratch vs delta on the lopsided world.
+fn run_delta_comparison(smoke: bool, json: bool) {
+    let addrs20: Vec<Address> = (1..=20).map(Address).collect();
+    let addrs8: Vec<Address> = (1..=8).map(Address).collect();
+    // Seven 2-wide relay stages carrying 12 shards per hop, then a
+    // single-flow gather into a 15-wide final stage: the inner search
+    // loop sweeps the cheap last hop while the six heavy ones stay
+    // cached.
+    let mut shard_pools: Vec<Vec<Address>> = (0..7u32)
+        .map(|i| vec![Address(2 * i + 1), Address(2 * i + 2)])
+        .collect();
+    shard_pools.push((15..=29).map(Address).collect());
+    let hop_shards = [12, 12, 12, 12, 12, 12, 1];
+    let nodes: Vec<Address> = (2..=21).map(Address).collect();
+    let hdfs = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0)
+        .resolve()
+        .expect("well-formed");
+    let cases: Vec<(&'static str, Problem)> = vec![
+        ("fig3_daisy3_20addr", daisy_chain(&addrs20, 3)),
+        ("fig3_daisy6_8addr", daisy_chain(&addrs8, 6)),
+        ("fig3_sharded_gather", sharded_chain(&shard_pools, &hop_shards)),
+        ("hdfs_write_20x3", hdfs),
+    ];
+
+    for (query, problem) in &cases {
+        let world = lopsided_world(&problem.mentioned_addresses());
+        assert_strategies_agree(query, problem, &world);
+        println!("{query}: scratch and delta agree bit-for-bit");
+    }
+    if smoke {
+        println!("smoke OK: winners and objectives are strategy-independent");
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for (query, problem) in &cases {
+        let world = lopsided_world(&problem.mentioned_addresses());
+        for prune in [false, true] {
+            for eval in [EvalStrategy::Scratch, EvalStrategy::Delta] {
+                rows.push(time_search(query, problem, &world, eval, prune));
+            }
+        }
+    }
+
+    let widths = [20usize, 8, 6, 10, 11, 14, 12, 10];
+    println!();
+    println!(
+        "{}",
+        row(
+            &[
+                "query".into(),
+                "strategy".into(),
+                "prune".into(),
+                "wall_ms".into(),
+                "candidates".into(),
+                "cand_per_sec".into(),
+                "rerate/cand".into(),
+                "makespan".into(),
+            ],
+            &widths
+        )
+    );
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.query.into(),
+                    strategy_name(r.strategy).into(),
+                    r.prune.to_string(),
+                    format!("{:.2}", r.wall_ms),
+                    r.candidates.to_string(),
+                    format!("{:.0}", r.cps),
+                    format!("{:.2}", r.rerated_per_candidate),
+                    format!("{:.3}", r.makespan),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    for (query, _) in &cases {
+        let find = |eval, prune| {
+            rows.iter()
+                .find(|r| r.query == *query && r.strategy == eval && r.prune == prune)
+                .expect("row exists")
+        };
+        let speedup = find(EvalStrategy::Delta, false).cps / find(EvalStrategy::Scratch, false).cps;
+        let pruned = find(EvalStrategy::Scratch, true).wall_ms / find(EvalStrategy::Delta, true).wall_ms;
+        println!("{query}: delta {speedup:.2}x candidates/sec (unpruned), {pruned:.2}x pruned wall");
+    }
+
+    if json {
+        let mut s = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "  {{\"query\": \"{}\", \"strategy\": \"{}\", \"prune\": {}, \"threads\": 1, \
+                 \"wall_ms\": {:.3}, \"candidates\": {}, \"candidates_per_sec\": {:.1}, \
+                 \"components_rerated_per_candidate\": {:.3}, \"makespan\": {:.6}}}{sep}\n",
+                r.query,
+                strategy_name(r.strategy),
+                r.prune,
+                r.wall_ms,
+                r.candidates,
+                r.cps,
+                r.rerated_per_candidate,
+                r.makespan,
+            ));
+        }
+        s.push_str("]\n");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exhaustive.json");
+        std::fs::write(path, s).expect("BENCH_exhaustive.json is writable");
+        println!("\nwrote {path}");
+    }
+}
+
 fn main() {
     if let Some(path) = flag_value("--trace") {
         export_trace(&path);
+        return;
+    }
+    if flag_present("--delta") {
+        run_delta_comparison(flag_present("--smoke"), flag_present("--json"));
         return;
     }
     benches();

@@ -129,6 +129,11 @@ pub fn flag_value(name: &str) -> Option<String> {
     None
 }
 
+/// Whether a boolean `--name` command-line flag is present.
+pub fn flag_present(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// Writes a Chrome `trace_event` JSON file at `path` plus a flat metrics
 /// dump at `<path>.metrics` (omitted when `registry` is `None`). Returns
 /// the metrics-dump path, when written.

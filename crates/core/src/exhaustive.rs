@@ -16,23 +16,52 @@
 //!   floats the bit order equals the numeric order, so `fetch_min` on the
 //!   bits is `min` on the values.
 //!
+//! Candidates are estimated through one of two [`EvalStrategy`]s. The
+//! seed `Scratch` path rebuilds the flow world per leaf; the `Delta` path
+//! keeps a [`DeltaEstimator`] warm across siblings, re-rating only the
+//! resource components whose flows moved and replaying the rest from a
+//! component cache. Delta mode also tightens pruning for free: a rated
+//! component whose flows are all determined by the current prefix and
+//! untouched since its rating is an exact admissible lower bound
+//! ([`DeltaEstimator::component_lower_bound`]), typically much sharper
+//! than the single-flow residual-capacity bound.
+//!
 //! Determinism: pruning uses a strict `>` against the incumbent and the
 //! final cross-worker reduction uses a strict `<` scanning workers in
 //! first-variable order, so the winning binding (and its makespan, bit for
 //! bit) is always the one the plain sequential scan would have returned
-//! first. Only `evaluated` can differ — with `prune` on and more than one
-//! thread it depends on how fast the incumbent propagates between workers.
-//! The [`exhaustive_search`] convenience wrapper runs single-threaded with
+//! first — under either strategy, since delta estimates are bit-identical
+//! to scratch ones (pinned by `estimator/tests/delta_props.rs`). Only
+//! `evaluated` can differ — with `prune` on it depends on how fast the
+//! incumbent propagates between workers and how sharp the bounds are. The
+//! [`exhaustive_search`] convenience wrapper runs single-threaded with
 //! pruning, which is fully deterministic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cloudtalk_lang::ast::{AttrKind, RefAttr};
 use cloudtalk_lang::problem::{Binding, BoundEndpoint, Endpoint, ExprR, Problem};
-use estimator::{estimate, estimate_with, resolve_static_sizes, EstimatorScratch, World};
+use estimator::{
+    estimate_with, resolve_sizes_into, DeltaEstimator, DeltaStats, EstimatorScratch, World,
+};
+
+/// How the search evaluates candidate bindings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvalStrategy {
+    /// Rebuild the estimator world from scratch per candidate (the seed
+    /// path; serves as the bit-exactness oracle for `Delta`).
+    #[default]
+    Scratch,
+    /// Keep one rated world per worker and apply each candidate as a
+    /// component-scoped delta with an undo log ([`DeltaEstimator`]).
+    /// Bit-identical results; falls back to `Scratch` when the problem's
+    /// attributes cannot be resolved statically (the estimator would
+    /// reject every binding of such a problem anyway).
+    Delta,
+}
 
 /// Outcome of an exhaustive search.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct ExhaustiveResult {
     /// The best binding found.
     pub binding: Binding,
@@ -44,6 +73,9 @@ pub struct ExhaustiveResult {
     /// Each cut skips a whole suffix of the binding space, so this counts
     /// pruning *decisions*, not skipped bindings.
     pub pruned_subtrees: u64,
+    /// Delta-evaluation work counters, summed across workers (all zero
+    /// under [`EvalStrategy::Scratch`]).
+    pub delta: DeltaStats,
 }
 
 /// Errors from exhaustive evaluation.
@@ -82,15 +114,19 @@ pub struct SearchOptions {
     pub threads: usize,
     /// Whether to prune subtrees via the admissible lower bound.
     pub prune: bool,
+    /// Candidate evaluation strategy.
+    pub eval: EvalStrategy,
 }
 
 impl SearchOptions {
-    /// Single-threaded, pruned search bounded by `limit` bindings.
+    /// Single-threaded, pruned, scratch-evaluated search bounded by
+    /// `limit` bindings.
     pub fn new(limit: u64) -> Self {
         SearchOptions {
             limit,
             threads: 1,
             prune: true,
+            eval: EvalStrategy::Scratch,
         }
     }
 
@@ -105,6 +141,32 @@ impl SearchOptions {
         self.prune = on;
         self
     }
+
+    /// Selects the candidate evaluation strategy.
+    pub fn eval(mut self, strategy: EvalStrategy) -> Self {
+        self.eval = strategy;
+        self
+    }
+}
+
+/// Reusable per-search state: the estimator scratch/delta worlds, the
+/// bound tables and the traversal buffers. Holding one of these across
+/// repeated [`exhaustive_search_in`] calls makes single-threaded searches
+/// allocation-free in steady state (pinned by `tests/search_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct SearchWorkspace {
+    scratch: EstimatorScratch,
+    delta: DeltaEstimator,
+    bounds: Bounder,
+    local: Local,
+    current: Binding,
+}
+
+impl SearchWorkspace {
+    /// An empty workspace; buffers grow on first use and are kept.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Exhaustively searches all bindings (respecting same-pool distinctness),
@@ -114,7 +176,8 @@ impl SearchOptions {
 ///
 /// Runs single-threaded with pruning: deterministic and bit-identical to
 /// the plain sequential scan (see the module docs). Use
-/// [`exhaustive_search_with`] to control threading and pruning.
+/// [`exhaustive_search_with`] to control threading, pruning and the
+/// evaluation strategy.
 pub fn exhaustive_search(
     problem: &Problem,
     world: &World,
@@ -129,6 +192,24 @@ pub fn exhaustive_search_with(
     world: &World,
     opts: &SearchOptions,
 ) -> Result<ExhaustiveResult, ExhaustiveError> {
+    let mut ws = SearchWorkspace::new();
+    let mut out = ExhaustiveResult::default();
+    exhaustive_search_in(problem, world, opts, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// [`exhaustive_search_with`] writing into caller-owned buffers: `out` is
+/// overwritten on success (its contents are unspecified on error) and
+/// `ws` keeps every allocation for the next call. The repeated-search
+/// steady state allocates nothing when `opts.threads <= 1`; worker
+/// threads build their own transient workspaces.
+pub fn exhaustive_search_in(
+    problem: &Problem,
+    world: &World,
+    opts: &SearchOptions,
+    ws: &mut SearchWorkspace,
+    out: &mut ExhaustiveResult,
+) -> Result<(), ExhaustiveError> {
     // Upper-bound the space before committing — this runs before any
     // estimator (or even bound-table) work, so a `TooLarge` query is
     // rejected in O(|vars|) no matter how pathological its flows are.
@@ -143,55 +224,83 @@ pub fn exhaustive_search_with(
         }
     }
 
+    let SearchWorkspace {
+        scratch,
+        delta,
+        bounds,
+        local,
+        current,
+    } = ws;
+
     let n_vars = problem.vars.len();
     if n_vars == 0 {
         // No variables: a single empty binding.
-        let e = estimate(problem, &Vec::new(), world)
+        current.clear();
+        let e = estimate_with(scratch, problem, current, world)
             .map_err(|_| ExhaustiveError::NoFeasibleBinding)?;
-        return Ok(ExhaustiveResult {
-            binding: Vec::new(),
-            makespan: e.makespan,
-            evaluated: 1,
-            pruned_subtrees: 0,
-        });
+        out.binding.clear();
+        out.makespan = e.makespan;
+        out.evaluated = 1;
+        out.pruned_subtrees = 0;
+        out.delta = DeltaStats::default();
+        return Ok(());
     }
 
-    let bounds = if opts.prune {
-        Bounder::build(problem)
-    } else {
-        None
-    };
+    let have_bounds = opts.prune && bounds.build_into(problem);
+    // Delta evaluation needs the same static tables the scratch estimator
+    // resolves per call; when that fails every estimate would fail too,
+    // so falling back to Scratch changes nothing but the error path.
+    let use_delta = opts.eval == EvalStrategy::Delta && delta.reset(problem, world).is_ok();
     let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
     let ctx = Ctx {
         problem,
         world,
-        bounds: bounds.as_ref(),
+        bounds: if have_bounds { Some(&*bounds) } else { None },
         incumbent: &incumbent,
     };
 
     let first = &problem.vars[0].candidates;
     let threads = opts.threads.max(1).min(first.len().max(1));
-    let locals: Vec<Local> = if threads <= 1 {
-        let mut local = Local::default();
-        let mut scratch = EstimatorScratch::new();
-        let mut current: Binding = Vec::with_capacity(n_vars);
-        search_rec(ctx, &mut scratch, &mut current, 0.0, &mut local);
-        vec![local]
-    } else {
-        std::thread::scope(|s| {
-            // Contiguous chunks keep the first-variable order intact, so
-            // scanning workers in spawn order below reproduces the
-            // sequential first-found tie-break.
-            let chunk = first.len() / threads;
-            let extra = first.len() % threads;
-            let mut lo = 0usize;
-            let mut handles = Vec::with_capacity(threads);
-            for w in 0..threads {
-                let hi = lo + chunk + usize::from(w < extra);
-                let mine = &first[lo..hi];
-                lo = hi;
-                handles.push(s.spawn(move || {
-                    let mut local = Local::default();
+    if threads <= 1 {
+        local.reset();
+        if use_delta {
+            search_rec_delta(ctx, delta, 0.0, local);
+            local.delta = delta.stats();
+        } else {
+            current.clear();
+            search_rec(ctx, scratch, current, 0.0, local);
+        }
+        return reduce_into(std::slice::from_ref(local), out);
+    }
+
+    let locals: Vec<Local> = std::thread::scope(|s| {
+        // Contiguous chunks keep the first-variable order intact, so
+        // scanning workers in spawn order below reproduces the
+        // sequential first-found tie-break.
+        let chunk = first.len() / threads;
+        let extra = first.len() % threads;
+        let mut lo = 0usize;
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let hi = lo + chunk + usize::from(w < extra);
+            let mine = &first[lo..hi];
+            lo = hi;
+            handles.push(s.spawn(move || {
+                let mut local = Local::default();
+                if use_delta {
+                    let mut de = DeltaEstimator::new(ctx.problem, ctx.world)
+                        .expect("reset already succeeded on these inputs");
+                    let base_lb = match ctx.bounds {
+                        Some(b) => b.bound_at_depth(0, de.binding(), ctx.world, 0.0),
+                        None => 0.0,
+                    };
+                    for &value in mine {
+                        de.push(value);
+                        search_rec_delta(ctx, &mut de, base_lb, &mut local);
+                        de.pop();
+                    }
+                    local.delta = de.stats();
+                } else {
                     let mut scratch = EstimatorScratch::new();
                     let mut current: Binding = Vec::with_capacity(n_vars);
                     let base_lb = match ctx.bounds {
@@ -203,46 +312,77 @@ pub fn exhaustive_search_with(
                         search_rec(ctx, &mut scratch, &mut current, base_lb, &mut local);
                         current.pop();
                     }
-                    local
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
-                .collect()
-        })
-    };
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    });
+    reduce_into(&locals, out)
+}
 
-    let mut best: Option<(f64, Binding)> = None;
-    let mut evaluated = 0u64;
-    let mut pruned_subtrees = 0u64;
-    for local in locals {
-        evaluated += local.evaluated;
-        pruned_subtrees += local.pruned;
-        if let Some((m, b)) = local.best {
-            if best.as_ref().is_none_or(|(bm, _)| m < *bm) {
-                best = Some((m, b));
-            }
+/// Folds per-worker results into `out`, scanning workers in first-variable
+/// order with a strict `<` so ties resolve to the sequential first-found
+/// winner.
+fn reduce_into(locals: &[Local], out: &mut ExhaustiveResult) -> Result<(), ExhaustiveError> {
+    out.evaluated = 0;
+    out.pruned_subtrees = 0;
+    out.delta = DeltaStats::default();
+    let mut best: Option<usize> = None;
+    for (k, local) in locals.iter().enumerate() {
+        out.evaluated += local.evaluated;
+        out.pruned_subtrees += local.pruned;
+        out.delta.merge(&local.delta);
+        if local.has_best && best.is_none_or(|b| local.best_makespan < locals[b].best_makespan) {
+            best = Some(k);
         }
     }
-
     match best {
-        Some((makespan, binding)) => Ok(ExhaustiveResult {
-            binding,
-            makespan,
-            evaluated,
-            pruned_subtrees,
-        }),
+        Some(k) => {
+            out.binding.clone_from(&locals[k].best_binding);
+            out.makespan = locals[k].best_makespan;
+            Ok(())
+        }
         None => Err(ExhaustiveError::NoFeasibleBinding),
     }
 }
 
-/// Per-worker accumulation.
-#[derive(Default)]
+/// Per-worker accumulation. The incumbent binding lives in a reused
+/// buffer (`clone_from`) so recording a new best in steady state does not
+/// allocate.
+#[derive(Debug, Default)]
 struct Local {
-    best: Option<(f64, Binding)>,
+    has_best: bool,
+    best_makespan: f64,
+    best_binding: Binding,
     evaluated: u64,
     pruned: u64,
+    delta: DeltaStats,
+}
+
+impl Local {
+    fn reset(&mut self) {
+        self.has_best = false;
+        self.best_makespan = 0.0;
+        self.best_binding.clear();
+        self.evaluated = 0;
+        self.pruned = 0;
+        self.delta = DeltaStats::default();
+    }
+
+    /// Strict `<`: the earliest binding wins exact ties, matching the
+    /// sequential scan.
+    fn offer(&mut self, makespan: f64, binding: &Binding, incumbent: &AtomicU64) {
+        if !self.has_best || makespan < self.best_makespan {
+            self.has_best = true;
+            self.best_makespan = makespan;
+            self.best_binding.clone_from(binding);
+            incumbent.fetch_min(makespan.to_bits(), Ordering::Relaxed);
+        }
+    }
 }
 
 /// Read-only search context shared by all workers.
@@ -276,11 +416,7 @@ fn search_rec(
     if depth == ctx.problem.vars.len() {
         local.evaluated += 1;
         if let Ok(e) = estimate_with(scratch, ctx.problem, current, ctx.world) {
-            if local.best.as_ref().is_none_or(|(b, _)| e.makespan < *b) {
-                local.best = Some((e.makespan, current.clone()));
-                ctx.incumbent
-                    .fetch_min(e.makespan.to_bits(), Ordering::Relaxed);
-            }
+            local.offer(e.makespan, current, ctx.incumbent);
         }
         return;
     }
@@ -301,6 +437,50 @@ fn search_rec(
     }
 }
 
+/// The delta twin of [`search_rec`]: the partial binding lives inside the
+/// [`DeltaEstimator`], descents are `push`/`pop` pairs against its undo
+/// log, and leaves re-rate only the components their last move touched.
+/// Pruning additionally folds in [`DeltaEstimator::component_lower_bound`]
+/// — exact finish times of already-rated untouched components, admissible
+/// because unbound flows can only join a component and max-min rates are
+/// monotone. The strict `>` cut keeps the winner identical even though
+/// the sharper bound prunes more.
+fn search_rec_delta(ctx: Ctx<'_>, de: &mut DeltaEstimator, lb: f64, local: &mut Local) {
+    let depth = de.depth();
+    let mut lb = lb;
+    if let Some(b) = ctx.bounds {
+        lb = b.bound_at_depth(depth, de.binding(), ctx.world, lb);
+        lb = lb.max(de.component_lower_bound());
+        if lb > f64::from_bits(ctx.incumbent.load(Ordering::Relaxed)) {
+            local.pruned += 1;
+            return;
+        }
+    }
+    if depth == ctx.problem.vars.len() {
+        local.evaluated += 1;
+        if let Ok(e) = de.estimate_summary() {
+            local.offer(e.makespan, de.binding(), ctx.incumbent);
+        }
+        return;
+    }
+    let var = &ctx.problem.vars[depth];
+    for &value in &var.candidates {
+        if ctx.problem.distinct {
+            let clash = de
+                .binding()
+                .iter()
+                .enumerate()
+                .any(|(j, v)| ctx.problem.vars[j].pool == var.pool && *v == value);
+            if clash {
+                continue;
+            }
+        }
+        de.push(value);
+        search_rec_delta(ctx, de, lb, local);
+        de.pop();
+    }
+}
+
 /// Mirror of the estimator's completion tolerances (relative `EPS` plus an
 /// absolute byte slack) — the bound must never exceed what the estimator
 /// can actually report, so it under-counts the bytes by the same slack.
@@ -308,6 +488,7 @@ const EST_EPS: f64 = 1e-6;
 const EST_SLACK: f64 = 1e-3;
 
 /// One flow's binding-independent bound ingredients.
+#[derive(Debug)]
 struct FlowLb {
     src: Endpoint,
     dst: Endpoint,
@@ -321,24 +502,37 @@ struct FlowLb {
 
 /// Admissible lower-bound machinery. `by_depth[d]` lists the flows whose
 /// endpoints become fully determined once the first `d` variables are
-/// bound, so each search node only scores its newly-fixed flows.
+/// bound, so each search node only scores its newly-fixed flows. Built
+/// into retained buffers so rebuilding for the same problem shape is
+/// allocation-free.
+#[derive(Debug, Default)]
 struct Bounder {
     flows: Vec<FlowLb>,
     by_depth: Vec<Vec<usize>>,
+    size_memo: Vec<Option<f64>>,
+    sizes: Vec<f64>,
 }
 
 impl Bounder {
-    /// Builds the bound tables, or `None` when some attribute cannot be
-    /// resolved statically — the estimator would reject every binding of
-    /// such a problem anyway, so the search just runs unpruned.
-    fn build(problem: &Problem) -> Option<Bounder> {
-        let sizes = resolve_static_sizes(problem).ok()?;
-        let mut flows = Vec::with_capacity(problem.flows.len());
-        let mut by_depth = vec![Vec::new(); problem.vars.len() + 1];
+    /// (Re)builds the bound tables, returning `false` when some attribute
+    /// cannot be resolved statically — the estimator would reject every
+    /// binding of such a problem anyway, so the search just runs unpruned.
+    fn build_into(&mut self, problem: &Problem) -> bool {
+        if resolve_sizes_into(problem, &mut self.size_memo, &mut self.sizes).is_err() {
+            return false;
+        }
+        self.flows.clear();
+        for v in &mut self.by_depth {
+            v.clear();
+        }
+        self.by_depth.resize_with(problem.vars.len() + 1, Vec::new);
         for (i, flow) in problem.flows.iter().enumerate() {
             let start = match flow.attr(AttrKind::Start) {
                 None => 0.0,
-                Some(e) => e.as_const()?.max(0.0),
+                Some(e) => match e.as_const() {
+                    Some(v) => v.max(0.0),
+                    None => return false,
+                },
             };
             // Constant `transfer` offsets are initial progress; `t(f)`
             // references are pure precedence (zero initial progress).
@@ -354,7 +548,7 @@ impl Bounder {
                             }
                         });
                         if !only_t {
-                            return None;
+                            return false;
                         }
                         0.0
                     }
@@ -366,15 +560,15 @@ impl Bounder {
                     Some(v) => v.max(0.0),
                     None => match e {
                         ExprR::Ref(RefAttr::Rate, _) => f64::INFINITY,
-                        _ => return None,
+                        _ => return false,
                     },
                 },
             };
-            let remaining = (sizes[i] - initial).max(0.0);
+            let remaining = (self.sizes[i] - initial).max(0.0);
             let bytes = if remaining <= EST_EPS {
                 0.0
             } else {
-                (remaining - sizes[i] * EST_EPS - EST_SLACK).max(0.0)
+                (remaining - self.sizes[i] * EST_EPS - EST_SLACK).max(0.0)
             };
             let depth = [flow.src, flow.dst]
                 .iter()
@@ -382,8 +576,8 @@ impl Bounder {
                 .map(|v| v.0 + 1)
                 .max()
                 .unwrap_or(0);
-            by_depth[depth].push(i);
-            flows.push(FlowLb {
+            self.by_depth[depth].push(i);
+            self.flows.push(FlowLb {
                 src: flow.src,
                 dst: flow.dst,
                 start,
@@ -391,7 +585,7 @@ impl Bounder {
                 cap,
             });
         }
-        Some(Bounder { flows, by_depth })
+        true
     }
 
     /// Folds the flows newly determined at `depth` into `lb`.
@@ -447,7 +641,7 @@ mod tests {
     use cloudtalk_lang::builder::{hdfs_read_query, hdfs_write_query};
     use cloudtalk_lang::problem::{Address, Value};
     use cloudtalk_lang::units::sizes::MB;
-    use estimator::HostState;
+    use estimator::{estimate, HostState};
 
     fn world(loads: &[(u32, f64)]) -> World {
         let addrs: Vec<Address> = (1..=8).map(Address).collect();
@@ -534,9 +728,14 @@ mod tests {
         let base = exhaustive_search(&p, &World::new(), 10).unwrap();
         for threads in [1usize, 2, 8] {
             for prune in [false, true] {
-                let opts = SearchOptions::new(10).threads(threads).prune(prune);
-                let r = exhaustive_search_with(&p, &World::new(), &opts).unwrap();
-                assert_eq!(r, base);
+                for eval in [EvalStrategy::Scratch, EvalStrategy::Delta] {
+                    let opts = SearchOptions::new(10)
+                        .threads(threads)
+                        .prune(prune)
+                        .eval(eval);
+                    let r = exhaustive_search_with(&p, &World::new(), &opts).unwrap();
+                    assert_eq!(r, base);
+                }
             }
         }
     }
@@ -588,9 +787,14 @@ mod tests {
         // Unknown world: all hosts assumed fully loaded, every flow stalls.
         for threads in [1usize, 2] {
             for prune in [false, true] {
-                let opts = SearchOptions::new(1000).threads(threads).prune(prune);
-                let err = exhaustive_search_with(&p, &World::new(), &opts).unwrap_err();
-                assert_eq!(err, ExhaustiveError::NoFeasibleBinding);
+                for eval in [EvalStrategy::Scratch, EvalStrategy::Delta] {
+                    let opts = SearchOptions::new(1000)
+                        .threads(threads)
+                        .prune(prune)
+                        .eval(eval);
+                    let err = exhaustive_search_with(&p, &World::new(), &opts).unwrap_err();
+                    assert_eq!(err, ExhaustiveError::NoFeasibleBinding);
+                }
             }
         }
     }
@@ -612,18 +816,26 @@ mod tests {
         .unwrap();
         for threads in [1usize, 2, 8] {
             for prune in [false, true] {
-                let opts = SearchOptions::new(10_000).threads(threads).prune(prune);
-                let r = exhaustive_search_with(&p, &w, &opts).unwrap();
-                assert_eq!(r.binding, reference.binding, "threads={threads} prune={prune}");
-                assert_eq!(
-                    r.makespan.to_bits(),
-                    reference.makespan.to_bits(),
-                    "threads={threads} prune={prune}"
-                );
-                if !prune {
-                    assert_eq!(r.evaluated, reference.evaluated);
-                } else {
-                    assert!(r.evaluated <= reference.evaluated);
+                for eval in [EvalStrategy::Scratch, EvalStrategy::Delta] {
+                    let opts = SearchOptions::new(10_000)
+                        .threads(threads)
+                        .prune(prune)
+                        .eval(eval);
+                    let r = exhaustive_search_with(&p, &w, &opts).unwrap();
+                    assert_eq!(
+                        r.binding, reference.binding,
+                        "threads={threads} prune={prune} eval={eval:?}"
+                    );
+                    assert_eq!(
+                        r.makespan.to_bits(),
+                        reference.makespan.to_bits(),
+                        "threads={threads} prune={prune} eval={eval:?}"
+                    );
+                    if !prune {
+                        assert_eq!(r.evaluated, reference.evaluated);
+                    } else {
+                        assert!(r.evaluated <= reference.evaluated);
+                    }
                 }
             }
         }
@@ -660,5 +872,59 @@ mod tests {
             pruned.pruned_subtrees > 0,
             "cuts must be counted when the bound fires"
         );
+    }
+
+    #[test]
+    fn delta_counts_work_and_prunes_at_least_as_hard() {
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * MB)
+            .resolve()
+            .unwrap();
+        let w = world(&[(7, 0.95)]);
+        let scratch =
+            exhaustive_search_with(&p, &w, &SearchOptions::new(10_000).threads(1)).unwrap();
+        let delta = exhaustive_search_with(
+            &p,
+            &w,
+            &SearchOptions::new(10_000).threads(1).eval(EvalStrategy::Delta),
+        )
+        .unwrap();
+        assert_eq!(delta.binding, scratch.binding);
+        assert_eq!(delta.makespan.to_bits(), scratch.makespan.to_bits());
+        assert_eq!(
+            scratch.delta,
+            DeltaStats::default(),
+            "scratch reports no delta work"
+        );
+        assert_eq!(delta.delta.estimates, delta.evaluated);
+        assert!(delta.delta.components_rerated > 0);
+        assert!(
+            delta.evaluated <= scratch.evaluated,
+            "the component bound may only tighten pruning: {} vs {}",
+            delta.evaluated,
+            scratch.evaluated
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_searches() {
+        let nodes: Vec<Address> = (2..7).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * MB)
+            .resolve()
+            .unwrap();
+        let mut ws = SearchWorkspace::new();
+        let mut out = ExhaustiveResult::default();
+        for eval in [EvalStrategy::Delta, EvalStrategy::Scratch, EvalStrategy::Delta] {
+            for run in 0..2u32 {
+                let w = world(&[(2, 0.9), (3 + run, 0.5)]);
+                let opts = SearchOptions::new(10_000).eval(eval);
+                let fresh = exhaustive_search_with(&p, &w, &opts).unwrap();
+                exhaustive_search_in(&p, &w, &opts, &mut ws, &mut out).unwrap();
+                assert_eq!(out.binding, fresh.binding, "eval={eval:?} run={run}");
+                assert_eq!(out.makespan.to_bits(), fresh.makespan.to_bits());
+                assert_eq!(out.evaluated, fresh.evaluated);
+                assert_eq!(out.delta, fresh.delta);
+            }
+        }
     }
 }

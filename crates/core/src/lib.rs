@@ -80,6 +80,7 @@ pub mod heuristic;
 pub mod messages;
 pub mod pkteval;
 pub mod pktsearch;
+pub mod refine;
 pub mod reservation;
 pub mod sampling;
 pub mod scalar;

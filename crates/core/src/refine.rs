@@ -1,0 +1,348 @@
+//! Estimator-backed local refinement of heuristic bindings.
+//!
+//! The Listing-1 heuristic ([`crate::heuristic`]) scores each variable
+//! once against per-host fitness, never consulting the flow-level
+//! estimator. This module adds an optional hill-climbing pass on top: try
+//! re-binding one variable at a time and keep any move the estimator
+//! scores strictly better, until a full round over all variables accepts
+//! nothing (or [`RefineConfig::max_rounds`] is exhausted).
+//!
+//! Single-variable what-if moves are exactly the [`DeltaEstimator`]'s
+//! best case — one `rebind` touches only the components the variable's
+//! flows live in, the rest replay from the component cache — so the
+//! refiner defaults to [`EvalStrategy::Delta`]. Both strategies walk the
+//! identical move sequence and delta estimates are bit-identical to
+//! scratch ones, so the refined binding does not depend on the strategy
+//! (pinned by `tests/refine_strategies.rs`).
+
+use cloudtalk_lang::problem::{Binding, Problem, Value};
+use estimator::{estimate_with, DeltaEstimator, DeltaStats, EstimatorScratch, World};
+
+use crate::exhaustive::EvalStrategy;
+
+/// Knobs for [`refine_binding`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RefineConfig {
+    /// Maximum full rounds over all variables; a round that accepts no
+    /// move ends the climb early.
+    pub max_rounds: usize,
+    /// How candidate moves are estimated. The result is strategy
+    /// independent; `Delta` is simply faster.
+    pub eval: EvalStrategy,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_rounds: 3,
+            eval: EvalStrategy::Delta,
+        }
+    }
+}
+
+/// What a [`refine_binding`] climb did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RefineOutcome {
+    /// The (possibly unchanged) refined binding.
+    pub binding: Binding,
+    /// Its estimated makespan, seconds.
+    pub makespan: f64,
+    /// Rounds actually run (≤ `max_rounds`).
+    pub rounds: u64,
+    /// Moves whose estimate was consulted.
+    pub moves_tried: u64,
+    /// Moves kept (strict improvement only).
+    pub moves_accepted: u64,
+    /// Delta-evaluation work counters (zero under `Scratch`).
+    pub delta: DeltaStats,
+}
+
+/// Hill-climbs `binding` under single-variable moves, minimising the
+/// estimated makespan. Returns `None` when the starting binding has the
+/// wrong arity or does not estimate (stalled / unsupported) — there is no
+/// baseline to improve on. Moves that fail to estimate are treated as
+/// worse and skipped; same-pool distinctness is respected throughout.
+///
+/// Deterministic: variables in index order, candidates in pool order,
+/// strict `<` acceptance — and bit-identical across [`EvalStrategy`]s.
+pub fn refine_binding(
+    problem: &Problem,
+    world: &World,
+    binding: &Binding,
+    cfg: &RefineConfig,
+) -> Option<RefineOutcome> {
+    if binding.len() != problem.vars.len() {
+        return None;
+    }
+    if cfg.eval == EvalStrategy::Delta {
+        if let Ok(mut de) = DeltaEstimator::new(problem, world) {
+            for &v in binding {
+                de.push(v);
+            }
+            de.commit();
+            return climb(problem, DeltaMoves { de }, cfg);
+        }
+        // Static resolution failed: the scratch path fails identically per
+        // estimate, so fall through and let the baseline report it.
+    }
+    climb(
+        problem,
+        ScratchMoves {
+            scratch: EstimatorScratch::new(),
+            binding: binding.clone(),
+            prev: None,
+            world,
+        },
+        cfg,
+    )
+}
+
+/// One strategy's view of the climb: apply / revert / accept a move and
+/// estimate the current binding.
+trait MoveEval {
+    fn current(&self) -> &Binding;
+    fn apply(&mut self, var: usize, value: Value);
+    /// Undoes the one outstanding [`apply`](MoveEval::apply).
+    fn revert(&mut self, var: usize);
+    /// Keeps the one outstanding [`apply`](MoveEval::apply) for good.
+    fn accept(&mut self);
+    fn estimate(&mut self, problem: &Problem) -> Option<f64>;
+    fn delta_stats(&self) -> DeltaStats;
+}
+
+/// The strategy-independent first-improvement climb.
+fn climb<E: MoveEval>(
+    problem: &Problem,
+    mut ev: E,
+    cfg: &RefineConfig,
+) -> Option<RefineOutcome> {
+    let mut best = ev.estimate(problem)?;
+    let mut rounds = 0u64;
+    let mut moves_tried = 0u64;
+    let mut moves_accepted = 0u64;
+    for _ in 0..cfg.max_rounds {
+        rounds += 1;
+        let mut improved = false;
+        for var in 0..problem.vars.len() {
+            for k in 0..problem.vars[var].candidates.len() {
+                let value = problem.vars[var].candidates[k];
+                if ev.current()[var] == value {
+                    continue;
+                }
+                if problem.distinct {
+                    let pool = problem.vars[var].pool;
+                    let clash = ev.current().iter().enumerate().any(|(j, v)| {
+                        j != var && problem.vars[j].pool == pool && *v == value
+                    });
+                    if clash {
+                        continue;
+                    }
+                }
+                moves_tried += 1;
+                ev.apply(var, value);
+                match ev.estimate(problem) {
+                    Some(m) if m < best => {
+                        best = m;
+                        ev.accept();
+                        moves_accepted += 1;
+                        improved = true;
+                    }
+                    _ => ev.revert(var),
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Some(RefineOutcome {
+        binding: ev.current().clone(),
+        makespan: best,
+        rounds,
+        moves_tried,
+        moves_accepted,
+        delta: ev.delta_stats(),
+    })
+}
+
+struct ScratchMoves<'a> {
+    scratch: EstimatorScratch,
+    binding: Binding,
+    prev: Option<Value>,
+    world: &'a World,
+}
+
+impl MoveEval for ScratchMoves<'_> {
+    fn current(&self) -> &Binding {
+        &self.binding
+    }
+    fn apply(&mut self, var: usize, value: Value) {
+        self.prev = Some(std::mem::replace(&mut self.binding[var], value));
+    }
+    fn revert(&mut self, var: usize) {
+        self.binding[var] = self.prev.take().expect("revert without apply");
+    }
+    fn accept(&mut self) {
+        self.prev = None;
+    }
+    fn estimate(&mut self, problem: &Problem) -> Option<f64> {
+        estimate_with(&mut self.scratch, problem, &self.binding, self.world)
+            .ok()
+            .map(|e| e.makespan)
+    }
+    fn delta_stats(&self) -> DeltaStats {
+        DeltaStats::default()
+    }
+}
+
+struct DeltaMoves {
+    de: DeltaEstimator,
+}
+
+impl MoveEval for DeltaMoves {
+    fn current(&self) -> &Binding {
+        self.de.binding()
+    }
+    fn apply(&mut self, var: usize, value: Value) {
+        self.de.rebind(var, value);
+    }
+    fn revert(&mut self, _var: usize) {
+        self.de.pop();
+    }
+    fn accept(&mut self) {
+        // The rebind is the only log entry (the climb accepts or reverts
+        // each move before the next), so committing here just forgets it.
+        self.de.commit();
+    }
+    fn estimate(&mut self, _problem: &Problem) -> Option<f64> {
+        self.de.estimate_summary().ok().map(|e| e.makespan)
+    }
+    fn delta_stats(&self) -> DeltaStats {
+        self.de.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudtalk_lang::builder::hdfs_write_query;
+    use cloudtalk_lang::problem::Address;
+    use estimator::{estimate, HostState};
+
+    fn world(loads: &[(u32, f64)]) -> World {
+        let addrs: Vec<Address> = (1..=8).map(Address).collect();
+        let mut w = World::uniform(&addrs, HostState::gbps_idle());
+        for &(a, frac) in loads {
+            w.set(
+                Address(a),
+                HostState::gbps_idle().with_up_load(frac).with_down_load(frac),
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn climbs_off_a_deliberately_bad_binding() {
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0)
+            .resolve()
+            .unwrap();
+        // One busy replica: the pipeline's coupled rate is pinned by it,
+        // and a single move (off host 2) strictly improves the chain.
+        let w = world(&[(2, 0.9)]);
+        let bad: Binding = vec![
+            Value::Addr(Address(2)),
+            Value::Addr(Address(3)),
+            Value::Addr(Address(4)),
+        ];
+        let before = estimate(&p, &bad, &w).unwrap().makespan;
+        let o = refine_binding(&p, &w, &bad, &RefineConfig::default()).unwrap();
+        assert!(o.makespan < before, "{} !< {}", o.makespan, before);
+        assert!(o.moves_accepted > 0);
+        assert_eq!(
+            estimate(&p, &o.binding, &w).unwrap().makespan.to_bits(),
+            o.makespan.to_bits()
+        );
+        // Distinctness survives the climb.
+        let set: std::collections::HashSet<&Value> = o.binding.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn strategies_agree_bitwise() {
+        let nodes: Vec<Address> = (2..8).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 256.0 * 1024.0 * 1024.0)
+            .resolve()
+            .unwrap();
+        let w = world(&[(2, 0.9), (4, 0.6), (6, 0.3)]);
+        let start: Binding = vec![
+            Value::Addr(Address(2)),
+            Value::Addr(Address(4)),
+            Value::Addr(Address(6)),
+        ];
+        let d = refine_binding(
+            &p,
+            &w,
+            &start,
+            &RefineConfig {
+                eval: EvalStrategy::Delta,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = refine_binding(
+            &p,
+            &w,
+            &start,
+            &RefineConfig {
+                eval: EvalStrategy::Scratch,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.binding, s.binding);
+        assert_eq!(d.makespan.to_bits(), s.makespan.to_bits());
+        assert_eq!(d.moves_tried, s.moves_tried);
+        assert_eq!(d.moves_accepted, s.moves_accepted);
+        assert_eq!(s.delta, DeltaStats::default());
+        assert!(d.delta.estimates > 0);
+    }
+
+    #[test]
+    fn wrong_arity_and_infeasible_baselines_yield_none() {
+        let nodes: Vec<Address> = (2..5).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 64.0 * 1024.0 * 1024.0)
+            .resolve()
+            .unwrap();
+        let w = world(&[]);
+        assert!(refine_binding(&p, &w, &Vec::new(), &RefineConfig::default()).is_none());
+        let full: Binding = nodes.iter().map(|&a| Value::Addr(a)).collect();
+        // Unknown world: the baseline stalls under either strategy.
+        for eval in [EvalStrategy::Delta, EvalStrategy::Scratch] {
+            let cfg = RefineConfig {
+                eval,
+                ..Default::default()
+            };
+            assert!(refine_binding(&p, &World::new(), &full, &cfg).is_none());
+        }
+    }
+
+    #[test]
+    fn local_optimum_is_left_untouched() {
+        let nodes: Vec<Address> = (2..6).map(Address).collect();
+        let p = hdfs_write_query(Address(1), &nodes, 3, 64.0 * 1024.0 * 1024.0)
+            .resolve()
+            .unwrap();
+        let w = world(&[(5, 0.95)]);
+        // All-idle binding: no single-variable move can beat it.
+        let start: Binding = vec![
+            Value::Addr(Address(2)),
+            Value::Addr(Address(3)),
+            Value::Addr(Address(4)),
+        ];
+        let o = refine_binding(&p, &w, &start, &RefineConfig::default()).unwrap();
+        assert_eq!(o.binding, start);
+        assert_eq!(o.moves_accepted, 0);
+        assert_eq!(o.rounds, 1, "a silent round ends the climb");
+    }
+}

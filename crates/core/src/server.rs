@@ -33,8 +33,9 @@ use estimator::{HostState, World};
 
 use obs::{CounterId, HistogramId, MetricsRegistry, MonotonicClock, NullClock, Trace, TraceReport};
 
-use crate::exhaustive::{exhaustive_search, ExhaustiveError};
+use crate::exhaustive::{exhaustive_search_with, EvalStrategy, ExhaustiveError, SearchOptions};
 use crate::heuristic::{evaluate_query_scored, HeuristicConfig};
+use crate::refine::refine_binding;
 use crate::messages::{LedgerCounters, OverheadLedger};
 use crate::pktsearch::{pkt_search, MirrorTopology, PktSearchError, PktSearchOptions};
 use crate::reservation::ReservationTable;
@@ -80,6 +81,11 @@ pub struct ServerConfig {
     pub reservation_hold: Option<SimDuration>,
     /// Evaluation backend.
     pub method: EvalMethod,
+    /// Candidate evaluation strategy for the exhaustive backend (and any
+    /// configured heuristic refiner). `Delta` re-rates only the resource
+    /// components a candidate moved and is bit-identical to `Scratch` —
+    /// the default, since it only trades CPU for the same answer.
+    pub eval_strategy: EvalStrategy,
     /// Whether to gather dynamic status data; with `false`, evaluation
     /// sees idle hosts everywhere (static/topology-only mode, §4).
     pub use_dynamic: bool,
@@ -102,6 +108,7 @@ impl Default for ServerConfig {
             sample_budget: DEFAULT_SAMPLE_THRESHOLD,
             reservation_hold: Some(SimDuration::from_millis(300)),
             method: EvalMethod::Heuristic,
+            eval_strategy: EvalStrategy::Delta,
             use_dynamic: true,
             degradation: DegradationConfig::default(),
             pkt: PktBackendConfig::default(),
@@ -322,6 +329,15 @@ pub struct SearchStats {
     pub memo_hits: u64,
     /// Bindings the packet search had to simulate (memoisation on only).
     pub memo_misses: u64,
+    /// Resource components the delta evaluator re-rated (0 unless
+    /// [`EvalStrategy::Delta`] actually ran).
+    pub delta_components_rerated: u64,
+    /// Resource components the delta evaluator replayed from its cache.
+    pub delta_components_reused: u64,
+    /// Flow endpoint moves the delta evaluator applied.
+    pub delta_flows_moved: u64,
+    /// High-water depth of the delta evaluator's undo log.
+    pub delta_max_undo_depth: u64,
 }
 
 /// Structured provenance of one answer: which rung and backend produced
@@ -449,6 +465,10 @@ struct ServerMetricIds {
     rung_assume_busy: CounterId,
     gather_rounds: HistogramId,
     freshness: HistogramId,
+    delta_components_rerated: CounterId,
+    delta_components_reused: CounterId,
+    delta_flows_moved: CounterId,
+    delta_undo_depth: HistogramId,
 }
 
 impl ServerMetricIds {
@@ -460,6 +480,11 @@ impl ServerMetricIds {
             rung_assume_busy: reg.counter("server.rung_assume_busy"),
             gather_rounds: reg.histogram("server.gather_rounds", &[1.0, 2.0, 3.0, 4.0]),
             freshness: reg.histogram("server.freshness", &[0.25, 0.5, 0.75, 1.0]),
+            delta_components_rerated: reg.counter("estimator.delta.components_rerated"),
+            delta_components_reused: reg.counter("estimator.delta.components_reused"),
+            delta_flows_moved: reg.counter("estimator.delta.flows_moved"),
+            delta_undo_depth: reg
+                .histogram("estimator.delta.undo_depth", &[1.0, 2.0, 4.0, 8.0, 16.0]),
         }
     }
 }
@@ -804,26 +829,46 @@ impl CloudTalkServer {
         let t_evaluated = t_collected + MODELLED_EVAL_TIME;
         let (backend, search, binding, binding_scores) = match method {
             EvalMethod::Heuristic => {
-                let (b, s) = evaluate_query_scored(working, world, &self.cfg.heuristic);
+                let (mut b, mut s) = evaluate_query_scored(working, world, &self.cfg.heuristic);
                 let enumerated = working
                     .vars
                     .iter()
                     .map(|v| v.candidates.len() as u64)
                     .sum();
-                let stats = SearchStats {
+                let mut stats = SearchStats {
                     space,
                     enumerated,
                     ..SearchStats::default()
                 };
+                if let Some(rc) = &self.cfg.heuristic.refine {
+                    if let Some(o) = refine_binding(working, world, &b, rc) {
+                        stats.enumerated += o.moves_tried;
+                        stats.delta_components_rerated = o.delta.components_rerated;
+                        stats.delta_components_reused = o.delta.components_reused;
+                        stats.delta_flows_moved = o.delta.flows_moved;
+                        stats.delta_max_undo_depth = o.delta.max_undo_depth;
+                        if o.binding != b {
+                            // The fitness scores describe the pre-refine
+                            // choices; a moved binding has none.
+                            s = vec![f64::INFINITY; b.len()];
+                        }
+                        b = o.binding;
+                    }
+                }
                 (Backend::Heuristic, stats, b, s)
             }
             EvalMethod::Exhaustive { limit } => {
-                let r = exhaustive_search(working, world, limit)
+                let opts = SearchOptions::new(limit).eval(self.cfg.eval_strategy);
+                let r = exhaustive_search_with(working, world, &opts)
                     .map_err(ServerError::Exhaustive)?;
                 let stats = SearchStats {
                     space,
                     enumerated: r.evaluated,
                     pruned: r.pruned_subtrees,
+                    delta_components_rerated: r.delta.components_rerated,
+                    delta_components_reused: r.delta.components_reused,
+                    delta_flows_moved: r.delta.flows_moved,
+                    delta_max_undo_depth: r.delta.max_undo_depth,
                     ..SearchStats::default()
                 };
                 let n = r.binding.len();
@@ -853,6 +898,7 @@ impl CloudTalkServer {
                     aborted: r.aborted,
                     memo_hits: r.memo_hits,
                     memo_misses: r.memo_misses,
+                    ..SearchStats::default()
                 };
                 let n = r.binding.len();
                 (
@@ -891,6 +937,23 @@ impl CloudTalkServer {
                 .observe(self.ids.gather_rounds, f64::from(snapshot.rounds));
         }
         self.metrics.observe(self.ids.freshness, snapshot.freshness);
+        if search.delta_components_rerated > 0 || search.delta_flows_moved > 0 {
+            self.metrics.inc(
+                self.ids.delta_components_rerated,
+                search.delta_components_rerated,
+            );
+            self.metrics.inc(
+                self.ids.delta_components_reused,
+                search.delta_components_reused,
+            );
+            self.metrics
+                .inc(self.ids.delta_flows_moved, search.delta_flows_moved);
+            #[allow(clippy::cast_precision_loss)]
+            self.metrics.observe(
+                self.ids.delta_undo_depth,
+                search.delta_max_undo_depth as f64,
+            );
+        }
 
         Ok(Answer {
             binding,

@@ -1,0 +1,583 @@
+//! Delta-rated candidate evaluation: one rated base world per search,
+//! updated incrementally as the search walks the binding tree.
+//!
+//! The scratch path ([`crate::estimate_with`]) rebuilds everything per
+//! candidate: static attributes, the resource table, usages, groups, and
+//! a full simulation. A branch-and-bound walk, however, changes **one
+//! variable at a time** — sibling candidates differ in the few flows
+//! mentioning that variable. [`DeltaEstimator`] exploits this:
+//!
+//! * all binding-independent work (sizes, starts, transfer offsets, rate
+//!   caps/couplings, groups, the transfer-precedence order, the
+//!   world→capacity table) is resolved **once per search**;
+//! * each [`push`](DeltaEstimator::push) / [`rebind`](DeltaEstimator::rebind)
+//!   records an undo entry and bumps a version counter on exactly the
+//!   flows whose endpoints mention the touched variable;
+//! * at a leaf, only the usages of touched flows are rebuilt, flows are
+//!   partitioned into resource-connected components (the independence
+//!   boundary of `simnet::sharing`), and a component is re-simulated
+//!   **only if** some member's version changed or its membership moved —
+//!   otherwise its cached finish times are replayed;
+//! * [`pop`](DeltaEstimator::pop) undoes the top of the log, restoring
+//!   the exact previous binding (and version state) on backtrack.
+//!
+//! Bit-identity with the scratch path is by construction, not by luck:
+//! both paths call the same [`model::simulate_component`] on the same
+//! canonical member lists with value-identical capacities and usage
+//! lists, so a component's rating performs the identical floating-point
+//! operations whether it was computed fresh, from a cache, or by the
+//! scratch oracle. `crates/estimator/tests/delta_props.rs` pins this with
+//! `==` (not tolerance) comparisons.
+//!
+//! As a bonus, components whose member flows are all determined by the
+//! current binding *prefix* (and untouched since their last rating) give
+//! the search an admissible makespan lower bound for free — see
+//! [`component_lower_bound`](DeltaEstimator::component_lower_bound).
+
+use cloudtalk_lang::ast::AttrKind;
+use cloudtalk_lang::problem::{Address, Binding, Endpoint, FlowId, Problem, Value};
+use simnet::sharing::ResourceIdx;
+
+use crate::model::{
+    self, assemble_groups, partition_components, push_flow_usages, push_host_capacities,
+    resolve_consts_into, resolve_rate_attrs_into, resolve_sizes_into,
+    resolve_transfer_offsets_into, simulate_component, transfer_topo_order_into, Estimate,
+    EstimateError, EstimateSummary, PartitionBufs, SimBufs,
+};
+use crate::World;
+
+/// Work counters of one search's worth of delta-rated evaluation.
+///
+/// Exposed through `SearchStats` / the `estimator.delta.*` metrics so the
+/// savings (components reused vs. re-rated) are observable end to end.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DeltaStats {
+    /// Leaf estimates served.
+    pub estimates: u64,
+    /// Components simulated from scratch (cache miss or first touch).
+    pub components_rerated: u64,
+    /// Components served from the per-search cache, bit-identically.
+    pub components_reused: u64,
+    /// Per-flow usage rebuilds (a flow is rebuilt when an endpoint
+    /// variable moved since its usages were last derived).
+    pub flows_moved: u64,
+    /// Undo-log entries replayed by [`DeltaEstimator::pop`].
+    pub undos: u64,
+    /// High-water mark of the undo-log depth.
+    pub max_undo_depth: u64,
+}
+
+impl DeltaStats {
+    /// Accumulates `other` into `self` (max for the high-water mark).
+    pub fn merge(&mut self, other: &DeltaStats) {
+        self.estimates += other.estimates;
+        self.components_rerated += other.components_rerated;
+        self.components_reused += other.components_reused;
+        self.flows_moved += other.flows_moved;
+        self.undos += other.undos;
+        self.max_undo_depth = self.max_undo_depth.max(other.max_undo_depth);
+    }
+}
+
+/// One cached component rating: the member set (ascending), the member
+/// versions it was rated under, and the raw (pre-precedence) finish
+/// times. Valid for replay iff the current partition produces the same
+/// member list and no member's version moved.
+#[derive(Clone, Debug, Default)]
+struct CompCache {
+    flows: Vec<usize>,
+    versions: Vec<u64>,
+    finish: Vec<f64>,
+    stalled: Option<usize>,
+    /// `INFINITY` when stalled; otherwise max raw finish over members.
+    max_finish: f64,
+    /// Max over members of the binding depth that determines them.
+    max_depth: usize,
+}
+
+/// Undo-log entry: what [`DeltaEstimator::pop`] must restore.
+#[derive(Clone, Copy, Debug)]
+enum LogEntry {
+    /// A variable was bound at the then-current depth.
+    Push,
+    /// `var` was re-bound in place; `prev` is the value to restore.
+    Rebind {
+        var: usize,
+        prev: Value,
+    },
+}
+
+/// Incremental estimator holding one rated base world per search.
+///
+/// Build with [`new`](DeltaEstimator::new) (or re-arm a reused instance
+/// with [`reset`](DeltaEstimator::reset) — all buffers keep their
+/// capacity, so steady-state searches allocate nothing). Then drive the
+/// binding with `push`/`rebind`/`pop` and ask for
+/// [`estimate_summary`](DeltaEstimator::estimate_summary) at leaves.
+///
+/// `new`/`reset` fail with the same [`EstimateError`] the scratch path
+/// would report for statically unsupported attribute expressions; callers
+/// (the search backends) fall back to the scratch strategy in that case.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaEstimator {
+    n: usize,
+    n_vars: usize,
+    // --- static per-search tables (binding-independent) ---
+    sizes: Vec<f64>,
+    size_memo: Vec<Option<f64>>,
+    starts: Vec<f64>,
+    initial: Vec<f64>,
+    deadlines: Vec<f64>,
+    has_end: Vec<bool>,
+    caps: Vec<Option<f64>>,
+    couple: Vec<Option<FlowId>>,
+    uf_parent: Vec<usize>,
+    group_of: Vec<usize>,
+    root_group: Vec<usize>,
+    groups: Vec<Vec<usize>>,
+    n_groups: usize,
+    t_ups_items: Vec<usize>,
+    t_ups_start: Vec<usize>,
+    topo_state: Vec<u8>,
+    topo_order: Vec<usize>,
+    ends: Vec<(Endpoint, Endpoint)>,
+    var_flows_items: Vec<usize>,
+    var_flows_start: Vec<usize>,
+    determined_depth: Vec<usize>,
+    total_bytes: f64,
+    // World→capacity table over every address the search can mention.
+    addrs: Vec<Address>,
+    capacities: Vec<f64>,
+    // --- dynamic binding state ---
+    values: Binding,
+    log: Vec<LogEntry>,
+    flow_version: Vec<u64>,
+    clock: u64,
+    // Per-flow usages, fixed stride 2 (a flow uses at most two resources).
+    usage_buf: Vec<(ResourceIdx, f64)>,
+    usage_len: Vec<usize>,
+    usage_stale: Vec<bool>,
+    // --- per-leaf evaluation state ---
+    part: PartitionBufs,
+    caches: Vec<CompCache>,
+    caches_used: usize,
+    cache_of: Vec<usize>,
+    remaining: Vec<f64>,
+    sim_finish: Vec<f64>,
+    done: Vec<bool>,
+    flow_rate: Vec<f64>,
+    finish: Vec<f64>,
+    deadline_misses: Vec<FlowId>,
+    sim: SimBufs,
+    stats: DeltaStats,
+}
+
+impl DeltaEstimator {
+    /// Builds a delta estimator for one search over `problem` in `world`.
+    pub fn new(problem: &Problem, world: &World) -> Result<Self, EstimateError> {
+        let mut de = Self::default();
+        de.reset(problem, world)?;
+        Ok(de)
+    }
+
+    /// Re-arms this estimator for a new search, reusing every buffer.
+    /// Clears the binding, the undo log, the component cache, and the
+    /// stats; resolves all static tables for `problem`/`world`.
+    pub fn reset(&mut self, problem: &Problem, world: &World) -> Result<(), EstimateError> {
+        let n = problem.flows.len();
+        self.n = n;
+        self.n_vars = problem.vars.len();
+
+        // Static attribute resolution — same helpers, hence same failure
+        // modes and values, as the scratch path.
+        resolve_sizes_into(problem, &mut self.size_memo, &mut self.sizes)?;
+        resolve_consts_into(problem, AttrKind::Start, "start", &mut self.starts)?;
+        resolve_transfer_offsets_into(problem, &mut self.initial)?;
+        resolve_rate_attrs_into(problem, &mut self.caps, &mut self.couple)?;
+        resolve_consts_into(problem, AttrKind::End, "end", &mut self.deadlines)?;
+        self.has_end.clear();
+        self.has_end
+            .extend(problem.flows.iter().map(|f| f.attr(AttrKind::End).is_some()));
+        self.n_groups = assemble_groups(
+            n,
+            &self.couple,
+            &mut self.uf_parent,
+            &mut self.group_of,
+            &mut self.root_group,
+            &mut self.groups,
+        );
+        transfer_topo_order_into(
+            problem,
+            &mut self.t_ups_items,
+            &mut self.t_ups_start,
+            &mut self.topo_state,
+            &mut self.topo_order,
+        );
+        self.ends.clear();
+        self.ends
+            .extend(problem.flows.iter().map(|f| (f.src, f.dst)));
+        self.total_bytes = self.sizes.iter().sum();
+
+        // Flows mentioning each variable, CSR over variable index.
+        self.var_flows_items.clear();
+        self.var_flows_start.clear();
+        for v in 0..self.n_vars {
+            self.var_flows_start.push(self.var_flows_items.len());
+            for (i, &(src, dst)) in self.ends.iter().enumerate() {
+                let mentions = src.as_var().is_some_and(|x| x.0 == v)
+                    || dst.as_var().is_some_and(|x| x.0 == v);
+                if mentions {
+                    self.var_flows_items.push(i);
+                }
+            }
+        }
+        self.var_flows_start.push(self.var_flows_items.len());
+        self.determined_depth.clear();
+        for &(src, dst) in &self.ends {
+            let d = |e: Endpoint| e.as_var().map_or(0, |v| v.0 + 1);
+            self.determined_depth.push(d(src).max(d(dst)));
+        }
+
+        // Capacity table over every address a binding can mention, in
+        // sorted order so lookups are a binary search. Capacities use the
+        // exact same arithmetic as the scratch path's first-touch table —
+        // same values, different (bijective) indexing, which max-min
+        // rating is insensitive to.
+        self.addrs.clear();
+        for var in &problem.vars {
+            for val in &var.candidates {
+                if let Value::Addr(a) = val {
+                    self.addrs.push(*a);
+                }
+            }
+        }
+        for &(src, dst) in &self.ends {
+            for ep in [src, dst] {
+                if let Endpoint::Addr(a) = ep {
+                    self.addrs.push(a);
+                }
+            }
+        }
+        self.addrs.sort_unstable();
+        self.addrs.dedup();
+        self.capacities.clear();
+        for i in 0..self.addrs.len() {
+            push_host_capacities(&world.get(self.addrs[i]), &mut self.capacities);
+        }
+
+        // Dynamic state: empty binding, everything stale, cache cold.
+        self.values.clear();
+        self.log.clear();
+        self.clock = 0;
+        self.flow_version.clear();
+        self.flow_version.resize(n, 0);
+        self.usage_buf.clear();
+        self.usage_buf.resize(2 * n, (0, 0.0));
+        self.usage_len.clear();
+        self.usage_len.resize(n, 0);
+        self.usage_stale.clear();
+        self.usage_stale.resize(n, true);
+        self.caches_used = 0;
+        self.cache_of.clear();
+        self.cache_of.resize(n, usize::MAX);
+        self.remaining.clear();
+        self.remaining.resize(n, 0.0);
+        self.sim_finish.clear();
+        self.sim_finish.resize(n, 0.0);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.flow_rate.clear();
+        self.flow_rate.resize(n, 0.0);
+        self.finish.clear();
+        self.finish.resize(n, 0.0);
+        self.deadline_misses.clear();
+        self.stats = DeltaStats::default();
+        Ok(())
+    }
+
+    /// Current binding depth (number of bound variables).
+    pub fn depth(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The current (partial) binding.
+    pub fn binding(&self) -> &Binding {
+        &self.values
+    }
+
+    /// Work counters accumulated since the last [`reset`](Self::reset).
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Completion times (post-precedence) of the last successful estimate.
+    pub fn flow_finish(&self) -> &[f64] {
+        &self.finish
+    }
+
+    /// Deadline misses of the last successful estimate.
+    pub fn deadline_misses(&self) -> &[FlowId] {
+        &self.deadline_misses
+    }
+
+    /// Marks every flow mentioning `var` as touched: bumps its version
+    /// (invalidating component ratings that depend on it) and schedules a
+    /// usage rebuild before the next estimate.
+    fn touch_var(&mut self, var: usize) {
+        self.clock += 1;
+        let span = self.var_flows_start[var]..self.var_flows_start[var + 1];
+        for &f in &self.var_flows_items[span] {
+            self.flow_version[f] = self.clock;
+            self.usage_stale[f] = true;
+        }
+    }
+
+    /// Binds the next variable (depth-first descent).
+    pub fn push(&mut self, value: Value) {
+        debug_assert!(self.values.len() < self.n_vars, "push past full binding");
+        let var = self.values.len();
+        self.values.push(value);
+        self.log.push(LogEntry::Push);
+        self.stats.max_undo_depth = self.stats.max_undo_depth.max(self.log.len() as u64);
+        self.touch_var(var);
+    }
+
+    /// Re-binds an already-bound variable in place (hill-climbing moves).
+    pub fn rebind(&mut self, var: usize, value: Value) {
+        let prev = std::mem::replace(&mut self.values[var], value);
+        self.log.push(LogEntry::Rebind { var, prev });
+        self.stats.max_undo_depth = self.stats.max_undo_depth.max(self.log.len() as u64);
+        self.touch_var(var);
+    }
+
+    /// Undoes the most recent [`push`](Self::push)/[`rebind`](Self::rebind).
+    pub fn pop(&mut self) {
+        let e = self.log.pop().expect("pop on an empty undo log");
+        self.stats.undos += 1;
+        match e {
+            LogEntry::Push => {
+                let var = self.values.len() - 1;
+                self.touch_var(var);
+                self.values.pop();
+            }
+            LogEntry::Rebind { var, prev } => {
+                self.values[var] = prev;
+                self.touch_var(var);
+            }
+        }
+    }
+
+    /// Forgets the undo history (the current binding becomes the new
+    /// baseline). Used when a hill-climber accepts a move for good.
+    pub fn commit(&mut self) {
+        self.log.clear();
+    }
+
+    /// Admissible makespan lower bound from already-rated components whose
+    /// member flows are all determined by the current binding *prefix* and
+    /// untouched since their rating.
+    ///
+    /// Sound because (a) unchanged member versions mean the members' mutual
+    /// resource footprint is exactly as rated, (b) any not-yet-bound flow
+    /// can only *join* such a component and max-min rates are monotone —
+    /// more demands never speed up existing ones — and (c) the precedence
+    /// post-pass and the makespan `max` only raise finish times. A rated
+    /// component that stalled contributes `INFINITY`: every completion
+    /// under this prefix is impossible.
+    pub fn component_lower_bound(&self) -> f64 {
+        let depth = self.values.len();
+        let mut lb = 0.0f64;
+        for cc in &self.caches[..self.caches_used] {
+            let untouched = cc
+                .flows
+                .iter()
+                .zip(cc.versions.iter())
+                .all(|(&f, &v)| self.flow_version[f] == v);
+            if cc.max_depth <= depth && untouched {
+                lb = lb.max(cc.max_finish);
+            }
+        }
+        lb
+    }
+
+    /// Estimates the fully-bound problem, re-rating only components whose
+    /// members moved since the last estimate. Bit-identical to
+    /// [`crate::estimate_with`] on the same binding.
+    pub fn estimate_summary(&mut self) -> Result<EstimateSummary, EstimateError> {
+        if self.values.len() != self.n_vars {
+            return Err(EstimateError::BindingArity {
+                expected: self.n_vars,
+                got: self.values.len(),
+            });
+        }
+        self.stats.estimates += 1;
+        let n = self.n;
+
+        // Rebuild usages of touched flows from their bound endpoints.
+        for f in 0..n {
+            if !self.usage_stale[f] {
+                continue;
+            }
+            self.usage_stale[f] = false;
+            self.stats.flows_moved += 1;
+            let (src, dst) = self.ends[f];
+            let addrs = &self.addrs;
+            let usage_buf = &mut self.usage_buf;
+            let mut len = 0usize;
+            push_flow_usages(
+                src.bound(&self.values),
+                dst.bound(&self.values),
+                |a| {
+                    4 * addrs
+                        .binary_search(&a)
+                        .expect("address registered at reset")
+                },
+                |r, m| {
+                    usage_buf[2 * f + len] = (r, m);
+                    len += 1;
+                },
+            );
+            self.usage_len[f] = len;
+        }
+
+        // Partition into resource-connected components — the same
+        // canonical partition (min-member-ordered, ascending members) the
+        // scratch path computes.
+        let usage_buf = &self.usage_buf;
+        let usage_len = &self.usage_len;
+        let usage_of = move |i: usize| &usage_buf[2 * i..2 * i + usage_len[i]];
+        let groups: &[Vec<usize>] = &self.groups[..self.n_groups];
+        partition_components(n, self.capacities.len(), &usage_of, groups, &mut self.part);
+
+        // Rate each component: replay the cache when the member set and
+        // every member version are unchanged, simulate otherwise.
+        let mut stalled: Option<usize> = None;
+        for c in 0..self.part.n_comps {
+            let members: &[usize] = &self.part.members[c];
+            let min = members[0];
+            let mut slot = self.cache_of[min];
+            let hit = slot != usize::MAX && {
+                let cc = &self.caches[slot];
+                cc.flows[..] == *members
+                    && cc
+                        .flows
+                        .iter()
+                        .zip(cc.versions.iter())
+                        .all(|(&f, &v)| self.flow_version[f] == v)
+            };
+            let comp_stalled = if hit {
+                self.stats.components_reused += 1;
+                let cc = &self.caches[slot];
+                for (k, &f) in cc.flows.iter().enumerate() {
+                    self.sim_finish[f] = cc.finish[k];
+                }
+                cc.stalled
+            } else {
+                self.stats.components_rerated += 1;
+                for &f in members {
+                    let rem = (self.sizes[f] - self.initial[f]).max(0.0);
+                    self.remaining[f] = rem;
+                    let d = rem <= model::EPS;
+                    self.done[f] = d;
+                    self.sim_finish[f] = if d { self.starts[f] } else { 0.0 };
+                    self.flow_rate[f] = 0.0;
+                }
+                let res = simulate_component(
+                    members,
+                    &usage_of,
+                    &self.sizes,
+                    &self.starts,
+                    &self.caps,
+                    &self.group_of,
+                    groups,
+                    &self.capacities,
+                    &mut self.remaining,
+                    &mut self.sim_finish,
+                    &mut self.done,
+                    &mut self.flow_rate,
+                    &mut self.sim,
+                );
+                if slot == usize::MAX {
+                    slot = self.caches_used;
+                    if slot == self.caches.len() {
+                        self.caches.push(CompCache::default());
+                    }
+                    self.caches_used += 1;
+                    self.cache_of[min] = slot;
+                }
+                let cc = &mut self.caches[slot];
+                cc.flows.clear();
+                cc.flows.extend_from_slice(members);
+                cc.versions.clear();
+                cc.versions
+                    .extend(members.iter().map(|&f| self.flow_version[f]));
+                cc.finish.clear();
+                cc.finish.extend(members.iter().map(|&f| self.sim_finish[f]));
+                cc.stalled = res;
+                cc.max_finish = if res.is_some() {
+                    f64::INFINITY
+                } else {
+                    members
+                        .iter()
+                        .map(|&f| self.sim_finish[f])
+                        .fold(0.0, f64::max)
+                };
+                cc.max_depth = members
+                    .iter()
+                    .map(|&f| self.determined_depth[f])
+                    .max()
+                    .unwrap_or(0);
+                res
+            };
+            if let Some(s) = comp_stalled {
+                stalled = Some(stalled.map_or(s, |m: usize| m.min(s)));
+            }
+        }
+        if let Some(s) = stalled {
+            return Err(EstimateError::Stalled(FlowId(s)));
+        }
+
+        // Precedence pass on a copy: `sim_finish` stays cache-owned raw
+        // data; `finish` is the user-visible post-precedence view.
+        self.finish.clear();
+        self.finish.extend_from_slice(&self.sim_finish);
+        for &i in &self.topo_order {
+            let mut upstream_finish = 0.0f64;
+            for &u in &self.t_ups_items[self.t_ups_start[i]..self.t_ups_start[i + 1]] {
+                upstream_finish = upstream_finish.max(self.finish[u]);
+            }
+            self.finish[i] = self.finish[i].max(upstream_finish);
+        }
+
+        let makespan = self.finish.iter().copied().fold(0.0, f64::max);
+        self.deadline_misses.clear();
+        for i in 0..n {
+            if self.has_end[i] && self.finish[i] > self.deadlines[i] + 1e-9 {
+                self.deadline_misses.push(FlowId(i));
+            }
+        }
+        Ok(EstimateSummary {
+            makespan,
+            total_bytes: self.total_bytes,
+            throughput: if makespan > 0.0 {
+                self.total_bytes / makespan
+            } else {
+                0.0
+            },
+            deadline_miss_count: self.deadline_misses.len(),
+        })
+    }
+
+    /// Allocating convenience over [`estimate_summary`](Self::estimate_summary),
+    /// returning the same [`Estimate`] the scratch path would.
+    pub fn estimate(&mut self) -> Result<Estimate, EstimateError> {
+        let summary = self.estimate_summary()?;
+        Ok(Estimate {
+            flow_finish: self.finish.clone(),
+            makespan: summary.makespan,
+            total_bytes: summary.total_bytes,
+            throughput: summary.throughput,
+            deadline_misses: self.deadline_misses.clone(),
+        })
+    }
+}

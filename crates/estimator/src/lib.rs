@@ -41,11 +41,13 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod model;
 mod world;
 
+pub use delta::{DeltaEstimator, DeltaStats};
 pub use model::{
-    estimate, estimate_with, resolve_static_sizes, Estimate, EstimateError, EstimateSummary,
-    EstimatorScratch,
+    estimate, estimate_with, resolve_sizes_into, resolve_static_sizes, Estimate, EstimateError,
+    EstimateSummary, EstimatorScratch,
 };
 pub use world::{HostState, World};

@@ -17,7 +17,7 @@ use simnet::sharing::{coalesce_usages, max_min_rates_into, Demand, ResourceIdx, 
 /// Rate used for flows that touch no shared resource (loopback).
 const LOCAL_RATE: f64 = 1e11;
 /// Relative tolerance on byte counts.
-const EPS: f64 = 1e-6;
+pub(crate) const EPS: f64 = 1e-6;
 
 /// The estimator's answer for one bound problem.
 #[derive(Clone, PartialEq, Debug)]
@@ -125,12 +125,9 @@ pub struct EstimatorScratch {
     remaining: Vec<f64>,
     finish: Vec<f64>,
     done: Vec<bool>,
-    active: Vec<usize>,
-    active_groups: Vec<usize>,
-    demand_pool: Vec<Demand>,
-    rates: Vec<f64>,
     flow_rate: Vec<f64>,
-    sharing: SharingScratch,
+    sim: SimBufs,
+    part: PartitionBufs,
     // Transfer precedence (upstream lists in CSR form + DFS state).
     t_ups_items: Vec<usize>,
     t_ups_start: Vec<usize>,
@@ -180,7 +177,7 @@ pub fn estimate(
     })
 }
 
-fn find(parent: &mut [usize], mut x: usize) -> usize {
+pub(crate) fn find(parent: &mut [usize], mut x: usize) -> usize {
     while parent[x] != x {
         parent[x] = parent[parent[x]];
         x = parent[x];
@@ -188,194 +185,215 @@ fn find(parent: &mut [usize], mut x: usize) -> usize {
     x
 }
 
-/// Allocation-free core of the estimator: identical semantics (and
-/// bit-identical results) to [`estimate`], with all working memory in
-/// `scratch`. Returns the scalar summary; per-flow detail is available
-/// through the scratch accessors until the next call.
-pub fn estimate_with(
-    scratch: &mut EstimatorScratch,
-    problem: &Problem,
-    binding: &Binding,
-    world: &crate::World,
-) -> Result<EstimateSummary, EstimateError> {
-    if binding.len() != problem.vars.len() {
-        return Err(EstimateError::BindingArity {
-            expected: problem.vars.len(),
-            got: binding.len(),
-        });
+fn union(parent: &mut [usize], x: usize, y: usize) {
+    let (a, b) = (find(parent, x), find(parent, y));
+    if a != b {
+        parent[a] = b;
     }
-    let n = problem.flows.len();
+}
 
-    // --- static attribute resolution -----------------------------------
-    resolve_sizes_into(problem, &mut scratch.size_memo, &mut scratch.sizes)?;
-    resolve_consts_into(problem, AttrKind::Start, "start", &mut scratch.starts)?;
-    resolve_transfer_offsets_into(problem, &mut scratch.initial)?;
-    let sizes = &scratch.sizes;
-    let starts = &scratch.starts;
+/// Working buffers for the per-component event-simulation loop. Both
+/// evaluation paths (the scratch oracle and the delta estimator) own one
+/// of these and funnel through [`simulate_component`], so a component's
+/// rating performs the identical sequence of floating-point operations
+/// regardless of which path asked for it.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SimBufs {
+    active: Vec<usize>,
+    active_groups: Vec<usize>,
+    demand_pool: Vec<Demand>,
+    rates: Vec<f64>,
+    sharing: SharingScratch,
+}
 
-    // Rate attribute: cap, coupling, or none.
-    let caps = &mut scratch.caps;
-    let couple = &mut scratch.couple;
-    caps.clear();
-    caps.resize(n, None);
-    couple.clear();
-    couple.resize(n, None);
-    for (i, flow) in problem.flows.iter().enumerate() {
-        match flow.attr(AttrKind::Rate) {
-            None => {}
-            Some(expr) => {
-                if let Some(v) = expr.as_const() {
-                    caps[i] = Some(v.max(0.0));
-                } else if let ExprR::Ref(RefAttr::Rate, f) = expr {
-                    couple[i] = Some(*f);
-                } else {
-                    return Err(EstimateError::UnsupportedExpr("rate"));
-                }
+/// Buffers for partitioning flows into resource-connected components:
+/// two flows land in the same component iff they are linked by a chain of
+/// shared resources or rate couplings — exactly the independence boundary
+/// `simnet::sharing` exploits, so components can be simulated (and cached)
+/// in isolation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PartitionBufs {
+    parent: Vec<usize>,
+    res_owner: Vec<usize>,
+    res_touched: Vec<usize>,
+    root_comp: Vec<usize>,
+    /// Dense component id per flow, ids assigned in min-member order.
+    pub(crate) comp_of: Vec<usize>,
+    /// Reused member lists; `members[c]` is ascending by flow index.
+    pub(crate) members: Vec<Vec<usize>>,
+    /// Number of components found by the last partition.
+    pub(crate) n_comps: usize,
+}
+
+/// Partitions `n_flows` flows into resource-connected components.
+/// Components are numbered in order of their minimum flow index, and each
+/// member list is ascending — a canonical form both evaluation paths
+/// reproduce exactly, which is what lets the delta path key its component
+/// cache by minimum member.
+pub(crate) fn partition_components<'a, F>(
+    n_flows: usize,
+    n_resources: usize,
+    usages: &F,
+    groups: &[Vec<usize>],
+    part: &mut PartitionBufs,
+) where
+    F: Fn(usize) -> &'a [(ResourceIdx, f64)],
+{
+    part.parent.clear();
+    part.parent.extend(0..n_flows);
+    // Rate-coupled flows share one demand, hence one component.
+    for g in groups {
+        let mut it = g.iter();
+        if let Some(&first) = it.next() {
+            for &m in it {
+                union(&mut part.parent, first, m);
             }
         }
     }
-
-    // Union-find over rate couplings.
-    let parent = &mut scratch.parent;
-    parent.clear();
-    parent.extend(0..n);
-    for (i, c) in couple.iter().enumerate() {
-        if let Some(f) = c {
-            let (a, b) = (find(parent, i), find(parent, f.0));
-            if a != b {
-                parent[a] = b;
-            }
-        }
+    // Flows touching a common resource interact through max-min sharing.
+    if part.res_owner.len() < n_resources {
+        part.res_owner.resize(n_resources, usize::MAX);
     }
-
-    // --- resource table --------------------------------------------------
-    // Four resources per mentioned address: up, down, disk-read,
-    // disk-write. Addresses are registered in first-touch order (the same
-    // order the original hash-map `entry` API produced), through a linear
-    // scan — problems mention at most a few dozen addresses.
-    let addr_base = &mut scratch.addr_base;
-    let capacities = &mut scratch.capacities;
-    addr_base.clear();
-    capacities.clear();
-    let mut resource_base = |addr: Address| -> usize {
-        if let Some(&(_, base)) = addr_base.iter().find(|(a, _)| *a == addr) {
-            return base;
-        }
-        let base = capacities.len();
-        let s = world.get(addr);
-        capacities.push(s.up_free());
-        capacities.push(s.down_free());
-        capacities.push((s.disk_read_capacity - s.disk_read_used).max(0.0));
-        capacities.push((s.disk_write_capacity - s.disk_write_used).max(0.0));
-        addr_base.push((addr, base));
-        base
-    };
-
-    // Per-flow resource usages, stored CSR (flow i's usages are
-    // `usage_items[usage_start[i]..usage_start[i + 1]]`).
-    let usage_items = &mut scratch.usage_items;
-    let usage_start = &mut scratch.usage_start;
-    usage_items.clear();
-    usage_start.clear();
-    for flow in &problem.flows {
-        usage_start.push(usage_items.len());
-        let span = usage_items.len();
-        let src = flow.src.bound(binding);
-        let dst = flow.dst.bound(binding);
-        let add = |r: usize, items: &mut Vec<(ResourceIdx, f64)>| {
-            if let Some(e) = items[span..].iter_mut().find(|(idx, _)| *idx == r) {
-                e.1 += 1.0;
+    for i in 0..n_flows {
+        for &(r, _) in usages(i) {
+            if part.res_owner[r] == usize::MAX {
+                part.res_owner[r] = i;
+                part.res_touched.push(r);
             } else {
-                items.push((r, 1.0));
+                union(&mut part.parent, part.res_owner[r], i);
             }
-        };
-        match (src, dst) {
-            (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) if a != b => {
-                let ra = resource_base(a);
-                add(ra, usage_items); // a.up
-                let rb = resource_base(b);
-                add(rb + 1, usage_items); // b.down
-            }
-            (BoundEndpoint::Host(a), BoundEndpoint::Disk) => {
-                let ra = resource_base(a);
-                add(ra + 3, usage_items); // a.disk-write
-            }
-            (BoundEndpoint::Disk, BoundEndpoint::Host(b)) => {
-                let rb = resource_base(b);
-                add(rb + 2, usage_items); // b.disk-read
-            }
-            (BoundEndpoint::Unknown, BoundEndpoint::Host(b)) => {
-                let rb = resource_base(b);
-                add(rb + 1, usage_items); // only b.down constrained
-            }
-            (BoundEndpoint::Host(a), BoundEndpoint::Unknown) => {
-                let ra = resource_base(a);
-                add(ra, usage_items); // only a.up constrained
-            }
-            // Loopback, disk↔unknown, unknown↔unknown: nothing shared is used.
-            _ => {}
         }
     }
-    usage_start.push(usage_items.len());
-    let usage_items = &scratch.usage_items;
-    let usage_start = &scratch.usage_start;
-    let capacities = &scratch.capacities;
+    for &r in &part.res_touched {
+        part.res_owner[r] = usize::MAX;
+    }
+    part.res_touched.clear();
 
-    // --- group assembly ---------------------------------------------------
-    // Union-find roots are flow indices, so root→group is a dense table.
-    // Group ids are assigned in first-touch flow order, matching the
-    // original hash-map version.
-    let group_of = &mut scratch.group_of;
-    let root_group = &mut scratch.root_group;
-    group_of.clear();
-    group_of.resize(n, 0);
-    root_group.clear();
-    root_group.resize(n, usize::MAX);
-    let mut n_groups = 0usize;
-    for (i, g) in group_of.iter_mut().enumerate() {
-        let root = find(&mut scratch.parent, i);
-        if root_group[root] == usize::MAX {
-            root_group[root] = n_groups;
-            n_groups += 1;
+    part.comp_of.clear();
+    part.comp_of.resize(n_flows, usize::MAX);
+    part.root_comp.clear();
+    part.root_comp.resize(n_flows, usize::MAX);
+    part.n_comps = 0;
+    for i in 0..n_flows {
+        let root = find(&mut part.parent, i);
+        if part.root_comp[root] == usize::MAX {
+            part.root_comp[root] = part.n_comps;
+            part.n_comps += 1;
         }
-        *g = root_group[root];
+        part.comp_of[i] = part.root_comp[root];
     }
-    while scratch.groups.len() < n_groups {
-        scratch.groups.push(Vec::new());
+    while part.members.len() < part.n_comps {
+        part.members.push(Vec::new());
     }
-    for g in &mut scratch.groups[..n_groups] {
-        g.clear();
+    for m in &mut part.members[..part.n_comps] {
+        m.clear();
     }
-    for (i, &g) in group_of.iter().enumerate() {
-        scratch.groups[g].push(i);
+    for i in 0..n_flows {
+        part.members[part.comp_of[i]].push(i);
     }
-    let group_of = &scratch.group_of;
-    let groups = &scratch.groups;
-    let caps = &scratch.caps;
+}
 
-    // --- event simulation --------------------------------------------------
-    let remaining = &mut scratch.remaining;
-    let finish = &mut scratch.finish;
-    let done = &mut scratch.done;
-    remaining.clear();
-    remaining.extend((0..n).map(|i| (sizes[i] - scratch.initial[i]).max(0.0)));
-    finish.clear();
-    finish.resize(n, 0.0);
-    done.clear();
-    done.extend((0..n).map(|i| remaining[i] <= EPS));
-    for i in 0..n {
-        if done[i] {
-            finish[i] = starts[i];
+/// Appends the four residual resource capacities of one host (up, down,
+/// disk-read, disk-write) — the single definition of the world→capacity
+/// arithmetic, shared by both evaluation paths.
+pub(crate) fn push_host_capacities(s: &crate::HostState, capacities: &mut Vec<f64>) {
+    capacities.push(s.up_free());
+    capacities.push(s.down_free());
+    capacities.push((s.disk_read_capacity - s.disk_read_used).max(0.0));
+    capacities.push((s.disk_write_capacity - s.disk_write_used).max(0.0));
+}
+
+/// Emits the shared-resource usages of one flow from its bound endpoints.
+/// `base_of` maps an address to the base index of its 4-resource block;
+/// entries are pushed in a fixed order (source side first) so both
+/// evaluation paths build identical usage lists. A flow emits at most two
+/// entries, and the two can never name the same resource (one is an `up`,
+/// the other a `down`, of distinct addresses), so no coalescing is needed
+/// here.
+pub(crate) fn push_flow_usages(
+    src: BoundEndpoint,
+    dst: BoundEndpoint,
+    mut base_of: impl FnMut(Address) -> usize,
+    mut push: impl FnMut(ResourceIdx, f64),
+) {
+    match (src, dst) {
+        (BoundEndpoint::Host(a), BoundEndpoint::Host(b)) if a != b => {
+            let ra = base_of(a);
+            push(ra, 1.0); // a.up
+            let rb = base_of(b);
+            push(rb + 1, 1.0); // b.down
         }
+        (BoundEndpoint::Host(a), BoundEndpoint::Disk) => {
+            let ra = base_of(a);
+            push(ra + 3, 1.0); // a.disk-write
+        }
+        (BoundEndpoint::Disk, BoundEndpoint::Host(b)) => {
+            let rb = base_of(b);
+            push(rb + 2, 1.0); // b.disk-read
+        }
+        (BoundEndpoint::Unknown, BoundEndpoint::Host(b)) => {
+            let rb = base_of(b);
+            push(rb + 1, 1.0); // only b.down constrained
+        }
+        (BoundEndpoint::Host(a), BoundEndpoint::Unknown) => {
+            let ra = base_of(a);
+            push(ra, 1.0); // only a.up constrained
+        }
+        // Loopback, disk↔unknown, unknown↔unknown: nothing shared is used.
+        _ => {}
     }
+}
+
+/// Runs the event-driven max-min simulation for one resource-connected
+/// component. `members` lists the component's flows in ascending index
+/// order; `remaining`/`finish`/`done`/`flow_rate` are global per-flow
+/// arrays of which only member entries are touched. Returns the lowest
+/// member index that can never finish, or `None` when all members
+/// complete.
+///
+/// Because a component by construction shares no resource or coupling
+/// with any other, its event sequence is independent of everything
+/// outside `members` — the foundation of both the per-component scratch
+/// rating and the delta path's component cache.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_component<'a, F>(
+    members: &[usize],
+    usages: &F,
+    sizes: &[f64],
+    starts: &[f64],
+    caps: &[Option<f64>],
+    group_of: &[usize],
+    groups: &[Vec<usize>],
+    capacities: &[f64],
+    remaining: &mut [f64],
+    finish: &mut [f64],
+    done: &mut [bool],
+    flow_rate: &mut [f64],
+    bufs: &mut SimBufs,
+) -> Option<usize>
+where
+    F: Fn(usize) -> &'a [(ResourceIdx, f64)],
+{
+    let SimBufs {
+        active,
+        active_groups,
+        demand_pool,
+        rates,
+        sharing,
+    } = bufs;
     let mut now = 0.0f64;
-
     loop {
-        // Active flows: started, not done.
-        let active = &mut scratch.active;
+        // Active members: started, not done.
         active.clear();
-        active.extend((0..n).filter(|&i| !done[i] && starts[i] <= now + 1e-12));
-        let pending_start = (0..n)
+        active.extend(
+            members
+                .iter()
+                .copied()
+                .filter(|&i| !done[i] && starts[i] <= now + 1e-12),
+        );
+        let pending_start = members
+            .iter()
+            .copied()
             .filter(|&i| !done[i] && starts[i] > now + 1e-12)
             .map(|i| starts[i])
             .fold(f64::INFINITY, f64::min);
@@ -384,23 +402,22 @@ pub fn estimate_with(
                 now = pending_start;
                 continue;
             }
-            break;
+            return None;
         }
 
         // Build one demand per group with active members. Demands come
         // from a pool of reused `Demand` structs so their inner usage
         // vectors keep their capacity across rounds and calls.
-        let active_groups = &mut scratch.active_groups;
         active_groups.clear();
         active_groups.extend(active.iter().map(|&i| group_of[i]));
         active_groups.sort_unstable();
         active_groups.dedup();
         let n_demands = active_groups.len();
-        while scratch.demand_pool.len() < n_demands {
-            scratch.demand_pool.push(Demand::elastic(Vec::new()));
+        while demand_pool.len() < n_demands {
+            demand_pool.push(Demand::elastic(Vec::new()));
         }
         for (gi, &g) in active_groups.iter().enumerate() {
-            let d = &mut scratch.demand_pool[gi];
+            let d = &mut demand_pool[gi];
             d.usages.clear();
             d.cap = None;
             d.inelastic = None;
@@ -408,29 +425,21 @@ pub fn estimate_with(
                 if done[i] || starts[i] > now + 1e-12 {
                     continue;
                 }
-                d.usages
-                    .extend_from_slice(&usage_items[usage_start[i]..usage_start[i + 1]]);
+                d.usages.extend_from_slice(usages(i));
                 if let Some(c) = caps[i] {
                     d.cap = Some(d.cap.map_or(c, |x: f64| x.min(c)));
                 }
             }
-            // Coalesce duplicates in one sort+dedup pass instead of the old
-            // quadratic scan; per-resource sums accumulate left-to-right in
-            // the same order, so rates are bit-identical.
+            // Coalesce duplicates in one sort+dedup pass; per-resource
+            // sums accumulate left-to-right in the same order for both
+            // evaluation paths, so rates are bit-identical.
             coalesce_usages(&mut d.usages);
         }
-        max_min_rates_into(
-            &mut scratch.sharing,
-            capacities,
-            &scratch.demand_pool[..n_demands],
-            &mut scratch.rates,
-        );
-        let rates = &scratch.rates;
+        max_min_rates_into(sharing, capacities, &demand_pool[..n_demands], rates);
 
         // Per-flow rate = its group's rate (clamped for loopback groups).
-        let flow_rate = &mut scratch.flow_rate;
-        flow_rate.clear();
-        flow_rate.resize(n, 0.0);
+        // Every active member belongs to exactly one active group, so the
+        // loop below writes every rate that is read afterwards.
         for (gi, &g) in active_groups.iter().enumerate() {
             let r = if rates[gi].is_finite() {
                 rates[gi]
@@ -452,9 +461,10 @@ pub fn estimate_with(
             }
         }
         if !next.is_finite() {
-            // Every active flow is stalled at rate zero with no future
-            // start that could change anything.
-            return Err(EstimateError::Stalled(FlowId(active[0])));
+            // Every active member is stalled at rate zero with no future
+            // start that could change anything; `active` is ascending, so
+            // `active[0]` is the lowest stuck member.
+            return Some(active[0]);
         }
         let dt = next - now;
         for &i in active.iter() {
@@ -466,39 +476,179 @@ pub fn estimate_with(
             }
         }
         now = next;
-        if done.iter().all(|&d| d) {
-            break;
+        if members.iter().all(|&i| done[i]) {
+            return None;
         }
+    }
+}
+
+/// Allocation-free core of the estimator: identical semantics (and
+/// bit-identical results) to [`estimate`], with all working memory in
+/// `scratch`. Returns the scalar summary; per-flow detail is available
+/// through the scratch accessors until the next call.
+pub fn estimate_with(
+    scratch: &mut EstimatorScratch,
+    problem: &Problem,
+    binding: &Binding,
+    world: &crate::World,
+) -> Result<EstimateSummary, EstimateError> {
+    if binding.len() != problem.vars.len() {
+        return Err(EstimateError::BindingArity {
+            expected: problem.vars.len(),
+            got: binding.len(),
+        });
+    }
+    let n = problem.flows.len();
+    let EstimatorScratch {
+        sizes,
+        size_memo,
+        starts,
+        initial,
+        deadlines,
+        caps,
+        couple,
+        parent,
+        addr_base,
+        capacities,
+        usage_items,
+        usage_start,
+        group_of,
+        root_group,
+        groups,
+        remaining,
+        finish,
+        done,
+        flow_rate,
+        sim,
+        part,
+        t_ups_items,
+        t_ups_start,
+        topo_state,
+        topo_order,
+        deadline_misses,
+    } = scratch;
+
+    // --- static attribute resolution -----------------------------------
+    resolve_sizes_into(problem, size_memo, sizes)?;
+    resolve_consts_into(problem, AttrKind::Start, "start", starts)?;
+    resolve_transfer_offsets_into(problem, initial)?;
+
+    // Rate attribute: cap, coupling, or none.
+    resolve_rate_attrs_into(problem, caps, couple)?;
+
+    // --- resource table --------------------------------------------------
+    // Four resources per mentioned address: up, down, disk-read,
+    // disk-write. Addresses are registered in first-touch order (the same
+    // order the original hash-map `entry` API produced), through a linear
+    // scan — problems mention at most a few dozen addresses.
+    addr_base.clear();
+    capacities.clear();
+    let mut resource_base = |addr: Address| -> usize {
+        if let Some(&(_, base)) = addr_base.iter().find(|(a, _)| *a == addr) {
+            return base;
+        }
+        let base = capacities.len();
+        push_host_capacities(&world.get(addr), capacities);
+        addr_base.push((addr, base));
+        base
+    };
+
+    // Per-flow resource usages, stored CSR (flow i's usages are
+    // `usage_items[usage_start[i]..usage_start[i + 1]]`).
+    usage_items.clear();
+    usage_start.clear();
+    for flow in &problem.flows {
+        usage_start.push(usage_items.len());
+        push_flow_usages(
+            flow.src.bound(binding),
+            flow.dst.bound(binding),
+            &mut resource_base,
+            |r, mult| usage_items.push((r, mult)),
+        );
+    }
+    usage_start.push(usage_items.len());
+    let usage_items: &[(ResourceIdx, f64)] = usage_items;
+    let usage_start: &[usize] = usage_start;
+    let capacities: &[f64] = capacities;
+    let usage_of = move |i: usize| &usage_items[usage_start[i]..usage_start[i + 1]];
+
+    // --- group assembly ---------------------------------------------------
+    let n_groups = assemble_groups(n, couple, parent, group_of, root_group, groups);
+    let group_of: &[usize] = group_of;
+    let groups: &[Vec<usize>] = &groups[..n_groups];
+    let caps: &[Option<f64>] = caps;
+    let sizes: &[f64] = sizes;
+    let starts: &[f64] = starts;
+
+    // --- component partition ----------------------------------------------
+    // Flows linked by shared resources or couplings form one component;
+    // disjoint components are simulated independently below.
+    partition_components(n, capacities.len(), &usage_of, groups, part);
+
+    // --- event simulation --------------------------------------------------
+    remaining.clear();
+    remaining.extend((0..n).map(|i| (sizes[i] - initial[i]).max(0.0)));
+    finish.clear();
+    finish.resize(n, 0.0);
+    done.clear();
+    done.extend((0..n).map(|i| remaining[i] <= EPS));
+    for i in 0..n {
+        if done[i] {
+            finish[i] = starts[i];
+        }
+    }
+    flow_rate.clear();
+    flow_rate.resize(n, 0.0);
+
+    // Simulate every component (no short-circuit on a stall, so the error
+    // reported — the lowest stuck flow across all components — does not
+    // depend on component order, and the delta path can reproduce it from
+    // cached per-component results).
+    let mut stalled: Option<usize> = None;
+    for c in 0..part.n_comps {
+        if let Some(s) = simulate_component(
+            &part.members[c],
+            &usage_of,
+            sizes,
+            starts,
+            caps,
+            group_of,
+            groups,
+            capacities,
+            remaining,
+            finish,
+            done,
+            flow_rate,
+            sim,
+        ) {
+            stalled = Some(stalled.map_or(s, |m: usize| m.min(s)));
+        }
+    }
+    if let Some(s) = stalled {
+        return Err(EstimateError::Stalled(FlowId(s)));
     }
 
     // Store-and-forward precedence: a flow with `transfer t(f)` cannot
     // finish before f does. Upstream references are collected once into a
     // CSR table, then flows are visited in topological order.
-    transfer_topo_order_into(
-        problem,
-        &mut scratch.t_ups_items,
-        &mut scratch.t_ups_start,
-        &mut scratch.topo_state,
-        &mut scratch.topo_order,
-    );
-    let finish = &mut scratch.finish;
-    for &i in &scratch.topo_order {
+    transfer_topo_order_into(problem, t_ups_items, t_ups_start, topo_state, topo_order);
+    for &i in topo_order.iter() {
         let mut upstream_finish = 0.0f64;
-        for &u in &scratch.t_ups_items[scratch.t_ups_start[i]..scratch.t_ups_start[i + 1]] {
+        for &u in &t_ups_items[t_ups_start[i]..t_ups_start[i + 1]] {
             upstream_finish = upstream_finish.max(finish[u]);
         }
         finish[i] = finish[i].max(upstream_finish);
     }
 
     let makespan = finish.iter().copied().fold(0.0, f64::max);
-    let total_bytes: f64 = scratch.sizes.iter().sum();
+    let total_bytes: f64 = sizes.iter().sum();
 
     // Deadline check: `end` attributes are upper bounds on finish times.
-    resolve_consts_into(problem, AttrKind::End, "end", &mut scratch.deadlines)?;
-    scratch.deadline_misses.clear();
+    resolve_consts_into(problem, AttrKind::End, "end", deadlines)?;
+    deadline_misses.clear();
     for (i, flow) in problem.flows.iter().enumerate() {
-        if flow.attr(AttrKind::End).is_some() && finish[i] > scratch.deadlines[i] + 1e-9 {
-            scratch.deadline_misses.push(FlowId(i));
+        if flow.attr(AttrKind::End).is_some() && finish[i] > deadlines[i] + 1e-9 {
+            deadline_misses.push(FlowId(i));
         }
     }
 
@@ -510,8 +660,81 @@ pub fn estimate_with(
         } else {
             0.0
         },
-        deadline_miss_count: scratch.deadline_misses.len(),
+        deadline_miss_count: deadline_misses.len(),
     })
+}
+
+/// Resolves every flow's `rate` attribute into a cap (constant) or a
+/// coupling reference (`rate r(f)`), the only supported forms.
+pub(crate) fn resolve_rate_attrs_into(
+    problem: &Problem,
+    caps: &mut Vec<Option<f64>>,
+    couple: &mut Vec<Option<FlowId>>,
+) -> Result<(), EstimateError> {
+    let n = problem.flows.len();
+    caps.clear();
+    caps.resize(n, None);
+    couple.clear();
+    couple.resize(n, None);
+    for (i, flow) in problem.flows.iter().enumerate() {
+        match flow.attr(AttrKind::Rate) {
+            None => {}
+            Some(expr) => {
+                if let Some(v) = expr.as_const() {
+                    caps[i] = Some(v.max(0.0));
+                } else if let ExprR::Ref(RefAttr::Rate, f) = expr {
+                    couple[i] = Some(*f);
+                } else {
+                    return Err(EstimateError::UnsupportedExpr("rate"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the rate-coupling groups: a union-find over `rate r(f)` edges,
+/// with group ids assigned in first-touch flow order (union-find roots
+/// are flow indices, so root→group is a dense table). Returns the group
+/// count; `groups[g]` member lists are ascending by flow index.
+pub(crate) fn assemble_groups(
+    n: usize,
+    couple: &[Option<FlowId>],
+    parent: &mut Vec<usize>,
+    group_of: &mut Vec<usize>,
+    root_group: &mut Vec<usize>,
+    groups: &mut Vec<Vec<usize>>,
+) -> usize {
+    parent.clear();
+    parent.extend(0..n);
+    for (i, c) in couple.iter().enumerate() {
+        if let Some(f) = c {
+            union(parent, i, f.0);
+        }
+    }
+    group_of.clear();
+    group_of.resize(n, 0);
+    root_group.clear();
+    root_group.resize(n, usize::MAX);
+    let mut n_groups = 0usize;
+    for (i, g) in group_of.iter_mut().enumerate() {
+        let root = find(parent, i);
+        if root_group[root] == usize::MAX {
+            root_group[root] = n_groups;
+            n_groups += 1;
+        }
+        *g = root_group[root];
+    }
+    while groups.len() < n_groups {
+        groups.push(Vec::new());
+    }
+    for g in &mut groups[..n_groups] {
+        g.clear();
+    }
+    for (i, &g) in group_of.iter().enumerate() {
+        groups[g].push(i);
+    }
+    n_groups
 }
 
 /// Resolves every flow's size statically — public so other evaluation
@@ -526,7 +749,7 @@ pub fn resolve_static_sizes(problem: &Problem) -> Result<Vec<f64>, EstimateError
 /// Resolves every flow's size, following `sz(f)` references (a DAG by
 /// validation) and folding arithmetic. `memo` and `out` are caller-owned
 /// buffers (cleared here) so the hot path allocates nothing.
-fn resolve_sizes_into(
+pub fn resolve_sizes_into(
     problem: &Problem,
     memo: &mut Vec<Option<f64>>,
     out: &mut Vec<f64>,
@@ -577,7 +800,7 @@ fn resolve_sizes_into(
 
 /// Resolves an attribute that must be a compile-time constant into a
 /// caller-owned buffer (cleared here).
-fn resolve_consts_into(
+pub(crate) fn resolve_consts_into(
     problem: &Problem,
     kind: AttrKind,
     what: &'static str,
@@ -600,7 +823,7 @@ fn resolve_consts_into(
 /// `transfer` attributes: constants become initial progress; `t(f)`
 /// references become precedence (handled after simulation) and contribute
 /// zero initial progress. Writes into a caller-owned buffer.
-fn resolve_transfer_offsets_into(
+pub(crate) fn resolve_transfer_offsets_into(
     problem: &Problem,
     out: &mut Vec<f64>,
 ) -> Result<(), EstimateError> {
@@ -636,7 +859,7 @@ fn resolve_transfer_offsets_into(
 /// and `order`, a flow order where upstreams come first (cycles — which
 /// validation does not forbid for `t` — are broken arbitrarily;
 /// precedence then still converges because `max` is monotone).
-fn transfer_topo_order_into(
+pub(crate) fn transfer_topo_order_into(
     problem: &Problem,
     ups_items: &mut Vec<usize>,
     ups_start: &mut Vec<usize>,

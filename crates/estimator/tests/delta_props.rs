@@ -1,0 +1,268 @@
+//! Property suite pinning the [`DeltaEstimator`] to the scratch oracle:
+//! random candidate sequences with interleaved apply/undo (push, rebind,
+//! pop) against three query topologies must produce **bit-identical**
+//! `Estimate`s — `==` on every field plus raw-bit checks on makespan and
+//! finish times, never an EPS band — at every step, mirroring
+//! `simnet/tests/engine_oracle_props.rs`.
+//!
+//! This is the correctness bar of delta-rated candidate evaluation: both
+//! paths rate a component with the same per-component simulation code on
+//! the same canonical inputs, so nothing may diverge, ever — not even in
+//! the last mantissa bit.
+
+use cloudtalk_lang::builder::{hdfs_write_query, QueryBuilder};
+use cloudtalk_lang::problem::{Address, Problem, Value};
+use desim::rng::stream_rng;
+use estimator::{estimate, DeltaEstimator, HostState, World};
+use proptest::prelude::*;
+use rand::Rng;
+
+const NIC: f64 = 125e6;
+
+/// Figure-3 daisy chain: two resource-disjoint components linked only by
+/// a `transfer` precedence — the delta path's best case.
+fn daisy(addrs: &[Address]) -> Problem {
+    let mut b = QueryBuilder::new();
+    let vars = b.variable_group(
+        ["x1".into(), "x2".into(), "x3".into()],
+        addrs.iter().copied(),
+    );
+    let f1 = b
+        .flow("f1")
+        .from_var(vars[0])
+        .to_var(vars[1])
+        .size(100.0 * 1024.0 * 1024.0);
+    let h1 = f1.handle();
+    b.flow("f2")
+        .from_var(vars[1])
+        .to_var(vars[2])
+        .size_of(h1)
+        .transfer_of(h1);
+    b.resolve().expect("well-formed")
+}
+
+/// Everything else the estimator supports in one query: deadlines, disk
+/// endpoints, unknown sources, start offsets, rate caps, fixed flows.
+fn mixed(addrs: &[Address]) -> Problem {
+    let mut b = QueryBuilder::new();
+    let src = b.variable("src", addrs[2..8].iter().copied());
+    let dst = b.variable("dst", addrs[4..10].iter().copied());
+    b.flow("f1")
+        .from_var(src)
+        .to_addr(addrs[0])
+        .size(200e6)
+        .end(4.0);
+    b.flow("f2").from_var(dst).to_disk().size(150e6);
+    b.flow("f3")
+        .from_addr(addrs[1])
+        .to_var(dst)
+        .size(80e6)
+        .start(0.5)
+        .rate(NIC / 4.0);
+    b.flow("f4").from_unknown().to_addr(addrs[0]).size(50e6);
+    b.flow("f5").from_disk().to_var(src).size(120e6);
+    b.resolve().expect("well-formed")
+}
+
+fn topo_for(pick: u8) -> Problem {
+    let addrs: Vec<Address> = (1..=12).map(Address).collect();
+    match pick % 3 {
+        0 => daisy(&addrs),
+        // Rate-coupled pipeline: one big component, the delta path's
+        // worst case (no component ever survives a move untouched).
+        1 => hdfs_write_query(Address(1), &addrs[1..], 3, 256e6)
+            .resolve()
+            .expect("well-formed"),
+        _ => mixed(&addrs),
+    }
+}
+
+/// Discrete load levels so cross-path floating-point coincidences cannot
+/// occur by accident (same idea as the engine oracle suite).
+fn world_for(problem: &Problem, seed: u64) -> World {
+    let mut rng = stream_rng(seed, 0xDE17A);
+    let levels = [0.0, 0.05, 0.3, 0.6, 0.9];
+    let mut w = World::new();
+    for a in problem.mentioned_addresses() {
+        let s = HostState::idle(NIC, 450e6)
+            .with_up_load(levels[rng.gen_range(0..5usize)])
+            .with_down_load(levels[rng.gen_range(0..5usize)]);
+        w.set(a, s);
+    }
+    w
+}
+
+/// Mirror-side record of one applied operation, so pops can be replayed
+/// against the plain `Vec<Value>` binding.
+enum MirrorOp {
+    Push,
+    Rebind(usize, Value),
+}
+
+/// One delta-vs-scratch comparison at the current (possibly partial)
+/// binding. Partial bindings must error identically (`BindingArity`);
+/// full bindings must agree on the entire `Estimate` — and on the raw
+/// bits of every float in it.
+fn check_step(
+    de: &mut DeltaEstimator,
+    problem: &Problem,
+    mirror: &Vec<Value>,
+    world: &World,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(de.depth(), mirror.len());
+    prop_assert_eq!(de.binding(), mirror);
+    let got = de.estimate();
+    let want = estimate(problem, mirror, world);
+    prop_assert_eq!(&got, &want, "delta vs scratch diverged at {:?}", mirror);
+    if let (Ok(g), Ok(w)) = (&got, &want) {
+        prop_assert_eq!(g.makespan.to_bits(), w.makespan.to_bits(), "makespan bits");
+        for (a, b) in g.flow_finish.iter().zip(w.flow_finish.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "finish bits");
+        }
+    }
+    Ok(())
+}
+
+fn drive(problem: &Problem, world: &World, seed: u64, steps: usize) -> Result<(), TestCaseError> {
+    let mut rng = stream_rng(seed, 0x0D17);
+    let mut de = DeltaEstimator::new(problem, world).expect("statically supported problem");
+    let n_vars = problem.vars.len();
+    let mut mirror: Vec<Value> = Vec::new();
+    let mut mirror_log: Vec<MirrorOp> = Vec::new();
+    let cand = |v: usize, k: usize| problem.vars[v].candidates[k % problem.vars[v].candidates.len()];
+    let mut estimates = 0u64;
+    for _ in 0..steps {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 35 && mirror.len() < n_vars {
+            let val = cand(mirror.len(), rng.gen_range(0..64usize));
+            de.push(val);
+            mirror.push(val);
+            mirror_log.push(MirrorOp::Push);
+        } else if roll < 55 && !mirror_log.is_empty() {
+            de.pop();
+            match mirror_log.pop().expect("non-empty") {
+                MirrorOp::Push => {
+                    mirror.pop();
+                }
+                MirrorOp::Rebind(var, prev) => mirror[var] = prev,
+            }
+        } else if roll < 72 && !mirror.is_empty() {
+            let var = rng.gen_range(0..mirror.len());
+            let val = cand(var, rng.gen_range(0..64usize));
+            de.rebind(var, val);
+            mirror_log.push(MirrorOp::Rebind(var, mirror[var]));
+            mirror[var] = val;
+        } else {
+            check_step(&mut de, problem, &mirror, world)?;
+            // `stats.estimates` counts served leaf estimates; partial
+            // bindings are rejected by the arity check before counting.
+            if mirror.len() == n_vars {
+                estimates += 1;
+            }
+        }
+    }
+    // Finish with a full descent so every run compares at least one leaf.
+    while mirror.len() < n_vars {
+        let val = cand(mirror.len(), rng.gen_range(0..64usize));
+        de.push(val);
+        mirror.push(val);
+        mirror_log.push(MirrorOp::Push);
+    }
+    check_step(&mut de, problem, &mirror, world)?;
+    estimates += 1;
+    prop_assert_eq!(de.stats().estimates, estimates);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline invariant: delta-rated == scratch-built, bit for bit,
+    /// at every step of a random apply/undo walk.
+    #[test]
+    fn delta_matches_scratch_bitwise(
+        seed in any::<u64>(),
+        steps in 10usize..60,
+        topo_pick in 0u8..3,
+    ) {
+        let problem = topo_for(topo_pick);
+        let world = world_for(&problem, seed ^ 0x5EED);
+        drive(&problem, &world, seed, steps)?;
+    }
+}
+
+/// The caching mechanism itself, pinned deterministically on the daisy
+/// query: moving only the innermost variable re-rates only the second
+/// component and replays the first.
+#[test]
+fn daisy_inner_move_rerates_one_component() {
+    let addrs: Vec<Address> = (1..=12).map(Address).collect();
+    let problem = daisy(&addrs);
+    let world = world_for(&problem, 7);
+    let mut de = DeltaEstimator::new(&problem, &world).unwrap();
+    de.push(Value::Addr(addrs[0]));
+    de.push(Value::Addr(addrs[1]));
+    de.push(Value::Addr(addrs[2]));
+    let first = de.estimate_summary().unwrap();
+    // f1 {x1.up, x2.down} and f2 {x2.up, x3.down} share no resource.
+    assert_eq!(de.stats().components_rerated, 2);
+    assert_eq!(de.stats().components_reused, 0);
+
+    de.pop();
+    de.push(Value::Addr(addrs[3]));
+    let second = de.estimate_summary().unwrap();
+    // Only f2's component moved; f1's rating is replayed from the cache.
+    assert_eq!(de.stats().components_rerated, 3);
+    assert_eq!(de.stats().components_reused, 1);
+
+    // And both match the scratch oracle bit-for-bit.
+    let scratch_a = estimate(
+        &problem,
+        &vec![
+            Value::Addr(addrs[0]),
+            Value::Addr(addrs[1]),
+            Value::Addr(addrs[2]),
+        ],
+        &world,
+    )
+    .unwrap();
+    let scratch_b = estimate(
+        &problem,
+        &vec![
+            Value::Addr(addrs[0]),
+            Value::Addr(addrs[1]),
+            Value::Addr(addrs[3]),
+        ],
+        &world,
+    )
+    .unwrap();
+    assert_eq!(first.makespan.to_bits(), scratch_a.makespan.to_bits());
+    assert_eq!(second.makespan.to_bits(), scratch_b.makespan.to_bits());
+}
+
+/// The free lower bound: after popping back above a rated component whose
+/// flows are all determined by the remaining prefix, the bound is exactly
+/// that component's rating — and it never exceeds any reachable makespan.
+#[test]
+fn component_lower_bound_is_admissible() {
+    let addrs: Vec<Address> = (1..=12).map(Address).collect();
+    let problem = daisy(&addrs);
+    let world = world_for(&problem, 11);
+    let mut de = DeltaEstimator::new(&problem, &world).unwrap();
+    assert_eq!(de.component_lower_bound(), 0.0, "cold cache bounds nothing");
+    de.push(Value::Addr(addrs[0]));
+    de.push(Value::Addr(addrs[1]));
+    de.push(Value::Addr(addrs[2]));
+    de.estimate_summary().unwrap();
+    de.pop();
+    // f1 (x1→x2) is determined at depth 2 and untouched by the pop.
+    let lb = de.component_lower_bound();
+    assert!(lb > 0.0, "rated determined component must bound");
+    // Admissible: no choice of x3 beats the bound.
+    for &a in &addrs {
+        de.push(Value::Addr(a));
+        let m = de.estimate_summary().unwrap().makespan;
+        assert!(lb <= m, "lb {lb} > makespan {m} for x3={a:?}");
+        de.pop();
+    }
+}

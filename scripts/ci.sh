@@ -19,6 +19,12 @@ cargo test -q -p cloudtalk --test chaos
 echo "=== benches compile ==="
 cargo bench --no-run --workspace
 
+echo "=== delta estimator equivalence (apply/undo vs scratch, bit-identical) ==="
+cargo test -q -p estimator --test delta_props
+
+echo "=== delta search smoke (scratch and delta agree on winner + objective) ==="
+cargo bench -q -p cloudtalk-bench --bench exhaustive_bench -- --delta --smoke
+
 echo "=== pktsearch smoke ==="
 cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke
 
