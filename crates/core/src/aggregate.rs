@@ -1,0 +1,1325 @@
+//! Hierarchical status plane: rack-level aggregators with failover
+//! (ROADMAP item 2; the scale regime beyond the paper's §4.3 knee).
+//!
+//! Flat scatter-gather tops out near the paper's ~1000-way fan-out
+//! (Figure 5): past the incast knee most replies are lost no matter how
+//! many retry rounds are spent. This module splits collection into two
+//! tiers, the layered datacenter/broker shape of CloudSim:
+//!
+//! * a [`RackAggregator`] per rack keeps a **delta-compressed,
+//!   epoch-stamped partial snapshot** of its (≤ knee-sized, therefore
+//!   loss-free) host set, and
+//! * an [`AggregationPlane`] — the collector that lives inside the
+//!   CloudTalk server process — pulls *only changed host states* from
+//!   each aggregator and serves the merged fleet view through the
+//!   ordinary [`StatusSource`] trait, so `Server::answer`, sampling, and
+//!   freshness scoring compose unchanged.
+//!
+//! # Epoch rules
+//!
+//! Every aggregator snapshot carries an [`EpochStamp`] `(node,
+//! incarnation, epoch)`: `node` identifies the aggregator process
+//! (primary and standby are distinct nodes), `incarnation` counts its
+//! restarts, `epoch` counts state changes within one incarnation. A
+//! [`SnapshotDelta`] names the exact stamp it was computed against
+//! (`base`) and the epoch it advances to (`next_epoch`); the collector's
+//! [`RackView::apply_delta`] accepts it only when the base matches its
+//! own stamp bit-for-bit. Everything else is handled without guessing:
+//!
+//! * `next_epoch <= view.epoch`, same node+incarnation — a **replayed**
+//!   delta; merging is idempotent (a no-op, [`MergeOutcome::AlreadyApplied`]).
+//! * different node or incarnation — a delta from **before a crash** (or
+//!   from the other aggregator); rejected
+//!   ([`MergeOutcome::RejectedIncarnation`]), never merged, because the
+//!   restarted aggregator re-observed the world from scratch and the old
+//!   delta's base state no longer exists anywhere.
+//! * matching incarnation but a **gap** in epochs — rejected
+//!   ([`MergeOutcome::RejectedEpochGap`]); the collector re-pulls and the
+//!   aggregator answers with a full snapshot.
+//!
+//! A rejected pull never corrupts the view: the collector keeps serving
+//! its last merged state (ages growing, so freshness decays honestly)
+//! until a full snapshot re-primes it.
+//!
+//! # Failover ladder
+//!
+//! Each sync pulls every rack through an explicit ladder, faulted
+//! aggregators degrading exactly as hosts do today:
+//!
+//! 1. **retry** the primary aggregator under the configured
+//!    [`RetryPolicy`] (with seeded jitter, so a thundering herd of
+//!    collectors does not re-synchronize on a recovering aggregator);
+//! 2. **fail over to the standby** aggregator (its own node id and
+//!    incarnation stream — the first pull after failover is a full
+//!    snapshot by the epoch rules above), when configured;
+//! 3. **bypass** straight to the rack's hosts with the ordinary
+//!    scatter-gather transport (rack-sized fan-out, so still under the
+//!    knee), when configured;
+//! 4. otherwise the rack is **stale**: the view keeps serving the last
+//!    merged reports with honestly growing ages, which the server's
+//!    freshness decay converts into a [`crate::server::DegradationRung`]
+//!    for *that rack's hosts only* — a dead aggregator costs one rack's
+//!    freshness, never the query.
+//!
+//! Observability: the plane owns a `gather.agg.*` metrics registry
+//! (pulls, retries, deltas/fulls, failover and stale-delta-rejection
+//! counters) and records each sync's failover events as an `agg.sync`
+//! span tree ([`AggregationPlane::last_sync_trace`]).
+
+use std::collections::{BTreeMap, HashMap};
+
+use cloudtalk_lang::problem::Address;
+use desim::rng::{stream_rng, DetRng};
+use desim::SimTime;
+use obs::{CounterId, MetricsRegistry, Trace, TraceReport};
+
+use crate::faults::FaultPlan;
+use crate::messages::OverheadLedger;
+use crate::status::{StatusReport, StatusSource};
+use crate::transport::{scatter_gather_retry, RetryPolicy, TransportConfig};
+
+/// Identifies one rack of the fleet (an index into the [`FleetLayout`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RackId(pub u32);
+
+/// The fleet's host→rack assignment.
+#[derive(Clone, Debug, Default)]
+pub struct FleetLayout {
+    racks: Vec<Vec<Address>>,
+    by_addr: HashMap<Address, RackId>,
+}
+
+impl FleetLayout {
+    /// Builds a layout from explicit rack membership. Hosts are sorted
+    /// within each rack; an address may appear in only one rack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address is assigned to two racks.
+    pub fn grouped(racks: Vec<Vec<Address>>) -> Self {
+        let mut by_addr = HashMap::new();
+        let racks: Vec<Vec<Address>> = racks
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut hosts)| {
+                hosts.sort_unstable_by_key(|a| a.0);
+                hosts.dedup();
+                for &a in &hosts {
+                    let prev = by_addr.insert(a, RackId(i as u32));
+                    assert!(prev.is_none(), "address {a:?} assigned to two racks");
+                }
+                hosts
+            })
+            .collect();
+        FleetLayout { racks, by_addr }
+    }
+
+    /// Packs `addrs` into consecutive racks of `hosts_per_rack`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts_per_rack` is zero.
+    pub fn uniform(addrs: &[Address], hosts_per_rack: usize) -> Self {
+        assert!(hosts_per_rack > 0, "racks must hold at least one host");
+        Self::grouped(addrs.chunks(hosts_per_rack).map(<[Address]>::to_vec).collect())
+    }
+
+    /// Number of racks.
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Total number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// The hosts of `rack`, sorted by address.
+    pub fn hosts(&self, rack: RackId) -> &[Address] {
+        &self.racks[rack.0 as usize]
+    }
+
+    /// The rack containing `addr`, if it is part of the fleet.
+    pub fn rack_of(&self, addr: Address) -> Option<RackId> {
+        self.by_addr.get(&addr).copied()
+    }
+
+    /// All rack ids, in order.
+    pub fn rack_ids(&self) -> impl Iterator<Item = RackId> {
+        (0..self.racks.len() as u32).map(RackId)
+    }
+}
+
+/// The identity of one aggregator snapshot state: which aggregator
+/// process (`node`), which life of it (`incarnation`), and how many
+/// state changes it has observed in this life (`epoch`).
+///
+/// Node `0` is reserved for "no aggregator" (an unprimed or
+/// bypass-populated collector view), so a real aggregator's stamps can
+/// never collide with it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EpochStamp {
+    /// Aggregator process id (unique per aggregator, primaries and
+    /// standbys included; 0 = no aggregator).
+    pub node: u32,
+    /// Restart count of that process.
+    pub incarnation: u32,
+    /// State-change count within the incarnation.
+    pub epoch: u64,
+}
+
+/// One host entry of an aggregator's partial snapshot.
+#[derive(Clone, Copy, Debug)]
+struct SnapEntry {
+    report: StatusReport,
+    /// Epoch at which this entry last changed (for delta compression).
+    changed_at: u64,
+}
+
+/// An aggregator's epoch-stamped partial snapshot of its rack.
+#[derive(Clone, Debug)]
+pub struct PartialSnapshot {
+    /// The rack this snapshot covers.
+    pub rack: RackId,
+    /// Identity and version of the snapshot state.
+    pub stamp: EpochStamp,
+    /// When the covered hosts were last successfully re-polled; served
+    /// report ages grow from this instant.
+    pub fresh_as_of: SimTime,
+    entries: BTreeMap<Address, SnapEntry>,
+}
+
+impl PartialSnapshot {
+    fn new(rack: RackId, node: u32) -> Self {
+        PartialSnapshot {
+            rack,
+            stamp: EpochStamp {
+                node,
+                incarnation: 0,
+                epoch: 0,
+            },
+            fresh_as_of: SimTime::ZERO,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The report held for `addr`, if the host answered the last refresh.
+    pub fn get(&self, addr: Address) -> Option<&StatusReport> {
+        self.entries.get(&addr).map(|e| &e.report)
+    }
+
+    /// Iterates entries in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Address, &StatusReport)> {
+        self.entries.iter().map(|(&a, e)| (a, &e.report))
+    }
+
+    /// Number of hosts with a live entry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A delta-compressed update: everything that changed between two epochs
+/// of one aggregator incarnation.
+#[derive(Clone, Debug)]
+pub struct SnapshotDelta {
+    /// The rack the delta covers.
+    pub rack: RackId,
+    /// The exact stamp this delta was computed against; a collector may
+    /// apply it only from that stamp.
+    pub base: EpochStamp,
+    /// The epoch the collector is at after applying (same node and
+    /// incarnation as `base`).
+    pub next_epoch: u64,
+    /// Refresh instant of the covered hosts.
+    pub fresh_as_of: SimTime,
+    /// Hosts whose report changed since `base.epoch`, in address order.
+    pub changed: Vec<(Address, StatusReport)>,
+    /// Hosts that stopped answering since `base.epoch`, in address order.
+    pub removed: Vec<Address>,
+}
+
+/// An aggregator's answer to a pull: a delta when the collector's stamp
+/// is one this incarnation can diff against, otherwise a full snapshot.
+#[derive(Clone, Debug)]
+pub enum DeltaAnswer {
+    /// Only the changed/removed hosts.
+    Delta(SnapshotDelta),
+    /// The whole partial snapshot (resync).
+    Full(PartialSnapshot),
+}
+
+/// A rack-level aggregator: owns the delta-compressed, epoch-stamped
+/// partial snapshot of one rack's hosts.
+///
+/// The aggregator refreshes by scatter-gathering its own (rack-sized,
+/// below-the-knee) host set through the ordinary transport — host-level
+/// faults injected by a [`crate::faults::FaultySource`] under it behave
+/// exactly as they do against a flat collector. `epoch` advances only
+/// when a refresh actually changed something, so an idle rack costs a
+/// header per pull, not a body.
+#[derive(Clone, Debug)]
+pub struct RackAggregator {
+    hosts: Vec<Address>,
+    snap: PartialSnapshot,
+    /// Hosts removed from the snapshot, by removal epoch. A host is in
+    /// `entries` or `gone` (or never seen), never both, so this stays
+    /// bounded by the rack size.
+    gone: BTreeMap<Address, u64>,
+    transport: TransportConfig,
+    rng: DetRng,
+}
+
+impl RackAggregator {
+    /// Creates an aggregator for `rack` with process id `node` (must be
+    /// non-zero and unique across aggregators) over `hosts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is zero (reserved for "no aggregator").
+    pub fn new(
+        rack: RackId,
+        node: u32,
+        hosts: Vec<Address>,
+        transport: TransportConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(node != 0, "node 0 is reserved for unprimed views");
+        RackAggregator {
+            hosts,
+            snap: PartialSnapshot::new(rack, node),
+            gone: BTreeMap::new(),
+            transport,
+            rng: stream_rng(seed, 0xA660_0000 | u64::from(node)),
+        }
+    }
+
+    /// The current snapshot stamp.
+    pub fn stamp(&self) -> EpochStamp {
+        self.snap.stamp
+    }
+
+    /// The hosts this aggregator covers.
+    pub fn hosts(&self) -> &[Address] {
+        &self.hosts
+    }
+
+    /// Re-polls every host of the rack through `source`, folding the
+    /// replies into the partial snapshot. Returns `true` when anything
+    /// changed (and the epoch advanced). Host-tier traffic is accounted
+    /// into `ledger`'s `status_*`/`retry_*` counters.
+    pub fn refresh(
+        &mut self,
+        source: &mut impl StatusSource,
+        now: SimTime,
+        ledger: &mut OverheadLedger,
+    ) -> bool {
+        let outcome = scatter_gather_retry(
+            source,
+            &self.hosts,
+            &self.transport,
+            &mut self.rng,
+            ledger,
+        );
+        let next = self.snap.stamp.epoch + 1;
+        let mut changed = false;
+        for &(addr, report) in &outcome.replies {
+            let differs = self.snap.get(addr) != Some(&report);
+            if differs {
+                self.snap.entries.insert(
+                    addr,
+                    SnapEntry {
+                        report,
+                        changed_at: next,
+                    },
+                );
+                self.gone.remove(&addr);
+                changed = true;
+            }
+        }
+        for &addr in &outcome.missing {
+            if self.snap.entries.remove(&addr).is_some() {
+                self.gone.insert(addr, next);
+                changed = true;
+            }
+        }
+        if changed {
+            self.snap.stamp.epoch = next;
+        }
+        self.snap.fresh_as_of = now;
+        changed
+    }
+
+    /// Answers a pull from a collector at `base`: a [`SnapshotDelta`]
+    /// when `base` is a stamp of this incarnation no newer than the
+    /// current epoch, a full snapshot otherwise (different node,
+    /// different incarnation, or a base from the future — i.e. from
+    /// before a crash this incarnation knows nothing about).
+    pub fn delta_since(&self, base: EpochStamp) -> DeltaAnswer {
+        let cur = self.snap.stamp;
+        if base.node != cur.node || base.incarnation != cur.incarnation || base.epoch > cur.epoch
+        {
+            return DeltaAnswer::Full(self.snap.clone());
+        }
+        let changed: Vec<(Address, StatusReport)> = self
+            .snap
+            .entries
+            .iter()
+            .filter(|(_, e)| e.changed_at > base.epoch)
+            .map(|(&a, e)| (a, e.report))
+            .collect();
+        let removed: Vec<Address> = self
+            .gone
+            .iter()
+            .filter(|(_, &at)| at > base.epoch)
+            .map(|(&a, _)| a)
+            .collect();
+        DeltaAnswer::Delta(SnapshotDelta {
+            rack: self.snap.rack,
+            base,
+            next_epoch: cur.epoch,
+            fresh_as_of: self.snap.fresh_as_of,
+            changed,
+            removed,
+        })
+    }
+
+    /// The full partial snapshot (a resync body).
+    pub fn full(&self) -> PartialSnapshot {
+        self.snap.clone()
+    }
+
+    /// Simulates a crash + restart: all in-memory state is lost, the
+    /// incarnation advances, the epoch restarts from zero. Any delta
+    /// computed before the crash now names a stale incarnation and will
+    /// be rejected by every collector.
+    pub fn restart(&mut self) {
+        self.snap.stamp.incarnation += 1;
+        self.snap.stamp.epoch = 0;
+        self.snap.entries.clear();
+        self.snap.fresh_as_of = SimTime::ZERO;
+        self.gone.clear();
+    }
+}
+
+/// Outcome of merging a [`SnapshotDelta`] into a [`RackView`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MergeOutcome {
+    /// The delta advanced the view to `next_epoch`.
+    Applied,
+    /// The view already includes this delta (a replay); merging is
+    /// idempotent and the view is untouched.
+    AlreadyApplied,
+    /// The delta names another node or a pre-crash incarnation; it is
+    /// discarded untouched (stale-delta safety).
+    RejectedIncarnation,
+    /// The delta's base epoch does not match the view (an epoch gap —
+    /// some intermediate delta was lost); a full resync is needed.
+    RejectedEpochGap,
+}
+
+impl MergeOutcome {
+    /// Whether the view is consistent after the merge attempt (applied
+    /// or already present).
+    pub fn accepted(self) -> bool {
+        matches!(self, MergeOutcome::Applied | MergeOutcome::AlreadyApplied)
+    }
+}
+
+/// The collector's merged view of one rack.
+#[derive(Clone, Debug, Default)]
+pub struct RackView {
+    /// Stamp of the last merged aggregator state (node 0 when unprimed
+    /// or populated by a host bypass).
+    pub stamp: EpochStamp,
+    /// Refresh instant of the merged data; served ages grow from here.
+    pub fresh_as_of: SimTime,
+    entries: BTreeMap<Address, StatusReport>,
+}
+
+impl RackView {
+    /// The report held for `addr`.
+    pub fn get(&self, addr: Address) -> Option<&StatusReport> {
+        self.entries.get(&addr)
+    }
+
+    /// Number of hosts with a report.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates reports in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Address, &StatusReport)> {
+        self.entries.iter().map(|(&a, r)| (a, r))
+    }
+
+    /// Merges `delta` under the epoch rules (see the module docs): the
+    /// base stamp must match bit-for-bit; replays are idempotent no-ops;
+    /// anything from another node, another incarnation, or across an
+    /// epoch gap is rejected without touching the view.
+    pub fn apply_delta(&mut self, delta: &SnapshotDelta) -> MergeOutcome {
+        if delta.base.node != self.stamp.node
+            || delta.base.incarnation != self.stamp.incarnation
+        {
+            return MergeOutcome::RejectedIncarnation;
+        }
+        if delta.next_epoch <= self.stamp.epoch
+            && !(delta.next_epoch == self.stamp.epoch && delta.base.epoch == self.stamp.epoch)
+        {
+            return MergeOutcome::AlreadyApplied;
+        }
+        if delta.base.epoch != self.stamp.epoch {
+            return MergeOutcome::RejectedEpochGap;
+        }
+        for &(addr, report) in &delta.changed {
+            self.entries.insert(addr, report);
+        }
+        for addr in &delta.removed {
+            self.entries.remove(addr);
+        }
+        self.stamp.epoch = delta.next_epoch;
+        self.fresh_as_of = delta.fresh_as_of;
+        MergeOutcome::Applied
+    }
+
+    /// Replaces the view with a full snapshot (resync / failover).
+    pub fn install_full(&mut self, snap: &PartialSnapshot) {
+        self.entries = snap
+            .entries
+            .iter()
+            .map(|(&a, e)| (a, e.report))
+            .collect();
+        self.stamp = snap.stamp;
+        self.fresh_as_of = snap.fresh_as_of;
+    }
+
+    /// Whether the view's host table equals `snap`'s, entry for entry.
+    pub fn matches(&self, snap: &PartialSnapshot) -> bool {
+        self.entries.len() == snap.entries.len()
+            && snap.iter().all(|(a, r)| self.entries.get(&a) == Some(r))
+    }
+}
+
+/// Configuration of the collector tier.
+#[derive(Clone, Debug)]
+pub struct PlaneConfig {
+    /// Retry/backoff for collector→aggregator pulls. Jittered by default:
+    /// synchronized collectors must not herd onto a recovering
+    /// aggregator.
+    pub retry: RetryPolicy,
+    /// Maintain a standby aggregator per rack (failover rung 2). The
+    /// standby is assumed to live in a different failure domain, so
+    /// aggregator-scoped faults (which model the primary's rack-local
+    /// deployment) do not silence it.
+    pub standby: bool,
+    /// Fall back to direct host scatter-gather when no aggregator
+    /// answers (failover rung 3).
+    pub bypass: bool,
+    /// Transport for aggregator→host refreshes and for the bypass rung.
+    /// Fan-out is one rack, so the default knee keeps it loss-free.
+    pub host_transport: TransportConfig,
+    /// Span-arena capacity of the per-sync trace.
+    pub span_capacity: usize,
+    /// RNG seed (pull jitter, bypass transport; aggregator streams are
+    /// derived from it per node).
+    pub seed: u64,
+}
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        PlaneConfig {
+            retry: RetryPolicy {
+                jitter_pct: 50,
+                ..RetryPolicy::default()
+            },
+            standby: false,
+            bypass: false,
+            host_transport: TransportConfig::default(),
+            span_capacity: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Handles to the plane's `gather.agg.*` metrics.
+#[derive(Clone, Copy, Debug)]
+struct PlaneMetricIds {
+    syncs: CounterId,
+    pulls: CounterId,
+    pull_retries: CounterId,
+    deltas_applied: CounterId,
+    delta_hosts: CounterId,
+    fulls_installed: CounterId,
+    full_hosts: CounterId,
+    stale_delta_rejected: CounterId,
+    late_delta_applied: CounterId,
+    failover_standby: CounterId,
+    failover_bypass: CounterId,
+    rack_stale: CounterId,
+    restarts_observed: CounterId,
+    mid_push_crashes: CounterId,
+}
+
+impl PlaneMetricIds {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        PlaneMetricIds {
+            syncs: reg.counter("gather.agg.syncs"),
+            pulls: reg.counter("gather.agg.pulls"),
+            pull_retries: reg.counter("gather.agg.pull_retries"),
+            deltas_applied: reg.counter("gather.agg.deltas_applied"),
+            delta_hosts: reg.counter("gather.agg.delta_hosts"),
+            fulls_installed: reg.counter("gather.agg.fulls_installed"),
+            full_hosts: reg.counter("gather.agg.full_hosts"),
+            stale_delta_rejected: reg.counter("gather.agg.stale_delta_rejected"),
+            late_delta_applied: reg.counter("gather.agg.late_delta_applied"),
+            failover_standby: reg.counter("gather.agg.failover_standby"),
+            failover_bypass: reg.counter("gather.agg.failover_bypass"),
+            rack_stale: reg.counter("gather.agg.rack_stale"),
+            restarts_observed: reg.counter("gather.agg.restarts_observed"),
+            mid_push_crashes: reg.counter("gather.agg.mid_push_crashes"),
+        }
+    }
+}
+
+/// The collector tier: one [`RackAggregator`] (plus optional standby)
+/// per rack, merged [`RackView`]s, and the failover ladder. Implements
+/// [`StatusSource`], so a [`crate::server::CloudTalkServer`] collects
+/// through it unchanged — the server-side "transport" to a co-located
+/// plane is an in-process call (pair it with
+/// [`TransportConfig::local`]); the wire traffic of the hierarchy is the
+/// plane's own ledger (aggregator pulls + host-tier refreshes).
+pub struct AggregationPlane<S> {
+    layout: FleetLayout,
+    cfg: PlaneConfig,
+    primaries: Vec<RackAggregator>,
+    standbys: Vec<RackAggregator>,
+    views: Vec<RackView>,
+    source: S,
+    faults: FaultPlan,
+    now: SimTime,
+    synced_at: Option<SimTime>,
+    rng: DetRng,
+    metrics: MetricsRegistry,
+    ids: PlaneMetricIds,
+    ledger: OverheadLedger,
+    /// In-flight deltas whose push was interrupted by an aggregator
+    /// crash; "delivered" (and rejected) at the start of a later sync.
+    delayed: Vec<SnapshotDelta>,
+    mid_push_fired: Vec<bool>,
+    restart_done: Vec<bool>,
+    pull_attempts: Vec<u32>,
+    serving_standby: Vec<bool>,
+    stale_now: Vec<bool>,
+    last_trace: TraceReport,
+}
+
+impl<S: StatusSource> AggregationPlane<S> {
+    /// Builds a plane over `layout`, collecting host data through
+    /// `source` (wrap it in a [`crate::faults::FaultySource`] to inject
+    /// host-level faults underneath the aggregators).
+    pub fn new(layout: FleetLayout, source: S, cfg: PlaneConfig) -> Self {
+        let n = layout.rack_count();
+        let mk = |rack: usize, node_base: u32| {
+            RackAggregator::new(
+                RackId(rack as u32),
+                node_base + rack as u32,
+                layout.hosts(RackId(rack as u32)).to_vec(),
+                cfg.host_transport,
+                cfg.seed,
+            )
+        };
+        let primaries: Vec<RackAggregator> = (0..n).map(|r| mk(r, 1)).collect();
+        let standbys: Vec<RackAggregator> = if cfg.standby {
+            (0..n).map(|r| mk(r, 1 + n as u32)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut metrics = MetricsRegistry::new();
+        let ids = PlaneMetricIds::register(&mut metrics);
+        let rng = stream_rng(cfg.seed, 0xA66);
+        AggregationPlane {
+            primaries,
+            standbys,
+            views: vec![RackView::default(); n],
+            source,
+            faults: FaultPlan::none(),
+            now: SimTime::ZERO,
+            synced_at: None,
+            rng,
+            metrics,
+            ids,
+            ledger: OverheadLedger::default(),
+            delayed: Vec::new(),
+            mid_push_fired: vec![false; n],
+            restart_done: vec![false; n],
+            pull_attempts: vec![0; n],
+            serving_standby: vec![false; n],
+            stale_now: vec![false; n],
+            last_trace: TraceReport::default(),
+            layout,
+            cfg,
+        }
+    }
+
+    /// Applies aggregator-scoped faults from `plan` (`agg_*` entries;
+    /// host-scoped entries of the same plan belong in a `FaultySource`
+    /// wrapped around the host source).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the simulated time. The next poll triggers a fresh sync.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The fleet layout.
+    pub fn layout(&self) -> &FleetLayout {
+        &self.layout
+    }
+
+    /// The wrapped host-level source (tests advance fault windows here).
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+
+    /// The plane's `gather.agg.*` metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Cumulative wire-traffic ledger of the hierarchy: aggregator pulls
+    /// (`agg_*`) plus host-tier refresh/bypass traffic
+    /// (`status_*`/`retry_*`).
+    pub fn ledger(&self) -> OverheadLedger {
+        self.ledger
+    }
+
+    /// The span tree of the most recent sync (failover/reject events).
+    pub fn last_sync_trace(&self) -> &TraceReport {
+        &self.last_trace
+    }
+
+    /// The collector's merged view of `rack`.
+    pub fn view(&self, rack: RackId) -> &RackView {
+        &self.views[rack.0 as usize]
+    }
+
+    /// Whether `rack` is currently served by its standby aggregator.
+    pub fn on_standby(&self, rack: RackId) -> bool {
+        self.serving_standby[rack.0 as usize]
+    }
+
+    /// Racks whose last sync fell off the ladder entirely (no aggregator
+    /// answered and bypass was unavailable): their views kept the
+    /// previous data with growing ages.
+    pub fn stale_racks(&self) -> Vec<RackId> {
+        self.layout
+            .rack_ids()
+            .filter(|&r| self.stale_now[r.0 as usize])
+            .collect()
+    }
+
+    /// Synchronizes the collector with the aggregator tier at `now`:
+    /// delivers (and epoch-checks) any delayed deltas, then pulls every
+    /// rack through the failover ladder. Idempotent per instant — polls
+    /// at an already-synced `now` reuse the merged views.
+    pub fn sync(&mut self, now: SimTime) {
+        self.now = now;
+        self.synced_at = Some(now);
+        self.metrics.inc(self.ids.syncs, 1);
+        let mut trace = Trace::deterministic(self.cfg.span_capacity);
+        let root = trace.begin("agg.sync", now);
+
+        // The network finally delivers deltas whose push a crash
+        // interrupted. A delta that still matches its view (no successful
+        // sync happened in between) merges fine; one from a pre-crash
+        // incarnation must be rejected, never merged.
+        for delta in std::mem::take(&mut self.delayed) {
+            let view = &mut self.views[delta.rack.0 as usize];
+            let outcome = view.apply_delta(&delta);
+            if outcome.accepted() {
+                self.metrics.inc(self.ids.late_delta_applied, 1);
+            } else {
+                self.metrics.inc(self.ids.stale_delta_rejected, 1);
+                let span = trace.begin("agg.reject", now);
+                trace.set_arg(span, "rack", u64::from(delta.rack.0));
+                trace.set_arg(span, "incarnation", u64::from(delta.base.incarnation));
+                trace.end(span, now);
+            }
+        }
+
+        for rack in 0..self.layout.rack_count() {
+            self.pull_rack(rack, now, &mut trace);
+        }
+
+        trace.end(root, now);
+        self.last_trace = trace.into_report();
+    }
+
+    /// One rack through the failover ladder.
+    fn pull_rack(&mut self, rack: usize, now: SimTime, trace: &mut Trace) {
+        let rid = RackId(rack as u32);
+        self.stale_now[rack] = false;
+
+        // A crash window that has closed means the primary restarted with
+        // empty state and a fresh incarnation (handled once per window).
+        if let Some(w) = self.faults.agg_crash_window(rid) {
+            if w.ended_by(now) && !self.restart_done[rack] {
+                self.primaries[rack].restart();
+                self.restart_done[rack] = true;
+                self.metrics.inc(self.ids.restarts_observed, 1);
+            }
+        }
+
+        // Rung 1: the primary, under retry/backoff with seeded jitter.
+        for attempt in 0..=self.cfg.retry.max_retries {
+            if attempt > 0 {
+                let _backoff = self
+                    .cfg
+                    .retry
+                    .backoff_before_jittered(attempt, &mut self.rng);
+                self.metrics.inc(self.ids.pull_retries, 1);
+            }
+            self.pull_attempts[rack] += 1;
+            self.ledger.record_agg_pull();
+            self.metrics.inc(self.ids.pulls, 1);
+            if self.faults.agg_crashed_at(rid, now)
+                || self.faults.agg_partitioned_at(rid, now)
+                || self.pull_attempts[rack] <= self.faults.agg_straggle_rounds(rid)
+            {
+                continue; // no reply within the timeout
+            }
+            self.primaries[rack].refresh(&mut self.source, now, &mut self.ledger);
+            let answer = self.primaries[rack].delta_since(self.views[rack].stamp);
+            if self.faults.agg_crash_mid_push_at(rid, now) && !self.mid_push_fired[rack] {
+                // The reply is lost in flight and the aggregator dies
+                // mid-push: its next incarnation starts empty, and the
+                // in-flight delta becomes a stale-epoch straggler.
+                if let DeltaAnswer::Delta(d) = answer {
+                    self.delayed.push(d);
+                }
+                self.primaries[rack].restart();
+                self.mid_push_fired[rack] = true;
+                self.metrics.inc(self.ids.mid_push_crashes, 1);
+                continue;
+            }
+            self.absorb_answer(rack, &answer);
+            self.serving_standby[rack] = false;
+            return;
+        }
+
+        // Rung 2: the standby aggregator (its own node/incarnation
+        // stream: the first post-failover pull resyncs in full).
+        if self.cfg.standby {
+            let span = trace.begin("agg.failover", now);
+            trace.set_arg(span, "rack", u64::from(rid.0));
+            trace.set_arg(span, "rung", 2);
+            self.ledger.record_agg_pull();
+            self.metrics.inc(self.ids.pulls, 1);
+            self.standbys[rack].refresh(&mut self.source, now, &mut self.ledger);
+            let answer = self.standbys[rack].delta_since(self.views[rack].stamp);
+            self.absorb_answer(rack, &answer);
+            self.serving_standby[rack] = true;
+            self.metrics.inc(self.ids.failover_standby, 1);
+            trace.end(span, now);
+            return;
+        }
+
+        // Rung 3: bypass the aggregator tier — ordinary scatter-gather
+        // straight to the rack's hosts (rack-sized fan-out).
+        if self.cfg.bypass {
+            let span = trace.begin("agg.failover", now);
+            trace.set_arg(span, "rack", u64::from(rid.0));
+            trace.set_arg(span, "rung", 3);
+            let outcome = scatter_gather_retry(
+                &mut self.source,
+                self.layout.hosts(rid),
+                &self.cfg.host_transport,
+                &mut self.rng,
+                &mut self.ledger,
+            );
+            let view = &mut self.views[rack];
+            view.entries = outcome.replies.iter().copied().collect();
+            // Node 0: no aggregator state backs this view, so the next
+            // successful aggregator pull resyncs in full.
+            view.stamp = EpochStamp::default();
+            view.fresh_as_of = now;
+            self.metrics.inc(self.ids.failover_bypass, 1);
+            trace.end(span, now);
+            return;
+        }
+
+        // Rung 4: the rack is stale. Keep serving the last merged view;
+        // its ages grow from fresh_as_of, so the server's freshness decay
+        // degrades exactly this rack's hosts.
+        let span = trace.begin("agg.stale", now);
+        trace.set_arg(span, "rack", u64::from(rid.0));
+        trace.end(span, now);
+        self.stale_now[rack] = true;
+        self.metrics.inc(self.ids.rack_stale, 1);
+    }
+
+    /// Merges an aggregator's answer into the rack view, falling back to
+    /// a full install when a delta unexpectedly fails to apply.
+    fn absorb_answer(&mut self, rack: usize, answer: &DeltaAnswer) {
+        match answer {
+            DeltaAnswer::Delta(d) => {
+                self.ledger
+                    .record_agg_reply(d.changed.len() as u64, d.removed.len() as u64);
+                if self.views[rack].apply_delta(d).accepted() {
+                    self.metrics.inc(self.ids.deltas_applied, 1);
+                    self.metrics
+                        .inc(self.ids.delta_hosts, d.changed.len() as u64);
+                } else {
+                    // Cannot happen through the pull path (the aggregator
+                    // answers Full on any stamp mismatch), but a view must
+                    // never be left inconsistent: resync in full.
+                    let full = self.primaries[rack].full();
+                    self.install_full(rack, &full);
+                }
+            }
+            DeltaAnswer::Full(s) => self.install_full(rack, s),
+        }
+    }
+
+    fn install_full(&mut self, rack: usize, snap: &PartialSnapshot) {
+        self.ledger.record_agg_reply(snap.len() as u64, 0);
+        self.views[rack].install_full(snap);
+        self.metrics.inc(self.ids.fulls_installed, 1);
+        self.metrics.inc(self.ids.full_hosts, snap.len() as u64);
+    }
+
+    fn ensure_synced(&mut self) {
+        if self.synced_at != Some(self.now) {
+            self.sync(self.now);
+        }
+    }
+}
+
+impl<S: StatusSource> StatusSource for AggregationPlane<S> {
+    fn poll(&mut self, addr: Address) -> Option<estimator::HostState> {
+        self.poll_report(addr).map(|r| r.state)
+    }
+
+    fn poll_report(&mut self, addr: Address) -> Option<StatusReport> {
+        self.ensure_synced();
+        let rack = self.layout.rack_of(addr)?;
+        let view = &self.views[rack.0 as usize];
+        let report = view.get(addr)?;
+        Some(StatusReport {
+            state: report.state,
+            age: report.age + self.now.saturating_since(view.fresh_as_of),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultPlan, FaultySource, Window};
+    use crate::status::TableStatusSource;
+    use desim::SimDuration;
+    use estimator::HostState;
+
+    fn source(n: u32) -> TableStatusSource {
+        let mut s = TableStatusSource::new();
+        for i in 1..=n {
+            s.set(Address(i), HostState::gbps_idle());
+        }
+        s
+    }
+
+    fn layout_3x4() -> FleetLayout {
+        FleetLayout::uniform(&(1..=12).map(Address).collect::<Vec<_>>(), 4)
+    }
+
+    #[test]
+    fn layout_groups_and_looks_up() {
+        let l = layout_3x4();
+        assert_eq!(l.rack_count(), 3);
+        assert_eq!(l.host_count(), 12);
+        assert_eq!(l.hosts(RackId(1)), &[5, 6, 7, 8].map(Address));
+        assert_eq!(l.rack_of(Address(6)), Some(RackId(1)));
+        assert_eq!(l.rack_of(Address(99)), None);
+    }
+
+    #[test]
+    fn refresh_advances_epoch_only_on_change() {
+        let mut src = source(4);
+        let mut agg = RackAggregator::new(
+            RackId(0),
+            1,
+            (1..=4).map(Address).collect(),
+            TransportConfig::default(),
+            7,
+        );
+        let mut ledger = OverheadLedger::default();
+        assert!(agg.refresh(&mut src, SimTime::ZERO, &mut ledger));
+        assert_eq!(agg.stamp().epoch, 1);
+        // Nothing changed: epoch holds, freshness still advances.
+        let t1 = SimTime::from_secs_f64(1.0);
+        assert!(!agg.refresh(&mut src, t1, &mut ledger));
+        assert_eq!(agg.stamp().epoch, 1);
+        assert_eq!(agg.full().fresh_as_of, t1);
+        // One host changes: epoch advances, delta carries only it.
+        src.set(Address(2), HostState::gbps_idle().with_up_load(0.5));
+        let before = agg.stamp();
+        assert!(agg.refresh(&mut src, t1, &mut ledger));
+        match agg.delta_since(before) {
+            DeltaAnswer::Delta(d) => {
+                assert_eq!(d.changed.len(), 1);
+                assert_eq!(d.changed[0].0, Address(2));
+                assert!(d.removed.is_empty());
+            }
+            DeltaAnswer::Full(_) => panic!("same incarnation must diff"),
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_reconstructs_full_snapshot() {
+        let mut src = source(4);
+        let mut agg = RackAggregator::new(
+            RackId(0),
+            1,
+            (1..=4).map(Address).collect(),
+            TransportConfig::default(),
+            7,
+        );
+        let mut ledger = OverheadLedger::default();
+        let mut view = RackView::default();
+        agg.refresh(&mut src, SimTime::ZERO, &mut ledger);
+        // Unprimed view (node 0): the aggregator answers Full.
+        match agg.delta_since(view.stamp) {
+            DeltaAnswer::Full(s) => view.install_full(&s),
+            DeltaAnswer::Delta(_) => panic!("node mismatch must resync"),
+        }
+        assert!(view.matches(&agg.full()));
+        // Mutate, remove, refresh; the delta catches the view up exactly.
+        src.set(Address(1), HostState::gbps_idle().with_up_load(0.9));
+        src.silence(Address(3));
+        agg.refresh(&mut src, SimTime::from_secs_f64(1.0), &mut ledger);
+        match agg.delta_since(view.stamp) {
+            DeltaAnswer::Delta(d) => {
+                assert_eq!(d.removed, vec![Address(3)]);
+                assert_eq!(view.apply_delta(&d), MergeOutcome::Applied);
+                // Replay: idempotent no-op.
+                assert_eq!(view.apply_delta(&d), MergeOutcome::AlreadyApplied);
+            }
+            DeltaAnswer::Full(_) => panic!("expected a delta"),
+        }
+        assert!(view.matches(&agg.full()));
+        assert!(view.get(Address(3)).is_none(), "removed host dropped");
+    }
+
+    #[test]
+    fn pre_crash_delta_is_rejected_after_restart() {
+        let mut src = source(4);
+        let mut agg = RackAggregator::new(
+            RackId(0),
+            1,
+            (1..=4).map(Address).collect(),
+            TransportConfig::default(),
+            7,
+        );
+        let mut ledger = OverheadLedger::default();
+        let mut view = RackView::default();
+        agg.refresh(&mut src, SimTime::ZERO, &mut ledger);
+        let DeltaAnswer::Full(s) = agg.delta_since(view.stamp) else {
+            panic!()
+        };
+        view.install_full(&s);
+        // A delta is computed… and delayed in flight.
+        src.set(Address(2), HostState::gbps_idle().with_up_load(0.4));
+        agg.refresh(&mut src, SimTime::from_secs_f64(1.0), &mut ledger);
+        let DeltaAnswer::Delta(delayed) = agg.delta_since(view.stamp) else {
+            panic!()
+        };
+        // The aggregator crashes and restarts; the collector resyncs from
+        // the new incarnation.
+        agg.restart();
+        agg.refresh(&mut src, SimTime::from_secs_f64(2.0), &mut ledger);
+        let DeltaAnswer::Full(s2) = agg.delta_since(view.stamp) else {
+            panic!("post-restart incarnation must resync")
+        };
+        view.install_full(&s2);
+        let settled = view.clone();
+        // The delayed pre-crash delta finally arrives: rejected, no-op.
+        assert_eq!(
+            view.apply_delta(&delayed),
+            MergeOutcome::RejectedIncarnation
+        );
+        assert_eq!(view.stamp, settled.stamp);
+        assert!(view.matches(&agg.full()));
+    }
+
+    #[test]
+    fn epoch_gap_is_rejected_and_resynced() {
+        let mut src = source(4);
+        let mut agg = RackAggregator::new(
+            RackId(0),
+            1,
+            (1..=4).map(Address).collect(),
+            TransportConfig::default(),
+            7,
+        );
+        let mut ledger = OverheadLedger::default();
+        let mut view = RackView::default();
+        agg.refresh(&mut src, SimTime::ZERO, &mut ledger);
+        let DeltaAnswer::Full(s) = agg.delta_since(view.stamp) else {
+            panic!()
+        };
+        view.install_full(&s);
+        let old_stamp = view.stamp;
+        // Two missed updates; a delta built against the *newer* epoch
+        // cannot be applied onto the older view.
+        src.set(Address(1), HostState::gbps_idle().with_up_load(0.3));
+        agg.refresh(&mut src, SimTime::ZERO, &mut ledger);
+        let mid_stamp = agg.stamp();
+        src.set(Address(2), HostState::gbps_idle().with_up_load(0.6));
+        agg.refresh(&mut src, SimTime::ZERO, &mut ledger);
+        let DeltaAnswer::Delta(tail) = agg.delta_since(mid_stamp) else {
+            panic!()
+        };
+        assert_eq!(view.stamp, old_stamp);
+        assert_eq!(view.apply_delta(&tail), MergeOutcome::RejectedEpochGap);
+        // But a delta built against the view's own stamp covers the gap.
+        let DeltaAnswer::Delta(all) = agg.delta_since(view.stamp) else {
+            panic!()
+        };
+        assert_eq!(view.apply_delta(&all), MergeOutcome::Applied);
+        assert!(view.matches(&agg.full()));
+    }
+
+    #[test]
+    fn plane_serves_fleet_and_is_deterministic() {
+        let run = || {
+            let mut plane = AggregationPlane::new(
+                layout_3x4(),
+                source(12),
+                PlaneConfig::default(),
+            );
+            plane.set_now(SimTime::ZERO);
+            let mut reports = Vec::new();
+            for a in 1..=12 {
+                reports.push(plane.poll_report(Address(a)));
+            }
+            (reports, plane.ledger())
+        };
+        let (a, la) = run();
+        let (b, lb) = run();
+        assert_eq!(a, b, "plane collection is deterministic");
+        assert_eq!(la, lb);
+        assert!(a.iter().all(Option::is_some), "whole fleet served");
+        assert!(la.agg_bytes() > 0, "aggregator pulls are accounted");
+        assert!(la.status_bytes() > 0, "host refreshes are accounted");
+    }
+
+    #[test]
+    fn plane_second_sync_is_delta_compressed() {
+        let mut plane =
+            AggregationPlane::new(layout_3x4(), source(12), PlaneConfig::default());
+        plane.sync(SimTime::ZERO);
+        let after_warm = plane.ledger();
+        // Nothing changed: the second sync ships headers only.
+        plane.sync(SimTime::from_secs_f64(1.0));
+        let after_idle = plane.ledger();
+        assert_eq!(
+            after_idle.agg_entries, after_warm.agg_entries,
+            "idle sync carries zero host entries"
+        );
+        assert_eq!(after_idle.agg_pulls, after_warm.agg_pulls + 3);
+        // One host changes: exactly one entry crosses the wire.
+        plane
+            .source_mut()
+            .set(Address(7), HostState::gbps_idle().with_up_load(0.8));
+        plane.sync(SimTime::from_secs_f64(2.0));
+        let after_change = plane.ledger();
+        assert_eq!(after_change.agg_entries, after_idle.agg_entries + 1);
+        assert_eq!(
+            plane.metrics().counter_named("gather.agg.delta_hosts"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn dead_rack_goes_stale_and_ages_grow() {
+        let plan = FaultPlan::none().agg_crash(RackId(1), Window::always());
+        let mut plane = AggregationPlane::new(layout_3x4(), source(12), PlaneConfig::default())
+            .with_faults(plan);
+        plane.sync(SimTime::ZERO);
+        // Rack 1 never primed: its hosts are missing entirely.
+        assert!(plane.poll_report(Address(5)).is_none());
+        assert!(plane.poll_report(Address(1)).is_some());
+        assert_eq!(plane.stale_racks(), vec![RackId(1)]);
+        assert_eq!(
+            plane.metrics().counter_named("gather.agg.rack_stale"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn crashed_rack_serves_aged_reports_from_last_view() {
+        // Crash opens *after* a clean sync: the stale rung keeps serving
+        // the old data with growing ages — one rack's freshness, not an
+        // outage.
+        let plan = FaultPlan::none().agg_crash(
+            RackId(1),
+            Window::starting_at(SimTime::from_secs_f64(0.5)),
+        );
+        let mut plane = AggregationPlane::new(layout_3x4(), source(12), PlaneConfig::default())
+            .with_faults(plan);
+        plane.sync(SimTime::ZERO);
+        let t = SimTime::from_secs_f64(3.0);
+        plane.set_now(t);
+        let stale = plane.poll_report(Address(5)).expect("last view serves");
+        assert_eq!(stale.age, SimDuration::from_secs_f64(3.0));
+        let fresh = plane.poll_report(Address(1)).expect("healthy rack");
+        assert_eq!(fresh.age, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn standby_failover_keeps_rack_fresh() {
+        let plan = FaultPlan::none().agg_crash(RackId(0), Window::always());
+        let cfg = PlaneConfig {
+            standby: true,
+            ..PlaneConfig::default()
+        };
+        let mut plane = AggregationPlane::new(layout_3x4(), source(12), cfg).with_faults(plan);
+        plane.sync(SimTime::ZERO);
+        assert!(plane.on_standby(RackId(0)));
+        assert!(!plane.on_standby(RackId(1)));
+        assert!(plane.poll_report(Address(1)).is_some());
+        assert!(plane.stale_racks().is_empty());
+        assert_eq!(
+            plane.metrics().counter_named("gather.agg.failover_standby"),
+            Some(1)
+        );
+        assert!(
+            plane.last_sync_trace().span("agg.failover").is_some(),
+            "failover recorded in the sync span tree"
+        );
+    }
+
+    #[test]
+    fn bypass_failover_collects_hosts_directly() {
+        let plan = FaultPlan::none().agg_partition(RackId(2), Window::always());
+        let cfg = PlaneConfig {
+            bypass: true,
+            ..PlaneConfig::default()
+        };
+        let mut plane = AggregationPlane::new(layout_3x4(), source(12), cfg).with_faults(plan);
+        plane.sync(SimTime::ZERO);
+        assert!(plane.poll_report(Address(9)).is_some());
+        assert!(plane.stale_racks().is_empty());
+        assert_eq!(
+            plane.metrics().counter_named("gather.agg.failover_bypass"),
+            Some(1)
+        );
+        // The bypass view is unstamped; a healed aggregator resyncs it in
+        // full next sync.
+        assert_eq!(plane.view(RackId(2)).stamp.node, 0);
+    }
+
+    #[test]
+    fn straggling_aggregator_recovers_within_retries() {
+        let plan = FaultPlan::none().agg_straggle(RackId(1), 2);
+        let mut plane = AggregationPlane::new(layout_3x4(), source(12), PlaneConfig::default())
+            .with_faults(plan);
+        plane.sync(SimTime::ZERO);
+        assert!(plane.poll_report(Address(5)).is_some());
+        assert!(plane.stale_racks().is_empty());
+        assert_eq!(
+            plane.metrics().counter_named("gather.agg.pull_retries"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn crash_mid_push_rejects_late_delta_and_resyncs() {
+        let w = Window::between(SimTime::from_secs_f64(0.5), SimTime::from_secs_f64(1.5));
+        let plan = FaultPlan::none().agg_crash_mid_push(RackId(0), w);
+        let mut plane = AggregationPlane::new(layout_3x4(), source(12), PlaneConfig::default())
+            .with_faults(plan);
+        plane.sync(SimTime::ZERO);
+        // A change happens; the push of its delta is interrupted by the
+        // crash, and the restarted (empty) incarnation serves a Full.
+        plane
+            .source_mut()
+            .set(Address(2), HostState::gbps_idle().with_up_load(0.7));
+        plane.sync(SimTime::from_secs_f64(1.0));
+        assert_eq!(
+            plane.metrics().counter_named("gather.agg.mid_push_crashes"),
+            Some(1)
+        );
+        // The retry within the same sync already resynced from the new
+        // incarnation, so the rack is fresh and correct.
+        assert!(plane.stale_racks().is_empty());
+        let r = plane.poll_report(Address(2)).expect("served");
+        assert!(r.state.nic_up_used > 0.0, "post-change state visible");
+        // Next sync delivers the delayed pre-crash delta: rejected.
+        plane.sync(SimTime::from_secs_f64(2.0));
+        assert_eq!(
+            plane
+                .metrics()
+                .counter_named("gather.agg.stale_delta_rejected"),
+            Some(1)
+        );
+        assert!(plane.last_sync_trace().span("agg.reject").is_some());
+    }
+
+    #[test]
+    fn crash_window_close_restarts_primary_with_full_resync() {
+        let w = Window::between(SimTime::from_secs_f64(0.5), SimTime::from_secs_f64(1.5));
+        let plan = FaultPlan::none().agg_crash(RackId(0), w);
+        let mut plane = AggregationPlane::new(layout_3x4(), source(12), PlaneConfig::default())
+            .with_faults(plan);
+        plane.sync(SimTime::ZERO);
+        let fulls_before = plane
+            .metrics()
+            .counter_named("gather.agg.fulls_installed")
+            .unwrap();
+        // During the crash the rack is stale…
+        plane.sync(SimTime::from_secs_f64(1.0));
+        assert_eq!(plane.stale_racks(), vec![RackId(0)]);
+        // …after the restart it resyncs in full (new incarnation).
+        plane.sync(SimTime::from_secs_f64(2.0));
+        assert!(plane.stale_racks().is_empty());
+        assert_eq!(
+            plane.metrics().counter_named("gather.agg.restarts_observed"),
+            Some(1)
+        );
+        assert!(
+            plane
+                .metrics()
+                .counter_named("gather.agg.fulls_installed")
+                .unwrap()
+                > fulls_before
+        );
+    }
+
+    #[test]
+    fn host_faults_under_aggregators_behave_as_flat() {
+        // A crashed host inside a healthy rack: the aggregator drops it
+        // from the snapshot, the plane reports it missing — identical to
+        // flat collection semantics.
+        let plan = FaultPlan::none().crash(Address(6), Window::always());
+        let faulty = FaultySource::new(source(12), plan);
+        let mut plane =
+            AggregationPlane::new(layout_3x4(), faulty, PlaneConfig::default());
+        plane.set_now(SimTime::ZERO);
+        assert!(plane.poll_report(Address(6)).is_none());
+        assert!(plane.poll_report(Address(5)).is_some());
+    }
+}

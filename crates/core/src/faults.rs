@@ -23,7 +23,7 @@
 //! [`FaultPlan::seeded`] derives one reproducibly from a `u64` seed, so a
 //! failing chaos case replays bit-for-bit.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cloudtalk_lang::problem::Address;
 use desim::rng::stream_rng;
@@ -31,9 +31,20 @@ use desim::{SimDuration, SimTime};
 use estimator::{HostState, World};
 use rand::Rng;
 
+use crate::aggregate::RackId;
 use crate::status::{StatusReport, StatusSource};
 
 /// A simulated-time interval during which a fault is active.
+///
+/// Windows are **half-open**, `[from, until)`: `from` is the first
+/// faulted instant (inclusive) and `until` — when present — is the first
+/// healthy instant again (exclusive; "the crash restarts *at* `until`").
+/// Consequently a window with `from == until` contains no instant at all
+/// ([`Window::is_empty`]), two windows `[a, b)` and `[b, c)` compose
+/// without double-faulting instant `b`, and every consumer —
+/// [`Window::contains`], [`FaultPlan::silenced_at`],
+/// [`FaultPlan::partition_group`], the aggregator fault accessors — uses
+/// these same edges.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Window {
     from: SimTime,
@@ -54,8 +65,9 @@ impl Window {
         Window { from, until: None }
     }
 
-    /// A fault active in `[from, until)` (a crash that restarts at
-    /// `until`).
+    /// A fault active in the half-open interval `[from, until)`: faulted
+    /// at `from`, healthy again at `until` (a crash that restarts at
+    /// `until`). `from == until` yields an empty window.
     pub fn between(from: SimTime, until: SimTime) -> Self {
         Window {
             from,
@@ -63,9 +75,22 @@ impl Window {
         }
     }
 
-    /// Whether the fault is active at `now`.
+    /// Whether the fault is active at `now`: `from <= now < until`.
     pub fn contains(&self, now: SimTime) -> bool {
         now >= self.from && self.until.is_none_or(|u| now < u)
+    }
+
+    /// Whether the window contains no instant at all (`until <= from`).
+    pub fn is_empty(&self) -> bool {
+        self.until.is_some_and(|u| u <= self.from)
+    }
+
+    /// Whether the window has closed by `now` (the fault is over *and*
+    /// actually happened before `now` — an empty window never "ends", it
+    /// never began). Restart logic keys off this edge: at `now == until`
+    /// the host/aggregator is already back.
+    pub fn ended_by(&self, now: SimTime) -> bool {
+        !self.is_empty() && self.until.is_some_and(|u| now >= u)
     }
 }
 
@@ -176,6 +201,12 @@ pub struct FaultPlan {
     stragglers: HashMap<Address, u32>,
     stale: HashMap<Address, SimDuration>,
     corrupt: HashMap<Address, Corruption>,
+    // Aggregator-tier faults (BTreeMaps: iterated during the sync ladder,
+    // so ordering must be deterministic).
+    agg_crashed: BTreeMap<RackId, Window>,
+    agg_partitioned: BTreeMap<RackId, Window>,
+    agg_stragglers: BTreeMap<RackId, u32>,
+    agg_mid_push: BTreeMap<RackId, Window>,
 }
 
 impl FaultPlan {
@@ -226,6 +257,65 @@ impl FaultPlan {
         self
     }
 
+    /// Crashes `rack`'s primary aggregator during `window` (state lost;
+    /// it restarts with a fresh incarnation when the window closes).
+    pub fn agg_crash(mut self, rack: RackId, window: Window) -> Self {
+        self.agg_crashed.insert(rack, window);
+        self
+    }
+
+    /// Partitions `rack`'s primary aggregator away from the collector
+    /// during `window` (the aggregator is healthy, pulls just never
+    /// complete; no state is lost).
+    pub fn agg_partition(mut self, rack: RackId, window: Window) -> Self {
+        self.agg_partitioned.insert(rack, window);
+        self
+    }
+
+    /// Makes the first `rounds` pulls of `rack`'s primary aggregator
+    /// exceed the pull timeout; a retry recovers it.
+    pub fn agg_straggle(mut self, rack: RackId, rounds: u32) -> Self {
+        self.agg_stragglers.insert(rack, rounds);
+        self
+    }
+
+    /// Crashes `rack`'s primary aggregator *mid-push* once inside
+    /// `window`: the delta it was sending is delayed in flight (to be
+    /// rejected later by the epoch rules) and the aggregator restarts
+    /// with a fresh incarnation.
+    pub fn agg_crash_mid_push(mut self, rack: RackId, window: Window) -> Self {
+        self.agg_mid_push.insert(rack, window);
+        self
+    }
+
+    /// Whether `rack`'s primary aggregator is crashed at `now`.
+    pub fn agg_crashed_at(&self, rack: RackId, now: SimTime) -> bool {
+        self.agg_crashed.get(&rack).is_some_and(|w| w.contains(now))
+    }
+
+    /// Whether `rack`'s primary aggregator is partitioned at `now`.
+    pub fn agg_partitioned_at(&self, rack: RackId, now: SimTime) -> bool {
+        self.agg_partitioned
+            .get(&rack)
+            .is_some_and(|w| w.contains(now))
+    }
+
+    /// How many pulls of `rack`'s primary aggregator straggle.
+    pub fn agg_straggle_rounds(&self, rack: RackId) -> u32 {
+        self.agg_stragglers.get(&rack).copied().unwrap_or(0)
+    }
+
+    /// Whether `rack`'s aggregator suffers a mid-push crash at `now`.
+    pub fn agg_crash_mid_push_at(&self, rack: RackId, now: SimTime) -> bool {
+        self.agg_mid_push.get(&rack).is_some_and(|w| w.contains(now))
+    }
+
+    /// The crash window configured for `rack`'s primary aggregator, if
+    /// any (restart handling keys off [`Window::ended_by`]).
+    pub fn agg_crash_window(&self, rack: RackId) -> Option<Window> {
+        self.agg_crashed.get(&rack).copied()
+    }
+
     /// Derives a plan over `addrs` reproducibly from `seed`: each host
     /// independently rolls each fault class at the configured intensity.
     pub fn seeded(seed: u64, addrs: &[Address], intensity: &FaultIntensity) -> Self {
@@ -255,12 +345,21 @@ impl FaultPlan {
 
     /// Hosts that can never answer while their fault window is open at
     /// `now` (crashed or partitioned) — the set retries cannot recover.
-    pub fn silenced_at(&self, now: SimTime) -> impl Iterator<Item = Address> + '_ {
-        self.crashed
+    /// Uses the same half-open `[from, until)` edges as
+    /// [`Window::contains`]: a host whose window ends *at* `now` is not
+    /// silenced. Sorted by address and deduplicated (a host both crashed
+    /// and partitioned appears once), so iteration is deterministic.
+    pub fn silenced_at(&self, now: SimTime) -> impl Iterator<Item = Address> {
+        let mut silenced: Vec<Address> = self
+            .crashed
             .iter()
             .chain(self.partitioned.iter())
-            .filter(move |(_, w)| w.contains(now))
+            .filter(|(_, w)| w.contains(now))
             .map(|(&a, _)| a)
+            .collect();
+        silenced.sort_unstable_by_key(|a| a.0);
+        silenced.dedup();
+        silenced.into_iter()
     }
 
     /// Whether the plan injects no faults at all.
@@ -270,6 +369,10 @@ impl FaultPlan {
             && self.stragglers.is_empty()
             && self.stale.is_empty()
             && self.corrupt.is_empty()
+            && self.agg_crashed.is_empty()
+            && self.agg_partitioned.is_empty()
+            && self.agg_stragglers.is_empty()
+            && self.agg_mid_push.is_empty()
     }
 }
 
@@ -412,6 +515,67 @@ mod tests {
         assert!(f.poll_report(Address(2)).is_some(), "others unaffected");
         f.set_now(SimTime::from_secs_f64(2.0));
         assert!(f.poll_report(Address(1)).is_some(), "restarted: answers");
+    }
+
+    #[test]
+    fn window_edges_are_half_open() {
+        let t = SimTime::from_secs_f64;
+        let w = Window::between(t(1.0), t(2.0));
+        assert!(!w.contains(t(0.5)), "before from: healthy");
+        assert!(w.contains(t(1.0)), "from is inclusive");
+        assert!(w.contains(t(1.999)));
+        assert!(!w.contains(t(2.0)), "until is exclusive: restarted");
+        assert!(!w.is_empty());
+        assert!(!w.ended_by(t(1.999)));
+        assert!(w.ended_by(t(2.0)), "ends exactly when healthy again");
+    }
+
+    #[test]
+    fn degenerate_window_contains_nothing_and_never_ends() {
+        let t = SimTime::from_secs_f64(1.0);
+        let w = Window::between(t, t);
+        assert!(w.is_empty());
+        assert!(!w.contains(t), "from == until: no faulted instant");
+        assert!(
+            !w.ended_by(SimTime::from_secs_f64(9.0)),
+            "a fault that never began never ends (no restart to handle)"
+        );
+        // And silenced_at agrees: an empty window silences nobody, even
+        // at its own boundary instant.
+        let plan = FaultPlan::none().crash(Address(1), w);
+        assert_eq!(plan.silenced_at(t).count(), 0);
+    }
+
+    #[test]
+    fn silenced_at_is_sorted_and_dedups_doubly_faulted_hosts() {
+        let plan = FaultPlan::none()
+            .crash(Address(3), Window::always())
+            .crash(Address(1), Window::always())
+            .partition(Address(3), Window::always())
+            .partition(Address(2), Window::between(SimTime::ZERO, SimTime::ZERO));
+        let silenced: Vec<Address> = plan.silenced_at(SimTime::ZERO).collect();
+        assert_eq!(silenced, vec![Address(1), Address(3)]);
+    }
+
+    #[test]
+    fn aggregator_faults_have_host_window_semantics() {
+        let t = SimTime::from_secs_f64;
+        let plan = FaultPlan::none()
+            .agg_crash(RackId(0), Window::between(t(1.0), t(2.0)))
+            .agg_partition(RackId(1), Window::always())
+            .agg_straggle(RackId(2), 3)
+            .agg_crash_mid_push(RackId(3), Window::starting_at(t(5.0)));
+        assert!(!plan.is_empty());
+        assert!(!plan.agg_crashed_at(RackId(0), t(0.5)));
+        assert!(plan.agg_crashed_at(RackId(0), t(1.0)));
+        assert!(!plan.agg_crashed_at(RackId(0), t(2.0)), "until exclusive");
+        assert!(plan.agg_crash_window(RackId(0)).unwrap().ended_by(t(2.0)));
+        assert!(plan.agg_partitioned_at(RackId(1), t(99.0)));
+        assert!(!plan.agg_partitioned_at(RackId(0), t(99.0)));
+        assert_eq!(plan.agg_straggle_rounds(RackId(2)), 3);
+        assert_eq!(plan.agg_straggle_rounds(RackId(0)), 0);
+        assert!(plan.agg_crash_mid_push_at(RackId(3), t(5.0)));
+        assert!(!plan.agg_crash_mid_push_at(RackId(3), t(4.9)));
     }
 
     #[test]

@@ -26,10 +26,16 @@
 //! * [`messages`] — wire-format sizes for the §5.5 overhead accounting,
 //!   hosted in the server's [`obs`] metrics registry.
 //! * [`faults`] — deterministic fault injection (crashed status servers,
-//!   partitions, stragglers, stale and corrupted reports) for chaos
-//!   testing the collection/answer path; the server survives all of it
-//!   via retry/backoff, staleness decay, and a graceful-degradation
-//!   ladder ([`server::DegradationRung`]).
+//!   partitions, stragglers, stale and corrupted reports, plus
+//!   aggregator-scoped crash/partition/straggler/mid-push faults) for
+//!   chaos testing the collection/answer path; the server survives all
+//!   of it via retry/backoff, staleness decay, and a
+//!   graceful-degradation ladder ([`server::DegradationRung`]).
+//! * [`aggregate`] — the hierarchical status plane for 100k+ hosts:
+//!   rack-level aggregators owning delta-compressed, epoch-stamped
+//!   partial snapshots, merged by an [`aggregate::AggregationPlane`]
+//!   that serves the fleet through [`status::StatusSource`] with an
+//!   explicit failover ladder (retry → standby → bypass → stale rack).
 //!
 //! Observability: every answer carries a structured
 //! [`server::Provenance`] — rung, backend, search-effort counters, gather
@@ -73,6 +79,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod billing;
 pub mod exhaustive;
 pub mod faults;
@@ -89,6 +96,10 @@ pub mod server;
 pub mod status;
 pub mod transport;
 
+pub use aggregate::{
+    AggregationPlane, DeltaAnswer, EpochStamp, FleetLayout, MergeOutcome, PartialSnapshot,
+    PlaneConfig, RackAggregator, RackId, RackView, SnapshotDelta,
+};
 pub use faults::{Corruption, FaultIntensity, FaultPlan, FaultySource, Window};
 pub use heuristic::evaluate_query;
 pub use pktsearch::{

@@ -26,6 +26,22 @@ pub const STATUS_QUERY_BYTES: u64 = 64;
 /// Bytes of one status response on the wire.
 pub const STATUS_RESPONSE_BYTES: u64 = 78;
 
+/// Bytes of one collector→aggregator pull request: the status query plus
+/// the collector's epoch stamp (node + incarnation + epoch).
+pub const AGG_PULL_BYTES: u64 = 80;
+
+/// Bytes of one aggregator reply header (stamp pair, rack id, freshness
+/// instant, entry counts) — paid per pull whether or not anything changed.
+pub const AGG_REPLY_HEADER_BYTES: u64 = 48;
+
+/// Bytes of one host entry inside an aggregator reply: an address plus a
+/// status response body (delta-compressed replies carry only the changed
+/// entries; full snapshots carry them all).
+pub const AGG_ENTRY_BYTES: u64 = 8 + STATUS_RESPONSE_BYTES;
+
+/// Bytes of one removal notice (an address) inside an aggregator delta.
+pub const AGG_REMOVAL_BYTES: u64 = 8;
+
 /// Running totals of CloudTalk-related network overhead.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OverheadLedger {
@@ -49,6 +65,16 @@ pub struct OverheadLedger {
     pub pkt_memo_hits: u64,
     /// Packet-level search: bindings that had to simulate.
     pub pkt_memo_misses: u64,
+    /// Collector→aggregator pulls sent (hierarchical status plane).
+    pub agg_pulls: u64,
+    /// Aggregator replies received (each pays a header; delta or full).
+    pub agg_replies: u64,
+    /// Host entries carried in aggregator replies (delta-changed plus
+    /// full-snapshot entries — the payload that shrinks with delta
+    /// compression).
+    pub agg_entries: u64,
+    /// Removal notices carried in aggregator deltas.
+    pub agg_removals: u64,
 }
 
 impl OverheadLedger {
@@ -81,6 +107,20 @@ impl OverheadLedger {
         self.answer_bytes += answer_bytes;
     }
 
+    /// Records one collector→aggregator pull request.
+    pub fn record_agg_pull(&mut self) {
+        self.agg_pulls += 1;
+    }
+
+    /// Records one aggregator reply carrying `entries` host entries and
+    /// `removals` removal notices (0/0 for an idle "nothing changed"
+    /// header).
+    pub fn record_agg_reply(&mut self, entries: u64, removals: u64) {
+        self.agg_replies += 1;
+        self.agg_entries += entries;
+        self.agg_removals += removals;
+    }
+
     /// First-round status-traffic bytes (the §5.5 numbers: each
     /// interrogated host counted once).
     pub fn status_bytes(&self) -> u64 {
@@ -92,9 +132,23 @@ impl OverheadLedger {
         self.retry_queries * STATUS_QUERY_BYTES + self.retry_responses * STATUS_RESPONSE_BYTES
     }
 
-    /// Total bytes attributable to CloudTalk, retries included.
+    /// Aggregator-tier bytes of the hierarchical status plane: pulls plus
+    /// reply headers plus the delta-compressed entry payload.
+    pub fn agg_bytes(&self) -> u64 {
+        self.agg_pulls * AGG_PULL_BYTES
+            + self.agg_replies * AGG_REPLY_HEADER_BYTES
+            + self.agg_entries * AGG_ENTRY_BYTES
+            + self.agg_removals * AGG_REMOVAL_BYTES
+    }
+
+    /// Total bytes attributable to CloudTalk, retries and the aggregator
+    /// tier included.
     pub fn total_bytes(&self) -> u64 {
-        self.status_bytes() + self.retry_bytes() + self.query_text_bytes + self.answer_bytes
+        self.status_bytes()
+            + self.retry_bytes()
+            + self.agg_bytes()
+            + self.query_text_bytes
+            + self.answer_bytes
     }
 }
 
@@ -116,6 +170,10 @@ pub struct LedgerCounters {
     answer_bytes: CounterId,
     pkt_memo_hits: CounterId,
     pkt_memo_misses: CounterId,
+    agg_pulls: CounterId,
+    agg_replies: CounterId,
+    agg_entries: CounterId,
+    agg_removals: CounterId,
 }
 
 impl LedgerCounters {
@@ -131,6 +189,10 @@ impl LedgerCounters {
             answer_bytes: reg.counter("overhead.answer_bytes"),
             pkt_memo_hits: reg.counter("overhead.pkt_memo_hits"),
             pkt_memo_misses: reg.counter("overhead.pkt_memo_misses"),
+            agg_pulls: reg.counter("overhead.agg_pulls"),
+            agg_replies: reg.counter("overhead.agg_replies"),
+            agg_entries: reg.counter("overhead.agg_entries"),
+            agg_removals: reg.counter("overhead.agg_removals"),
         }
     }
 
@@ -146,6 +208,10 @@ impl LedgerCounters {
         reg.inc(self.answer_bytes, delta.answer_bytes);
         reg.inc(self.pkt_memo_hits, delta.pkt_memo_hits);
         reg.inc(self.pkt_memo_misses, delta.pkt_memo_misses);
+        reg.inc(self.agg_pulls, delta.agg_pulls);
+        reg.inc(self.agg_replies, delta.agg_replies);
+        reg.inc(self.agg_entries, delta.agg_entries);
+        reg.inc(self.agg_removals, delta.agg_removals);
     }
 
     /// Reconstructs the accumulated ledger from the registry.
@@ -160,6 +226,10 @@ impl LedgerCounters {
             answer_bytes: reg.counter_value(self.answer_bytes),
             pkt_memo_hits: reg.counter_value(self.pkt_memo_hits),
             pkt_memo_misses: reg.counter_value(self.pkt_memo_misses),
+            agg_pulls: reg.counter_value(self.agg_pulls),
+            agg_replies: reg.counter_value(self.agg_replies),
+            agg_entries: reg.counter_value(self.agg_entries),
+            agg_removals: reg.counter_value(self.agg_removals),
         }
     }
 }
@@ -221,6 +291,26 @@ mod tests {
     }
 
     #[test]
+    fn aggregator_tier_bytes_are_header_plus_payload() {
+        // One pull answered with a 3-entry/1-removal delta, one idle pull
+        // answered with a bare header: the idle exchange costs pull +
+        // header only — the saving delta compression exists to deliver.
+        let mut ledger = OverheadLedger::default();
+        ledger.record_agg_pull();
+        ledger.record_agg_reply(3, 1);
+        ledger.record_agg_pull();
+        ledger.record_agg_reply(0, 0);
+        assert_eq!(
+            ledger.agg_bytes(),
+            2 * AGG_PULL_BYTES + 2 * AGG_REPLY_HEADER_BYTES + 3 * AGG_ENTRY_BYTES + AGG_REMOVAL_BYTES
+        );
+        assert_eq!(ledger.total_bytes(), ledger.agg_bytes());
+        // An idle aggregator exchange is ~20x cheaper than re-polling a
+        // 40-host rack flat.
+        assert!(AGG_PULL_BYTES + AGG_REPLY_HEADER_BYTES < 40 * (64 + 78) / 20);
+    }
+
+    #[test]
     fn ledger_counters_round_trip_through_registry() {
         let mut reg = MetricsRegistry::new();
         let lc = LedgerCounters::register(&mut reg);
@@ -229,6 +319,8 @@ mod tests {
         delta.record_retry_round(1, 1);
         delta.record_client(120, 40);
         delta.record_pkt_memo(3, 2);
+        delta.record_agg_pull();
+        delta.record_agg_reply(5, 2);
         lc.absorb(&mut reg, &delta);
         lc.absorb(&mut reg, &delta);
 
@@ -237,6 +329,9 @@ mod tests {
         assert_eq!(total.retry_responses, 2);
         assert_eq!(total.rounds, 4);
         assert_eq!(total.pkt_memo_hits, 6);
+        assert_eq!(total.agg_pulls, 2);
+        assert_eq!(total.agg_entries, 10);
+        assert_eq!(total.agg_removals, 4);
         assert_eq!(total.total_bytes(), 2 * delta.total_bytes());
         // The same numbers are visible through the exported-metrics surface.
         assert_eq!(reg.counter_named("overhead.status_queries"), Some(14));

@@ -43,6 +43,13 @@ pub struct RetryPolicy {
     pub backoff: SimDuration,
     /// Backoff multiplier per further retry (exponential, saturating).
     pub backoff_multiplier: u32,
+    /// Seeded jitter, as a percentage of the base backoff: each wait is
+    /// stretched by a uniformly drawn factor in `[1, 1 + jitter_pct/100]`.
+    /// Spreads otherwise-synchronized retries (many collectors hammering
+    /// one recovering aggregator) without ever shortening a backoff below
+    /// its deterministic base. `0` (the default) draws nothing from the
+    /// RNG, so existing seeded runs stay bit-identical.
+    pub jitter_pct: u32,
 }
 
 impl RetryPolicy {
@@ -51,9 +58,11 @@ impl RetryPolicy {
         max_retries: 0,
         backoff: SimDuration::ZERO,
         backoff_multiplier: 1,
+        jitter_pct: 0,
     };
 
-    /// The backoff to wait before retry number `retry` (1-based).
+    /// The deterministic base backoff to wait before retry number `retry`
+    /// (1-based), jitter excluded.
     pub fn backoff_before(&self, retry: u32) -> SimDuration {
         let mut factor: u64 = 1;
         for _ in 1..retry {
@@ -61,15 +70,32 @@ impl RetryPolicy {
         }
         self.backoff.saturating_mul(factor)
     }
+
+    /// The backoff before retry number `retry` with seeded jitter applied:
+    /// the base backoff stretched by `1 + U(0..=jitter_pct)/100`.
+    ///
+    /// With `jitter_pct == 0` the RNG is **not** consulted — the stream
+    /// position is untouched and the result equals
+    /// [`RetryPolicy::backoff_before`] exactly, keeping jitter-free
+    /// configurations bit-stable.
+    pub fn backoff_before_jittered(&self, retry: u32, rng: &mut DetRng) -> SimDuration {
+        let base = self.backoff_before(retry);
+        if self.jitter_pct == 0 {
+            return base;
+        }
+        let stretch_pct = rng.gen_range(0..=u64::from(self.jitter_pct));
+        base + SimDuration::from_nanos(base.as_nanos() / 100 * stretch_pct)
+    }
 }
 
 impl Default for RetryPolicy {
-    /// Two retries, 2 ms initial backoff, doubling.
+    /// Two retries, 2 ms initial backoff, doubling, no jitter.
     fn default() -> Self {
         RetryPolicy {
             max_retries: 2,
             backoff: SimDuration::from_millis(2),
             backoff_multiplier: 2,
+            jitter_pct: 0,
         }
     }
 }
@@ -99,6 +125,23 @@ impl Default for TransportConfig {
             timeout: SimDuration::from_millis(10),
             rtt: SimDuration::from_micros(200),
             retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// An in-process "transport": no incast knee, no loss, no retries.
+    /// Use when the status source is co-located with the server (e.g. a
+    /// [`crate::aggregate::AggregationPlane`] inside the server process)
+    /// — the real wire traffic is then whatever that source accounts in
+    /// its own ledger.
+    pub fn local() -> Self {
+        TransportConfig {
+            knee: usize::MAX,
+            loss_per_doubling: 0.0,
+            timeout: SimDuration::ZERO,
+            rtt: SimDuration::ZERO,
+            retry: RetryPolicy::NONE,
         }
     }
 }
@@ -206,7 +249,7 @@ pub fn scatter_gather_retry(
             break;
         }
         let targets = std::mem::take(&mut out.missing);
-        out.elapsed += cfg.retry.backoff_before(retry);
+        out.elapsed += cfg.retry.backoff_before_jittered(retry, rng);
         let round = gather_round(source, &targets, cfg, rng, ledger, &mut out, true);
         out.elapsed += round;
         out.rounds += 1;
@@ -511,7 +554,54 @@ mod tests {
             max_retries: 100,
             backoff: SimDuration::from_secs_f64(1e6),
             backoff_multiplier: u32::MAX,
+            ..RetryPolicy::default()
         };
         let _ = huge.backoff_before(90); // must not overflow/panic
+    }
+
+    #[test]
+    fn zero_jitter_leaves_rng_untouched_and_matches_base() {
+        // jitter_pct = 0 must not consume RNG state: the stream a zero-
+        // jitter retry loop sees is bit-identical to one that never heard
+        // of jitter, so every pre-jitter seeded test stays stable.
+        let p = RetryPolicy::default();
+        let mut rng = stream_rng(5, 0);
+        let before: u64 = rng.gen();
+        let mut a = stream_rng(5, 0);
+        assert_eq!(a.gen::<u64>(), before, "sanity: streams line up");
+        for retry in 1..=4 {
+            assert_eq!(
+                p.backoff_before_jittered(retry, &mut a),
+                p.backoff_before(retry)
+            );
+        }
+        // The jittered calls drew nothing: the next draw still matches a
+        // fresh stream advanced by exactly one gen().
+        let mut b = stream_rng(5, 0);
+        let _ = b.gen::<u64>();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn jitter_is_bounded_deterministic_and_never_shortens() {
+        let p = RetryPolicy {
+            jitter_pct: 50,
+            ..RetryPolicy::default()
+        };
+        let draw = |seed: u64| {
+            let mut rng = stream_rng(seed, 9);
+            (1..=6)
+                .map(|r| p.backoff_before_jittered(r, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draw(1);
+        assert_eq!(a, draw(1), "same seed, same jitter");
+        assert_ne!(a, draw(2), "different seeds de-synchronize retries");
+        for (i, &j) in a.iter().enumerate() {
+            let base = p.backoff_before(i as u32 + 1);
+            assert!(j >= base, "jitter never shortens the base backoff");
+            let cap = base + SimDuration::from_nanos(base.as_nanos() / 2);
+            assert!(j <= cap, "jitter bounded by jitter_pct: {j:?} > {cap:?}");
+        }
     }
 }

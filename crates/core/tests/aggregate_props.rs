@@ -1,0 +1,243 @@
+//! Property suite for the delta-compressed, epoch-stamped partial
+//! snapshots of the hierarchical status plane (`cloudtalk::aggregate`).
+//!
+//! The invariants pinned here are the ones the two-tier collection plane
+//! leans on for correctness:
+//!
+//! * **Round-trip**: a collector view maintained purely by applying
+//!   deltas equals the aggregator's full snapshot, entry for entry, after
+//!   every accepted pull — delta compression loses nothing.
+//! * **Idempotent merge**: re-applying a delta that was already merged is
+//!   a no-op; the view (stamp, freshness, entries) is bit-unchanged.
+//! * **Stale-delta safety**: a delayed delta from a pre-crash incarnation
+//!   (or across an epoch gap) is rejected without touching the view —
+//!   replayed garbage can never corrupt what the server answers from.
+//!
+//! Random mutate/silence/refresh/restart walks drive a real
+//! `TableStatusSource` under a `RackAggregator`, with a bag of stored old
+//! deltas replayed at random instants to simulate arbitrarily delayed
+//! datagrams.
+
+use cloudtalk::aggregate::{
+    DeltaAnswer, MergeOutcome, RackAggregator, RackId, RackView, SnapshotDelta,
+};
+use cloudtalk::messages::OverheadLedger;
+use cloudtalk::status::TableStatusSource;
+use cloudtalk::transport::TransportConfig;
+use cloudtalk_lang::problem::Address;
+use desim::rng::stream_rng;
+use desim::SimTime;
+use estimator::HostState;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Discrete load levels (same idea as the estimator oracle suites): state
+/// changes are unambiguous, never floating-point coincidences.
+const LEVELS: [f64; 5] = [0.0, 0.05, 0.3, 0.6, 0.9];
+
+fn view_fingerprint(view: &RackView) -> (u64, u32, u32, SimTime, Vec<(Address, HostState)>) {
+    (
+        view.stamp.epoch,
+        view.stamp.node,
+        view.stamp.incarnation,
+        view.fresh_as_of,
+        view.iter().map(|(a, r)| (a, r.state)).collect(),
+    )
+}
+
+/// One random walk: the view must match the aggregator's full snapshot
+/// after every accepted pull, replays must be idempotent, and stale
+/// deltas must bounce off.
+fn drive(seed: u64, steps: usize, hosts: u32) -> Result<(), TestCaseError> {
+    let mut rng = stream_rng(seed, 0xA99);
+    let addrs: Vec<Address> = (1..=hosts).map(Address).collect();
+    let mut src = TableStatusSource::new();
+    for &a in &addrs {
+        src.set(a, HostState::gbps_idle());
+    }
+    let mut agg = RackAggregator::new(
+        RackId(0),
+        1,
+        addrs.clone(),
+        TransportConfig::default(),
+        seed,
+    );
+    let mut ledger = OverheadLedger::default();
+    let mut view = RackView::default();
+    let mut old_deltas: Vec<SnapshotDelta> = Vec::new();
+    let mut restarts = 0u32;
+
+    for step in 0..steps {
+        let now = SimTime::from_nanos((step as u64 + 1) * 1_000_000);
+        let roll = rng.gen_range(0..100u32);
+        if roll < 35 {
+            // A host's load changes (or a silenced host comes back).
+            let i = rng.gen_range(0..addrs.len());
+            let load = LEVELS[rng.gen_range(0..LEVELS.len())];
+            src.set(addrs[i], HostState::gbps_idle().with_up_load(load));
+        } else if roll < 45 {
+            // A host goes silent: the next refresh drops it.
+            let i = rng.gen_range(0..addrs.len());
+            src.silence(addrs[i]);
+        } else if roll < 52 {
+            // The aggregator crashes and restarts: state lost, fresh
+            // incarnation — every outstanding delta is now stale.
+            agg.restart();
+            restarts += 1;
+        } else if roll < 62 {
+            // A refresh whose delta nobody pulls (epoch may advance).
+            agg.refresh(&mut src, now, &mut ledger);
+        } else if roll < 88 {
+            // A pull: refresh, diff against the collector's stamp, merge.
+            agg.refresh(&mut src, now, &mut ledger);
+            match agg.delta_since(view.stamp) {
+                DeltaAnswer::Delta(d) => {
+                    let out = view.apply_delta(&d);
+                    prop_assert_eq!(out, MergeOutcome::Applied, "base matched: must apply");
+                    // Idempotence: the duplicate datagram changes nothing.
+                    let before = view_fingerprint(&view);
+                    prop_assert!(view.apply_delta(&d).accepted());
+                    prop_assert_eq!(view_fingerprint(&view), before, "replay must be a no-op");
+                    if rng.gen_bool(0.5) {
+                        old_deltas.push(d);
+                    }
+                }
+                DeltaAnswer::Full(s) => view.install_full(&s),
+            }
+            // Round-trip: the delta-maintained view IS the snapshot.
+            prop_assert!(
+                view.matches(&agg.full()),
+                "view diverged from full snapshot at step {}",
+                step
+            );
+            prop_assert_eq!(view.stamp, agg.stamp());
+        } else if let Some(i) = (!old_deltas.is_empty()).then(|| rng.gen_range(0..old_deltas.len()))
+        {
+            // The network delivers an arbitrarily delayed old delta.
+            let d = old_deltas[i].clone();
+            let before = view_fingerprint(&view);
+            match view.apply_delta(&d) {
+                MergeOutcome::Applied => {
+                    // Only legal if the delta's base was exactly the
+                    // view's stamp — a genuine (if old) successor state.
+                    prop_assert_eq!(d.base.epoch, before.0);
+                    prop_assert_eq!(d.base.node, before.1);
+                    prop_assert_eq!(d.base.incarnation, before.2);
+                }
+                MergeOutcome::AlreadyApplied
+                | MergeOutcome::RejectedIncarnation
+                | MergeOutcome::RejectedEpochGap => {
+                    prop_assert_eq!(
+                        view_fingerprint(&view),
+                        before,
+                        "rejected/duplicate delta must not touch the view"
+                    );
+                }
+            }
+        }
+    }
+
+    // However the walk ended (mid-crash, stale view, pending deltas), one
+    // clean pull converges the collector to the aggregator's truth.
+    let end = SimTime::from_nanos((steps as u64 + 1) * 1_000_000);
+    agg.refresh(&mut src, end, &mut ledger);
+    match agg.delta_since(view.stamp) {
+        DeltaAnswer::Delta(d) => {
+            prop_assert!(view.apply_delta(&d).accepted());
+        }
+        DeltaAnswer::Full(s) => view.install_full(&s),
+    }
+    prop_assert!(view.matches(&agg.full()), "final pull must converge");
+    prop_assert_eq!(view.stamp, agg.stamp());
+    // Restarts leave their mark in the incarnation counter.
+    prop_assert_eq!(view.stamp.incarnation, restarts);
+    Ok(())
+}
+
+/// A delta diffed immediately before a crash must be rejected by every
+/// view that has resynced with the restarted incarnation — whatever the
+/// world did around the crash.
+fn crash_scenario(seed: u64, hosts: u32, pre_moves: usize) -> Result<(), TestCaseError> {
+    let mut rng = stream_rng(seed, 0xC4A5);
+    let addrs: Vec<Address> = (1..=hosts).map(Address).collect();
+    let mut src = TableStatusSource::new();
+    for &a in &addrs {
+        src.set(a, HostState::gbps_idle());
+    }
+    let mut agg = RackAggregator::new(
+        RackId(0),
+        1,
+        addrs.clone(),
+        TransportConfig::default(),
+        seed,
+    );
+    let mut ledger = OverheadLedger::default();
+    let mut view = RackView::default();
+
+    agg.refresh(&mut src, SimTime::from_nanos(1_000_000), &mut ledger);
+    let DeltaAnswer::Full(s) = agg.delta_since(view.stamp) else {
+        return Err(TestCaseError::fail("unprimed view must get a Full"));
+    };
+    view.install_full(&s);
+
+    // Some changes happen and a delta is computed… but its push is
+    // interrupted: the datagram sits in flight.
+    for m in 0..pre_moves.max(1) {
+        let i = rng.gen_range(0..addrs.len());
+        let load = LEVELS[rng.gen_range(0..LEVELS.len())];
+        src.set(addrs[i], HostState::gbps_idle().with_up_load(load));
+        agg.refresh(&mut src, SimTime::from_nanos((2 + m as u64) * 1_000_000), &mut ledger);
+    }
+    let in_flight = match agg.delta_since(view.stamp) {
+        DeltaAnswer::Delta(d) => d,
+        DeltaAnswer::Full(_) => return Err(TestCaseError::fail("same incarnation must diff")),
+    };
+
+    // Crash. The restarted incarnation re-observes the world (which may
+    // have changed again) and the collector resyncs from it.
+    agg.restart();
+    let i = rng.gen_range(0..addrs.len());
+    src.set(addrs[i], HostState::gbps_idle().with_up_load(0.9));
+    agg.refresh(&mut src, SimTime::from_nanos(60_000_000), &mut ledger);
+    let DeltaAnswer::Full(s2) = agg.delta_since(view.stamp) else {
+        return Err(TestCaseError::fail("post-crash incarnation must resync"));
+    };
+    view.install_full(&s2);
+    let settled = view_fingerprint(&view);
+
+    // The in-flight pre-crash delta finally arrives.
+    prop_assert_eq!(
+        view.apply_delta(&in_flight),
+        MergeOutcome::RejectedIncarnation,
+        "pre-crash delta must be rejected after resync"
+    );
+    prop_assert_eq!(view_fingerprint(&view), settled);
+    prop_assert!(view.matches(&agg.full()));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random mutate/silence/refresh/restart/replay walks: round-trip,
+    /// idempotence, and stale-delta safety all hold at every step.
+    #[test]
+    fn delta_walks_round_trip_and_reject_stale(
+        seed in any::<u64>(),
+        steps in 20usize..120,
+        hosts in 3u32..24,
+    ) {
+        drive(seed, steps, hosts)?;
+    }
+
+    /// The pinned crash shape of the issue: a delayed delta from a
+    /// pre-crash epoch is rejected after the collector resyncs.
+    #[test]
+    fn pre_crash_delta_always_rejected(
+        seed in any::<u64>(),
+        hosts in 2u32..16,
+        pre_moves in 1usize..8,
+    ) {
+        crash_scenario(seed, hosts, pre_moves)?;
+    }
+}

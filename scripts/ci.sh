@@ -16,6 +16,12 @@ cargo test -q --workspace
 echo "=== chaos suite ==="
 cargo test -q -p cloudtalk --test chaos
 
+echo "=== aggregator chaos (crash / partition / straggle / crash-mid-push) ==="
+cargo test -q -p cloudtalk --test agg_chaos
+
+echo "=== aggregate delta properties (round-trip, idempotence, stale rejection) ==="
+cargo test -q -p cloudtalk --test aggregate_props
+
 echo "=== benches compile ==="
 cargo bench --no-run --workspace
 
@@ -30,6 +36,9 @@ cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke
 
 echo "=== simnet_scale smoke (incremental == oracle, bit-identical) ==="
 cargo run --release -q -p cloudtalk-bench --bin simnet_scale -- --smoke
+
+echo "=== fleet_scale smoke (hier view exact, >=10x collector bytes, deterministic) ==="
+cargo run --release -q -p cloudtalk-bench --bin fleet_scale -- --smoke
 
 echo "=== trace smoke (chrome trace_event export parses, spans present) ==="
 cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke --trace /tmp/ct_trace.json
