@@ -1,0 +1,331 @@
+//! `qps_storm` — open-loop storm against the multi-tenant serving plane.
+//!
+//! Seeded Poisson arrivals from a mix of tenants are replayed against
+//! [`cloudtalk::serving::ServingPlane`]s of 1/2/4/8 workers at a sweep of
+//! offered loads. Time is *virtual* (see the serving-plane module docs):
+//! each query charges `service_time` against its worker's clock, so the
+//! numbers measure the plane's scheduling/batching behaviour, not the
+//! container's core count. Reported per run: accepted/rejected split,
+//! achieved queries/sec over the arrival window, and p50/p99/p999
+//! latency from the plane's own `serving.latency_us` histogram.
+//!
+//! The capacity summary finds, per worker count, the highest offered
+//! load that holds the p99 SLO with zero rejections — the paper-style
+//! "qps at fixed SLO" scaling claim (≥ 4x from 1 to 8 workers, asserted
+//! here and pinned bit-identically by `tests/serving_determinism.rs`).
+//!
+//! ```text
+//! cargo run --release -p cloudtalk-bench --bin qps_storm             # full sweep
+//! cargo run --release -p cloudtalk-bench --bin qps_storm -- --smoke  # CI gate
+//! cargo run --release -p cloudtalk-bench --bin qps_storm -- --json   # + BENCH_qps.json
+//! # smaller/larger runs: CLOUDTALK_BENCH_SCALE=0.5
+//! ```
+
+use cloudtalk::aggregate::FleetLayout;
+use cloudtalk::server::Answer;
+use cloudtalk::serving::{ServingConfig, ServingPlane, TenantId};
+use cloudtalk::status::TableStatusSource;
+use cloudtalk_bench::{flag_present, row, scaled};
+use cloudtalk_lang::builder::hdfs_write_query;
+use cloudtalk_lang::problem::{Address, Problem};
+use desim::rng::stream_rng;
+use desim::{SimDuration, SimTime};
+use estimator::HostState;
+use rand::Rng;
+
+const SEED: u64 = 2017;
+const RACKS: u32 = 16;
+const HOSTS_PER_RACK: u32 = 4;
+const TENANTS: u32 = 32;
+/// Offered-load sweep (queries/sec of virtual time).
+const LOADS: [u64; 6] = [500, 1_000, 2_000, 4_000, 8_000, 16_000];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The fixed latency SLO the capacity summary holds (ms, virtual).
+const SLO_MS: f64 = 25.0;
+
+/// 16 racks × 4 hosts with a deterministic spread of loads, so query
+/// answers are data-driven rather than tie-breaks.
+fn fleet() -> (FleetLayout, TableStatusSource) {
+    let addrs: Vec<Address> = (1..=RACKS * HOSTS_PER_RACK).map(Address).collect();
+    let layout = FleetLayout::uniform(&addrs, HOSTS_PER_RACK as usize);
+    let mut src = TableStatusSource::new();
+    for &a in &addrs {
+        let load = f64::from(a.0 % 5) * 0.2;
+        src.set(a, HostState::gbps_idle().with_up_load(load));
+    }
+    (layout, src)
+}
+
+struct Sub {
+    tenant: TenantId,
+    arrival: SimTime,
+    problem: Problem,
+}
+
+/// One seeded open-loop schedule: exponential inter-arrival gaps at
+/// `offered_qps`, tenants/racks/replica counts drawn per query. The
+/// schedule depends only on `(seed, offered_qps, window)` — never on
+/// the worker count it is later replayed against.
+fn storm(seed: u64, offered_qps: u64, window: SimDuration) -> Vec<Sub> {
+    let mut rng = stream_rng(seed, offered_qps);
+    let mean_us = 1e6 / offered_qps as f64;
+    let mut t = SimTime::ZERO;
+    let mut subs = Vec::new();
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let gap_us = (-mean_us * (1.0 - u).ln()).min(mean_us * 20.0);
+        t += SimDuration::from_micros(gap_us.round() as u64);
+        if t.saturating_since(SimTime::ZERO) >= window {
+            return subs;
+        }
+        let tenant = TenantId(rng.gen_range(0..TENANTS));
+        let rack = rng.gen_range(0..RACKS);
+        let replicas = rng.gen_range(1..=2usize);
+        let base = rack * HOSTS_PER_RACK + 1;
+        let nodes: Vec<Address> = (base..base + HOSTS_PER_RACK).map(Address).collect();
+        let problem = hdfs_write_query(Address(2_000 + tenant.0), &nodes, replicas, 1e6)
+            .resolve()
+            .expect("storm query resolves");
+        subs.push(Sub {
+            tenant,
+            arrival: t,
+            problem,
+        });
+    }
+}
+
+struct StormRow {
+    workers: usize,
+    offered_qps: u64,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    errors: u64,
+    achieved_qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    waves: u64,
+    shed_waves: u64,
+    conflicts: u64,
+}
+
+type Fingerprint = (u32, u64, Result<Answer, String>);
+
+/// Replays `subs` on a `workers`-wide plane, draining after every
+/// submission (virtual time only moves in `run_until`). Returns the
+/// stats row plus per-(tenant, seq) answer fingerprints for the
+/// determinism cross-check.
+fn run_storm(
+    workers: usize,
+    subs: &[Sub],
+    window: SimDuration,
+    max_virtual_lag: SimDuration,
+) -> (StormRow, Vec<Fingerprint>) {
+    let (layout, src) = fleet();
+    let cfg = ServingConfig {
+        workers,
+        racks_per_shard: 4,
+        max_virtual_lag,
+        seed: SEED,
+        ..ServingConfig::default()
+    };
+    let mut plane = ServingPlane::new(cfg, layout, src);
+    let mut fps: Vec<Fingerprint> = Vec::new();
+    let mut rejected = 0u64;
+    for s in subs {
+        if plane.submit(s.tenant, s.problem.clone(), s.arrival).is_err() {
+            rejected += 1;
+        }
+        for c in plane.run_until(s.arrival) {
+            fps.push((c.tenant.0, c.seq, c.result.map_err(|e| e.to_string())));
+        }
+    }
+    // Drain the backlog: every accepted query completes within the
+    // *observed* lag plus a few waves of slack (`max_virtual_lag` can be
+    // set astronomically high to disable admission, so it is useless as
+    // a drain horizon).
+    let end = SimTime::ZERO + window + plane.virtual_lag() + SimDuration::from_millis(50);
+    for c in plane.run_until(end) {
+        fps.push((c.tenant.0, c.seq, c.result.map_err(|e| e.to_string())));
+    }
+    fps.sort_by_key(|f| (f.0, f.1));
+
+    let m = plane.metrics();
+    let named = |n: &str| m.counter_named(n).unwrap_or(0);
+    let lat = m
+        .histograms()
+        .find(|(n, _)| *n == "serving.latency_us")
+        .map(|(_, h)| (h.p50() / 1e3, h.p99() / 1e3, h.p999() / 1e3))
+        .unwrap_or((0.0, 0.0, 0.0));
+    let completed = named("serving.completed");
+    let row = StormRow {
+        workers,
+        offered_qps: (subs.len() as f64 / (window.as_micros_f64() / 1e6)).round() as u64,
+        accepted: named("serving.accepted"),
+        rejected,
+        completed,
+        errors: named("serving.query_errors"),
+        achieved_qps: completed as f64 / (window.as_micros_f64() / 1e6),
+        p50_ms: lat.0,
+        p99_ms: lat.1,
+        p999_ms: lat.2,
+        waves: named("serving.waves"),
+        shed_waves: named("serving.shed_waves"),
+        conflicts: plane.ledger_stats().conflicts,
+    };
+    (row, fps)
+}
+
+/// A run "holds the SLO" when nothing was refused and the observed p99
+/// stayed under the bound.
+fn holds_slo(r: &StormRow) -> bool {
+    r.rejected == 0 && r.errors == 0 && r.p99_ms <= SLO_MS
+}
+
+fn print_rows(rows: &[StormRow]) {
+    let widths = [7usize, 9, 9, 9, 9, 9, 8, 8, 8, 6, 5];
+    let header = [
+        "workers", "offered", "accepted", "rejected", "done", "qps", "p50ms", "p99ms", "p999ms",
+        "waves", "shed",
+    ];
+    println!(
+        "{}",
+        row(&header.iter().map(|s| (*s).into()).collect::<Vec<_>>(), &widths)
+    );
+    for r in rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.workers.to_string(),
+                    r.offered_qps.to_string(),
+                    r.accepted.to_string(),
+                    r.rejected.to_string(),
+                    r.completed.to_string(),
+                    format!("{:.0}", r.achieved_qps),
+                    format!("{:.2}", r.p50_ms),
+                    format!("{:.2}", r.p99_ms),
+                    format!("{:.2}", r.p999_ms),
+                    r.waves.to_string(),
+                    r.shed_waves.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn write_json(rows: &[StormRow]) {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!(
+            "  {{\"workers\": {}, \"offered_qps\": {}, \"accepted\": {}, \"rejected\": {}, \
+             \"completed\": {}, \"errors\": {}, \"achieved_qps\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"waves\": {}, \"shed_waves\": {}, \
+             \"ledger_conflicts\": {}, \"slo_ms\": {SLO_MS}, \"holds_slo\": {}}}{sep}\n",
+            r.workers,
+            r.offered_qps,
+            r.accepted,
+            r.rejected,
+            r.completed,
+            r.errors,
+            r.achieved_qps,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.waves,
+            r.shed_waves,
+            r.conflicts,
+            holds_slo(r),
+        ));
+    }
+    s.push_str("]\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qps.json");
+    std::fs::write(path, s).expect("BENCH_qps.json is writable");
+    println!("\nwrote {path}");
+}
+
+/// Smoke gate: a short storm must accept work, keep the ledger
+/// conflict-free, and answer bit-identically at two worker counts.
+fn smoke() {
+    let window = SimDuration::from_millis(50);
+    let subs = storm(SEED, 2_000, window);
+    // Admission out of play so acceptance is worker-count independent
+    // (lag-based backpressure is capacity-dependent by design).
+    let huge_lag = SimDuration::from_secs_f64(1e6);
+    let (r1, fp1) = run_storm(1, &subs, window, huge_lag);
+    let (r4, fp4) = run_storm(4, &subs, window, huge_lag);
+    for r in [&r1, &r4] {
+        assert!(r.accepted > 0, "smoke storm must accept queries");
+        assert_eq!(r.conflicts, 0, "ledger conflicts at {} workers", r.workers);
+        assert_eq!(r.completed, r.accepted, "every accepted query completes");
+    }
+    assert_eq!(
+        fp1, fp4,
+        "answers must be bit-identical across worker counts"
+    );
+    print_rows(&[r1, r4]);
+    println!(
+        "\nSMOKE OK: {} queries, 0 ledger conflicts, answers identical at 1 vs 4 workers",
+        fp1.len()
+    );
+}
+
+fn main() {
+    if flag_present("--smoke") {
+        smoke();
+        return;
+    }
+    let json = flag_present("--json");
+    let window = SimDuration::from_millis(scaled(200, 40) as u64);
+    println!(
+        "qps_storm: {TENANTS} tenants, {RACKS}x{HOSTS_PER_RACK} hosts, \
+         {} ms virtual window, SLO p99 <= {SLO_MS} ms\n",
+        window.as_millis_f64()
+    );
+
+    let mut rows: Vec<StormRow> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        for &load in &LOADS {
+            let subs = storm(SEED, load, window);
+            let (r, _) = run_storm(workers, &subs, window, ServingConfig::default().max_virtual_lag);
+            assert_eq!(r.conflicts, 0, "ledger conflicts at {workers} workers");
+            rows.push(r);
+        }
+    }
+    print_rows(&rows);
+
+    // Determinism cross-check at a load every worker count sustains.
+    let subs = storm(SEED, 2_000, window);
+    let huge_lag = SimDuration::from_secs_f64(1e6);
+    let (_, base) = run_storm(1, &subs, window, huge_lag);
+    let (_, other) = run_storm(8, &subs, window, huge_lag);
+    assert_eq!(base, other, "answers must be bit-identical at 1 vs 8 workers");
+    println!("\ndeterminism: {} answers bit-identical at 1 vs 8 workers", base.len());
+
+    // Capacity at fixed SLO: the paper-style scaling claim.
+    println!("\ncapacity at p99 <= {SLO_MS} ms (zero rejections):");
+    let capacity = |w: usize| {
+        rows.iter()
+            .filter(|r| r.workers == w && holds_slo(r))
+            .map(|r| r.achieved_qps)
+            .fold(0.0f64, f64::max)
+    };
+    let base_cap = capacity(WORKER_COUNTS[0]);
+    for &w in &WORKER_COUNTS {
+        let c = capacity(w);
+        println!("  {w} workers: {c:>8.0} qps  ({:.2}x)", c / base_cap);
+    }
+    let top_cap = capacity(*WORKER_COUNTS.last().unwrap());
+    assert!(
+        top_cap >= 4.0 * base_cap,
+        "serving plane must scale >= 4x from 1 to 8 workers at fixed SLO \
+         (got {top_cap:.0} vs {base_cap:.0} qps)"
+    );
+
+    if json {
+        write_json(&rows);
+    }
+}

@@ -31,6 +31,10 @@
 //!   chaos testing the collection/answer path; the server survives all
 //!   of it via retry/backoff, staleness decay, and a
 //!   graceful-degradation ladder ([`server::DegradationRung`]).
+//! * [`serving`] — the multi-tenant serving plane: wave-batched
+//!   admission over sharded snapshots, a copy-on-write reservation
+//!   ledger with epoch reclamation, and load-shedding backpressure —
+//!   bit-identical answers at any worker count.
 //! * [`aggregate`] — the hierarchical status plane for 100k+ hosts:
 //!   rack-level aggregators owning delta-compressed, epoch-stamped
 //!   partial snapshots, merged by an [`aggregate::AggregationPlane`]
@@ -93,6 +97,7 @@ pub mod sampling;
 pub mod scalar;
 pub mod score;
 pub mod server;
+pub mod serving;
 pub mod status;
 pub mod transport;
 
@@ -108,5 +113,8 @@ pub use pktsearch::{
 pub use server::{
     Answer, Backend, CloudTalkServer, DegradationConfig, DegradationRung, EvalMethod, ObsConfig,
     PktBackendConfig, Provenance, SearchStats, ServerConfig, ServerError, StatusSnapshot,
+};
+pub use serving::{
+    CompletedQuery, LedgerStats, LedgerVersion, ServingConfig, ServingPlane, TenantId,
 };
 pub use status::{LaggedStatusSource, StatusReport, StatusSource, TableStatusSource};

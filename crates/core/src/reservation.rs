@@ -8,6 +8,13 @@
 //! Without this, a burst of queries all sees the same idle host and piles
 //! onto it before any status feedback shows the load — the oscillation
 //! that blows the 99th-percentile write time up by 10×.
+//!
+//! Hot-path costs: `reserve` is one hash insert per *distinct* address
+//! (duplicates in one call collapse onto the same entry), and `purge` /
+//! `live_count` are O(1) whenever nothing has expired yet, thanks to a
+//! monotone *expiry frontier* — the minimum expiry across live entries.
+//! The serving plane purges per query wave, so the common case must not
+//! rescan the table (it used to be an O(n) retain per call).
 
 use std::collections::HashMap;
 
@@ -19,6 +26,11 @@ use desim::{SimDuration, SimTime};
 pub struct ReservationTable {
     hold: SimDuration,
     expiry: HashMap<Address, SimTime>,
+    /// Lower bound on every live entry's expiry: no entry expires before
+    /// the frontier, so a purge at `now < frontier` has nothing to drop.
+    /// Extending an entry can leave the frontier conservative (too low),
+    /// never wrong; a full purge recomputes it exactly.
+    frontier: SimTime,
 }
 
 impl ReservationTable {
@@ -27,6 +39,7 @@ impl ReservationTable {
         ReservationTable {
             hold,
             expiry: HashMap::new(),
+            frontier: SimTime::MAX,
         }
     }
 
@@ -35,30 +48,72 @@ impl ReservationTable {
         self.hold
     }
 
-    /// Marks `addrs` as in use from `now` until `now + hold`.
+    /// Marks `addrs` as in use from `now` until `now + hold`. Duplicate
+    /// addresses (within one call or across calls) share one entry whose
+    /// expiry only ever extends.
     pub fn reserve(&mut self, addrs: impl IntoIterator<Item = Address>, now: SimTime) {
         let until = now + self.hold;
+        let mut inserted = false;
         for addr in addrs {
             let e = self.expiry.entry(addr).or_insert(until);
             if *e < until {
                 *e = until;
             }
+            inserted = true;
+        }
+        // All entries from this call expire at `until`; the frontier only
+        // needs lowering when `until` undercuts it (reserving in the past
+        // relative to existing holds).
+        if inserted && until < self.frontier {
+            self.frontier = until;
         }
     }
 
     /// Whether `addr` is currently considered in use.
     pub fn is_reserved(&self, addr: Address, now: SimTime) -> bool {
+        if now < self.frontier {
+            // Fast path: nothing in the table has expired yet, so mere
+            // presence means live.
+            return self.expiry.contains_key(&addr);
+        }
         self.expiry.get(&addr).is_some_and(|&e| e > now)
     }
 
-    /// Drops expired entries (call occasionally to bound memory).
+    /// Drops expired entries. O(1) while `now` is below the expiry
+    /// frontier (nothing can have expired); a full O(n) sweep only runs
+    /// when at least one entry is actually due, and recomputes the exact
+    /// frontier for the next fast-path run.
     pub fn purge(&mut self, now: SimTime) {
+        if now < self.frontier {
+            return;
+        }
         self.expiry.retain(|_, &mut e| e > now);
+        self.frontier = self
+            .expiry
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::MAX);
     }
 
-    /// Number of live reservations at `now`.
+    /// Number of live reservations at `now`. O(1) while `now` is below
+    /// the expiry frontier (every entry is live).
     pub fn live_count(&self, now: SimTime) -> usize {
+        if now < self.frontier {
+            return self.expiry.len();
+        }
         self.expiry.values().filter(|&&e| e > now).count()
+    }
+
+    /// Entries currently stored, live or not (memory accounting; `purge`
+    /// brings this down to [`ReservationTable::live_count`]).
+    pub fn len(&self) -> usize {
+        self.expiry.len()
+    }
+
+    /// Whether the table holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.expiry.is_empty()
     }
 }
 
@@ -72,6 +127,11 @@ impl Default for ReservationTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `x` milliseconds past the epoch.
+    fn ms(x: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(x)
+    }
 
     #[test]
     fn reservation_expires_after_hold() {
@@ -106,6 +166,54 @@ mod tests {
         t.reserve([Address(1), Address(2)], SimTime::ZERO);
         t.purge(SimTime::from_secs_f64(10.0));
         assert_eq!(t.live_count(SimTime::from_secs_f64(10.0)), 0);
+        assert!(t.is_empty());
         assert!(!t.is_reserved(Address(1), SimTime::ZERO), "purged entries are gone");
+    }
+
+    #[test]
+    fn duplicate_addresses_collapse_to_one_entry() {
+        let mut t = ReservationTable::default();
+        t.reserve([Address(3), Address(3), Address(3)], SimTime::ZERO);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.live_count(SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn purge_below_frontier_is_a_noop() {
+        let mut t = ReservationTable::default();
+        t.reserve([Address(1), Address(2)], SimTime::ZERO);
+        // Nothing expires before 300 ms: purge must keep both entries
+        // without rescanning (observable via len()).
+        t.purge(ms(100));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.live_count(ms(100)), 2);
+    }
+
+    #[test]
+    fn frontier_recovers_after_partial_expiry() {
+        let mut t = ReservationTable::default();
+        t.reserve([Address(1)], SimTime::ZERO); // expires at 300 ms
+        t.reserve([Address(2)], ms(500)); // expires at 800 ms
+        t.purge(ms(400));
+        assert_eq!(t.len(), 1, "only the first entry expired");
+        assert!(t.is_reserved(Address(2), ms(600)));
+        // The recomputed frontier keeps the fast path honest: a purge
+        // before 800 ms drops nothing, one after drops the rest.
+        t.purge(ms(700));
+        assert_eq!(t.len(), 1);
+        t.purge(ms(900));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn extending_keeps_stale_frontier_conservative() {
+        let mut t = ReservationTable::default();
+        t.reserve([Address(1)], SimTime::ZERO); // frontier 300 ms
+        t.reserve([Address(1)], ms(200)); // entry now 500 ms
+        // The frontier may still read 300 ms (conservative), so a purge at
+        // 400 ms takes the slow path — and must keep the extended entry.
+        t.purge(ms(400));
+        assert!(t.is_reserved(Address(1), ms(450)));
+        assert_eq!(t.live_count(ms(450)), 1);
     }
 }

@@ -33,7 +33,10 @@ use estimator::{HostState, World};
 
 use obs::{CounterId, HistogramId, MetricsRegistry, MonotonicClock, NullClock, Trace, TraceReport};
 
-use crate::exhaustive::{exhaustive_search_with, EvalStrategy, ExhaustiveError, SearchOptions};
+use crate::exhaustive::{
+    exhaustive_search_in, EvalStrategy, ExhaustiveError, ExhaustiveResult, SearchOptions,
+    SearchWorkspace,
+};
 use crate::heuristic::{evaluate_query_scored, HeuristicConfig};
 use crate::refine::refine_binding;
 use crate::messages::{LedgerCounters, OverheadLedger};
@@ -370,6 +373,13 @@ pub struct Provenance {
     /// other rungs ([`DegradationRung::Full`] trusts everything,
     /// [`DegradationRung::AssumeBusy`] trusts nothing).
     pub stale_dropped: Vec<Address>,
+    /// Whether the serving plane's load-shedding rung forced the
+    /// heuristic backend for this answer: the plane was over its backlog
+    /// bound, so the configured (more expensive) method was skipped to
+    /// protect latency. Always `false` on the single-server path. Unlike
+    /// a degraded [`Provenance::rung`], shedding says nothing about data
+    /// quality — the snapshot freshness is whatever `rung` reports.
+    pub shed: bool,
     /// The per-phase span tree.
     pub trace: TraceReport,
 }
@@ -426,6 +436,15 @@ pub enum ServerError {
         /// The snapshot's freshness score.
         freshness: f64,
     },
+    /// The serving plane refused admission: the tenant's bounded queue is
+    /// full (or the plane's backlog exceeds its admission bound). The
+    /// query was **not** evaluated; retry no earlier than `retry_after`
+    /// from the rejected arrival time.
+    Overloaded {
+        /// Backpressure hint: how long the tenant should wait before
+        /// resubmitting.
+        retry_after: SimDuration,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -443,6 +462,11 @@ impl std::fmt::Display for ServerError {
             ServerError::TooStale { freshness } => write!(
                 f,
                 "status data too stale to answer (freshness {freshness:.2}, strict mode)"
+            ),
+            ServerError::Overloaded { retry_after } => write!(
+                f,
+                "serving plane overloaded; retry after {:.1} ms",
+                retry_after.as_millis_f64()
             ),
         }
     }
@@ -469,6 +493,7 @@ struct ServerMetricIds {
     delta_components_reused: CounterId,
     delta_flows_moved: CounterId,
     delta_undo_depth: HistogramId,
+    shed: CounterId,
 }
 
 impl ServerMetricIds {
@@ -485,18 +510,64 @@ impl ServerMetricIds {
             delta_flows_moved: reg.counter("estimator.delta.flows_moved"),
             delta_undo_depth: reg
                 .histogram("estimator.delta.undo_depth", &[1.0, 2.0, 4.0, 8.0, 16.0]),
+            shed: reg.counter("server.shed"),
         }
     }
 }
 
-/// A CloudTalk server instance.
-pub struct CloudTalkServer {
+/// The evaluation core shared by the single-server front-end and the
+/// multi-tenant serving plane ([`crate::serving`]): configuration,
+/// metrics, overhead accounting, and the reusable search workspace. It
+/// answers problems against snapshots; *who* gathers snapshots, samples
+/// pools, supplies RNG streams, and tracks reservations is the
+/// front-end's concern — which is what lets the serving plane run one
+/// core per worker with per-query RNG streams and a shared copy-on-write
+/// reservation ledger, while [`CloudTalkServer`] keeps its sequential
+/// RNG stream and locked [`ReservationTable`].
+pub(crate) struct EvalCore {
     cfg: ServerConfig,
-    reservations: ReservationTable,
     metrics: MetricsRegistry,
     lc: LedgerCounters,
     ids: ServerMetricIds,
+    ws: SearchWorkspace,
+}
+
+/// A CloudTalk server instance.
+pub struct CloudTalkServer {
+    core: EvalCore,
+    reservations: ReservationTable,
     rng: DetRng,
+}
+
+impl EvalCore {
+    /// Creates a core with its own metrics registry.
+    pub(crate) fn new(cfg: ServerConfig) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let lc = LedgerCounters::register(&mut metrics);
+        let ids = ServerMetricIds::register(&mut metrics);
+        EvalCore {
+            cfg,
+            metrics,
+            lc,
+            ids,
+            ws: SearchWorkspace::new(),
+        }
+    }
+
+    /// The core's configuration.
+    pub(crate) fn cfg(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The core's metrics registry.
+    pub(crate) fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Cumulative overhead ledger reconstructed from the registry.
+    pub(crate) fn ledger(&self) -> OverheadLedger {
+        self.lc.ledger(&self.metrics)
+    }
 }
 
 impl CloudTalkServer {
@@ -504,35 +575,29 @@ impl CloudTalkServer {
     pub fn new(cfg: ServerConfig) -> Self {
         let hold = cfg.reservation_hold.unwrap_or(SimDuration::ZERO);
         let rng = stream_rng(cfg.seed, 0xC10D);
-        let mut metrics = MetricsRegistry::new();
-        let lc = LedgerCounters::register(&mut metrics);
-        let ids = ServerMetricIds::register(&mut metrics);
         CloudTalkServer {
             reservations: ReservationTable::new(hold),
-            metrics,
-            lc,
-            ids,
             rng,
-            cfg,
+            core: EvalCore::new(cfg),
         }
     }
 
     /// Cumulative network-overhead ledger (§5.5 accounting), reconstructed
     /// from the server's metrics registry.
     pub fn ledger(&self) -> OverheadLedger {
-        self.lc.ledger(&self.metrics)
+        self.core.ledger()
     }
 
     /// The server's metrics registry: overhead counters (`overhead.*`),
     /// query/rung counters and gather histograms (`server.*`). Feed it to
     /// [`obs::metrics_dump`] for a flat export.
     pub fn metrics(&self) -> &MetricsRegistry {
-        &self.metrics
+        self.core.metrics()
     }
 
     /// Queries answered so far.
     pub fn queries_answered(&self) -> u64 {
-        self.metrics.counter_value(self.ids.queries)
+        self.core.metrics.counter_value(self.core.ids.queries)
     }
 
     /// Answers a textual CloudTalk query at simulated time `now`.
@@ -548,7 +613,7 @@ impl CloudTalkServer {
         answer.response_time += MODELLED_PARSE_TIME;
         let mut delta = OverheadLedger::default();
         delta.record_client(text.len() as u64, 8 * answer.binding.len() as u64);
-        self.lc.absorb(&mut self.metrics, &delta);
+        self.core.lc.absorb(&mut self.core.metrics, &delta);
         Ok(answer)
     }
 
@@ -594,6 +659,21 @@ impl CloudTalkServer {
         addrs: &[Address],
         source: &mut impl StatusSource,
     ) -> StatusSnapshot {
+        self.core.gather_snapshot(addrs, source, &mut self.rng)
+    }
+}
+
+impl EvalCore {
+    /// Gathers status for `addrs` once into an immutable snapshot,
+    /// charging the gather traffic to this core's overhead counters (the
+    /// serving plane runs one collector core per snapshot shard, so shard
+    /// refreshes account — and fail — independently).
+    pub(crate) fn gather_snapshot(
+        &mut self,
+        addrs: &[Address],
+        source: &mut impl StatusSource,
+        rng: &mut DetRng,
+    ) -> StatusSnapshot {
         if self.cfg.use_dynamic {
             // Account the gather into a local delta first: the snapshot
             // keeps it for per-query provenance, the registry accumulates
@@ -603,7 +683,7 @@ impl CloudTalkServer {
                 source,
                 addrs,
                 &self.cfg.transport,
-                &mut self.rng,
+                rng,
                 &mut gather,
             );
             self.lc.absorb(&mut self.metrics, &gather);
@@ -648,7 +728,9 @@ impl CloudTalkServer {
             }
         }
     }
+}
 
+impl CloudTalkServer {
     /// Answers a pre-resolved problem against an existing snapshot — no
     /// status traffic. Addresses absent from the snapshot are treated as
     /// overloaded (the same pessimism applied to unanswered hosts), so the
@@ -705,33 +787,11 @@ impl CloudTalkServer {
     /// problem untouched when every pool fits the budget — the common case
     /// pays no clone.
     fn maybe_sample<'a>(&mut self, problem: &'a Problem) -> (Cow<'a, Problem>, bool) {
-        let max_pool = problem
-            .vars
-            .iter()
-            .map(|v| v.candidates.len())
-            .max()
-            .unwrap_or(0);
-        if max_pool > self.cfg.sample_budget {
-            (
-                Cow::Owned(sample_candidates(
-                    problem,
-                    self.cfg.sample_budget,
-                    &mut self.rng,
-                )),
-                true,
-            )
-        } else {
-            (Cow::Borrowed(problem), false)
-        }
+        sample_within_budget(problem, self.core.cfg.sample_budget, &mut self.rng)
     }
 
     /// Evaluation + reservation + answer assembly, shared by the direct
     /// and snapshot paths. Assumes `purge` and sampling already happened.
-    ///
-    /// This is where the graceful-degradation ladder engages: the
-    /// snapshot's freshness score picks a rung, and the rung picks both
-    /// the data (full world / fresh subset / nothing) and the backend
-    /// (configured method / heuristic) the answer comes from.
     fn answer_snapshot_inner(
         &mut self,
         working: &Problem,
@@ -739,6 +799,52 @@ impl CloudTalkServer {
         now: SimTime,
         reserve: bool,
         sampled: bool,
+    ) -> Result<Answer, ServerError> {
+        let hold_on = self.core.cfg.reservation_hold.is_some();
+        let reservations = &self.reservations;
+        let pred = move |a: Address| reservations.is_reserved(a, now);
+        let answer = self.core.answer_snapshot(
+            working,
+            snapshot,
+            now,
+            sampled,
+            if hold_on { Some(&pred) } else { None },
+            false,
+        )?;
+        if reserve && hold_on {
+            self.reservations.reserve(
+                answer.binding.iter().filter_map(|v| match v {
+                    Value::Addr(a) => Some(*a),
+                    Value::Disk => None,
+                }),
+                now,
+            );
+        }
+        Ok(answer)
+    }
+}
+
+impl EvalCore {
+    /// Evaluation + answer assembly against a snapshot. Assumes sampling
+    /// already happened; reservations are the caller's job — `reserved`
+    /// is the caller's view of which hosts are currently held (`None`
+    /// disables the overlay entirely, the "Osc" configuration), and the
+    /// caller records the answer's bindings into its own table/ledger.
+    ///
+    /// This is where the graceful-degradation ladder engages: the
+    /// snapshot's freshness score picks a rung, and the rung picks both
+    /// the data (full world / fresh subset / nothing) and the backend
+    /// (configured method / heuristic) the answer comes from. `shed`
+    /// additionally forces the heuristic backend (serving-plane load
+    /// shedding) without touching the rung's data selection.
+    pub(crate) fn answer_snapshot(
+        &mut self,
+        working: &Problem,
+        snapshot: &StatusSnapshot,
+        now: SimTime,
+        sampled: bool,
+        reserved: Option<&dyn Fn(Address) -> bool>,
+        shed: bool,
     ) -> Result<Answer, ServerError> {
         // A variable with an empty candidate pool can never be bound; fail
         // with a typed error instead of panicking deep in the evaluator.
@@ -807,7 +913,7 @@ impl CloudTalkServer {
         // Overlay reservations: recently recommended machines count as
         // busy. Copy-on-write — the shared snapshot world is only cloned
         // when a mentioned address actually holds a reservation.
-        let overlaid = self.overlay_reservations(base, &addrs, now);
+        let overlaid = reserved.and_then(|pred| overlay_reserved(base, &addrs, pred));
         let world: &World = overlaid.as_ref().unwrap_or(base);
         trace.set_arg(sanitise, "stale_dropped", stale_dropped.len() as u64);
         trace.end(sanitise, t_collected);
@@ -816,9 +922,11 @@ impl CloudTalkServer {
         // complete binding for any world), while the exhaustive and
         // packet-level backends can report `NoFeasibleBinding` when
         // pessimistic data stalls every candidate — precisely the
-        // situation degraded rungs are in.
+        // situation degraded rungs are in. Load shedding forces the same
+        // choice for a different reason: under backlog pressure the
+        // heuristic's O(max(m, n·p)) bound protects tail latency.
         let method = match rung {
-            DegradationRung::Full => self.cfg.method,
+            DegradationRung::Full if !shed => self.cfg.method,
             _ => EvalMethod::Heuristic,
         };
         let space = working
@@ -859,7 +967,10 @@ impl CloudTalkServer {
             }
             EvalMethod::Exhaustive { limit } => {
                 let opts = SearchOptions::new(limit).eval(self.cfg.eval_strategy);
-                let r = exhaustive_search_with(working, world, &opts)
+                // Reuse this core's workspace: back-to-back searches (a
+                // serving-plane worker's steady state) are allocation-free.
+                let mut r = ExhaustiveResult::default();
+                exhaustive_search_in(working, world, &opts, &mut self.ws, &mut r)
                     .map_err(ServerError::Exhaustive)?;
                 let stats = SearchStats {
                     space,
@@ -912,16 +1023,10 @@ impl CloudTalkServer {
         trace.set_arg(search_span, "enumerated", search.enumerated);
         trace.end(search_span, t_evaluated);
 
+        // The bind phase proper — recording the recommendation into a
+        // reservation table or ledger — happens in the caller, which owns
+        // that state; the span still marks the modelled instant.
         let bind = trace.begin("bind", t_evaluated);
-        if reserve && self.cfg.reservation_hold.is_some() {
-            self.reservations.reserve(
-                binding.iter().filter_map(|v| match v {
-                    Value::Addr(a) => Some(*a),
-                    Value::Disk => None,
-                }),
-                now,
-            );
-        }
         trace.end(bind, t_evaluated);
         trace.end(root, t_evaluated);
 
@@ -932,6 +1037,9 @@ impl CloudTalkServer {
             DegradationRung::AssumeBusy => self.ids.rung_assume_busy,
         };
         self.metrics.inc(rung_counter, 1);
+        if shed {
+            self.metrics.inc(self.ids.shed, 1);
+        }
         if snapshot.rounds > 0 {
             self.metrics
                 .observe(self.ids.gather_rounds, f64::from(snapshot.rounds));
@@ -973,42 +1081,64 @@ impl CloudTalkServer {
                 status_bytes: snapshot.gather.status_bytes(),
                 retry_bytes: snapshot.gather.retry_bytes(),
                 stale_dropped,
+                shed,
                 trace: trace.into_report(),
             },
         })
     }
+}
 
-    /// Returns a world with reservation penalties applied, or `None` when
-    /// no mentioned address is reserved (callers keep using the shared
-    /// snapshot world unchanged — no clone).
-    fn overlay_reservations(
-        &self,
-        world: &World,
-        addrs: &[Address],
-        now: SimTime,
-    ) -> Option<World> {
-        self.cfg.reservation_hold?;
-        let mut out: Option<World> = None;
-        for &addr in addrs {
-            if self.reservations.is_reserved(addr, now) {
-                let world = out.get_or_insert_with(|| world.clone());
-                let mut s = world.get(addr);
-                // Recommended machines are treated as in use until real
-                // feedback catches up. The penalty is *additive* (a full
-                // capacity's worth of extra usage) rather than saturating:
-                // every reserved machine ranks below every unreserved one,
-                // but among reserved machines the measured load still
-                // orders candidates — the paper's "previously considered
-                // endpoints, in decreasing order of their evaluated
-                // fitness" fallback.
-                s.nic_up_used += s.nic_up_capacity;
-                s.nic_down_used += s.nic_down_capacity;
-                s.disk_read_used += s.disk_read_capacity;
-                s.disk_write_used += s.disk_write_capacity;
-                world.set(addr, s);
-            }
+/// Returns a world with reservation penalties applied to every mentioned
+/// address the `reserved` predicate holds, or `None` when nothing is
+/// reserved (callers keep using the shared snapshot world unchanged — no
+/// clone).
+fn overlay_reserved(
+    world: &World,
+    addrs: &[Address],
+    reserved: &dyn Fn(Address) -> bool,
+) -> Option<World> {
+    let mut out: Option<World> = None;
+    for &addr in addrs {
+        if reserved(addr) {
+            let world = out.get_or_insert_with(|| world.clone());
+            let mut s = world.get(addr);
+            // Recommended machines are treated as in use until real
+            // feedback catches up. The penalty is *additive* (a full
+            // capacity's worth of extra usage) rather than saturating:
+            // every reserved machine ranks below every unreserved one,
+            // but among reserved machines the measured load still
+            // orders candidates — the paper's "previously considered
+            // endpoints, in decreasing order of their evaluated
+            // fitness" fallback.
+            s.nic_up_used += s.nic_up_capacity;
+            s.nic_down_used += s.nic_down_capacity;
+            s.disk_read_used += s.disk_read_capacity;
+            s.disk_write_used += s.disk_write_capacity;
+            world.set(addr, s);
         }
-        out
+    }
+    out
+}
+
+/// §4.3 sampling as a reusable step: shrink any candidate pool above
+/// `budget` (drawing from `rng`), borrowing the problem untouched when
+/// every pool already fits — the common case pays no clone. The bool
+/// reports whether sampling actually ran.
+pub(crate) fn sample_within_budget<'a>(
+    problem: &'a Problem,
+    budget: usize,
+    rng: &mut DetRng,
+) -> (Cow<'a, Problem>, bool) {
+    let max_pool = problem
+        .vars
+        .iter()
+        .map(|v| v.candidates.len())
+        .max()
+        .unwrap_or(0);
+    if max_pool > budget {
+        (Cow::Owned(sample_candidates(problem, budget, rng)), true)
+    } else {
+        (Cow::Borrowed(problem), false)
     }
 }
 

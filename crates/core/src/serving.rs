@@ -1,0 +1,1116 @@
+//! The multi-tenant serving plane: thousands of tenants, one fleet.
+//!
+//! [`crate::server::CloudTalkServer`] answers one query at a time over a
+//! single snapshot — fine for a library, not for the provider-side
+//! service the paper pitches (§4: "a CloudTalk server runs on every
+//! machine"). This module turns the answer pipeline into a *plane*:
+//!
+//! * **Sharded snapshots** — the fleet is split into rack groups
+//!   ([`ServingConfig::racks_per_shard`]); each shard owns its own
+//!   [`StatusSnapshot`], refreshed on its own cadence through the shared
+//!   status source (pair with an [`crate::aggregate::AggregationPlane`]
+//!   for the hierarchical collection path). A slow or faulted rack only
+//!   stales *its* shard; queries routed to other shards never wait on it.
+//!   A query is answered against its *home shard* (the shard of its
+//!   lowest mentioned in-fleet address); mentioned addresses outside the
+//!   home shard fall back to the snapshot's standard pessimism for
+//!   unknown hosts — they count as overloaded, exactly like hosts that
+//!   never answered a gather.
+//! * **Wave batching** — admitted queries are grouped into fixed
+//!   *waves* of virtual time ([`ServingConfig::wave_quantum`]): wave `W`
+//!   holds every accepted query with arrival in `[W·Δ, (W+1)·Δ)` and is
+//!   evaluated at the wave-close instant `(W+1)·Δ`. Queries of one
+//!   tenant always travel together (one worker, submission order), so a
+//!   tenant's back-to-back queries see each other's reservations exactly
+//!   like they would on the single server. Each worker owns a
+//!   long-lived [`EvalCore`] whose `SearchWorkspace`/`DeltaEstimator`
+//!   scratch is reused query after query — the steady-state search loop
+//!   allocates nothing (pinned by `tests/search_alloc.rs` at the
+//!   workspace layer).
+//! * **Copy-on-write reservation ledger with epoch reclamation** — the
+//!   single locked [`crate::reservation::ReservationTable`] is replaced
+//!   by immutable [`LedgerVersion`]s behind `Arc`s. Workers *pin* the
+//!   epoch they read and answer the whole wave against that frozen
+//!   version plus a tenant-private overlay; the sequencer publishes new
+//!   versions (a pointer swap) while workers run, and retired versions
+//!   are reclaimed only once no worker pin references them. Readers
+//!   never block writers: both sides touch the shared pointer for
+//!   nanoseconds and do all real work on their own version.
+//! * **Admission control with backpressure** — per-tenant queues are
+//!   bounded ([`ServingConfig::tenant_queue_depth`]); a full queue or a
+//!   plane running behind its virtual schedule by more than
+//!   [`ServingConfig::max_virtual_lag`] rejects with
+//!   [`ServerError::Overloaded`] carrying a `retry_after` hint. Under
+//!   backlog pressure (waves larger than
+//!   [`ServingConfig::shed_wave_backlog`]) the plane *sheds load* by
+//!   forcing the O(max(m, n·p)) heuristic backend for the whole wave —
+//!   reported per answer in [`crate::server::Provenance::shed`], never
+//!   silently.
+//!
+//! # Virtual time
+//!
+//! The plane schedules in *virtual* (simulated) time, consistent with
+//! the rest of the repo: each query costs
+//! [`ServingConfig::service_time`] of modelled worker time (paper §5.1:
+//! ~0.45 ms parse + evaluate), workers drain their assigned tenant
+//! groups sequentially, and a query's reported latency is its virtual
+//! completion minus its arrival. Real `std::thread::scope` threads do
+//! the actual evaluation work — the virtual clock decides *scheduling*
+//! (which worker, what completion time), not *results*. This is what
+//! lets the `qps_storm` bench measure 1→8 worker scaling on any host,
+//! including single-core CI runners.
+//!
+//! # Determinism
+//!
+//! Answers are bit-identical for a given `(seed, tenant, seq)` at any
+//! worker count because every input to an answer is worker-count
+//! independent:
+//!
+//! * wave membership comes from arrival timestamps, not from when a
+//!   thread got scheduled;
+//! * the visible reservation set is the published ledger version at wave
+//!   close (reservations from strictly earlier waves, merged with
+//!   commutative max-expiry) plus the tenant's own same-wave overlay —
+//!   never another tenant's same-wave reservations;
+//! * per-query sampling randomness is a dedicated
+//!   [`desim::rng::stream_rng`] stream keyed by `(tenant, seq)`;
+//! * shedding is a per-wave decision derived from wave *size* (open-loop
+//!   arrivals), not from thread timing.
+//!
+//! Mid-wave ledger publications are restricted to *purges* of entries
+//! that expired before the wave-close instant — invisible to every
+//! wave query, whose reservation checks all evaluate at wave close.
+//!
+//! # Epoch reclamation safety
+//!
+//! A retired [`LedgerVersion`] with epoch `e` is freed only when no
+//! worker pin equals `e`. Workers pin before the version pointer can
+//! advance past them (pin and publish both happen on the sequencer
+//! thread, pins strictly before that wave's publications) and unpin only
+//! after their last read, so a freed version is unreachable. Conflicts
+//! (a reservation lost or shortened by a merge) are checked on every
+//! publication and counted in [`LedgerStats::conflicts`] — the invariant
+//! tests assert the count stays zero.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cloudtalk_lang::problem::{Address, Problem, Value};
+use desim::rng::{derive_seed, stream_rng, DetRng};
+use desim::{SimDuration, SimTime};
+use obs::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+
+use crate::aggregate::{FleetLayout, RackId};
+use crate::server::{sample_within_budget, Answer, EvalCore, ServerConfig, ServerError, StatusSnapshot};
+use crate::status::StatusSource;
+
+/// A tenant of the serving plane. Tenants are the unit of queue
+/// bounding, of same-wave reservation visibility, and of worker
+/// affinity within a wave.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Serving-plane configuration.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Per-worker evaluation configuration (backend, degradation ladder,
+    /// reservation hold, transport, observability).
+    pub server: ServerConfig,
+    /// Worker count (≥ 1): virtual scheduling slots *and* real threads.
+    pub workers: usize,
+    /// Wave quantum Δ: wave `W` covers arrivals in `[W·Δ, (W+1)·Δ)` and
+    /// is evaluated at `(W+1)·Δ`.
+    pub wave_quantum: SimDuration,
+    /// Maximum queries a tenant may have queued (submitted, wave not yet
+    /// processed); further submissions are rejected with
+    /// [`ServerError::Overloaded`].
+    pub tenant_queue_depth: usize,
+    /// Wave size above which the whole wave is answered by the heuristic
+    /// backend (load shedding; reported in
+    /// [`crate::server::Provenance::shed`]).
+    pub shed_wave_backlog: usize,
+    /// Admission bound on the plane's virtual schedule lag: when workers
+    /// are running this far behind the wave clock, new submissions are
+    /// rejected with `retry_after` = the current lag.
+    pub max_virtual_lag: SimDuration,
+    /// Racks per snapshot shard (≥ 1).
+    pub racks_per_shard: usize,
+    /// Per-shard snapshot refresh interval.
+    pub snapshot_refresh: SimDuration,
+    /// Modelled per-query worker time for virtual scheduling (§5.1:
+    /// ~0.45 ms to parse and evaluate one query).
+    pub service_time: SimDuration,
+    /// Root seed for per-query sampling streams and shard gather
+    /// transport randomness.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            server: ServerConfig::default(),
+            workers: 1,
+            wave_quantum: SimDuration::from_millis(5),
+            tenant_queue_depth: 64,
+            shed_wave_backlog: 512,
+            max_virtual_lag: SimDuration::from_millis(100),
+            racks_per_shard: 4,
+            snapshot_refresh: SimDuration::from_millis(50),
+            service_time: SimDuration::from_micros(450),
+            seed: 0,
+        }
+    }
+}
+
+/// One processed query, in wave → tenant → submission order.
+#[derive(Debug)]
+pub struct CompletedQuery {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The tenant-local submission sequence number (assigned by
+    /// [`ServingPlane::submit`], stable across runs and worker counts).
+    pub seq: u64,
+    /// The wave that evaluated the query.
+    pub wave: u64,
+    /// The virtual worker that evaluated the query (worker-count
+    /// dependent, unlike the answer itself).
+    pub worker: usize,
+    /// Virtual arrival time (as clamped by admission).
+    pub arrival: SimTime,
+    /// Virtual completion time under the modelled service schedule.
+    pub completion: SimTime,
+    /// Whether this query's wave was load-shed to the heuristic backend.
+    pub shed: bool,
+    /// The answer (bit-identical across worker counts) or the per-query
+    /// failure.
+    pub result: Result<Answer, ServerError>,
+}
+
+/// One immutable published state of the reservation ledger.
+///
+/// Entries are strictly sorted by address with max-merged expiries; a
+/// version never changes after publication — updates build a new version
+/// and swap the shared pointer.
+#[derive(Debug)]
+pub struct LedgerVersion {
+    epoch: u64,
+    entries: Vec<(Address, SimTime)>,
+}
+
+impl LedgerVersion {
+    /// The version's epoch (0 = the empty initial version).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The reservation entries, strictly sorted by address.
+    pub fn entries(&self) -> &[(Address, SimTime)] {
+        &self.entries
+    }
+
+    /// Whether `addr` is reserved at `now` in this version.
+    pub fn is_reserved(&self, addr: Address, now: SimTime) -> bool {
+        self.entries
+            .binary_search_by_key(&addr.0, |e| e.0 .0)
+            .map(|i| self.entries[i].1 > now)
+            .unwrap_or(false)
+    }
+}
+
+/// Observable state of the copy-on-write reservation ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Epoch of the currently published version.
+    pub epoch: u64,
+    /// Live reservation entries in the current version.
+    pub live_entries: usize,
+    /// Retired versions not yet reclaimed (still pinned, or awaiting the
+    /// next reclamation pass).
+    pub retired_versions: usize,
+    /// Retired versions reclaimed so far.
+    pub reclaimed: u64,
+    /// Same-wave reservations of one address by *different* tenants
+    /// (merged commutatively by max expiry — counted, not a conflict).
+    pub collisions: u64,
+    /// Lost or shortened reservations detected at publication — an
+    /// invariant violation. Always 0 in a correct plane.
+    pub conflicts: u64,
+}
+
+/// Pin sentinel: the worker holds no version.
+const UNPINNED: u64 = u64::MAX;
+
+/// The copy-on-write reservation ledger (see the module docs for the
+/// epoch-reclamation protocol).
+struct ReservationLedger {
+    current: Mutex<Arc<LedgerVersion>>,
+    retired: Mutex<Vec<Arc<LedgerVersion>>>,
+    pins: Vec<AtomicU64>,
+    reclaimed: AtomicU64,
+    collisions: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl ReservationLedger {
+    fn new(workers: usize) -> Self {
+        ReservationLedger {
+            current: Mutex::new(Arc::new(LedgerVersion {
+                epoch: 0,
+                entries: Vec::new(),
+            })),
+            retired: Mutex::new(Vec::new()),
+            pins: (0..workers).map(|_| AtomicU64::new(UNPINNED)).collect(),
+            reclaimed: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently published version.
+    fn current(&self) -> Arc<LedgerVersion> {
+        Arc::clone(&self.current.lock().expect("ledger lock"))
+    }
+
+    /// Pins `worker` to the current version and returns it. The pin
+    /// keeps the version (and anything retired at its epoch) from being
+    /// reclaimed until [`ReservationLedger::unpin`].
+    fn pin(&self, worker: usize) -> Arc<LedgerVersion> {
+        let guard = self.current.lock().expect("ledger lock");
+        let v = Arc::clone(&guard);
+        self.pins[worker].store(v.epoch, Ordering::SeqCst);
+        v
+    }
+
+    fn unpin(&self, worker: usize) {
+        self.pins[worker].store(UNPINNED, Ordering::SeqCst);
+    }
+
+    /// Publishes `entries` as the next epoch; the previous version moves
+    /// to the retired list until no pin references it.
+    fn publish(&self, entries: Vec<(Address, SimTime)>) -> u64 {
+        let mut cur = self.current.lock().expect("ledger lock");
+        let next = Arc::new(LedgerVersion {
+            epoch: cur.epoch + 1,
+            entries,
+        });
+        let epoch = next.epoch;
+        let old = std::mem::replace(&mut *cur, next);
+        drop(cur);
+        self.retired.lock().expect("ledger lock").push(old);
+        epoch
+    }
+
+    /// Publishes a purged version when anything has expired by `now`.
+    /// Safe mid-wave: entries expired before the wave-close instant are
+    /// invisible to every wave query (all reservation checks evaluate at
+    /// wave close), so answers are unaffected.
+    fn publish_purged(&self, now: SimTime) -> bool {
+        let cur = self.current();
+        if cur.entries.iter().all(|&(_, e)| e > now) {
+            return false;
+        }
+        let entries = cur
+            .entries
+            .iter()
+            .copied()
+            .filter(|&(_, e)| e > now)
+            .collect();
+        self.publish(entries);
+        true
+    }
+
+    /// Frees retired versions no pin references. Returns how many.
+    fn reclaim(&self) -> usize {
+        let mut retired = self.retired.lock().expect("ledger lock");
+        let before = retired.len();
+        retired.retain(|v| {
+            self.pins
+                .iter()
+                .any(|p| p.load(Ordering::SeqCst) == v.epoch)
+        });
+        let freed = before - retired.len();
+        self.reclaimed.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    fn stats(&self) -> LedgerStats {
+        let cur = self.current();
+        LedgerStats {
+            epoch: cur.epoch,
+            live_entries: cur.entries.len(),
+            retired_versions: self.retired.lock().expect("ledger lock").len(),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A submitted, not-yet-processed query.
+struct Pending {
+    tenant: TenantId,
+    seq: u64,
+    arrival: SimTime,
+    problem: Problem,
+}
+
+/// A wave member with its routed shard snapshot attached.
+struct WaveItem {
+    seq: u64,
+    arrival: SimTime,
+    problem: Problem,
+    snapshot: StatusSnapshot,
+}
+
+/// One tenant's queries within a wave, plus their scheduled virtual
+/// completion times (same order).
+struct Group {
+    tenant: TenantId,
+    items: Vec<WaveItem>,
+    completions: Vec<SimTime>,
+}
+
+/// A worker's finished tenant group: the completions and the tenant's
+/// reservation overlay to merge into the ledger.
+struct GroupDone {
+    tenant: TenantId,
+    overlay: Vec<(Address, SimTime)>,
+    completed: Vec<CompletedQuery>,
+}
+
+/// One snapshot shard: a rack group's addresses, its gather RNG stream,
+/// and the current snapshot.
+struct Shard {
+    addrs: Vec<Address>,
+    rng: DetRng,
+    snapshot: StatusSnapshot,
+    next_refresh: SimTime,
+}
+
+/// One virtual worker: a long-lived evaluation core (scratch reused
+/// across queries) and its virtual availability time.
+struct WorkerSlot {
+    core: EvalCore,
+    avail: SimTime,
+}
+
+/// Handles to the plane's own registered metrics.
+struct ServingMetricIds {
+    accepted: CounterId,
+    rejected_queue: CounterId,
+    rejected_lag: CounterId,
+    completed: CounterId,
+    query_errors: CounterId,
+    waves: CounterId,
+    shed_waves: CounterId,
+    latency_us: HistogramId,
+    lag_us: GaugeId,
+    epoch: GaugeId,
+    ledger_live: GaugeId,
+}
+
+/// Virtual-latency histogram bounds, microseconds.
+const LATENCY_BOUNDS_US: &[f64] = &[
+    250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0, 250_000.0,
+    1_000_000.0,
+];
+
+impl ServingMetricIds {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        ServingMetricIds {
+            accepted: reg.counter("serving.accepted"),
+            rejected_queue: reg.counter("serving.rejected_queue_full"),
+            rejected_lag: reg.counter("serving.rejected_overload"),
+            completed: reg.counter("serving.completed"),
+            query_errors: reg.counter("serving.query_errors"),
+            waves: reg.counter("serving.waves"),
+            shed_waves: reg.counter("serving.shed_waves"),
+            latency_us: reg.histogram("serving.latency_us", LATENCY_BOUNDS_US),
+            lag_us: reg.gauge("serving.virtual_lag_us"),
+            epoch: reg.gauge("serving.ledger_epoch"),
+            ledger_live: reg.gauge("serving.ledger_live"),
+        }
+    }
+}
+
+/// Per-query sampling RNG stream family (see the module docs).
+const QUERY_STREAM_SALT: u64 = 0x51E3;
+/// Shard gather RNG stream family.
+const SHARD_STREAM_SALT: u64 = 0x5AAD;
+
+/// The multi-tenant serving plane. See the module docs.
+pub struct ServingPlane<S> {
+    cfg: ServingConfig,
+    layout: FleetLayout,
+    source: S,
+    collector: EvalCore,
+    shards: Vec<Shard>,
+    workers: Vec<WorkerSlot>,
+    ledger: ReservationLedger,
+    pending: VecDeque<Pending>,
+    tenant_open: HashMap<TenantId, usize>,
+    tenant_seq: HashMap<TenantId, u64>,
+    next_wave: u64,
+    last_arrival: SimTime,
+    virtual_lag: SimDuration,
+    metrics: MetricsRegistry,
+    ids: ServingMetricIds,
+}
+
+impl<S: StatusSource> ServingPlane<S> {
+    /// Builds a plane over `layout`, collecting status through `source`.
+    /// Every shard is primed with an initial gather at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.workers`, `cfg.racks_per_shard` are zero or
+    /// `cfg.wave_quantum` is zero.
+    pub fn new(cfg: ServingConfig, layout: FleetLayout, mut source: S) -> Self {
+        assert!(cfg.workers >= 1, "the plane needs at least one worker");
+        assert!(
+            cfg.wave_quantum > SimDuration::ZERO,
+            "wave quantum must be positive"
+        );
+        assert!(cfg.racks_per_shard >= 1, "shards must hold at least one rack");
+        let mut metrics = MetricsRegistry::new();
+        let ids = ServingMetricIds::register(&mut metrics);
+        let mut collector = EvalCore::new(cfg.server.clone());
+        let nshards = (layout.rack_count() + cfg.racks_per_shard - 1)
+            .checked_div(cfg.racks_per_shard)
+            .unwrap_or(0)
+            .max(1);
+        let mut shards = Vec::with_capacity(nshards);
+        for si in 0..nshards {
+            let lo = si * cfg.racks_per_shard;
+            let hi = ((si + 1) * cfg.racks_per_shard).min(layout.rack_count());
+            let mut addrs = Vec::new();
+            for r in lo..hi {
+                addrs.extend_from_slice(layout.hosts(RackId(r as u32)));
+            }
+            let mut rng = stream_rng(derive_seed(cfg.seed, SHARD_STREAM_SALT), si as u64);
+            let snapshot = collector.gather_snapshot(&addrs, &mut source, &mut rng);
+            shards.push(Shard {
+                addrs,
+                rng,
+                snapshot,
+                next_refresh: SimTime::ZERO + cfg.snapshot_refresh,
+            });
+        }
+        let workers = (0..cfg.workers)
+            .map(|_| WorkerSlot {
+                core: EvalCore::new(cfg.server.clone()),
+                avail: SimTime::ZERO,
+            })
+            .collect();
+        let ledger = ReservationLedger::new(cfg.workers);
+        ServingPlane {
+            layout,
+            source,
+            collector,
+            shards,
+            workers,
+            ledger,
+            pending: VecDeque::new(),
+            tenant_open: HashMap::new(),
+            tenant_seq: HashMap::new(),
+            next_wave: 0,
+            last_arrival: SimTime::ZERO,
+            virtual_lag: SimDuration::ZERO,
+            metrics,
+            ids,
+            cfg,
+        }
+    }
+
+    /// The plane's configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Number of snapshot shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queries submitted but not yet processed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Virtual time up to which waves have been processed.
+    pub fn processed_until(&self) -> SimTime {
+        SimTime::ZERO + self.cfg.wave_quantum * self.next_wave
+    }
+
+    /// How far the workers' virtual schedule currently runs behind the
+    /// wave clock (the admission-control signal).
+    pub fn virtual_lag(&self) -> SimDuration {
+        self.virtual_lag
+    }
+
+    /// The currently published reservation-ledger version.
+    pub fn ledger_version(&self) -> Arc<LedgerVersion> {
+        self.ledger.current()
+    }
+
+    /// Ledger observability: epoch, live entries, retirement/reclaim and
+    /// collision/conflict counts.
+    pub fn ledger_stats(&self) -> LedgerStats {
+        self.ledger.stats()
+    }
+
+    /// A merged snapshot of every registry on the plane: the plane's own
+    /// `serving.*` metrics, the collector core's gather accounting, and
+    /// each worker core's evaluation counters (summed across workers).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        out.merge_from(&self.metrics);
+        out.merge_from(self.collector.metrics());
+        for w in &self.workers {
+            out.merge_from(w.core.metrics());
+        }
+        out
+    }
+
+    /// Submits a query for `tenant` arriving at `arrival` (clamped to be
+    /// monotone and no earlier than the first unprocessed wave). Returns
+    /// the tenant-local sequence number on acceptance.
+    ///
+    /// Sequence numbers advance on every submission, accepted or not, so
+    /// a query's identity `(tenant, seq)` — and with it its sampling RNG
+    /// stream — depends only on the submission history, never on
+    /// admission outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Overloaded`] when the tenant's queue is full
+    /// (`retry_after` = one wave quantum) or the plane's virtual lag
+    /// exceeds [`ServingConfig::max_virtual_lag`] (`retry_after` = the
+    /// current lag).
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        problem: Problem,
+        arrival: SimTime,
+    ) -> Result<u64, ServerError> {
+        let seq = {
+            let c = self.tenant_seq.entry(tenant).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let floor = SimTime::ZERO + self.cfg.wave_quantum * self.next_wave;
+        let arrival = arrival.max(floor).max(self.last_arrival);
+        self.last_arrival = arrival;
+        if self.virtual_lag > self.cfg.max_virtual_lag {
+            self.metrics.inc(self.ids.rejected_lag, 1);
+            return Err(ServerError::Overloaded {
+                retry_after: self.virtual_lag,
+            });
+        }
+        let open = self.tenant_open.entry(tenant).or_insert(0);
+        if *open >= self.cfg.tenant_queue_depth {
+            self.metrics.inc(self.ids.rejected_queue, 1);
+            return Err(ServerError::Overloaded {
+                retry_after: self.cfg.wave_quantum,
+            });
+        }
+        *open += 1;
+        self.metrics.inc(self.ids.accepted, 1);
+        self.pending.push_back(Pending {
+            tenant,
+            seq,
+            arrival,
+            problem,
+        });
+        Ok(seq)
+    }
+
+    /// Processes every wave closing at or before `until`, returning the
+    /// completed queries in wave → tenant → submission order.
+    pub fn run_until(&mut self, until: SimTime) -> Vec<CompletedQuery> {
+        let mut out = Vec::new();
+        loop {
+            let close = SimTime::ZERO + self.cfg.wave_quantum * (self.next_wave + 1);
+            if close > until {
+                break;
+            }
+            let wave = self.next_wave;
+            self.process_wave(wave, close, &mut out);
+            self.next_wave += 1;
+        }
+        out
+    }
+
+    /// The shard a problem is routed to: the shard of its lowest
+    /// mentioned in-fleet address (shard 0 for fleet-less problems).
+    fn shard_of(&self, problem: &Problem) -> usize {
+        let mut addrs = problem.mentioned_addresses();
+        addrs.sort_unstable_by_key(|a| a.0);
+        for a in addrs {
+            if let Some(r) = self.layout.rack_of(a) {
+                return (r.0 as usize / self.cfg.racks_per_shard).min(self.shards.len() - 1);
+            }
+        }
+        0
+    }
+
+    fn update_lag(&mut self, t_wave: SimTime) {
+        let max_avail = self
+            .workers
+            .iter()
+            .map(|s| s.avail)
+            .max()
+            .unwrap_or(t_wave);
+        self.virtual_lag = max_avail.saturating_since(t_wave);
+        self.metrics
+            .gauge_set(self.ids.lag_us, self.virtual_lag.as_micros_f64());
+    }
+
+    /// Evaluates wave `wave` at its close instant `t_wave`.
+    fn process_wave(&mut self, wave: u64, t_wave: SimTime, out: &mut Vec<CompletedQuery>) {
+        self.metrics.inc(self.ids.waves, 1);
+
+        // Wave membership: everything that arrived before the close.
+        let mut members: Vec<Pending> = Vec::new();
+        while self.pending.front().is_some_and(|p| p.arrival < t_wave) {
+            members.push(self.pending.pop_front().expect("peeked"));
+        }
+
+        // Refresh due shards — each on its own cadence, through the
+        // shared source. A slow gather only delays *this* shard's data.
+        {
+            let collector = &mut self.collector;
+            let source = &mut self.source;
+            for shard in &mut self.shards {
+                if t_wave >= shard.next_refresh {
+                    shard.snapshot =
+                        collector.gather_snapshot(&shard.addrs, source, &mut shard.rng);
+                    shard.next_refresh = t_wave + self.cfg.snapshot_refresh;
+                }
+            }
+        }
+
+        if members.is_empty() {
+            // Idle wave: expire published reservations and reclaim.
+            self.ledger.publish_purged(t_wave);
+            self.ledger.reclaim();
+            for slot in &mut self.workers {
+                slot.avail = slot.avail.max(t_wave);
+            }
+            self.update_lag(t_wave);
+            return;
+        }
+
+        let shed = members.len() > self.cfg.shed_wave_backlog;
+        if shed {
+            self.metrics.inc(self.ids.shed_waves, 1);
+        }
+
+        // Group members by tenant (BTreeMap: deterministic tenant order;
+        // FIFO within a tenant preserves submission order).
+        let mut groups: BTreeMap<TenantId, Group> = BTreeMap::new();
+        for p in members {
+            if let Some(open) = self.tenant_open.get_mut(&p.tenant) {
+                *open = open.saturating_sub(1);
+            }
+            let shard = self.shard_of(&p.problem);
+            let snapshot = self.shards[shard].snapshot.clone();
+            let g = groups.entry(p.tenant).or_insert_with(|| Group {
+                tenant: p.tenant,
+                items: Vec::new(),
+                completions: Vec::new(),
+            });
+            g.items.push(WaveItem {
+                seq: p.seq,
+                arrival: p.arrival,
+                problem: p.problem,
+                snapshot,
+            });
+        }
+
+        // Greedy virtual scheduling: tenant groups in tenant order onto
+        // the earliest-available worker (ties → lowest index). Workers
+        // drain a group sequentially at `service_time` per query.
+        for slot in &mut self.workers {
+            slot.avail = slot.avail.max(t_wave);
+        }
+        let mut work: Vec<Vec<Group>> = (0..self.cfg.workers).map(|_| Vec::new()).collect();
+        for (_, mut g) in groups {
+            let wi = self
+                .workers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.avail)
+                .map(|(i, _)| i)
+                .expect("at least one worker");
+            let slot = &mut self.workers[wi];
+            let start = slot.avail;
+            for k in 0..g.items.len() {
+                g.completions
+                    .push(start + self.cfg.service_time * (k as u64 + 1));
+            }
+            slot.avail = start + self.cfg.service_time * (g.items.len() as u64);
+            work[wi].push(g);
+        }
+        self.update_lag(t_wave);
+
+        // Execute: real threads, one per busy worker, each owning its
+        // long-lived core. The sequencer thread does mid-wave ledger
+        // housekeeping while workers run.
+        let hold = self.cfg.server.reservation_hold;
+        let seed = self.cfg.seed;
+        let ledger = &self.ledger;
+        let mut done: Vec<GroupDone> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers.len());
+            for ((wi, slot), groups) in self.workers.iter_mut().enumerate().zip(work) {
+                if groups.is_empty() {
+                    handles.push(None);
+                    continue;
+                }
+                // Pin before any of this wave's publications can retire
+                // the version the worker is about to read.
+                let pinned = ledger.pin(wi);
+                let core = &mut slot.core;
+                handles.push(Some(scope.spawn(move || {
+                    run_groups(core, groups, &pinned, wave, wi, t_wave, hold, shed, seed)
+                })));
+            }
+            // Mid-wave: purge expired entries and publish. The retired
+            // version stays pinned by the running workers, so reclaim
+            // keeps it; this is the path that makes epoch pinning real
+            // rather than ceremonial. Purged entries expired before
+            // t_wave, which no wave query can observe (all reservation
+            // checks evaluate at t_wave).
+            ledger.publish_purged(t_wave);
+            ledger.reclaim();
+            for h in handles.into_iter().flatten() {
+                done.extend(h.join().expect("serving worker panicked"));
+            }
+        });
+
+        // Merge tenant overlays into the published ledger in tenant
+        // order. Max-expiry merge is commutative, so the merged version
+        // is independent of which workers ran which tenants.
+        done.sort_by_key(|g| g.tenant);
+        let base = self.ledger.current();
+        let mut entries = base.entries().to_vec();
+        let mut touched: HashMap<Address, TenantId> = HashMap::new();
+        let mut requested: Vec<(Address, SimTime)> = Vec::new();
+        for g in &done {
+            for &(addr, until) in &g.overlay {
+                requested.push((addr, until));
+                if let Some(prev) = touched.insert(addr, g.tenant) {
+                    if prev != g.tenant {
+                        self.ledger.collisions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                match entries.binary_search_by_key(&addr.0, |e| e.0 .0) {
+                    Ok(i) => {
+                        if entries[i].1 < until {
+                            entries[i].1 = until;
+                        }
+                    }
+                    Err(i) => entries.insert(i, (addr, until)),
+                }
+            }
+        }
+        if !requested.is_empty() {
+            self.ledger.publish(entries);
+            // Publication invariant: strictly sorted, nothing lost or
+            // shortened. A violation is a ledger conflict.
+            let cur = self.ledger.current();
+            let sorted_ok = cur.entries().windows(2).all(|w| w[0].0 .0 < w[1].0 .0);
+            let lost = requested.iter().any(|&(a, u)| {
+                !cur.entries().iter().any(|&(x, e)| x == a && e >= u)
+            });
+            if !sorted_ok || lost {
+                self.ledger.conflicts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for wi in 0..self.workers.len() {
+            self.ledger.unpin(wi);
+        }
+        self.ledger.reclaim();
+
+        // Completions in deterministic (tenant, seq) order.
+        let mut completed: Vec<CompletedQuery> =
+            done.into_iter().flat_map(|g| g.completed).collect();
+        completed.sort_by_key(|c| (c.tenant, c.seq));
+        for c in &completed {
+            self.metrics.inc(self.ids.completed, 1);
+            if c.result.is_err() {
+                self.metrics.inc(self.ids.query_errors, 1);
+            }
+            self.metrics.observe(
+                self.ids.latency_us,
+                (c.completion - c.arrival).as_micros_f64(),
+            );
+        }
+        let stats = self.ledger.stats();
+        self.metrics.gauge_set(self.ids.epoch, stats.epoch as f64);
+        self.metrics
+            .gauge_set(self.ids.ledger_live, stats.live_entries as f64);
+        out.append(&mut completed);
+    }
+}
+
+/// Evaluates a worker's assigned tenant groups for one wave. Pure with
+/// respect to scheduling: results depend only on the query identities,
+/// the pinned ledger version, the shard snapshots and the shed flag.
+#[allow(clippy::too_many_arguments)]
+fn run_groups(
+    core: &mut EvalCore,
+    groups: Vec<Group>,
+    pinned: &LedgerVersion,
+    wave: u64,
+    worker: usize,
+    t_wave: SimTime,
+    hold: Option<SimDuration>,
+    shed: bool,
+    seed: u64,
+) -> Vec<GroupDone> {
+    let root = derive_seed(seed, QUERY_STREAM_SALT);
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        let Group {
+            tenant,
+            items,
+            completions,
+        } = g;
+        let mut overlay: Vec<(Address, SimTime)> = Vec::new();
+        let mut completed = Vec::with_capacity(items.len());
+        for (item, &completion) in items.into_iter().zip(&completions) {
+            // Per-query RNG stream: identity-keyed, schedule-independent.
+            let mut rng = stream_rng(root, derive_seed(u64::from(tenant.0), item.seq));
+            let (working, sampled) =
+                sample_within_budget(&item.problem, core.cfg().sample_budget, &mut rng);
+            let result = {
+                // Visibility: published prior-wave reservations plus this
+                // tenant's own same-wave overlay.
+                let pred = |a: Address| {
+                    overlay.iter().any(|&(x, e)| x == a && e > t_wave)
+                        || pinned.is_reserved(a, t_wave)
+                };
+                let pred_ref: Option<&dyn Fn(Address) -> bool> =
+                    if hold.is_some() { Some(&pred) } else { None };
+                core.answer_snapshot(&working, &item.snapshot, t_wave, sampled, pred_ref, shed)
+            };
+            if let (Ok(a), Some(h)) = (&result, hold) {
+                let until = t_wave + h;
+                for v in &a.binding {
+                    if let Value::Addr(addr) = v {
+                        match overlay.iter_mut().find(|e| e.0 == *addr) {
+                            Some(e) => {
+                                if e.1 < until {
+                                    e.1 = until;
+                                }
+                            }
+                            None => overlay.push((*addr, until)),
+                        }
+                    }
+                }
+            }
+            completed.push(CompletedQuery {
+                tenant,
+                seq: item.seq,
+                wave,
+                worker,
+                arrival: item.arrival,
+                completion,
+                shed,
+                result,
+            });
+        }
+        out.push(GroupDone {
+            tenant,
+            overlay,
+            completed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::TableStatusSource;
+    use cloudtalk_lang::builder::hdfs_write_query;
+    use estimator::HostState;
+
+    /// 4 racks × 4 hosts, addresses 1..=16, all idle.
+    fn fleet() -> (FleetLayout, TableStatusSource) {
+        let addrs: Vec<Address> = (1..=16).map(Address).collect();
+        let layout = FleetLayout::uniform(&addrs, 4);
+        let mut src = TableStatusSource::new();
+        for &a in &addrs {
+            src.set(a, HostState::gbps_idle());
+        }
+        (layout, src)
+    }
+
+    fn rack_query(rack: u32) -> Problem {
+        let base = rack * 4 + 1;
+        let nodes: Vec<Address> = (base..base + 4).map(Address).collect();
+        hdfs_write_query(Address(100 + rack), &nodes, 2, 1e6)
+            .resolve()
+            .unwrap()
+    }
+
+    fn cfg(workers: usize) -> ServingConfig {
+        ServingConfig {
+            workers,
+            racks_per_shard: 2,
+            wave_quantum: SimDuration::from_millis(5),
+            ..ServingConfig::default()
+        }
+    }
+
+    #[test]
+    fn plane_answers_submitted_queries() {
+        let (layout, src) = fleet();
+        let mut plane = ServingPlane::new(cfg(2), layout, src);
+        assert_eq!(plane.shard_count(), 2);
+        for t in 0..3u32 {
+            plane
+                .submit(TenantId(t), rack_query(t), SimTime::ZERO)
+                .unwrap();
+        }
+        let done = plane.run_until(SimTime::from_secs_f64(0.01));
+        assert_eq!(done.len(), 3);
+        for c in &done {
+            let a = c.result.as_ref().unwrap();
+            assert!(!a.binding.is_empty());
+            assert!(!a.provenance.shed);
+        }
+        let m = plane.metrics();
+        assert_eq!(m.counter_named("serving.accepted"), Some(3));
+        assert_eq!(m.counter_named("serving.completed"), Some(3));
+        assert_eq!(m.counter_named("server.queries_answered"), Some(3));
+        assert!(m.histograms().any(|(n, h)| n == "serving.latency_us" && h.total() == 3));
+    }
+
+    #[test]
+    fn answers_bit_identical_across_worker_counts() {
+        let runs: Vec<Vec<CompletedQuery>> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let (layout, src) = fleet();
+                let mut plane = ServingPlane::new(cfg(w), layout, src);
+                for t in 0..4u32 {
+                    for q in 0..3u64 {
+                        let at = SimTime::ZERO
+                            + SimDuration::from_millis(2 * q + u64::from(t) % 2);
+                        plane.submit(TenantId(t), rack_query(t), at).unwrap();
+                    }
+                }
+                let mut done = plane.run_until(SimTime::from_secs_f64(0.05));
+                done.sort_by_key(|c| (c.tenant, c.seq));
+                done
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(runs[0].len(), other.len());
+            for (a, b) in runs[0].iter().zip(other) {
+                assert_eq!((a.tenant, a.seq, a.wave), (b.tenant, b.seq, b.wave));
+                assert_eq!(
+                    a.result.as_ref().unwrap(),
+                    b.result.as_ref().unwrap(),
+                    "answer differs for ({}, {})",
+                    a.tenant,
+                    a.seq
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_queue_is_bounded() {
+        let (layout, src) = fleet();
+        let mut plane = ServingPlane::new(
+            ServingConfig {
+                tenant_queue_depth: 2,
+                ..cfg(1)
+            },
+            layout,
+            src,
+        );
+        let t = TenantId(0);
+        plane.submit(t, rack_query(0), SimTime::ZERO).unwrap();
+        plane.submit(t, rack_query(0), SimTime::ZERO).unwrap();
+        let err = plane.submit(t, rack_query(0), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, ServerError::Overloaded { retry_after } if retry_after > SimDuration::ZERO));
+        assert_eq!(plane.pending_len(), 2);
+        // Processing the wave frees the queue.
+        plane.run_until(SimTime::from_secs_f64(0.01));
+        plane.submit(t, rack_query(0), SimTime::from_secs_f64(0.01)).unwrap();
+    }
+
+    #[test]
+    fn shed_waves_force_heuristic_and_report_it() {
+        let (layout, src) = fleet();
+        let mut plane = ServingPlane::new(
+            ServingConfig {
+                shed_wave_backlog: 0,
+                ..cfg(2)
+            },
+            layout,
+            src,
+        );
+        plane.submit(TenantId(0), rack_query(0), SimTime::ZERO).unwrap();
+        let done = plane.run_until(SimTime::from_secs_f64(0.01));
+        assert!(done[0].shed);
+        let a = done[0].result.as_ref().unwrap();
+        assert!(a.provenance.shed);
+        assert_eq!(a.provenance.backend, crate::server::Backend::Heuristic);
+        assert_eq!(plane.metrics().counter_named("serving.shed_waves"), Some(1));
+        assert_eq!(plane.metrics().counter_named("server.shed"), Some(1));
+    }
+
+    #[test]
+    fn ledger_epochs_advance_and_reclaim() {
+        let (layout, src) = fleet();
+        let mut plane = ServingPlane::new(cfg(2), layout, src);
+        plane.submit(TenantId(0), rack_query(0), SimTime::ZERO).unwrap();
+        plane.run_until(SimTime::from_secs_f64(0.01));
+        let s1 = plane.ledger_stats();
+        assert!(s1.epoch >= 1, "reservations published: {s1:?}");
+        assert!(s1.live_entries > 0);
+        assert_eq!(s1.conflicts, 0);
+        assert_eq!(s1.retired_versions, 0, "no pins → everything reclaimed");
+        // Entries strictly sorted by address.
+        let v = plane.ledger_version();
+        assert!(v.entries().windows(2).all(|w| w[0].0 .0 < w[1].0 .0));
+        // The 300 ms hold expires; a later idle wave purges it.
+        plane.run_until(SimTime::from_secs_f64(0.5));
+        let s2 = plane.ledger_stats();
+        assert_eq!(s2.live_entries, 0, "{s2:?}");
+        assert!(s2.reclaimed >= s1.reclaimed);
+        assert_eq!(s2.conflicts, 0);
+    }
+
+    #[test]
+    fn ledger_pins_block_reclaim_until_released() {
+        let ledger = ReservationLedger::new(2);
+        let v0 = ledger.pin(0);
+        assert_eq!(v0.epoch(), 0);
+        ledger.publish(vec![(Address(1), SimTime::from_secs_f64(1.0))]);
+        ledger.reclaim();
+        assert_eq!(ledger.stats().retired_versions, 1, "epoch 0 still pinned");
+        ledger.unpin(0);
+        ledger.reclaim();
+        let s = ledger.stats();
+        assert_eq!(s.retired_versions, 0);
+        assert_eq!(s.reclaimed, 1);
+        assert_eq!(s.epoch, 1);
+        drop(v0);
+    }
+}

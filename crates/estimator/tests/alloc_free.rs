@@ -24,9 +24,22 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// Only the measured thread is counted: the libtest harness thread can
+// allocate concurrently (channel/parking internals) while the measured
+// window is open, which made a process-wide count flake.
+thread_local! {
+    static COUNTED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn count_alloc() {
+    if COUNTED.with(|c| c.get()) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         System.alloc(layout)
     }
 
@@ -35,12 +48,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         System.alloc_zeroed(layout)
     }
 }
@@ -120,6 +133,7 @@ fn estimate_with_is_allocation_free_after_warmup() {
 
     // Measured sweep: the same workload must perform zero allocations,
     // with a span recorded around every inner estimator sweep.
+    COUNTED.with(|c| c.set(true));
     let before = ALLOCS.load(Ordering::Relaxed);
     let mut acc = 0.0f64;
     let mut spans_recorded = 0usize;

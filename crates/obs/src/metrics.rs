@@ -78,6 +78,79 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.sum
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated from the bucket
+    /// counts by linear interpolation inside the bucket holding the
+    /// target rank — the Prometheus `histogram_quantile` estimator. The
+    /// first bucket interpolates from 0 (or from its upper edge when that
+    /// edge is negative); ranks landing in the overflow bucket clamp to
+    /// the highest finite edge, the honest answer a fixed-bucket
+    /// histogram can give. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = q * self.total as f64;
+        let mut seen = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = seen + c as f64;
+            if next >= rank && c > 0 {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no finite upper edge to
+                    // interpolate towards.
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                }
+                let hi = self.bounds[i];
+                let lo = if i == 0 {
+                    if hi > 0.0 {
+                        0.0
+                    } else {
+                        hi
+                    }
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - seen) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            seen = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Adds `other`'s observations into this histogram. Both histograms
+    /// must have been registered with the same bucket edges — merging
+    /// per-worker registries of the same subsystem always satisfies this.
+    ///
+    /// # Panics
+    /// If the bucket edges differ.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
 }
 
 /// Registry of named counters, gauges, and histograms.
@@ -223,6 +296,28 @@ impl MetricsRegistry {
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
         self.hist_names.iter().copied().zip(self.hists.iter())
     }
+
+    /// Folds `other` into this registry by metric name: counters add,
+    /// gauges keep the maximum (high-watermark semantics — the only
+    /// cross-instance reduction that is order-independent), histograms
+    /// merge bucket-wise. Names missing here are registered first, so
+    /// merging a worker pool's per-worker registries into one view needs
+    /// no pre-registration. Same-named histograms must share bucket
+    /// edges (see [`Histogram::merge_from`]).
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (i, &name) in other.counter_names.iter().enumerate() {
+            let id = self.counter(name);
+            self.counters[id.0 as usize] += other.counters[i];
+        }
+        for (i, &name) in other.gauge_names.iter().enumerate() {
+            let id = self.gauge(name);
+            self.gauge_max(id, other.gauges[i]);
+        }
+        for (i, &name) in other.hist_names.iter().enumerate() {
+            let id = self.histogram(name, other.hists[i].bounds);
+            self.hists[id.0 as usize].merge_from(&other.hists[i]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +360,82 @@ mod tests {
         assert_eq!(hist.counts(), &[2, 1, 1, 1]);
         assert_eq!(hist.total(), 5);
         assert_eq!(hist.sum(), 106.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("lat", &[1.0, 2.0, 4.0, 8.0]);
+        // 100 observations spread 25/25/25/25 over the four finite buckets.
+        for i in 0..100 {
+            let v = match i % 4 {
+                0 => 0.5,
+                1 => 1.5,
+                2 => 3.0,
+                _ => 6.0,
+            };
+            r.observe(h, v);
+        }
+        let hist = r.histogram_value(h);
+        // Rank 50 sits exactly at the top of the second bucket.
+        assert!((hist.p50() - 2.0).abs() < 1e-9, "p50 {}", hist.p50());
+        // Rank 25 is the top of the first bucket (interpolated from 0).
+        assert!((hist.quantile(0.25) - 1.0).abs() < 1e-9);
+        // Rank 99 is 24/25 into the last finite bucket: 4 + 4·(24/25).
+        assert!((hist.p99() - 7.84).abs() < 1e-9, "p99 {}", hist.p99());
+        // Extremes.
+        assert_eq!(hist.quantile(0.0), 0.0);
+        assert_eq!(hist.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn quantile_clamps_to_highest_edge_in_overflow() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("h", &[1.0, 2.0]);
+        r.observe(h, 100.0);
+        r.observe(h, 200.0);
+        let hist = r.histogram_value(h);
+        assert_eq!(hist.p50(), 2.0);
+        assert_eq!(hist.p999(), 2.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("h", &[1.0]);
+        assert_eq!(r.histogram_value(h).p99(), 0.0);
+    }
+
+    #[test]
+    fn merge_folds_counters_gauges_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let ca = a.counter("c");
+        let ga = a.gauge("g");
+        let ha = a.histogram("h", &[1.0, 2.0]);
+        a.inc(ca, 3);
+        a.gauge_set(ga, 5.0);
+        a.observe(ha, 0.5);
+
+        let mut b = MetricsRegistry::new();
+        // Different registration order and an extra name: both must merge.
+        let hb = b.histogram("h", &[1.0, 2.0]);
+        let cb = b.counter("c");
+        let xb = b.counter("only_in_b");
+        let gb = b.gauge("g");
+        b.inc(cb, 4);
+        b.inc(xb, 7);
+        b.gauge_set(gb, 2.0);
+        b.observe(hb, 1.5);
+        b.observe(hb, 9.0);
+
+        a.merge_from(&b);
+        assert_eq!(a.counter_named("c"), Some(7));
+        assert_eq!(a.counter_named("only_in_b"), Some(7));
+        assert_eq!(a.gauge_named("g"), Some(5.0), "gauges keep the max");
+        let h = a.histogram_value(ha);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        assert_eq!(h.sum(), 11.0);
     }
 
     #[test]

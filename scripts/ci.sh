@@ -40,6 +40,15 @@ cargo run --release -q -p cloudtalk-bench --bin simnet_scale -- --smoke
 echo "=== fleet_scale smoke (hier view exact, >=10x collector bytes, deterministic) ==="
 cargo run --release -q -p cloudtalk-bench --bin fleet_scale -- --smoke
 
+echo "=== serving determinism (bit-identical answers at 1/2/8 workers) ==="
+cargo test -q -p cloudtalk --test serving_determinism
+
+echo "=== serving admission (typed Overloaded, bounded queues, shed contract) ==="
+cargo test -q -p cloudtalk --test serving_admission
+
+echo "=== qps_storm smoke (accepts load, 0 ledger conflicts, deterministic) ==="
+cargo run --release -q -p cloudtalk-bench --bin qps_storm -- --smoke
+
 echo "=== trace smoke (chrome trace_event export parses, spans present) ==="
 cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke --trace /tmp/ct_trace.json
 python3 - <<'EOF'
