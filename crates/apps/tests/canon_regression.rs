@@ -1,0 +1,104 @@
+//! Canonicalisation regression: extracting the host-class machinery from
+//! `pktsearch` into `cloudtalk::canon` must not change what the
+//! symmetry memoiser considers equivalent.
+//!
+//! Two pins, both on the §5.4 web-search aggregator placement:
+//!
+//! * the CI-sized single-switch scenario runs the real packet-level
+//!   search and checks the memo hit/miss counters end-to-end;
+//! * the full 80-leaf two-tier scenario (132 ordered candidate pairs)
+//!   checks the class structure that *determines* those counters —
+//!   4 equivalence classes over the 12 candidates, 16 distinct
+//!   canonical keys over the 132 pairs — without paying for 16 full
+//!   packet simulations in a debug-profile test. Given the memoiser
+//!   (first binding of a key simulates, the rest replay), that pins
+//!   misses = 16 and hits = 132 − 16 = 116 exactly as before the
+//!   refactor.
+
+use std::collections::HashSet;
+
+use cloudtalk::canon::CanonKey;
+use cloudtalk::pktsearch::{host_classes, pkt_search, MirrorTopology, PktSearchOptions};
+use cloudtalk_apps::websearch::aggregator_placement_query;
+use cloudtalk_lang::problem::Value;
+use simnet::topology::{HostId, TopoOptions, Topology};
+use simnet::GBPS;
+
+/// CI-sized: 8 leaves and 4 interchangeable candidates on one switch —
+/// 12 ordered pairs, all in one symmetry class.
+#[test]
+fn smoke_scenario_memo_counters_unchanged() {
+    let topo = Topology::single_switch(16, GBPS, TopoOptions::default());
+    let hosts = topo.host_ids();
+    let frontend = hosts[0];
+    let leaves: Vec<HostId> = hosts[1..9].to_vec();
+    let candidates: Vec<HostId> = hosts[10..14].to_vec();
+    let problem = aggregator_placement_query(&topo, frontend, &leaves, &candidates);
+    let mirror = MirrorTopology::new(topo);
+
+    let classes = host_classes(&problem, &mirror);
+    assert_eq!(
+        classes.classes(),
+        1,
+        "four co-switched candidates collapse to one class"
+    );
+
+    let r = pkt_search(&problem, &mirror, &PktSearchOptions::new(16))
+        .expect("smoke placement search succeeds");
+    assert_eq!(r.memo_misses, 1, "one class → one simulated key");
+    assert_eq!(r.memo_hits, 11, "remaining 11 ordered pairs replay");
+    assert_eq!(r.evaluated, 1, "only the class representative simulates");
+}
+
+/// Full scale: 12 candidates drawn 3-per-rack from 4 leaf-free racks of
+/// an 80-leaf two-tier fabric. The candidates split into 4 classes (one
+/// per rack); the 132 ordered distinct pairs collapse to 16 canonical
+/// keys (4 same-rack ordered pairs + 12 cross-rack, ordered).
+#[test]
+fn full_websearch_placement_class_structure_unchanged() {
+    let topo = Topology::two_tier(12, 10, GBPS, f64::INFINITY, TopoOptions::default());
+    let hosts = topo.host_ids();
+    let frontend = hosts[0];
+    let leaves: Vec<HostId> = hosts[40..120].to_vec();
+    let candidates: Vec<HostId> = [1usize, 2, 3, 10, 11, 12, 20, 21, 22, 30, 31, 32]
+        .iter()
+        .map(|&i| hosts[i])
+        .collect();
+    let problem = aggregator_placement_query(&topo, frontend, &leaves, &candidates);
+    let mirror = MirrorTopology::new(topo);
+
+    let classes = host_classes(&problem, &mirror);
+    assert_eq!(classes.classes(), 4, "one class per candidate rack");
+
+    let pool = &problem.vars[0].candidates;
+    assert_eq!(pool.len(), 12);
+    let mut keys: HashSet<CanonKey> = HashSet::new();
+    let mut pairs = 0usize;
+    for &a in pool {
+        for &b in pool {
+            if a == b {
+                continue;
+            }
+            pairs += 1;
+            keys.insert(classes.key(&vec![a, b]));
+        }
+    }
+    assert_eq!(pairs, 132);
+    assert_eq!(
+        keys.len(),
+        16,
+        "132 ordered pairs collapse to 16 canonical keys → memoised \
+         search simulates 16 and replays 116, as before the extraction"
+    );
+    // Ordering matters within a class pattern: (rack0, rack1) and
+    // (rack1, rack0) are distinct keys (asymmetric halves).
+    let (a0, b0) = (pool[0], pool[3]);
+    if let (Value::Addr(x), Value::Addr(y)) = (a0, b0) {
+        assert_ne!(classes.class_of(x), classes.class_of(y));
+    }
+    assert_ne!(
+        classes.key(&vec![a0, b0]),
+        classes.key(&vec![b0, a0]),
+        "ordered pairs across classes must not collapse"
+    );
+}

@@ -46,7 +46,12 @@ use estimator::{
 };
 
 /// How the search evaluates candidate bindings.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+///
+/// `Hash` because the strategy is part of the answer-cache key: a
+/// cached result may only be replayed under the exact backend
+/// configuration that produced it (even though `Scratch` and `Delta`
+/// are bit-identical by contract, the cache does not rely on that).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum EvalStrategy {
     /// Rebuild the estimator world from scratch per candidate (the seed
     /// path; serves as the bit-exactness oracle for `Delta`).

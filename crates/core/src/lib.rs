@@ -19,6 +19,13 @@
 //! * [`pkteval`] — the packet-level evaluation backend (§5.4 web search).
 //! * [`pktsearch`] — the packet-level *search* backend: parallel binding
 //!   enumeration with symmetry memoisation and incumbent early-abort.
+//! * [`canon`] — canonical query fingerprinting: host equivalence
+//!   classes (shared with the pktsearch memoiser) and structural
+//!   problem hashes, the identity half of every answer-cache key.
+//! * [`qcache`] — the two-tier answer cache: per-worker L1 plus a
+//!   copy-on-write shared L2 keyed on (exact problem, snapshot epoch,
+//!   footprint-restricted reservation mask, rung, backend config);
+//!   invalidation is epoch-driven, hits are bit-identical to misses.
 //! * [`sampling`] — §4.3: how many servers to sample for near-optimal
 //!   answers, plus the analytic n(d, p, confidence) calculator (Figure 4).
 //! * [`reservation`] — §5.5 pseudo-reservations preventing oscillation.
@@ -85,12 +92,14 @@
 
 pub mod aggregate;
 pub mod billing;
+pub mod canon;
 pub mod exhaustive;
 pub mod faults;
 pub mod heuristic;
 pub mod messages;
 pub mod pkteval;
 pub mod pktsearch;
+pub mod qcache;
 pub mod refine;
 pub mod reservation;
 pub mod sampling;
@@ -105,11 +114,14 @@ pub use aggregate::{
     AggregationPlane, DeltaAnswer, EpochStamp, FleetLayout, MergeOutcome, PartialSnapshot,
     PlaneConfig, RackAggregator, RackId, RackView, SnapshotDelta,
 };
+pub use canon::{fingerprint_problem, shape_hash, CanonKey, HostClasses};
 pub use faults::{Corruption, FaultIntensity, FaultPlan, FaultySource, Window};
 pub use heuristic::evaluate_query;
 pub use pktsearch::{
-    pkt_search, MirrorTopology, PktSearchError, PktSearchOptions, PktSearchResult,
+    host_classes, pkt_prepare, pkt_search, pkt_search_prepared, MirrorTopology, PktArtifacts,
+    PktSearchError, PktSearchOptions, PktSearchResult,
 };
+pub use qcache::{CacheConfig, CacheStats};
 pub use server::{
     Answer, Backend, CloudTalkServer, DegradationConfig, DegradationRung, EvalMethod, ObsConfig,
     PktBackendConfig, Provenance, SearchStats, ServerConfig, ServerError, StatusSnapshot,

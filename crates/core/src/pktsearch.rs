@@ -37,10 +37,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use cloudtalk_lang::problem::{Address, Binding, Endpoint, Problem, Value};
+use cloudtalk_lang::problem::{Address, Binding, Problem};
 use pktsim::{PktSim, SimConfig};
 use simnet::topology::{HostId, Topology};
 
+use crate::canon::{CanonKey, HostClasses};
 use crate::pkteval::{pkt_evaluate_program, PktEvalError, PktEvalOutcome, PktProgram};
 
 /// The provider's simulated mirror of (part of) its datacenter: the
@@ -180,17 +181,6 @@ impl From<PktEvalError> for PktSearchError {
     }
 }
 
-/// Class id of a binding position. `Value::Disk` gets the reserved class
-/// [`DISK_CLASS`]; every pinned or unclassifiable host gets a unique id.
-const DISK_CLASS: u32 = u32::MAX;
-
-/// One position of a canonical binding key: the host's equivalence class
-/// plus the index of the first position bound to the *same* value (self
-/// for first occurrences). The equality pattern distinguishes `(h, h)`
-/// from `(h, h')` even when `h` and `h'` share a class — the former
-/// shares one NIC, the latter does not.
-type CanonKey = Vec<(u32, u32)>;
-
 /// What the symmetry cache knows about an equivalence class.
 #[derive(Clone, Copy, Debug)]
 enum MemoEntry {
@@ -204,86 +194,60 @@ enum MemoEntry {
     ExceedsBound(f64),
 }
 
-struct Canonicaliser {
-    /// Class of each candidate address.
-    class_of: HashMap<Address, u32>,
+/// Builds the host equivalence classes of `problem` over `mirror`: two
+/// addresses share a class iff their hosts sit in the same rack behind
+/// access links of identical capacity and latency *and* neither appears
+/// as a fixed endpoint of the query (a fixed endpoint is pinned: an
+/// automorphism must map it to itself, so it cannot be swapped).
+pub fn host_classes(problem: &Problem, mirror: &MirrorTopology) -> HostClasses {
+    HostClasses::build(problem, |a| {
+        mirror.addr_to_host.get(&a).map(|&h| {
+            let host = mirror.topo.host(h);
+            let link = mirror.topo.link(host.access_link);
+            (
+                host.rack,
+                link.capacity_bps.to_bits(),
+                link.latency.as_nanos(),
+            )
+        })
+    })
 }
 
-impl Canonicaliser {
-    /// Assigns classes to every candidate address. Two addresses share a
-    /// class iff their hosts sit in the same rack behind access links of
-    /// identical capacity and latency *and* neither appears as a fixed
-    /// endpoint of the query (a fixed endpoint is pinned: an automorphism
-    /// must map it to itself, so it cannot be swapped with anything).
-    fn build(problem: &Problem, mirror: &MirrorTopology) -> Canonicaliser {
-        let mut pinned: Vec<Address> = Vec::new();
-        for flow in &problem.flows {
-            for ep in [flow.src, flow.dst] {
-                if let Endpoint::Addr(a) = ep {
-                    if !pinned.contains(&a) {
-                        pinned.push(a);
-                    }
-                }
-            }
-        }
-        let mut class_of: HashMap<Address, u32> = HashMap::new();
-        // (rack, capacity bits, latency nanos) → class id. Ids are
-        // assigned in candidate declaration order, so they are stable
-        // across runs and thread counts.
-        let mut interned: HashMap<(usize, u64, u64), u32> = HashMap::new();
-        let mut next = 0u32;
-        for var in &problem.vars {
-            for value in &var.candidates {
-                let Value::Addr(a) = value else { continue };
-                if class_of.contains_key(a) {
-                    continue;
-                }
-                let id = match mirror.addr_to_host.get(a) {
-                    Some(&h) if !pinned.contains(a) => {
-                        let host = mirror.topo.host(h);
-                        let link = mirror.topo.link(host.access_link);
-                        let key = (
-                            host.rack,
-                            link.capacity_bps.to_bits(),
-                            link.latency.as_nanos(),
-                        );
-                        *interned.entry(key).or_insert_with(|| {
-                            let id = next;
-                            next += 1;
-                            id
-                        })
-                    }
-                    // Pinned (or unmapped) hosts are singleton classes.
-                    _ => {
-                        let id = next;
-                        next += 1;
-                        id
-                    }
-                };
-                class_of.insert(*a, id);
-            }
-        }
-        Canonicaliser { class_of }
-    }
+/// Binding-independent artifacts of a packet-level search: the compiled
+/// program and the symmetry classes. Computing them is pure — the same
+/// problem over the same mirror always prepares the same artifacts — so
+/// the answer cache keeps them keyed by problem fingerprint and repeat
+/// queries skip recompilation entirely.
+#[derive(Clone, Debug)]
+pub struct PktArtifacts {
+    /// The compiled flow program.
+    pub prog: PktProgram,
+    /// Host symmetry classes for the memoiser.
+    pub classes: HostClasses,
+}
 
-    /// The canonical key of `binding`.
-    fn key(&self, binding: &Binding) -> CanonKey {
-        binding
-            .iter()
-            .enumerate()
-            .map(|(i, v)| {
-                let class = match v {
-                    Value::Addr(a) => self.class_of[a],
-                    Value::Disk => DISK_CLASS,
-                };
-                let first = binding[..i]
-                    .iter()
-                    .position(|w| w == v)
-                    .unwrap_or(i) as u32;
-                (class, first)
-            })
-            .collect()
+impl PktArtifacts {
+    /// Rough heap footprint, for cache accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        self.prog.approx_bytes() + 16 * u64::from(self.classes.classes().max(1))
     }
+}
+
+/// Compiles `problem` and builds its symmetry classes, verifying every
+/// mentioned address exists in the mirror so per-binding evaluation can
+/// never hit `UnknownAddress` mid-search.
+pub fn pkt_prepare(
+    problem: &Problem,
+    mirror: &MirrorTopology,
+) -> Result<PktArtifacts, PktSearchError> {
+    let prog = PktProgram::compile(problem)?;
+    for a in problem.mentioned_addresses() {
+        if !mirror.addr_to_host.contains_key(&a) {
+            return Err(PktSearchError::Eval(PktEvalError::UnknownAddress(a)));
+        }
+    }
+    let classes = host_classes(problem, mirror);
+    Ok(PktArtifacts { prog, classes })
 }
 
 /// Searches all bindings of `problem` (respecting same-pool
@@ -296,32 +260,42 @@ pub fn pkt_search(
     mirror: &MirrorTopology,
     opts: &PktSearchOptions,
 ) -> Result<PktSearchResult, PktSearchError> {
-    // Space guard first: a TooLarge query is rejected in O(|vars|).
+    // Space guard first: a TooLarge query is rejected in O(|vars|)
+    // without compiling anything.
+    space_guard(problem, opts.limit)?;
+    let artifacts = pkt_prepare(problem, mirror)?;
+    pkt_search_prepared(problem, mirror, opts, &artifacts)
+}
+
+fn space_guard(problem: &Problem, limit: u64) -> Result<(), PktSearchError> {
     let mut space: u128 = 1;
     for var in &problem.vars {
         space = space.saturating_mul(var.candidates.len() as u128);
-        if space > opts.limit as u128 {
-            return Err(PktSearchError::TooLarge {
-                space,
-                limit: opts.limit,
-            });
+        if space > limit as u128 {
+            return Err(PktSearchError::TooLarge { space, limit });
         }
     }
+    Ok(())
+}
 
-    let prog = PktProgram::compile(problem)?;
-
-    // Every mentioned address must exist in the mirror, so per-binding
-    // evaluation can never hit UnknownAddress mid-search.
-    for a in problem.mentioned_addresses() {
-        if !mirror.addr_to_host.contains_key(&a) {
-            return Err(PktSearchError::Eval(PktEvalError::UnknownAddress(a)));
-        }
-    }
+/// [`pkt_search`] with the binding-independent artifacts already
+/// prepared (by [`pkt_prepare`], possibly on an earlier query). The
+/// caller must pass artifacts prepared from this exact `problem` and
+/// `mirror` pair; the answer cache guarantees that by keying them on
+/// the problem's structural fingerprint.
+pub fn pkt_search_prepared(
+    problem: &Problem,
+    mirror: &MirrorTopology,
+    opts: &PktSearchOptions,
+    artifacts: &PktArtifacts,
+) -> Result<PktSearchResult, PktSearchError> {
+    space_guard(problem, opts.limit)?;
+    let prog = &artifacts.prog;
 
     let n_vars = problem.vars.len();
     if n_vars == 0 {
         let mut sim = PktSim::new(mirror.topo.clone(), opts.sim);
-        let out = pkt_evaluate_program(&prog, &Vec::new(), &mut sim, &mirror.addr_to_host, None)?;
+        let out = pkt_evaluate_program(prog, &Vec::new(), &mut sim, &mirror.addr_to_host, None)?;
         let PktEvalOutcome::Completed(r) = out else {
             unreachable!("no deadline was set")
         };
@@ -335,14 +309,14 @@ pub fn pkt_search(
         });
     }
 
-    let canon = opts.memoise.then(|| Canonicaliser::build(problem, mirror));
+    let canon = opts.memoise.then_some(&artifacts.classes);
     let memo: Mutex<HashMap<CanonKey, MemoEntry>> = Mutex::new(HashMap::new());
     let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
     let ctx = Ctx {
         problem,
-        prog: &prog,
+        prog,
         mirror,
-        canon: canon.as_ref(),
+        canon,
         memo: &memo,
         incumbent: &incumbent,
         early_abort: opts.early_abort,
@@ -446,7 +420,7 @@ struct Ctx<'a> {
     problem: &'a Problem,
     prog: &'a PktProgram,
     mirror: &'a MirrorTopology,
-    canon: Option<&'a Canonicaliser>,
+    canon: Option<&'a HostClasses>,
     memo: &'a Mutex<HashMap<CanonKey, MemoEntry>>,
     incumbent: &'a AtomicU64,
     early_abort: bool,
@@ -547,6 +521,7 @@ mod tests {
     use super::*;
     use cloudtalk_lang::ast::{AttrKind, BinOp, Expr, FlowRef, RefAttr};
     use cloudtalk_lang::builder::QueryBuilder;
+    use cloudtalk_lang::problem::Value;
     use cloudtalk_lang::Span;
     use simnet::topology::TopoOptions;
     use simnet::GBPS;

@@ -1,0 +1,624 @@
+//! The canonical query-plan & answer cache.
+//!
+//! At storm load the serving plane is search-bound: every admitted query
+//! re-runs candidate search from scratch, even though multi-tenant
+//! traffic is dominated by structurally isomorphic queries. This module
+//! caches *search results* (backend, effort counters, winning binding,
+//! scores) and *compiled packet-level artifacts* so a repeat query skips
+//! the search entirely and replays the stored result through the normal
+//! bind/reservation path.
+//!
+//! # Key completeness
+//!
+//! A cached result may be replayed only when **every** input the search
+//! depends on is provably identical. The key is therefore:
+//!
+//! * the **exact working problem** (post-sampling), held as an
+//!   `Arc<Problem>` and compared structurally — the 64-bit
+//!   [`crate::canon::fingerprint_problem`] hash only buckets probes, it
+//!   never decides a hit on its own, so hash collisions cannot violate
+//!   bit-identity;
+//! * the **snapshot epoch**: every [`crate::server::StatusSnapshot`]
+//!   carries a core-unique epoch stamped at gather time, so any shard
+//!   refresh moves the epoch and orphans entries keyed on the old one —
+//!   invalidation is epoch-driven, never TTL-driven;
+//! * the **reservation mask restricted to the query's footprint**: the
+//!   sorted subset of the problem's mentioned addresses the caller's
+//!   reservation view holds at evaluation time. The search consults
+//!   reservations *only* through `overlay_reserved` over exactly these
+//!   addresses, so ledger publications touching other addresses leave
+//!   the mask — and the answer — unchanged, and hot entries survive
+//!   unrelated churn;
+//! * the **degradation rung** and the **shed flag**, which select the
+//!   world view and can force the heuristic backend;
+//! * the configured **[`EvalMethod`]** and **[`EvalStrategy`]**, so a
+//!   core with a different backend config never replays another's
+//!   results.
+//!
+//! Anything *not* in the key provably does not feed the search: the
+//! trace clock is deterministic, response-time arithmetic uses only
+//! snapshot metadata recomputed on hit, and per-query RNG streams feed
+//! sampling which happens *before* keying (the key holds the
+//! post-sampling problem).
+//!
+//! # Tiers
+//!
+//! * **L1** — per-worker, owned by the worker's `EvalCore`. Insertions
+//!   are visible to the same worker immediately (within-wave repeats
+//!   hit). Bounded, deterministic FIFO eviction.
+//! * **L2** — owned by the serving plane and published copy-on-write
+//!   like the reservation ledger: the sequencer pins one immutable
+//!   `Arc` of the map at wave start, workers read it without any lock,
+//!   and fresh inserts are merged + dead epochs swept between waves.
+//!   In the steady state (all hits, no refresh) publishing is a no-op —
+//!   no clone, no allocation.
+//!
+//! Hits are audited: every hit compares the entry's recorded epoch with
+//! the live snapshot's epoch and counts mismatches in `cache.stale_hit`.
+//! Because the epoch is *in* the key this counter must stay zero; the
+//! equivalence suite and the storm bench assert exactly that.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use cloudtalk_lang::problem::{Address, Binding, Problem};
+
+use crate::canon::fingerprint_problem;
+use crate::exhaustive::EvalStrategy;
+use crate::pktsearch::PktArtifacts;
+use crate::server::{Backend, DegradationRung, EvalMethod, SearchStats};
+
+/// Answer-cache knobs, part of [`crate::server::ServerConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Master switch. Off, every lookup misses and nothing is stored —
+    /// the bit-exactness oracle the equivalence tests compare against.
+    pub enabled: bool,
+    /// Per-worker L1 capacity, entries.
+    pub l1_entries: usize,
+    /// Shared L2 capacity, entries (serving plane only).
+    pub l2_entries: usize,
+    /// Per-worker capacity of the compiled-artifact cache (packet-level
+    /// programs + symmetry classes), entries.
+    pub artifact_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            l1_entries: 256,
+            l2_entries: 4096,
+            artifact_entries: 64,
+        }
+    }
+}
+
+/// Plane-level audit snapshot of the cache, assembled by
+/// [`crate::serving::ServingPlane::cache_stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Hits answered from a worker's own L1.
+    pub l1_hits: u64,
+    /// Hits answered from the shared L2 view.
+    pub l2_hits: u64,
+    /// Lookups that ran the search.
+    pub misses: u64,
+    /// Hits whose entry epoch mismatched the live snapshot epoch.
+    /// Must be zero — the epoch is part of the key.
+    pub stale_hits: u64,
+    /// L2 entries dropped by epoch sweeps since the plane started.
+    pub invalidated: u64,
+    /// Current L2 entry count.
+    pub l2_entries: usize,
+    /// L2 entries whose epoch is no longer live. Non-zero only
+    /// transiently inside a wave; zero after every drain.
+    pub l2_dead: usize,
+}
+
+impl CacheStats {
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.l1_hits + self.l2_hits
+    }
+
+    /// Hit rate over all lookups, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits() as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Borrowed key components of one lookup. Hashing walks the problem
+/// structurally; nothing is allocated until an insert actually clones
+/// the problem into the stored entry.
+pub(crate) struct KeyParts<'a> {
+    pub problem: &'a Problem,
+    pub epoch: u64,
+    /// Mentioned addresses currently reserved in the caller's view,
+    /// sorted ascending.
+    pub reserved: &'a [Address],
+    pub rung: DegradationRung,
+    pub shed: bool,
+    pub method: EvalMethod,
+    pub strategy: EvalStrategy,
+}
+
+impl KeyParts<'_> {
+    fn hash64(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        fingerprint_problem(self.problem).hash(&mut h);
+        self.epoch.hash(&mut h);
+        self.reserved.hash(&mut h);
+        self.rung.hash(&mut h);
+        self.shed.hash(&mut h);
+        self.method.hash(&mut h);
+        self.strategy.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// What a hit replays: everything the search phase of
+/// `EvalCore::answer_snapshot` produces. Deliberately *not* the whole
+/// [`crate::server::Answer`] — trace, response time, and the stale-host
+/// list are recomputed from the live snapshot on every hit, so the
+/// assembled answer is bit-identical to the miss it replaces.
+#[derive(Clone, Debug)]
+pub(crate) struct CachedSearch {
+    pub backend: Backend,
+    pub search: SearchStats,
+    pub binding: Binding,
+    pub binding_scores: Vec<f64>,
+    /// The snapshot epoch the search ran under — equal to the key's
+    /// epoch by construction; re-checked on every hit for the
+    /// `cache.stale_hit` audit.
+    pub epoch: u64,
+}
+
+impl CachedSearch {
+    /// Rough heap footprint, for the `cache.bytes` gauges.
+    fn approx_bytes(&self) -> u64 {
+        (std::mem::size_of::<CachedSearch>()
+            + self.binding.len() * std::mem::size_of::<cloudtalk_lang::problem::Value>()
+            + self.binding_scores.len() * 8) as u64
+    }
+}
+
+/// One stored entry: the full key (problem held exactly) plus the value.
+#[derive(Clone, Debug)]
+pub(crate) struct Entry {
+    hash: u64,
+    problem: Arc<Problem>,
+    epoch: u64,
+    reserved: Vec<Address>,
+    rung: DegradationRung,
+    shed: bool,
+    method: EvalMethod,
+    strategy: EvalStrategy,
+    /// Insertion sequence, for deterministic FIFO eviction.
+    seq: u64,
+    pub value: Arc<CachedSearch>,
+}
+
+impl Entry {
+    fn matches(&self, k: &KeyParts<'_>) -> bool {
+        self.epoch == k.epoch
+            && self.shed == k.shed
+            && self.rung == k.rung
+            && self.method == k.method
+            && self.strategy == k.strategy
+            && self.reserved == k.reserved
+            && *self.problem == *k.problem
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        let key = std::mem::size_of::<Entry>()
+            + self.reserved.len() * std::mem::size_of::<Address>()
+            + self.problem.flows.len() * 64
+            + self.problem.vars.len() * 48;
+        key as u64 + self.value.approx_bytes()
+    }
+}
+
+/// The published L2 map: bucketed by key hash, verified structurally.
+pub(crate) type SharedMap = HashMap<u64, Vec<Entry>>;
+
+/// Looks `k` up in a pinned L2 view. Lock-free: the view is an
+/// immutable snapshot published before the wave started.
+pub(crate) fn lookup_shared(map: &SharedMap, k: &KeyParts<'_>) -> Option<Arc<CachedSearch>> {
+    let bucket = map.get(&k.hash64())?;
+    bucket.iter().find(|e| e.matches(k)).map(|e| e.value.clone())
+}
+
+/// One fingerprint bucket of compiled artifacts: hash collisions are
+/// resolved by comparing the stored exact problem.
+type ArtifactBucket = Vec<(Arc<Problem>, Arc<PktArtifacts>)>;
+
+/// Per-worker L1 cache plus the worker's compiled-artifact cache. Owned
+/// by an `EvalCore`; all mutation is single-threaded.
+pub(crate) struct QueryCache {
+    cfg: CacheConfig,
+    map: HashMap<u64, Vec<Entry>>,
+    /// FIFO of (bucket hash, entry seq) in insertion order.
+    order: VecDeque<(u64, u64)>,
+    seq: u64,
+    bytes: u64,
+    /// Entries inserted since the last [`QueryCache::take_fresh`]; the
+    /// serving plane drains these into L2 between waves.
+    fresh: Vec<Entry>,
+    /// Compiled packet-level artifacts keyed by problem fingerprint,
+    /// verified against the exact problem.
+    artifacts: HashMap<u64, ArtifactBucket>,
+    artifact_order: VecDeque<u64>,
+}
+
+impl QueryCache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        QueryCache {
+            cfg,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            seq: 0,
+            bytes: 0,
+            fresh: Vec::new(),
+            artifacts: HashMap::new(),
+            artifact_order: VecDeque::new(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    pub fn lookup(&self, k: &KeyParts<'_>) -> Option<Arc<CachedSearch>> {
+        let bucket = self.map.get(&k.hash64())?;
+        bucket.iter().find(|e| e.matches(k)).map(|e| e.value.clone())
+    }
+
+    /// Stores a freshly computed search result under `k`. The problem is
+    /// cloned exactly once, into the shared `Arc` the L2 entry will
+    /// reuse.
+    pub fn insert(&mut self, k: &KeyParts<'_>, value: Arc<CachedSearch>) {
+        if !self.cfg.enabled || self.cfg.l1_entries == 0 {
+            return;
+        }
+        let hash = k.hash64();
+        let entry = Entry {
+            hash,
+            problem: Arc::new(k.problem.clone()),
+            epoch: k.epoch,
+            reserved: k.reserved.to_vec(),
+            rung: k.rung,
+            shed: k.shed,
+            method: k.method,
+            strategy: k.strategy,
+            seq: self.seq,
+            value,
+        };
+        self.seq += 1;
+        self.bytes += entry.approx_bytes();
+        self.fresh.push(entry.clone());
+        self.order.push_back((hash, entry.seq));
+        self.map.entry(hash).or_default().push(entry);
+        while self.order.len() > self.cfg.l1_entries {
+            let (h, s) = self.order.pop_front().expect("order non-empty");
+            if let Some(bucket) = self.map.get_mut(&h) {
+                if let Some(i) = bucket.iter().position(|e| e.seq == s) {
+                    let dropped = bucket.swap_remove(i);
+                    self.bytes = self.bytes.saturating_sub(dropped.approx_bytes());
+                }
+                if bucket.is_empty() {
+                    self.map.remove(&h);
+                }
+            }
+        }
+    }
+
+    /// Drains the entries inserted since the last call (for L2 publish).
+    pub fn take_fresh(&mut self) -> Vec<Entry> {
+        std::mem::take(&mut self.fresh)
+    }
+
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Looks up compiled packet-level artifacts for `problem`.
+    pub fn lookup_artifacts(&self, problem: &Problem) -> Option<Arc<PktArtifacts>> {
+        let fp = fingerprint_problem(problem);
+        let bucket = self.artifacts.get(&fp)?;
+        bucket
+            .iter()
+            .find(|(p, _)| **p == *problem)
+            .map(|(_, a)| a.clone())
+    }
+
+    /// Stores compiled artifacts for `problem`.
+    pub fn insert_artifacts(&mut self, problem: &Problem, artifacts: Arc<PktArtifacts>) {
+        if !self.cfg.enabled || self.cfg.artifact_entries == 0 {
+            return;
+        }
+        let fp = fingerprint_problem(problem);
+        self.bytes += artifacts.approx_bytes();
+        self.artifacts
+            .entry(fp)
+            .or_default()
+            .push((Arc::new(problem.clone()), artifacts));
+        self.artifact_order.push_back(fp);
+        while self.artifact_order.len() > self.cfg.artifact_entries {
+            let h = self.artifact_order.pop_front().expect("order non-empty");
+            if let Some(bucket) = self.artifacts.get_mut(&h) {
+                if !bucket.is_empty() {
+                    let (_, dropped) = bucket.remove(0);
+                    self.bytes = self.bytes.saturating_sub(dropped.approx_bytes());
+                }
+                if bucket.is_empty() {
+                    self.artifacts.remove(&h);
+                }
+            }
+        }
+    }
+}
+
+/// The shared L2: an immutable map behind a mutex-guarded `Arc`,
+/// published copy-on-write by the serving plane's sequencer. Workers
+/// never touch the mutex — they read the `Arc` the sequencer pinned
+/// before spawning them.
+pub(crate) struct SharedCache {
+    current: Mutex<Arc<SharedMap>>,
+    cap: usize,
+    /// FIFO of (bucket hash, entry seq) mirroring the published map.
+    order: VecDeque<(u64, u64)>,
+    seq: u64,
+    len: usize,
+    bytes: u64,
+    invalidated: u64,
+}
+
+impl SharedCache {
+    pub fn new(cap: usize) -> Self {
+        SharedCache {
+            current: Mutex::new(Arc::new(HashMap::new())),
+            cap,
+            order: VecDeque::new(),
+            seq: 0,
+            len: 0,
+            bytes: 0,
+            invalidated: 0,
+        }
+    }
+
+    /// Pins the current published view (a reference-count bump).
+    pub fn pin(&self) -> Arc<SharedMap> {
+        self.current.lock().expect("shared cache poisoned").clone()
+    }
+
+    /// Merges freshly inserted entries and sweeps entries keyed on dead
+    /// epochs, then publishes the updated map. `sweep` should be true
+    /// when any shard refreshed since the last publish (epochs only die
+    /// on refresh, so sweeping otherwise is wasted work). Returns the
+    /// number of entries invalidated by the sweep. The steady-state
+    /// fast path — nothing fresh, nothing to sweep — publishes nothing
+    /// and allocates nothing.
+    pub fn publish(&mut self, fresh: Vec<Entry>, live_epochs: &[u64], sweep: bool) -> u64 {
+        let needs_sweep = sweep && {
+            let cur = self.current.lock().expect("shared cache poisoned");
+            cur.values()
+                .flatten()
+                .any(|e| !live_epochs.contains(&e.epoch))
+        };
+        if fresh.is_empty() && !needs_sweep {
+            return 0;
+        }
+
+        let mut map: SharedMap = {
+            let cur = self.current.lock().expect("shared cache poisoned");
+            (**cur).clone()
+        };
+        let mut dropped = 0u64;
+        if needs_sweep {
+            let order = &mut self.order;
+            let bytes = &mut self.bytes;
+            map.retain(|_, bucket| {
+                bucket.retain(|e| {
+                    let live = live_epochs.contains(&e.epoch);
+                    if !live {
+                        dropped += 1;
+                        *bytes = bytes.saturating_sub(e.approx_bytes());
+                        if let Some(i) = order.iter().position(|&(h, s)| h == e.hash && s == e.seq)
+                        {
+                            order.remove(i);
+                        }
+                    }
+                    live
+                });
+                !bucket.is_empty()
+            });
+        }
+        for mut e in fresh {
+            // Skip entries another worker (or an earlier wave) already
+            // published — first writer wins; values are bit-identical
+            // by the determinism contract anyway.
+            if map
+                .get(&e.hash)
+                .is_some_and(|b| b.iter().any(|x| x.matches_entry(&e)))
+            {
+                continue;
+            }
+            e.seq = self.seq;
+            self.seq += 1;
+            self.bytes += e.approx_bytes();
+            self.order.push_back((e.hash, e.seq));
+            map.entry(e.hash).or_default().push(e);
+            self.len += 1;
+        }
+        while self.order.len() > self.cap {
+            let (h, s) = self.order.pop_front().expect("order non-empty");
+            if let Some(bucket) = map.get_mut(&h) {
+                if let Some(i) = bucket.iter().position(|e| e.seq == s) {
+                    let evicted = bucket.swap_remove(i);
+                    self.bytes = self.bytes.saturating_sub(evicted.approx_bytes());
+                }
+                if bucket.is_empty() {
+                    map.remove(&h);
+                }
+            }
+        }
+        self.len = self.order.len();
+        self.invalidated += dropped;
+        *self.current.lock().expect("shared cache poisoned") = Arc::new(map);
+        dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    /// Entries in the published map keyed on epochs not in
+    /// `live_epochs`. Zero after every drain — dead entries are swept
+    /// the same wave their epoch dies.
+    pub fn dead_entries(&self, live_epochs: &[u64]) -> usize {
+        let cur = self.current.lock().expect("shared cache poisoned");
+        cur.values()
+            .flatten()
+            .filter(|e| !live_epochs.contains(&e.epoch))
+            .count()
+    }
+}
+
+impl Entry {
+    /// Key equality against another entry (for L2 dedup on publish).
+    fn matches_entry(&self, other: &Entry) -> bool {
+        self.epoch == other.epoch
+            && self.shed == other.shed
+            && self.rung == other.rung
+            && self.method == other.method
+            && self.strategy == other.strategy
+            && self.reserved == other.reserved
+            && *self.problem == *other.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudtalk_lang::builder::QueryBuilder;
+
+    fn problem(src: u32) -> Problem {
+        let mut b = QueryBuilder::new();
+        let x = b.variable("x", vec![Address(1), Address(2)]);
+        b.flow("f").from_addr(Address(src)).to_var(x).size(1e4);
+        b.resolve().unwrap()
+    }
+
+    fn parts<'a>(p: &'a Problem, epoch: u64, reserved: &'static [Address]) -> KeyParts<'a> {
+        KeyParts {
+            problem: p,
+            epoch,
+            reserved,
+            rung: DegradationRung::Full,
+            shed: false,
+            method: EvalMethod::Heuristic,
+            strategy: EvalStrategy::Delta,
+        }
+    }
+
+    fn value(epoch: u64) -> Arc<CachedSearch> {
+        Arc::new(CachedSearch {
+            backend: Backend::Heuristic,
+            search: SearchStats::default(),
+            binding: Vec::new(),
+            binding_scores: Vec::new(),
+            epoch,
+        })
+    }
+
+    #[test]
+    fn key_components_all_matter() {
+        let mut c = QueryCache::new(CacheConfig::default());
+        let p = problem(10);
+        c.insert(&parts(&p, 1, &[]), value(1));
+        assert!(c.lookup(&parts(&p, 1, &[])).is_some());
+        // Epoch, reservation mask, rung, shed, and problem all miss.
+        assert!(c.lookup(&parts(&p, 2, &[])).is_none());
+        assert!(c.lookup(&parts(&p, 1, &[Address(1)])).is_none());
+        let mut k = parts(&p, 1, &[]);
+        k.rung = DegradationRung::FreshSubset;
+        assert!(c.lookup(&k).is_none());
+        let mut k = parts(&p, 1, &[]);
+        k.shed = true;
+        assert!(c.lookup(&k).is_none());
+        let other = problem(11);
+        assert!(c.lookup(&parts(&other, 1, &[])).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded() {
+        let cfg = CacheConfig {
+            l1_entries: 2,
+            ..CacheConfig::default()
+        };
+        let mut c = QueryCache::new(cfg);
+        let ps: Vec<Problem> = (0..3).map(|i| problem(20 + i)).collect();
+        for p in &ps {
+            c.insert(&parts(p, 1, &[]), value(1));
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&parts(&ps[0], 1, &[])).is_none(), "oldest evicted");
+        assert!(c.lookup(&parts(&ps[2], 1, &[])).is_some());
+    }
+
+    #[test]
+    fn shared_publish_sweeps_dead_epochs_and_dedups() {
+        let mut l1 = QueryCache::new(CacheConfig::default());
+        let p = problem(30);
+        l1.insert(&parts(&p, 1, &[]), value(1));
+        let fresh = l1.take_fresh();
+        let mut shared = SharedCache::new(16);
+        assert_eq!(shared.publish(fresh.clone(), &[1], false), 0);
+        assert_eq!(shared.len(), 1);
+        assert!(lookup_shared(&shared.pin(), &parts(&p, 1, &[])).is_some());
+        // Re-publishing the same key is a dedup no-op.
+        shared.publish(fresh, &[1], false);
+        assert_eq!(shared.len(), 1);
+        // Epoch 1 dies: the entry is swept and counted.
+        assert_eq!(shared.publish(Vec::new(), &[2], true), 1);
+        assert_eq!(shared.len(), 0);
+        assert_eq!(shared.invalidated(), 1);
+        assert_eq!(shared.dead_entries(&[2]), 0);
+        assert!(lookup_shared(&shared.pin(), &parts(&p, 1, &[])).is_none());
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cfg = CacheConfig {
+            enabled: false,
+            ..CacheConfig::default()
+        };
+        let mut c = QueryCache::new(cfg);
+        let p = problem(40);
+        c.insert(&parts(&p, 1, &[]), value(1));
+        assert_eq!(c.len(), 0);
+        assert!(c.lookup(&parts(&p, 1, &[])).is_none());
+    }
+}

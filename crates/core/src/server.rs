@@ -31,7 +31,10 @@ use desim::rng::{stream_rng, DetRng};
 use desim::{SimDuration, SimTime};
 use estimator::{HostState, World};
 
-use obs::{CounterId, HistogramId, MetricsRegistry, MonotonicClock, NullClock, Trace, TraceReport};
+use obs::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, MonotonicClock, NullClock, Trace,
+    TraceReport,
+};
 
 use crate::exhaustive::{
     exhaustive_search_in, EvalStrategy, ExhaustiveError, ExhaustiveResult, SearchOptions,
@@ -40,14 +43,19 @@ use crate::exhaustive::{
 use crate::heuristic::{evaluate_query_scored, HeuristicConfig};
 use crate::refine::refine_binding;
 use crate::messages::{LedgerCounters, OverheadLedger};
-use crate::pktsearch::{pkt_search, MirrorTopology, PktSearchError, PktSearchOptions};
+use crate::pktsearch::{
+    pkt_prepare, pkt_search_prepared, MirrorTopology, PktSearchError, PktSearchOptions,
+};
+use crate::qcache::{CacheConfig, CachedSearch, KeyParts, QueryCache, SharedMap};
 use crate::reservation::ReservationTable;
 use crate::sampling::{sample_candidates, DEFAULT_SAMPLE_THRESHOLD};
 use crate::status::StatusSource;
 use crate::transport::{scatter_gather_retry, TransportConfig};
 
 /// Which evaluation backend answers the query.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+///
+/// `Hash` because the configured method is part of the answer-cache key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum EvalMethod {
     /// The Listing 1 heuristic (the paper's default for all experiments
     /// except web search).
@@ -99,6 +107,12 @@ pub struct ServerConfig {
     pub pkt: PktBackendConfig,
     /// Observability: per-query span tracing and host-timer selection.
     pub obs: ObsConfig,
+    /// The canonical answer cache ([`crate::qcache`]): per-worker L1
+    /// plus (under the serving plane) a shared L2. Keyed on the exact
+    /// post-sampling problem, snapshot epoch, footprint-restricted
+    /// reservation mask, rung, shed flag, and backend config — a hit is
+    /// bit-identical to the miss it replaces.
+    pub cache: CacheConfig,
     /// RNG seed for sampling and transport loss.
     pub seed: u64,
 }
@@ -116,6 +130,7 @@ impl Default for ServerConfig {
             degradation: DegradationConfig::default(),
             pkt: PktBackendConfig::default(),
             obs: ObsConfig::default(),
+            cache: CacheConfig::default(),
             seed: 0,
         }
     }
@@ -194,7 +209,7 @@ impl Default for PktBackendConfig {
 /// data degrades; the chosen rung is reported in the [`Answer`] so callers
 /// (and chaos tests) can observe degradation instead of silently absorbing
 /// skewed placements.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DegradationRung {
     /// Enough fresh data: the configured evaluation backend runs on the
     /// full snapshot.
@@ -350,7 +365,14 @@ pub struct SearchStats {
 ///
 /// With the default [`ObsConfig`] this is fully deterministic — identical
 /// runs produce identical (`PartialEq`-comparable) provenance.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `PartialEq` is implemented manually to exclude [`Provenance::cache_hit`]:
+/// whether an answer came from the cache depends on worker count and wave
+/// scheduling (a query may hit one worker's L1 in one run and miss in
+/// another), while everything *else* in the answer is bit-identical by the
+/// determinism contract. Comparing provenance therefore compares what was
+/// answered, not where the bytes happened to be found.
+#[derive(Clone, Debug)]
 pub struct Provenance {
     /// Which rung of the degradation ladder answered.
     pub rung: DegradationRung,
@@ -380,8 +402,26 @@ pub struct Provenance {
     /// a degraded [`Provenance::rung`], shedding says nothing about data
     /// quality — the snapshot freshness is whatever `rung` reports.
     pub shed: bool,
+    /// Whether this answer was replayed from the answer cache instead of
+    /// re-running the search. Excluded from `PartialEq` (see the type
+    /// docs): cache placement is scheduling-dependent, the answer is not.
+    pub cache_hit: bool,
     /// The per-phase span tree.
     pub trace: TraceReport,
+}
+
+impl PartialEq for Provenance {
+    fn eq(&self, other: &Self) -> bool {
+        self.rung == other.rung
+            && self.backend == other.backend
+            && self.search == other.search
+            && self.gather_rounds == other.gather_rounds
+            && self.status_bytes == other.status_bytes
+            && self.retry_bytes == other.retry_bytes
+            && self.stale_dropped == other.stale_dropped
+            && self.shed == other.shed
+            && self.trace == other.trace
+    }
 }
 
 /// The server's reply.
@@ -494,6 +534,15 @@ struct ServerMetricIds {
     delta_flows_moved: CounterId,
     delta_undo_depth: HistogramId,
     shed: CounterId,
+    cache_hit: CounterId,
+    cache_miss: CounterId,
+    cache_l1_hit: CounterId,
+    cache_l2_hit: CounterId,
+    cache_stale_hit: CounterId,
+    cache_artifact_hit: CounterId,
+    cache_artifact_miss: CounterId,
+    cache_entries: GaugeId,
+    cache_bytes: GaugeId,
 }
 
 impl ServerMetricIds {
@@ -511,6 +560,15 @@ impl ServerMetricIds {
             delta_undo_depth: reg
                 .histogram("estimator.delta.undo_depth", &[1.0, 2.0, 4.0, 8.0, 16.0]),
             shed: reg.counter("server.shed"),
+            cache_hit: reg.counter("cache.hit"),
+            cache_miss: reg.counter("cache.miss"),
+            cache_l1_hit: reg.counter("cache.l1_hit"),
+            cache_l2_hit: reg.counter("cache.l2_hit"),
+            cache_stale_hit: reg.counter("cache.stale_hit"),
+            cache_artifact_hit: reg.counter("cache.artifact_hit"),
+            cache_artifact_miss: reg.counter("cache.artifact_miss"),
+            cache_entries: reg.gauge("cache.entries"),
+            cache_bytes: reg.gauge("cache.bytes"),
         }
     }
 }
@@ -530,6 +588,13 @@ pub(crate) struct EvalCore {
     lc: LedgerCounters,
     ids: ServerMetricIds,
     ws: SearchWorkspace,
+    /// The L1 answer + artifact cache ([`crate::qcache`]).
+    qcache: QueryCache,
+    /// Monotonic stamp for snapshots gathered by this core. The serving
+    /// plane routes every shard refresh through one collector core, so
+    /// epochs are unique across shards; the single-server front-end has
+    /// one core, so epochs are unique per server.
+    snapshot_seq: u64,
 }
 
 /// A CloudTalk server instance.
@@ -545,13 +610,22 @@ impl EvalCore {
         let mut metrics = MetricsRegistry::new();
         let lc = LedgerCounters::register(&mut metrics);
         let ids = ServerMetricIds::register(&mut metrics);
+        let qcache = QueryCache::new(cfg.cache);
         EvalCore {
             cfg,
             metrics,
             lc,
             ids,
             ws: SearchWorkspace::new(),
+            qcache,
+            snapshot_seq: 0,
         }
+    }
+
+    /// Drains L1 entries inserted since the last call, for the serving
+    /// plane's L2 publish step.
+    pub(crate) fn cache_take_fresh(&mut self) -> Vec<crate::qcache::Entry> {
+        self.qcache.take_fresh()
     }
 
     /// The core's configuration.
@@ -674,6 +748,11 @@ impl EvalCore {
         source: &mut impl StatusSource,
         rng: &mut DetRng,
     ) -> StatusSnapshot {
+        // Every snapshot gets a fresh epoch, even in static mode: the
+        // answer cache keys on it, and two gathers are two observations
+        // of the fleet regardless of how the data was produced.
+        self.snapshot_seq += 1;
+        let epoch = self.snapshot_seq;
         if self.cfg.use_dynamic {
             // Account the gather into a local delta first: the snapshot
             // keeps it for per-query provenance, the registry accumulates
@@ -712,6 +791,7 @@ impl EvalCore {
                 rounds: outcome.rounds,
                 freshness,
                 gather,
+                epoch,
             }
         } else {
             // Static mode: assume idle hosts; no status traffic, and the
@@ -725,6 +805,7 @@ impl EvalCore {
                 rounds: 0,
                 freshness: 1.0,
                 gather: OverheadLedger::default(),
+                epoch,
             }
         }
     }
@@ -810,6 +891,7 @@ impl CloudTalkServer {
             sampled,
             if hold_on { Some(&pred) } else { None },
             false,
+            None,
         )?;
         if reserve && hold_on {
             self.reservations.reserve(
@@ -837,6 +919,15 @@ impl EvalCore {
     /// (configured method / heuristic) the answer comes from. `shed`
     /// additionally forces the heuristic backend (serving-plane load
     /// shedding) without touching the rung's data selection.
+    ///
+    /// `shared` is an optional pinned view of the serving plane's L2
+    /// answer cache; the core always consults its own L1 first. On a
+    /// hit the search phase is skipped and the cached (backend, stats,
+    /// binding, scores) tuple is replayed through the identical
+    /// trace/assembly path — the returned answer is bit-identical to
+    /// what the search would have produced, because the cache key pins
+    /// every input the search reads (see [`crate::qcache`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn answer_snapshot(
         &mut self,
         working: &Problem,
@@ -845,6 +936,7 @@ impl EvalCore {
         sampled: bool,
         reserved: Option<&dyn Fn(Address) -> bool>,
         shed: bool,
+        shared: Option<&SharedMap>,
     ) -> Result<Answer, ServerError> {
         // A variable with an empty candidate pool can never be bound; fail
         // with a typed error instead of panicking deep in the evaluator.
@@ -898,23 +990,6 @@ impl EvalCore {
             stale_dropped.sort_unstable_by_key(|a| a.0);
             stale_dropped.dedup();
         }
-        // The world the chosen rung evaluates against. `base` owns the
-        // degraded copies; `Full` keeps borrowing the shared snapshot.
-        let base: Option<World> = match rung {
-            DegradationRung::Full => None,
-            DegradationRung::FreshSubset => {
-                Some(snapshot.fresh_world(self.cfg.degradation.fresh_max_age))
-            }
-            // Static fallback: no data is trusted, every host is assumed
-            // busy (an empty world answers every lookup pessimistically).
-            DegradationRung::AssumeBusy => Some(World::new()),
-        };
-        let base: &World = base.as_ref().unwrap_or_else(|| snapshot.world());
-        // Overlay reservations: recently recommended machines count as
-        // busy. Copy-on-write — the shared snapshot world is only cloned
-        // when a mentioned address actually holds a reservation.
-        let overlaid = reserved.and_then(|pred| overlay_reserved(base, &addrs, pred));
-        let world: &World = overlaid.as_ref().unwrap_or(base);
         trace.set_arg(sanitise, "stale_dropped", stale_dropped.len() as u64);
         trace.end(sanitise, t_collected);
 
@@ -933,9 +1008,187 @@ impl EvalCore {
             .vars
             .iter()
             .fold(1u64, |acc, v| acc.saturating_mul(v.candidates.len() as u64));
+
+        // Cache key: the search reads reservations only through the
+        // `overlay_reserved` pass over the problem's mentioned addresses,
+        // so the footprint-restricted mask below (plus the snapshot
+        // epoch, rung, shed flag, and backend config) pins every input
+        // the search depends on. The key stores the *configured* method:
+        // rung + shed determine the effective one.
+        let cache_on = self.qcache.enabled();
+        let mut mask: Vec<Address> = match reserved {
+            Some(pred) if cache_on => addrs.iter().copied().filter(|&a| pred(a)).collect(),
+            _ => Vec::new(),
+        };
+        mask.sort_unstable_by_key(|a| a.0);
+        let key = KeyParts {
+            problem: working,
+            epoch: snapshot.epoch(),
+            reserved: &mask,
+            rung,
+            shed,
+            method: self.cfg.method,
+            strategy: self.cfg.eval_strategy,
+        };
+        let cached = if cache_on {
+            match self.qcache.lookup(&key) {
+                Some(v) => {
+                    self.metrics.inc(self.ids.cache_l1_hit, 1);
+                    Some(v)
+                }
+                None => match shared.and_then(|map| crate::qcache::lookup_shared(map, &key)) {
+                    Some(v) => {
+                        self.metrics.inc(self.ids.cache_l2_hit, 1);
+                        Some(v)
+                    }
+                    None => None,
+                },
+            }
+        } else {
+            None
+        };
+        let cache_hit = cached.is_some();
+
         let search_span = trace.begin("search", t_collected);
         let t_evaluated = t_collected + MODELLED_EVAL_TIME;
-        let (backend, search, binding, binding_scores) = match method {
+        let (backend, search, binding, binding_scores) = if let Some(v) = cached {
+            // Replay. The audit counter must stay zero: the epoch is in
+            // the key, so a mismatching entry cannot have matched.
+            self.metrics.inc(self.ids.cache_hit, 1);
+            if v.epoch != snapshot.epoch() {
+                self.metrics.inc(self.ids.cache_stale_hit, 1);
+            }
+            (v.backend, v.search, v.binding.clone(), v.binding_scores.clone())
+        } else {
+            if cache_on {
+                self.metrics.inc(self.ids.cache_miss, 1);
+            }
+            let (backend, search, binding, binding_scores) =
+                self.run_search(working, snapshot, &addrs, reserved, rung, method, space)?;
+            if cache_on {
+                self.qcache.insert(
+                    &key,
+                    Arc::new(CachedSearch {
+                        backend,
+                        search,
+                        binding: binding.clone(),
+                        binding_scores: binding_scores.clone(),
+                        epoch: snapshot.epoch(),
+                    }),
+                );
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    self.metrics
+                        .gauge_set(self.ids.cache_entries, self.qcache.len() as f64);
+                    self.metrics
+                        .gauge_set(self.ids.cache_bytes, self.qcache.bytes() as f64);
+                }
+            }
+            (backend, search, binding, binding_scores)
+        };
+        trace.set_arg(search_span, "enumerated", search.enumerated);
+        trace.end(search_span, t_evaluated);
+
+        // The bind phase proper — recording the recommendation into a
+        // reservation table or ledger — happens in the caller, which owns
+        // that state; the span still marks the modelled instant.
+        let bind = trace.begin("bind", t_evaluated);
+        trace.end(bind, t_evaluated);
+        trace.end(root, t_evaluated);
+
+        self.metrics.inc(self.ids.queries, 1);
+        let rung_counter = match rung {
+            DegradationRung::Full => self.ids.rung_full,
+            DegradationRung::FreshSubset => self.ids.rung_fresh_subset,
+            DegradationRung::AssumeBusy => self.ids.rung_assume_busy,
+        };
+        self.metrics.inc(rung_counter, 1);
+        if shed {
+            self.metrics.inc(self.ids.shed, 1);
+        }
+        if snapshot.rounds > 0 {
+            self.metrics
+                .observe(self.ids.gather_rounds, f64::from(snapshot.rounds));
+        }
+        self.metrics.observe(self.ids.freshness, snapshot.freshness);
+        // The delta counters meter *executed* evaluator work; a replayed
+        // answer carries the stats in its provenance but re-ran nothing,
+        // so it must not inflate them.
+        if !cache_hit && (search.delta_components_rerated > 0 || search.delta_flows_moved > 0) {
+            self.metrics.inc(
+                self.ids.delta_components_rerated,
+                search.delta_components_rerated,
+            );
+            self.metrics.inc(
+                self.ids.delta_components_reused,
+                search.delta_components_reused,
+            );
+            self.metrics
+                .inc(self.ids.delta_flows_moved, search.delta_flows_moved);
+            #[allow(clippy::cast_precision_loss)]
+            self.metrics.observe(
+                self.ids.delta_undo_depth,
+                search.delta_max_undo_depth as f64,
+            );
+        }
+
+        Ok(Answer {
+            binding,
+            binding_scores,
+            response_time: snapshot.elapsed + MODELLED_EVAL_TIME,
+            sampled,
+            interrogated: snapshot.interrogated,
+            missing: snapshot.missing,
+            gather_rounds: snapshot.rounds,
+            freshness: snapshot.freshness,
+            rung,
+            provenance: Provenance {
+                rung,
+                backend,
+                search,
+                gather_rounds: snapshot.rounds,
+                status_bytes: snapshot.gather.status_bytes(),
+                retry_bytes: snapshot.gather.retry_bytes(),
+                stale_dropped,
+                shed,
+                cache_hit,
+                trace: trace.into_report(),
+            },
+        })
+    }
+
+    /// The search phase of [`EvalCore::answer_snapshot`]: builds the
+    /// rung's world view, overlays reservations, and runs the effective
+    /// backend. This is exactly the work an answer-cache hit skips.
+    #[allow(clippy::too_many_arguments)]
+    fn run_search(
+        &mut self,
+        working: &Problem,
+        snapshot: &StatusSnapshot,
+        addrs: &[Address],
+        reserved: Option<&dyn Fn(Address) -> bool>,
+        rung: DegradationRung,
+        method: EvalMethod,
+        space: u64,
+    ) -> Result<(Backend, SearchStats, Binding, Vec<f64>), ServerError> {
+        // The world the chosen rung evaluates against. `base` owns the
+        // degraded copies; `Full` keeps borrowing the shared snapshot.
+        let base: Option<World> = match rung {
+            DegradationRung::Full => None,
+            DegradationRung::FreshSubset => {
+                Some(snapshot.fresh_world(self.cfg.degradation.fresh_max_age))
+            }
+            // Static fallback: no data is trusted, every host is assumed
+            // busy (an empty world answers every lookup pessimistically).
+            DegradationRung::AssumeBusy => Some(World::new()),
+        };
+        let base: &World = base.as_ref().unwrap_or_else(|| snapshot.world());
+        // Overlay reservations: recently recommended machines count as
+        // busy. Copy-on-write — the shared snapshot world is only cloned
+        // when a mentioned address actually holds a reservation.
+        let overlaid = reserved.and_then(|pred| overlay_reserved(base, addrs, pred));
+        let world: &World = overlaid.as_ref().unwrap_or(base);
+        Ok(match method {
             EvalMethod::Heuristic => {
                 let (mut b, mut s) = evaluate_query_scored(working, world, &self.cfg.heuristic);
                 let enumerated = working
@@ -997,7 +1250,28 @@ impl EvalCore {
                     .memoise(self.cfg.pkt.memoise)
                     .early_abort(self.cfg.pkt.early_abort)
                     .sim(self.cfg.pkt.sim);
-                let r = pkt_search(working, &mirror, &opts)
+                // Compiled artifacts (PktProgram + symmetry classes) are
+                // pure functions of (problem, mirror); reuse them across
+                // epochs — the artifact cache never needs invalidation.
+                let artifacts = if self.qcache.enabled() {
+                    match self.qcache.lookup_artifacts(working) {
+                        Some(a) => {
+                            self.metrics.inc(self.ids.cache_artifact_hit, 1);
+                            a
+                        }
+                        None => {
+                            self.metrics.inc(self.ids.cache_artifact_miss, 1);
+                            let a = Arc::new(
+                                pkt_prepare(working, &mirror).map_err(ServerError::PktSearch)?,
+                            );
+                            self.qcache.insert_artifacts(working, Arc::clone(&a));
+                            a
+                        }
+                    }
+                } else {
+                    Arc::new(pkt_prepare(working, &mirror).map_err(ServerError::PktSearch)?)
+                };
+                let r = pkt_search_prepared(working, &mirror, &opts, &artifacts)
                     .map_err(ServerError::PktSearch)?;
                 let mut delta = OverheadLedger::default();
                 delta.record_pkt_memo(r.memo_hits, r.memo_misses);
@@ -1019,71 +1293,6 @@ impl EvalCore {
                     vec![f64::INFINITY; n],
                 )
             }
-        };
-        trace.set_arg(search_span, "enumerated", search.enumerated);
-        trace.end(search_span, t_evaluated);
-
-        // The bind phase proper — recording the recommendation into a
-        // reservation table or ledger — happens in the caller, which owns
-        // that state; the span still marks the modelled instant.
-        let bind = trace.begin("bind", t_evaluated);
-        trace.end(bind, t_evaluated);
-        trace.end(root, t_evaluated);
-
-        self.metrics.inc(self.ids.queries, 1);
-        let rung_counter = match rung {
-            DegradationRung::Full => self.ids.rung_full,
-            DegradationRung::FreshSubset => self.ids.rung_fresh_subset,
-            DegradationRung::AssumeBusy => self.ids.rung_assume_busy,
-        };
-        self.metrics.inc(rung_counter, 1);
-        if shed {
-            self.metrics.inc(self.ids.shed, 1);
-        }
-        if snapshot.rounds > 0 {
-            self.metrics
-                .observe(self.ids.gather_rounds, f64::from(snapshot.rounds));
-        }
-        self.metrics.observe(self.ids.freshness, snapshot.freshness);
-        if search.delta_components_rerated > 0 || search.delta_flows_moved > 0 {
-            self.metrics.inc(
-                self.ids.delta_components_rerated,
-                search.delta_components_rerated,
-            );
-            self.metrics.inc(
-                self.ids.delta_components_reused,
-                search.delta_components_reused,
-            );
-            self.metrics
-                .inc(self.ids.delta_flows_moved, search.delta_flows_moved);
-            #[allow(clippy::cast_precision_loss)]
-            self.metrics.observe(
-                self.ids.delta_undo_depth,
-                search.delta_max_undo_depth as f64,
-            );
-        }
-
-        Ok(Answer {
-            binding,
-            binding_scores,
-            response_time: snapshot.elapsed + MODELLED_EVAL_TIME,
-            sampled,
-            interrogated: snapshot.interrogated,
-            missing: snapshot.missing,
-            gather_rounds: snapshot.rounds,
-            freshness: snapshot.freshness,
-            rung,
-            provenance: Provenance {
-                rung,
-                backend,
-                search,
-                gather_rounds: snapshot.rounds,
-                status_bytes: snapshot.gather.status_bytes(),
-                retry_bytes: snapshot.gather.retry_bytes(),
-                stale_dropped,
-                shed,
-                trace: trace.into_report(),
-            },
         })
     }
 }
@@ -1162,6 +1371,11 @@ pub struct StatusSnapshot {
     /// Accounting delta of the gather that produced this snapshot (zeroed
     /// for static snapshots). Feeds per-answer provenance bytes.
     gather: OverheadLedger,
+    /// Core-unique stamp of the gather that produced this snapshot. The
+    /// answer cache keys on it: a refreshed shard is a new epoch, so
+    /// entries computed against the old data can never match again —
+    /// epoch-driven invalidation, no TTLs.
+    epoch: u64,
 }
 
 impl StatusSnapshot {
@@ -1215,6 +1429,13 @@ impl StatusSnapshot {
     /// Drives the degradation-ladder rung selection.
     pub fn freshness(&self) -> f64 {
         self.freshness
+    }
+
+    /// The snapshot's epoch: a stamp unique per gathering core,
+    /// incremented on every gather. Two snapshots with equal epochs are
+    /// the same gather (`Arc`-shared clones); a refresh always moves it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The world restricted to hosts whose report is at most `max_age`

@@ -102,6 +102,7 @@ use desim::{SimDuration, SimTime};
 use obs::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 
 use crate::aggregate::{FleetLayout, RackId};
+use crate::qcache::{CacheStats, SharedCache, SharedMap};
 use crate::server::{sample_within_budget, Answer, EvalCore, ServerConfig, ServerError, StatusSnapshot};
 use crate::status::StatusSource;
 
@@ -147,6 +148,11 @@ pub struct ServingConfig {
     /// Modelled per-query worker time for virtual scheduling (§5.1:
     /// ~0.45 ms to parse and evaluate one query).
     pub service_time: SimDuration,
+    /// Modelled worker time for a query answered from the answer cache:
+    /// parse + key + replay, no search. Capacity gains from caching come
+    /// from this being much smaller than [`ServingConfig::service_time`];
+    /// answers themselves are bit-identical either way.
+    pub hit_service_time: SimDuration,
     /// Root seed for per-query sampling streams and shard gather
     /// transport randomness.
     pub seed: u64,
@@ -164,6 +170,7 @@ impl Default for ServingConfig {
             racks_per_shard: 4,
             snapshot_refresh: SimDuration::from_millis(50),
             service_time: SimDuration::from_micros(450),
+            hit_service_time: SimDuration::from_micros(100),
             seed: 0,
         }
     }
@@ -369,12 +376,12 @@ struct WaveItem {
     snapshot: StatusSnapshot,
 }
 
-/// One tenant's queries within a wave, plus their scheduled virtual
-/// completion times (same order).
+/// One tenant's queries within a wave. Completion times are computed by
+/// the worker as it drains the group: each query advances the worker's
+/// virtual cursor by the hit or miss service time.
 struct Group {
     tenant: TenantId,
     items: Vec<WaveItem>,
-    completions: Vec<SimTime>,
 }
 
 /// A worker's finished tenant group: the completions and the tenant's
@@ -414,6 +421,9 @@ struct ServingMetricIds {
     lag_us: GaugeId,
     epoch: GaugeId,
     ledger_live: GaugeId,
+    cache_invalidate: CounterId,
+    cache_l2_entries: GaugeId,
+    cache_l2_bytes: GaugeId,
 }
 
 /// Virtual-latency histogram bounds, microseconds.
@@ -436,6 +446,9 @@ impl ServingMetricIds {
             lag_us: reg.gauge("serving.virtual_lag_us"),
             epoch: reg.gauge("serving.ledger_epoch"),
             ledger_live: reg.gauge("serving.ledger_live"),
+            cache_invalidate: reg.counter("cache.invalidate"),
+            cache_l2_entries: reg.gauge("cache.l2_entries"),
+            cache_l2_bytes: reg.gauge("cache.l2_bytes"),
         }
     }
 }
@@ -454,6 +467,7 @@ pub struct ServingPlane<S> {
     shards: Vec<Shard>,
     workers: Vec<WorkerSlot>,
     ledger: ReservationLedger,
+    l2: SharedCache,
     pending: VecDeque<Pending>,
     tenant_open: HashMap<TenantId, usize>,
     tenant_seq: HashMap<TenantId, u64>,
@@ -510,6 +524,11 @@ impl<S: StatusSource> ServingPlane<S> {
             })
             .collect();
         let ledger = ReservationLedger::new(cfg.workers);
+        let l2 = SharedCache::new(if cfg.server.cache.enabled {
+            cfg.server.cache.l2_entries
+        } else {
+            0
+        });
         ServingPlane {
             layout,
             source,
@@ -517,6 +536,7 @@ impl<S: StatusSource> ServingPlane<S> {
             shards,
             workers,
             ledger,
+            l2,
             pending: VecDeque::new(),
             tenant_open: HashMap::new(),
             tenant_seq: HashMap::new(),
@@ -564,6 +584,33 @@ impl<S: StatusSource> ServingPlane<S> {
     /// collision/conflict counts.
     pub fn ledger_stats(&self) -> LedgerStats {
         self.ledger.stats()
+    }
+
+    /// The snapshot epoch of every shard, in shard order. These are the
+    /// *live* epochs: answer-cache entries keyed on any other epoch are
+    /// unreachable and get swept on the next publish.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.snapshot.epoch()).collect()
+    }
+
+    /// Audit snapshot of the answer cache: per-tier hit counters summed
+    /// across workers, L2 occupancy, sweep count, and the stale-hit and
+    /// dead-entry counts the soundness tests pin at zero.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut s = CacheStats {
+            invalidated: self.l2.invalidated(),
+            l2_entries: self.l2.len(),
+            l2_dead: self.l2.dead_entries(&self.shard_epochs()),
+            ..CacheStats::default()
+        };
+        for w in &self.workers {
+            let m = w.core.metrics();
+            s.l1_hits += m.counter_named("cache.l1_hit").unwrap_or(0);
+            s.l2_hits += m.counter_named("cache.l2_hit").unwrap_or(0);
+            s.misses += m.counter_named("cache.miss").unwrap_or(0);
+            s.stale_hits += m.counter_named("cache.stale_hit").unwrap_or(0);
+        }
+        s
     }
 
     /// A merged snapshot of every registry on the plane: the plane's own
@@ -662,6 +709,22 @@ impl<S: StatusSource> ServingPlane<S> {
         0
     }
 
+    /// Merges `fresh` worker inserts into the shared L2 and — when any
+    /// shard refreshed this wave — sweeps entries keyed on dead epochs.
+    /// Steady state (no fresh entries, no refresh) is a no-op.
+    fn publish_cache(&mut self, fresh: Vec<crate::qcache::Entry>, refreshed: bool) {
+        let live = self.shard_epochs();
+        let dropped = self.l2.publish(fresh, &live, refreshed);
+        if dropped > 0 {
+            self.metrics.inc(self.ids.cache_invalidate, dropped);
+        }
+        self.metrics
+            .gauge_set(self.ids.cache_l2_entries, self.l2.len() as f64);
+        #[allow(clippy::cast_precision_loss)]
+        self.metrics
+            .gauge_set(self.ids.cache_l2_bytes, self.l2.bytes() as f64);
+    }
+
     fn update_lag(&mut self, t_wave: SimTime) {
         let max_avail = self
             .workers
@@ -686,6 +749,9 @@ impl<S: StatusSource> ServingPlane<S> {
 
         // Refresh due shards — each on its own cadence, through the
         // shared source. A slow gather only delays *this* shard's data.
+        // A refresh moves the shard's snapshot epoch, which orphans every
+        // answer-cache entry keyed on the old epoch.
+        let mut refreshed = false;
         {
             let collector = &mut self.collector;
             let source = &mut self.source;
@@ -694,17 +760,21 @@ impl<S: StatusSource> ServingPlane<S> {
                     shard.snapshot =
                         collector.gather_snapshot(&shard.addrs, source, &mut shard.rng);
                     shard.next_refresh = t_wave + self.cfg.snapshot_refresh;
+                    refreshed = true;
                 }
             }
         }
 
         if members.is_empty() {
-            // Idle wave: expire published reservations and reclaim.
+            // Idle wave: expire published reservations, reclaim, and
+            // sweep answer-cache entries orphaned by any refresh above —
+            // epochs die on refresh whether or not queries arrived.
             self.ledger.publish_purged(t_wave);
             self.ledger.reclaim();
             for slot in &mut self.workers {
                 slot.avail = slot.avail.max(t_wave);
             }
+            self.publish_cache(Vec::new(), refreshed);
             self.update_lag(t_wave);
             return;
         }
@@ -726,7 +796,6 @@ impl<S: StatusSource> ServingPlane<S> {
             let g = groups.entry(p.tenant).or_insert_with(|| Group {
                 tenant: p.tenant,
                 items: Vec::new(),
-                completions: Vec::new(),
             });
             g.items.push(WaveItem {
                 seq: p.seq,
@@ -737,38 +806,41 @@ impl<S: StatusSource> ServingPlane<S> {
         }
 
         // Greedy virtual scheduling: tenant groups in tenant order onto
-        // the earliest-available worker (ties → lowest index). Workers
-        // drain a group sequentially at `service_time` per query.
+        // the earliest-*estimated*-available worker (ties → lowest
+        // index). The estimate charges every query the full miss-path
+        // `service_time`; the worker computes actual completions as it
+        // drains (cache hits cost `hit_service_time`), so its real
+        // cursor can only run at or ahead of the estimate.
         for slot in &mut self.workers {
             slot.avail = slot.avail.max(t_wave);
         }
+        let mut est: Vec<SimTime> = self.workers.iter().map(|s| s.avail).collect();
         let mut work: Vec<Vec<Group>> = (0..self.cfg.workers).map(|_| Vec::new()).collect();
-        for (_, mut g) in groups {
-            let wi = self
-                .workers
+        for (_, g) in groups {
+            let wi = est
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, s)| s.avail)
+                .min_by_key(|(_, &a)| a)
                 .map(|(i, _)| i)
                 .expect("at least one worker");
-            let slot = &mut self.workers[wi];
-            let start = slot.avail;
-            for k in 0..g.items.len() {
-                g.completions
-                    .push(start + self.cfg.service_time * (k as u64 + 1));
-            }
-            slot.avail = start + self.cfg.service_time * (g.items.len() as u64);
+            est[wi] += self.cfg.service_time * (g.items.len() as u64);
             work[wi].push(g);
         }
-        self.update_lag(t_wave);
 
         // Execute: real threads, one per busy worker, each owning its
         // long-lived core. The sequencer thread does mid-wave ledger
         // housekeeping while workers run.
         let hold = self.cfg.server.reservation_hold;
         let seed = self.cfg.seed;
+        let service = self.cfg.service_time;
+        let hit_service = self.cfg.hit_service_time;
         let ledger = &self.ledger;
+        // Pin the published L2 view once for the whole wave: workers
+        // read this immutable map lock-free; fresh results they compute
+        // are merged and republished only after the wave joins.
+        let shared_view = self.l2.pin();
         let mut done: Vec<GroupDone> = Vec::new();
+        let mut cursors: Vec<Option<SimTime>> = vec![None; self.workers.len()];
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.workers.len());
             for ((wi, slot), groups) in self.workers.iter_mut().enumerate().zip(work) {
@@ -780,8 +852,13 @@ impl<S: StatusSource> ServingPlane<S> {
                 // the version the worker is about to read.
                 let pinned = ledger.pin(wi);
                 let core = &mut slot.core;
+                let start = slot.avail;
+                let shared = &shared_view;
                 handles.push(Some(scope.spawn(move || {
-                    run_groups(core, groups, &pinned, wave, wi, t_wave, hold, shed, seed)
+                    run_groups(
+                        core, groups, &pinned, shared, wave, wi, t_wave, start, service,
+                        hit_service, hold, shed, seed,
+                    )
                 })));
             }
             // Mid-wave: purge expired entries and publish. The retired
@@ -792,10 +869,29 @@ impl<S: StatusSource> ServingPlane<S> {
             // checks evaluate at t_wave).
             ledger.publish_purged(t_wave);
             ledger.reclaim();
-            for h in handles.into_iter().flatten() {
-                done.extend(h.join().expect("serving worker panicked"));
+            for (wi, h) in handles.into_iter().enumerate() {
+                if let Some(h) = h {
+                    let (groups_done, cursor) = h.join().expect("serving worker panicked");
+                    done.extend(groups_done);
+                    cursors[wi] = Some(cursor);
+                }
             }
         });
+        for (slot, cursor) in self.workers.iter_mut().zip(cursors) {
+            if let Some(c) = cursor {
+                slot.avail = c;
+            }
+        }
+        self.update_lag(t_wave);
+
+        // Merge every worker's fresh L1 inserts into the shared L2 (in
+        // worker-index order — deterministic first-writer-wins dedup)
+        // and sweep entries orphaned by this wave's shard refreshes.
+        let mut fresh = Vec::new();
+        for slot in &mut self.workers {
+            fresh.append(&mut slot.core.cache_take_fresh());
+        }
+        self.publish_cache(fresh, refreshed);
 
         // Merge tenant overlays into the published ledger in tenant
         // order. Max-expiry merge is commutative, so the merged version
@@ -863,32 +959,37 @@ impl<S: StatusSource> ServingPlane<S> {
     }
 }
 
-/// Evaluates a worker's assigned tenant groups for one wave. Pure with
-/// respect to scheduling: results depend only on the query identities,
-/// the pinned ledger version, the shard snapshots and the shed flag.
+/// Evaluates a worker's assigned tenant groups for one wave, advancing
+/// the worker's virtual cursor from `start` as it goes (hits cost
+/// `hit_service`, everything else `service`) and returning the final
+/// cursor. *Answers* stay pure with respect to scheduling — they depend
+/// only on the query identities, the pinned ledger version, the pinned
+/// L2 cache view, the shard snapshots and the shed flag; the cursor
+/// feeds completion times, which (like `worker`) are scheduling facts.
 #[allow(clippy::too_many_arguments)]
 fn run_groups(
     core: &mut EvalCore,
     groups: Vec<Group>,
     pinned: &LedgerVersion,
+    shared: &SharedMap,
     wave: u64,
     worker: usize,
     t_wave: SimTime,
+    start: SimTime,
+    service: SimDuration,
+    hit_service: SimDuration,
     hold: Option<SimDuration>,
     shed: bool,
     seed: u64,
-) -> Vec<GroupDone> {
+) -> (Vec<GroupDone>, SimTime) {
     let root = derive_seed(seed, QUERY_STREAM_SALT);
     let mut out = Vec::with_capacity(groups.len());
+    let mut cursor = start;
     for g in groups {
-        let Group {
-            tenant,
-            items,
-            completions,
-        } = g;
+        let Group { tenant, items } = g;
         let mut overlay: Vec<(Address, SimTime)> = Vec::new();
         let mut completed = Vec::with_capacity(items.len());
-        for (item, &completion) in items.into_iter().zip(&completions) {
+        for item in items {
             // Per-query RNG stream: identity-keyed, schedule-independent.
             let mut rng = stream_rng(root, derive_seed(u64::from(tenant.0), item.seq));
             let (working, sampled) =
@@ -902,8 +1003,19 @@ fn run_groups(
                 };
                 let pred_ref: Option<&dyn Fn(Address) -> bool> =
                     if hold.is_some() { Some(&pred) } else { None };
-                core.answer_snapshot(&working, &item.snapshot, t_wave, sampled, pred_ref, shed)
+                core.answer_snapshot(
+                    &working,
+                    &item.snapshot,
+                    t_wave,
+                    sampled,
+                    pred_ref,
+                    shed,
+                    Some(shared),
+                )
             };
+            let hit = matches!(&result, Ok(a) if a.provenance.cache_hit);
+            cursor += if hit { hit_service } else { service };
+            let completion = cursor;
             if let (Ok(a), Some(h)) = (&result, hold) {
                 let until = t_wave + h;
                 for v in &a.binding {
@@ -936,7 +1048,7 @@ fn run_groups(
             completed,
         });
     }
-    out
+    (out, cursor)
 }
 
 #[cfg(test)]

@@ -49,6 +49,15 @@ cargo test -q -p cloudtalk --test serving_admission
 echo "=== qps_storm smoke (accepts load, 0 ledger conflicts, deterministic) ==="
 cargo run --release -q -p cloudtalk-bench --bin qps_storm -- --smoke
 
+echo "=== answer-cache equivalence (cache on == off bit-identical, 0 stale hits) ==="
+cargo test -q -p cloudtalk --test qcache_equiv
+
+echo "=== canonicalisation regression (websearch memo classes/counters unchanged) ==="
+cargo test -q -p cloudtalk-apps --test canon_regression
+
+echo "=== cached storm smoke (hit rate >= 50%, bit-identical, 0 stale hits) ==="
+cargo run --release -q -p cloudtalk-bench --bin qps_storm -- --similarity 0.8 --smoke
+
 echo "=== trace smoke (chrome trace_event export parses, spans present) ==="
 cargo run --release -q -p cloudtalk-bench --bin pktsearch -- --smoke --trace /tmp/ct_trace.json
 python3 - <<'EOF'
