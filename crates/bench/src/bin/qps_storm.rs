@@ -24,6 +24,17 @@
 //! (for similarity ≥ 0.8), with bit-identical answers and zero stale
 //! hits.
 //!
+//! `--telemetry` runs the continuous-telemetry storm instead: a
+//! telemetry-enabled plane collecting status through a live
+//! [`cloudtalk::aggregate::AggregationPlane`] (so sampled traces stitch
+//! collector → aggregator → worker lanes), deliberately overloaded so the
+//! `--slo` list (default `p99=25ms`) breaches. It writes the flight
+//! recorder's postmortem bundle (`BENCH_telemetry_trace.json`,
+//! `BENCH_telemetry_metrics.txt`, `BENCH_telemetry_slo.txt`) and asserts
+//! answers stay bit-identical with telemetry on, off, and across worker
+//! counts. `--obs-overhead` interleaves telemetry-off/on runs of the same
+//! storm and reports the wall-clock overhead of the telemetry plane.
+//!
 //! ```text
 //! cargo run --release -p cloudtalk-bench --bin qps_storm             # full sweep
 //! cargo run --release -p cloudtalk-bench --bin qps_storm -- --smoke  # CI gate
@@ -31,13 +42,19 @@
 //! cargo run --release -p cloudtalk-bench --bin qps_storm -- --similarity 0.8
 //! cargo run --release -p cloudtalk-bench --bin qps_storm -- --similarity 0.8 --smoke
 //! cargo run --release -p cloudtalk-bench --bin qps_storm -- --cache off
+//! cargo run --release -p cloudtalk-bench --bin qps_storm -- --telemetry --slo p99=25ms
+//! cargo run --release -p cloudtalk-bench --bin qps_storm -- --telemetry --smoke
+//! cargo run --release -p cloudtalk-bench --bin qps_storm -- --obs-overhead
 //! # smaller/larger runs: CLOUDTALK_BENCH_SCALE=0.5
 //! ```
 
-use cloudtalk::aggregate::FleetLayout;
+use cloudtalk::aggregate::{AggregationPlane, FleetLayout, PlaneConfig};
 use cloudtalk::server::Answer;
-use cloudtalk::serving::{ServingConfig, ServingPlane, TenantId};
+use cloudtalk::serving::{
+    ServingConfig, ServingPlane, TelemetryConfig, TelemetryStats, TenantId,
+};
 use cloudtalk::status::TableStatusSource;
+use cloudtalk::transport::TransportConfig;
 use cloudtalk_bench::{flag_present, flag_value, row, scaled};
 use cloudtalk_lang::builder::hdfs_write_query;
 use cloudtalk_lang::problem::{Address, Problem};
@@ -472,11 +489,224 @@ fn similarity_sweep(similarity: f64, json: bool) {
     }
 }
 
+/// Replays `subs` against a telemetry-capable plane whose status source
+/// is a live aggregation plane over the same fleet (in-process transport
+/// for the serving-side "wire", real aggregator↔host ledger underneath) —
+/// the topology where a stitched trace genuinely crosses collector,
+/// aggregator and worker components. Admission is out of play so the
+/// overload shows up as latency (and SLO breaches), not rejections, and
+/// acceptance stays worker-count independent.
+fn run_storm_telemetry(
+    workers: usize,
+    subs: &[Sub],
+    window: SimDuration,
+    telemetry: Option<TelemetryConfig>,
+) -> (
+    Vec<Fingerprint>,
+    Option<(TelemetryStats, obs::PostmortemBundle)>,
+    std::time::Duration,
+) {
+    let (layout, src) = fleet();
+    let agg = AggregationPlane::new(
+        layout.clone(),
+        src,
+        PlaneConfig {
+            host_transport: TransportConfig::local(),
+            seed: SEED,
+            ..PlaneConfig::default()
+        },
+    );
+    let mut cfg = ServingConfig {
+        workers,
+        racks_per_shard: 4,
+        max_virtual_lag: SimDuration::from_secs_f64(1e6),
+        seed: SEED,
+        ..ServingConfig::default()
+    };
+    if let Some(tel) = telemetry {
+        cfg.telemetry = tel;
+    }
+    let started = std::time::Instant::now();
+    let mut plane = ServingPlane::new(cfg, layout, agg);
+    let mut fps: Vec<Fingerprint> = Vec::new();
+    for s in subs {
+        let _ = plane.submit(s.tenant, s.problem.clone(), s.arrival);
+        for c in plane.run_until(s.arrival) {
+            fps.push((c.tenant.0, c.seq, c.result.map_err(|e| e.to_string())));
+        }
+    }
+    let end = SimTime::ZERO + window + plane.virtual_lag() + SimDuration::from_millis(50);
+    for c in plane.run_until(end) {
+        fps.push((c.tenant.0, c.seq, c.result.map_err(|e| e.to_string())));
+    }
+    let elapsed = started.elapsed();
+    fps.sort_by_key(|f| (f.0, f.1));
+    let tel = plane.telemetry_dump().map(|b| (plane.telemetry_stats(), b));
+    (fps, tel, elapsed)
+}
+
+/// Writes the postmortem bundle next to the other bench artifacts.
+fn write_bundle(bundle: &obs::PostmortemBundle) {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    for (file, body) in [
+        ("BENCH_telemetry_trace.json", &bundle.chrome_json),
+        ("BENCH_telemetry_metrics.txt", &bundle.metrics_text),
+        ("BENCH_telemetry_slo.txt", &bundle.slo_text),
+    ] {
+        let path = format!("{root}/{file}");
+        std::fs::write(&path, body).expect("bundle file is writable");
+        println!("wrote {path}");
+    }
+}
+
+/// The `--telemetry` storm: overload a 1-worker plane so the SLO list
+/// breaches, dump the flight recorder, and pin the invariants — windows
+/// and breaches recorded, ≥ 1 stitched cross-component trace, and
+/// bit-identical answers with telemetry on, off, and at 4 workers.
+fn telemetry_mode(smoke: bool, slos: Vec<obs::SloSpec>) {
+    let window = SimDuration::from_millis(if smoke { 50 } else { scaled(200, 40) as u64 });
+    let load = if smoke { 4_000 } else { 8_000 };
+    let subs = storm(SEED, load, window, 0.0);
+    let slo_desc: Vec<String> = slos
+        .iter()
+        .map(|s| format!("{}<={}", s.name, s.threshold))
+        .collect();
+    println!(
+        "qps_storm --telemetry: {} queries at {load} q/s over {} ms, 1 worker \
+         (deliberately overloaded), SLOs [{}]\n",
+        subs.len(),
+        window.as_millis_f64(),
+        slo_desc.join(", ")
+    );
+    let tel = TelemetryConfig {
+        window: SimDuration::from_millis(10),
+        sample_every: 16,
+        slos,
+        ..TelemetryConfig::enabled()
+    };
+
+    let (fp_on1, on1, _) = run_storm_telemetry(1, &subs, window, Some(tel.clone()));
+    let (fp_off1, off1, _) = run_storm_telemetry(1, &subs, window, None);
+    let (fp_on4, on4, _) = run_storm_telemetry(4, &subs, window, Some(tel));
+    let (stats, bundle) = on1.expect("telemetry on produces a bundle");
+    let (stats4, _) = on4.expect("telemetry on produces a bundle");
+    assert!(off1.is_none(), "telemetry off must not produce a bundle");
+    assert_eq!(
+        fp_on1, fp_off1,
+        "telemetry on/off answers must be bit-identical"
+    );
+    assert_eq!(
+        fp_on1, fp_on4,
+        "answers must be bit-identical at 1 vs 4 workers with telemetry on"
+    );
+    assert!(stats.windows > 0, "no telemetry window finalised: {stats:?}");
+    assert!(stats.sampled_traces > 0, "nothing sampled: {stats:?}");
+    assert!(
+        stats.breaches > 0,
+        "an overloaded 1-worker storm must breach the SLO: {stats:?}"
+    );
+    assert_eq!(
+        stats.sampled_traces, stats4.sampled_traces,
+        "sampling is worker-count independent"
+    );
+    for lane in ["admission", "collector/shard", "aggregator", "worker"] {
+        assert!(
+            bundle.chrome_json.contains(lane),
+            "stitched chrome trace missing the {lane} lane"
+        );
+    }
+    assert!(
+        bundle.slo_text.contains("BREACH"),
+        "SLO timeline records no breach:\n{}",
+        bundle.slo_text
+    );
+
+    println!(
+        "telemetry: {} windows, {} SLO breaches, {} stitched traces \
+         ({} at 4 workers), {} ring drops",
+        stats.windows, stats.breaches, stats.sampled_traces, stats4.sampled_traces,
+        stats.ring_dropped
+    );
+    println!(
+        "determinism: {} answers bit-identical with telemetry on/off and at 1 vs 4 workers\n",
+        fp_on1.len()
+    );
+    write_bundle(&bundle);
+    println!(
+        "\nTELEMETRY OK: bundle spans admission -> collector -> aggregator -> worker, \
+         SLO timeline non-empty"
+    );
+}
+
+/// The `--obs-overhead` measurement: interleaved telemetry-off/on runs of
+/// the same storm (interleaving cancels thermal/cache drift), reporting
+/// median wall time per arm and the on/off ratio.
+fn obs_overhead() {
+    let window = SimDuration::from_millis(scaled(2_000, 200) as u64);
+    let subs = storm(SEED, 4_000, window, 0.0);
+    let sample_every: u64 = flag_value("--sample-every")
+        .map(|s| s.parse().expect("--sample-every takes an integer"))
+        .unwrap_or(16);
+    let tel = TelemetryConfig {
+        window: SimDuration::from_millis(10),
+        sample_every,
+        slos: vec![obs::SloSpec::p99_latency_us(SLO_MS * 1e3)],
+        ..TelemetryConfig::enabled()
+    };
+    let reps = scaled(12, 6);
+    let mut off_ns: Vec<u128> = Vec::new();
+    let mut on_ns: Vec<u128> = Vec::new();
+    let mut ratios: Vec<f64> = Vec::new();
+    // Warm-up pair, then interleaved measured pairs with alternating
+    // order inside the pair (cancels allocator/cache position bias).
+    // Both arms run identical deterministic work; container noise is
+    // correlated *within* a back-to-back pair, so the per-pair on/off
+    // ratio is the robust observation — the median ratio is reported.
+    let _ = run_storm_telemetry(4, &subs, window, None);
+    let _ = run_storm_telemetry(4, &subs, window, Some(tel.clone()));
+    for i in 0..reps {
+        let (off, on) = if i % 2 == 0 {
+            let (_, _, off) = run_storm_telemetry(4, &subs, window, None);
+            let (_, _, on) = run_storm_telemetry(4, &subs, window, Some(tel.clone()));
+            (off, on)
+        } else {
+            let (_, _, on) = run_storm_telemetry(4, &subs, window, Some(tel.clone()));
+            let (_, _, off) = run_storm_telemetry(4, &subs, window, None);
+            (off, on)
+        };
+        off_ns.push(off.as_nanos());
+        on_ns.push(on.as_nanos());
+        ratios.push(on.as_nanos() as f64 / off.as_nanos() as f64);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let best = |v: &[u128]| *v.iter().min().expect("reps >= 1") as f64 / 1e6;
+    let (off_ms, on_ms) = (best(&off_ns), best(&on_ns));
+    println!(
+        "obs-overhead: {} queries x {reps} interleaved pairs, 4 workers\n\
+         telemetry off: {off_ms:>8.2} ms best-of-{reps}\n\
+         telemetry on:  {on_ms:>8.2} ms best-of-{reps}\n\
+         overhead:      {:>+8.2}% (median of per-pair ratios)",
+        subs.len(),
+        (ratios[ratios.len() / 2] - 1.0) * 100.0
+    );
+}
+
 fn main() {
     let similarity: f64 = flag_value("--similarity")
         .map(|s| s.parse().expect("--similarity takes a float in [0, 1]"))
         .unwrap_or(0.0);
     let cache_on = !matches!(flag_value("--cache").as_deref(), Some("off"));
+    if flag_present("--obs-overhead") {
+        obs_overhead();
+        return;
+    }
+    if flag_present("--telemetry") {
+        let slos = flag_value("--slo")
+            .map(|s| obs::SloSpec::parse_list(&s).expect("--slo takes e.g. p99=25ms,shed=1%"))
+            .unwrap_or_else(|| vec![obs::SloSpec::p99_latency_us(SLO_MS * 1e3)]);
+        telemetry_mode(flag_present("--smoke"), slos);
+        return;
+    }
     if flag_present("--smoke") {
         if similarity > 0.0 {
             smoke_similarity(similarity);

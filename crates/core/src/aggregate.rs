@@ -923,6 +923,18 @@ impl<S: StatusSource> StatusSource for AggregationPlane<S> {
             age: report.age + self.now.saturating_since(view.fresh_as_of),
         })
     }
+
+    fn advance_to(&mut self, now: SimTime) {
+        self.set_now(now);
+    }
+
+    fn take_sync_trace(&mut self) -> Option<TraceReport> {
+        if self.last_trace.spans.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.last_trace))
+        }
+    }
 }
 
 #[cfg(test)]

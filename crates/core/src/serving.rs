@@ -99,11 +99,18 @@ use std::sync::{Arc, Mutex};
 use cloudtalk_lang::problem::{Address, Problem, Value};
 use desim::rng::{derive_seed, stream_rng, DetRng};
 use desim::{SimDuration, SimTime};
-use obs::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+use obs::{
+    CounterId, FlightRecorder, GaugeId, HistogramId, MetricsRegistry, PostmortemBundle,
+    QueryRecord, RecorderCfg, RingRecorder, RingSpec, SloEvent, SloEventKind, SloSpec, SloTracker,
+    StitchedTrace, Trace, TraceCtx, TraceReport, TraceSampler, WindowHub,
+};
 
 use crate::aggregate::{FleetLayout, RackId};
 use crate::qcache::{CacheStats, SharedCache, SharedMap};
-use crate::server::{sample_within_budget, Answer, EvalCore, ServerConfig, ServerError, StatusSnapshot};
+use crate::server::{
+    sample_within_budget, Answer, DegradationRung, EvalCore, ServerConfig, ServerError,
+    StatusSnapshot,
+};
 use crate::status::StatusSource;
 
 /// A tenant of the serving plane. Tenants are the unit of queue
@@ -156,6 +163,10 @@ pub struct ServingConfig {
     /// Root seed for per-query sampling streams and shard gather
     /// transport randomness.
     pub seed: u64,
+    /// Continuous-telemetry configuration (off by default). Telemetry
+    /// never touches answers: with identical seeds and schedules the
+    /// plane produces bit-identical results whether it is on or off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServingConfig {
@@ -172,6 +183,61 @@ impl Default for ServingConfig {
             service_time: SimDuration::from_micros(450),
             hit_service_time: SimDuration::from_micros(100),
             seed: 0,
+            telemetry: TelemetryConfig::default(),
+        }
+    }
+}
+
+/// Continuous-telemetry configuration: windowed time-series metrics,
+/// SLO tracking, deterministic trace sampling, and the flight recorder.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Master switch. Off: no rings are allocated and the wave path does
+    /// no telemetry work at all.
+    pub enabled: bool,
+    /// Width of one telemetry window (time-series bucket).
+    pub window: SimDuration,
+    /// Per-worker ring depth in windows; also bounds how far completions
+    /// may lag the wave clock before being drop-counted.
+    pub ring_windows: usize,
+    /// Tenant classes (label dimension): a tenant belongs to class
+    /// `tenant.0 % tenant_classes`.
+    pub tenant_classes: usize,
+    /// Trace sampling rate: keep roughly 1 query in `sample_every`
+    /// (0 disables sampling, 1 samples everything). The sampled set is a
+    /// pure hash of `(seed, tenant, seq)` — identical at any worker
+    /// count.
+    pub sample_every: u64,
+    /// Declarative SLOs evaluated against every finalised window.
+    pub slos: Vec<SloSpec>,
+    /// Sliding horizon (in evaluated windows) for SLO burn rates.
+    pub slo_horizon: usize,
+    /// Flight-recorder ring capacities.
+    pub recorder: RecorderCfg,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            window: SimDuration::from_millis(20),
+            ring_windows: 64,
+            tenant_classes: 4,
+            sample_every: 64,
+            slos: Vec::new(),
+            slo_horizon: 60,
+            recorder: RecorderCfg::default(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// An enabled config with the default shape — callers then tune
+    /// SLOs and sampling.
+    pub fn enabled() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..TelemetryConfig::default()
         }
     }
 }
@@ -198,6 +264,14 @@ pub struct CompletedQuery {
     /// The answer (bit-identical across worker counts) or the per-query
     /// failure.
     pub result: Result<Answer, ServerError>,
+    /// The trace context minted at admission when this query was sampled
+    /// for end-to-end tracing (`None` when telemetry or sampling is off).
+    /// The sampled set and the trace ids are pure functions of
+    /// `(seed, tenant, seq)` — identical at any worker count.
+    pub trace: Option<TraceCtx>,
+    /// Epoch of the shard snapshot this query was answered against
+    /// (stitches the query to its collector gather).
+    pub snapshot_epoch: u64,
 }
 
 /// One immutable published state of the reservation ledger.
@@ -366,6 +440,7 @@ struct Pending {
     seq: u64,
     arrival: SimTime,
     problem: Problem,
+    trace: Option<TraceCtx>,
 }
 
 /// A wave member with its routed shard snapshot attached.
@@ -374,6 +449,8 @@ struct WaveItem {
     arrival: SimTime,
     problem: Problem,
     snapshot: StatusSnapshot,
+    shard: usize,
+    trace: Option<TraceCtx>,
 }
 
 /// One tenant's queries within a wave. Completion times are computed by
@@ -402,10 +479,12 @@ struct Shard {
 }
 
 /// One virtual worker: a long-lived evaluation core (scratch reused
-/// across queries) and its virtual availability time.
+/// across queries), its virtual availability time, and — with telemetry
+/// on — its exclusively-owned time-series ring.
 struct WorkerSlot {
     core: EvalCore,
     avail: SimTime,
+    ring: Option<RingRecorder>,
 }
 
 /// Handles to the plane's own registered metrics.
@@ -424,6 +503,10 @@ struct ServingMetricIds {
     cache_invalidate: CounterId,
     cache_l2_entries: GaugeId,
     cache_l2_bytes: GaugeId,
+    tel_windows: CounterId,
+    tel_breaches: CounterId,
+    tel_sampled: CounterId,
+    tel_ring_dropped: GaugeId,
 }
 
 /// Virtual-latency histogram bounds, microseconds.
@@ -449,8 +532,81 @@ impl ServingMetricIds {
             cache_invalidate: reg.counter("cache.invalidate"),
             cache_l2_entries: reg.gauge("cache.l2_entries"),
             cache_l2_bytes: reg.gauge("cache.l2_bytes"),
+            tel_windows: reg.counter("telemetry.windows"),
+            tel_breaches: reg.counter("telemetry.slo_breaches"),
+            tel_sampled: reg.counter("telemetry.sampled_traces"),
+            tel_ring_dropped: reg.gauge("telemetry.ring_dropped"),
         }
     }
+}
+
+/// One shard gather, retained so a sampled query can be stitched to the
+/// collection work behind its snapshot. `epoch` is the snapshot epoch the
+/// gather produced (globally unique per collector), `collector` a
+/// synthesized span lane for the gather itself, and `agg` the aggregation
+/// plane's own sync trace when the status source records one.
+struct GatherRecord {
+    shard: usize,
+    epoch: u64,
+    collector: TraceReport,
+    agg: Option<TraceReport>,
+}
+
+/// Sequencer-side telemetry state (present only when
+/// [`TelemetryConfig::enabled`]).
+struct TelemetryState {
+    sampler: TraceSampler,
+    hub: WindowHub,
+    slo: SloTracker,
+    recorder: FlightRecorder,
+    gathers: VecDeque<GatherRecord>,
+    gather_cap: usize,
+}
+
+impl TelemetryState {
+    /// Synthesizes the collector lane for one shard gather and retains it
+    /// together with the source's own sync trace (the aggregator lane).
+    fn record_gather(
+        &mut self,
+        shard: usize,
+        at: SimTime,
+        snapshot: &StatusSnapshot,
+        agg: Option<TraceReport>,
+    ) {
+        let mut tr = Trace::deterministic(4);
+        let root = tr.begin("gather", at);
+        tr.set_arg(root, "rounds", u64::from(snapshot.rounds()));
+        let s = tr.begin("status_bytes", at);
+        tr.set_arg(s, "bytes", snapshot.gather_ledger().status_bytes());
+        tr.end(s, at + snapshot.elapsed());
+        tr.end(root, at + snapshot.elapsed());
+        if self.gathers.len() == self.gather_cap {
+            self.gathers.pop_front();
+        }
+        self.gathers.push_back(GatherRecord {
+            shard,
+            epoch: snapshot.epoch(),
+            collector: tr.into_report(),
+            agg,
+        });
+    }
+
+    fn gather_for_epoch(&self, epoch: u64) -> Option<&GatherRecord> {
+        self.gathers.iter().rev().find(|g| g.epoch == epoch)
+    }
+}
+
+/// Telemetry counters exposed for tests and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryStats {
+    /// Windows finalised so far.
+    pub windows: u64,
+    /// SLO breach events so far.
+    pub breaches: u64,
+    /// Sampled queries stitched into end-to-end traces so far.
+    pub sampled_traces: u64,
+    /// Ring records dropped because completion lag outran the ring span.
+    pub ring_dropped: u64,
 }
 
 /// Per-query sampling RNG stream family (see the module docs).
@@ -476,6 +632,7 @@ pub struct ServingPlane<S> {
     virtual_lag: SimDuration,
     metrics: MetricsRegistry,
     ids: ServingMetricIds,
+    telemetry: Option<TelemetryState>,
 }
 
 impl<S: StatusSource> ServingPlane<S> {
@@ -500,6 +657,31 @@ impl<S: StatusSource> ServingPlane<S> {
             .checked_div(cfg.racks_per_shard)
             .unwrap_or(0)
             .max(1);
+        let tel_cfg = &cfg.telemetry;
+        let mut telemetry = if tel_cfg.enabled {
+            assert!(
+                tel_cfg.window > SimDuration::ZERO,
+                "telemetry window must be positive"
+            );
+            let spec = RingSpec {
+                width: tel_cfg.window,
+                buckets: tel_cfg.ring_windows.max(1),
+                classes: tel_cfg.tenant_classes.max(1),
+                shards: nshards,
+                bounds: LATENCY_BOUNDS_US,
+            };
+            Some(TelemetryState {
+                sampler: TraceSampler::new(cfg.seed, tel_cfg.sample_every),
+                hub: WindowHub::new(spec),
+                slo: SloTracker::new(tel_cfg.slos.clone(), tel_cfg.slo_horizon),
+                recorder: FlightRecorder::new(tel_cfg.recorder),
+                gathers: VecDeque::new(),
+                gather_cap: (4 * nshards).max(8),
+            })
+        } else {
+            None
+        };
+        source.advance_to(SimTime::ZERO);
         let mut shards = Vec::with_capacity(nshards);
         for si in 0..nshards {
             let lo = si * cfg.racks_per_shard;
@@ -510,6 +692,10 @@ impl<S: StatusSource> ServingPlane<S> {
             }
             let mut rng = stream_rng(derive_seed(cfg.seed, SHARD_STREAM_SALT), si as u64);
             let snapshot = collector.gather_snapshot(&addrs, &mut source, &mut rng);
+            if let Some(tel) = &mut telemetry {
+                let agg = source.take_sync_trace();
+                tel.record_gather(si, SimTime::ZERO, &snapshot, agg);
+            }
             shards.push(Shard {
                 addrs,
                 rng,
@@ -521,6 +707,9 @@ impl<S: StatusSource> ServingPlane<S> {
             .map(|_| WorkerSlot {
                 core: EvalCore::new(cfg.server.clone()),
                 avail: SimTime::ZERO,
+                ring: telemetry
+                    .as_ref()
+                    .map(|tel| RingRecorder::new(*tel.hub.spec())),
             })
             .collect();
         let ledger = ReservationLedger::new(cfg.workers);
@@ -545,6 +734,7 @@ impl<S: StatusSource> ServingPlane<S> {
             virtual_lag: SimDuration::ZERO,
             metrics,
             ids,
+            telemetry,
             cfg,
         }
     }
@@ -613,6 +803,61 @@ impl<S: StatusSource> ServingPlane<S> {
         s
     }
 
+    /// Telemetry counters: finalised windows, SLO breaches, stitched
+    /// traces, and ring drops. All zero when telemetry is off.
+    pub fn telemetry_stats(&self) -> TelemetryStats {
+        match &self.telemetry {
+            Some(tel) => TelemetryStats {
+                windows: tel.recorder.windows_seen(),
+                breaches: tel.recorder.breaches(),
+                sampled_traces: tel.recorder.traces_seen(),
+                ring_dropped: self
+                    .workers
+                    .iter()
+                    .filter_map(|w| w.ring.as_ref())
+                    .map(|r| r.dropped())
+                    .sum(),
+            },
+            None => TelemetryStats::default(),
+        }
+    }
+
+    /// Finalises every telemetry window still buffered in the worker
+    /// rings (including windows ahead of the wave clock reached by
+    /// lagging completions) and renders the flight recorder's postmortem
+    /// bundle: Chrome JSON of the stitched traces, per-window metrics
+    /// text, and the SLO timeline. `None` when telemetry is off.
+    ///
+    /// Meant for end-of-run (or on-breach) dumps: flushed windows are
+    /// final, so completions of *later* waves landing in a flushed window
+    /// are drop-counted rather than merged.
+    pub fn telemetry_dump(&mut self) -> Option<PostmortemBundle> {
+        let tel = self.telemetry.as_mut()?;
+        let mut rings: Vec<&mut RingRecorder> = self
+            .workers
+            .iter_mut()
+            .filter_map(|w| w.ring.as_mut())
+            .collect();
+        let TelemetryState { hub, slo, recorder, .. } = tel;
+        let mut events: Vec<SloEvent> = Vec::new();
+        let mut windows = 0u64;
+        hub.flush(&mut rings, |s| {
+            slo.evaluate(&s, &mut events);
+            recorder.push_window(s);
+            windows += 1;
+        });
+        let breaches: u64 = events
+            .iter()
+            .filter(|e| e.kind == obs::SloEventKind::Breach)
+            .count() as u64;
+        for e in events {
+            recorder.push_event(e);
+        }
+        self.metrics.inc(self.ids.tel_windows, windows);
+        self.metrics.inc(self.ids.tel_breaches, breaches);
+        Some(recorder.dump())
+    }
+
     /// A merged snapshot of every registry on the plane: the plane's own
     /// `serving.*` metrics, the collector core's gather accounting, and
     /// each worker core's evaluation counters (summed across workers).
@@ -671,11 +916,19 @@ impl<S: StatusSource> ServingPlane<S> {
         }
         *open += 1;
         self.metrics.inc(self.ids.accepted, 1);
+        // Sampling decision at admission: a pure hash of
+        // `(seed, tenant, seq)`, so the sampled set is independent of
+        // worker count and of everything scheduled so far.
+        let trace = self
+            .telemetry
+            .as_ref()
+            .and_then(|tel| tel.sampler.sample(tenant.0, seq));
         self.pending.push_back(Pending {
             tenant,
             seq,
             arrival,
             problem,
+            trace,
         });
         Ok(seq)
     }
@@ -737,6 +990,111 @@ impl<S: StatusSource> ServingPlane<S> {
             .gauge_set(self.ids.lag_us, self.virtual_lag.as_micros_f64());
     }
 
+    /// Sequencer-side telemetry step at every wave close (idle waves
+    /// included): stitches sampled completions into end-to-end traces,
+    /// then scrapes every worker ring, finalising each window the wave
+    /// clock has passed and evaluating the SLOs against it.
+    ///
+    /// Soundness of the scrape discipline: completions never precede
+    /// their wave's close instant and wave closes are monotone, so once
+    /// the clock passes a window's end no later wave can record into it —
+    /// windows strictly before `window_of(t_wave)` are final.
+    fn telemetry_close_wave(&mut self, t_wave: SimTime, completed: &[CompletedQuery]) {
+        let ServingPlane {
+            telemetry,
+            workers,
+            metrics,
+            ids,
+            cfg,
+            ..
+        } = self;
+        let Some(tel) = telemetry.as_mut() else {
+            return;
+        };
+
+        // Stitch each sampled completion: admission lane (synthesised),
+        // the collector gather + aggregator sync behind its snapshot
+        // epoch, the worker's service span, and the answer's own
+        // evaluation spans.
+        let mut sampled = 0u64;
+        for c in completed {
+            let Some(ctx) = c.trace else { continue };
+            let mut lanes: Vec<(String, TraceReport)> = Vec::with_capacity(5);
+            let mut adm = Trace::deterministic(2);
+            let span = adm.begin("admit", c.arrival);
+            adm.set_arg(span, "wave", c.wave);
+            adm.set_arg(span, "seq", c.seq);
+            adm.end(span, t_wave);
+            lanes.push(("admission".to_string(), adm.into_report()));
+            if let Some(g) = tel.gather_for_epoch(c.snapshot_epoch) {
+                lanes.push((format!("collector/shard{}", g.shard), g.collector.clone()));
+                if let Some(agg) = &g.agg {
+                    lanes.push(("aggregator".to_string(), agg.clone()));
+                }
+            }
+            let hit = matches!(&c.result, Ok(a) if a.provenance.cache_hit);
+            let served = if hit {
+                cfg.hit_service_time
+            } else {
+                cfg.service_time
+            };
+            let mut wk = Trace::deterministic(2);
+            let span = wk.begin("serve", c.completion - served);
+            wk.set_arg(span, "hit", u64::from(hit));
+            wk.end(span, c.completion);
+            lanes.push((format!("worker{}", c.worker), wk.into_report()));
+            if let Ok(a) = &c.result {
+                if !a.provenance.trace.spans.is_empty() {
+                    lanes.push(("answer".to_string(), a.provenance.trace.clone()));
+                }
+            }
+            tel.recorder.push_trace(StitchedTrace {
+                trace_id: ctx.trace_id,
+                tenant: c.tenant.0,
+                seq: c.seq,
+                wave: c.wave,
+                worker: c.worker as u32,
+                lanes,
+            });
+            sampled += 1;
+        }
+        if sampled > 0 {
+            metrics.inc(ids.tel_sampled, sampled);
+        }
+
+        // Scrape: drain every finalised window from the worker rings into
+        // the hub scratch, summarise, evaluate SLOs, and feed the flight
+        // recorder. Runs on idle waves too so quiet periods still close
+        // their windows.
+        let until = tel.hub.spec().window_of(t_wave);
+        let mut rings: Vec<&mut RingRecorder> =
+            workers.iter_mut().filter_map(|w| w.ring.as_mut()).collect();
+        let TelemetryState { hub, slo, recorder, .. } = tel;
+        let mut events: Vec<SloEvent> = Vec::new();
+        let mut windows = 0u64;
+        hub.collect(&mut rings, until, |summary| {
+            slo.evaluate(&summary, &mut events);
+            recorder.push_window(summary);
+            windows += 1;
+        });
+        let mut breaches = 0u64;
+        for e in events {
+            if e.kind == SloEventKind::Breach {
+                breaches += 1;
+            }
+            recorder.push_event(e);
+        }
+        if windows > 0 {
+            metrics.inc(ids.tel_windows, windows);
+        }
+        if breaches > 0 {
+            metrics.inc(ids.tel_breaches, breaches);
+        }
+        let dropped: u64 = rings.iter().map(|r| r.dropped()).sum();
+        #[allow(clippy::cast_precision_loss)]
+        metrics.gauge_set(ids.tel_ring_dropped, dropped as f64);
+    }
+
     /// Evaluates wave `wave` at its close instant `t_wave`.
     fn process_wave(&mut self, wave: u64, t_wave: SimTime, out: &mut Vec<CompletedQuery>) {
         self.metrics.inc(self.ids.waves, 1);
@@ -750,17 +1108,26 @@ impl<S: StatusSource> ServingPlane<S> {
         // Refresh due shards — each on its own cadence, through the
         // shared source. A slow gather only delays *this* shard's data.
         // A refresh moves the shard's snapshot epoch, which orphans every
-        // answer-cache entry keyed on the old epoch.
+        // answer-cache entry keyed on the old epoch. Time-aware sources
+        // (an aggregation plane) are moved to the wave clock first so the
+        // gather reads state as of now — unconditionally, so telemetry
+        // on/off cannot change what a gather sees.
+        self.source.advance_to(t_wave);
         let mut refreshed = false;
         {
             let collector = &mut self.collector;
             let source = &mut self.source;
-            for shard in &mut self.shards {
+            let telemetry = &mut self.telemetry;
+            for (si, shard) in self.shards.iter_mut().enumerate() {
                 if t_wave >= shard.next_refresh {
                     shard.snapshot =
                         collector.gather_snapshot(&shard.addrs, source, &mut shard.rng);
                     shard.next_refresh = t_wave + self.cfg.snapshot_refresh;
                     refreshed = true;
+                    if let Some(tel) = telemetry {
+                        let agg = source.take_sync_trace();
+                        tel.record_gather(si, t_wave, &shard.snapshot, agg);
+                    }
                 }
             }
         }
@@ -776,6 +1143,7 @@ impl<S: StatusSource> ServingPlane<S> {
             }
             self.publish_cache(Vec::new(), refreshed);
             self.update_lag(t_wave);
+            self.telemetry_close_wave(t_wave, &[]);
             return;
         }
 
@@ -802,6 +1170,8 @@ impl<S: StatusSource> ServingPlane<S> {
                 arrival: p.arrival,
                 problem: p.problem,
                 snapshot,
+                shard,
+                trace: p.trace,
             });
         }
 
@@ -852,11 +1222,12 @@ impl<S: StatusSource> ServingPlane<S> {
                 // the version the worker is about to read.
                 let pinned = ledger.pin(wi);
                 let core = &mut slot.core;
+                let ring = slot.ring.as_mut();
                 let start = slot.avail;
                 let shared = &shared_view;
                 handles.push(Some(scope.spawn(move || {
                     run_groups(
-                        core, groups, &pinned, shared, wave, wi, t_wave, start, service,
+                        core, ring, groups, &pinned, shared, wave, wi, t_wave, start, service,
                         hit_service, hold, shed, seed,
                     )
                 })));
@@ -955,6 +1326,7 @@ impl<S: StatusSource> ServingPlane<S> {
         self.metrics.gauge_set(self.ids.epoch, stats.epoch as f64);
         self.metrics
             .gauge_set(self.ids.ledger_live, stats.live_entries as f64);
+        self.telemetry_close_wave(t_wave, &completed);
         out.append(&mut completed);
     }
 }
@@ -969,6 +1341,7 @@ impl<S: StatusSource> ServingPlane<S> {
 #[allow(clippy::too_many_arguments)]
 fn run_groups(
     core: &mut EvalCore,
+    mut ring: Option<&mut RingRecorder>,
     groups: Vec<Group>,
     pinned: &LedgerVersion,
     shared: &SharedMap,
@@ -1031,6 +1404,30 @@ fn run_groups(
                     }
                 }
             }
+            // Telemetry tap: record into this worker's exclusively-owned
+            // ring (lock-free by ownership; the sequencer drains it only
+            // between waves). Never touches the answer.
+            if let Some(ring) = ring.as_deref_mut() {
+                let spec = *ring.spec();
+                let rec = QueryRecord {
+                    class: tenant.0 as usize % spec.classes,
+                    shard: item.shard,
+                    latency_us: (completion - item.arrival).as_micros_f64(),
+                    error: result.is_err(),
+                    shed,
+                    hit,
+                    rung: match &result {
+                        Ok(a) => match a.provenance.rung {
+                            DegradationRung::Full => 0,
+                            DegradationRung::FreshSubset => 1,
+                            DegradationRung::AssumeBusy => 2,
+                        },
+                        Err(_) => 2,
+                    },
+                };
+                ring.record(completion, &rec);
+            }
+            let snapshot_epoch = item.snapshot.epoch();
             completed.push(CompletedQuery {
                 tenant,
                 seq: item.seq,
@@ -1040,6 +1437,8 @@ fn run_groups(
                 completion,
                 shed,
                 result,
+                trace: item.trace,
+                snapshot_epoch,
             });
         }
         out.push(GroupDone {
@@ -1224,5 +1623,99 @@ mod tests {
         assert_eq!(s.reclaimed, 1);
         assert_eq!(s.epoch, 1);
         drop(v0);
+    }
+
+    fn telemetry_cfg(workers: usize, sample_every: u64, slos: Vec<obs::SloSpec>) -> ServingConfig {
+        ServingConfig {
+            telemetry: TelemetryConfig {
+                sample_every,
+                slos,
+                window: SimDuration::from_millis(10),
+                ..TelemetryConfig::enabled()
+            },
+            ..cfg(workers)
+        }
+    }
+
+    #[test]
+    fn telemetry_windows_slos_and_stitched_traces() {
+        // Every wave-scheduled query has virtual latency ≥ the wave
+        // quantum (5 ms), so a 100 µs p99 SLO must breach.
+        let (layout, src) = fleet();
+        let slos = vec![obs::SloSpec::p99_latency_us(100.0)];
+        let mut plane = ServingPlane::new(telemetry_cfg(2, 1, slos), layout, src);
+        for t in 0..4u32 {
+            for q in 0..4u64 {
+                let at = SimTime::ZERO + SimDuration::from_millis(3 * q);
+                plane.submit(TenantId(t), rack_query(t), at).unwrap();
+            }
+        }
+        let done = plane.run_until(SimTime::from_secs_f64(0.1));
+        assert_eq!(done.len(), 16);
+        assert!(
+            done.iter().all(|c| c.trace.is_some()),
+            "sample_every=1 samples every query"
+        );
+
+        let bundle = plane.telemetry_dump().expect("telemetry is on");
+        let stats = plane.telemetry_stats();
+        assert!(stats.windows > 0, "{stats:?}");
+        assert_eq!(stats.sampled_traces, 16, "{stats:?}");
+        assert!(stats.breaches > 0, "5ms-floor latencies vs 100µs SLO");
+        assert_eq!(stats.ring_dropped, 0, "no completion outran the ring");
+        assert_eq!(
+            plane.metrics().counter_named("telemetry.sampled_traces"),
+            Some(16)
+        );
+
+        // The stitched Chrome trace spans admission → collector → worker
+        // → answer on the same timeline.
+        for lane in ["admission", "collector/shard", "worker", "answer"] {
+            assert!(
+                bundle.chrome_json.contains(lane),
+                "chrome trace missing lane {lane}"
+            );
+        }
+        assert!(bundle.metrics_text.contains("p99_us="));
+        assert!(bundle.slo_text.contains("BREACH"), "{}", bundle.slo_text);
+    }
+
+    #[test]
+    fn telemetry_off_is_inert_and_answers_match_on() {
+        let run = |telemetry: bool| {
+            let (layout, src) = fleet();
+            let cfg = if telemetry {
+                telemetry_cfg(2, 4, Vec::new())
+            } else {
+                cfg(2)
+            };
+            let mut plane = ServingPlane::new(cfg, layout, src);
+            for t in 0..4u32 {
+                for q in 0..4u64 {
+                    let at = SimTime::ZERO + SimDuration::from_millis(2 * q);
+                    plane.submit(TenantId(t), rack_query(t), at).unwrap();
+                }
+            }
+            let done = plane.run_until(SimTime::from_secs_f64(0.1));
+            let stats = plane.telemetry_stats();
+            let dump = plane.telemetry_dump();
+            (done, stats, dump)
+        };
+        let (on, on_stats, on_dump) = run(true);
+        let (off, off_stats, off_dump) = run(false);
+        assert_eq!(off_stats, TelemetryStats::default());
+        assert!(off_dump.is_none());
+        assert!(on_dump.is_some());
+        assert!(on_stats.windows > 0);
+        assert!(
+            on_stats.sampled_traces > 0 && on_stats.sampled_traces < 16,
+            "1-in-4 sampling keeps a strict subset: {on_stats:?}"
+        );
+        assert_eq!(on.len(), off.len());
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!((a.tenant, a.seq, a.completion), (b.tenant, b.seq, b.completion));
+            assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert!(b.trace.is_none(), "telemetry off mints no trace contexts");
+        }
     }
 }

@@ -53,6 +53,23 @@ pub trait StatusSource {
     fn poll_report(&mut self, addr: Address) -> Option<StatusReport> {
         self.poll(addr).map(StatusReport::fresh)
     }
+
+    /// Moves the source's notion of "now" to `now` before a gather.
+    /// Stateless sources (the default) ignore this; time-aware sources —
+    /// an [`crate::aggregate::AggregationPlane`] syncing its racks, a
+    /// [`LaggedStatusSource`] aging its reports — use it so a serving
+    /// plane's shard refresh sees state as of the wave clock rather than
+    /// as of construction time.
+    fn advance_to(&mut self, _now: SimTime) {}
+
+    /// Takes the span report of the collection work behind the most
+    /// recent polls, if the source records one (an
+    /// [`crate::aggregate::AggregationPlane`] returns its last sync
+    /// trace). Consumed on read so each gather's trace is stitched into
+    /// at most one end-to-end query trace. Plain sources return `None`.
+    fn take_sync_trace(&mut self) -> Option<obs::TraceReport> {
+        None
+    }
 }
 
 /// A status source backed by an explicit table (tests, static scenarios).
@@ -170,6 +187,10 @@ impl StatusSource for LaggedStatusSource {
             state,
             age: self.lag(),
         })
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        self.set_now(now);
     }
 }
 

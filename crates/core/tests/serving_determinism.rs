@@ -17,7 +17,7 @@
 //!   (no worker pins survive a wave).
 
 use cloudtalk::aggregate::FleetLayout;
-use cloudtalk::serving::{ServingConfig, ServingPlane, TenantId};
+use cloudtalk::serving::{ServingConfig, ServingPlane, TelemetryConfig, TenantId};
 use cloudtalk::server::Answer;
 use cloudtalk::status::TableStatusSource;
 use cloudtalk_lang::builder::hdfs_write_query;
@@ -183,5 +183,81 @@ fn pinned_schedule_identical_across_worker_counts() {
     for workers in [2usize, 8] {
         let (other, ..) = run(workers, &subs).unwrap();
         assert_eq!(base, other, "divergence at {workers} workers");
+    }
+}
+
+/// Replays `subs` with continuous telemetry on (1-in-4 trace sampling, a
+/// p99 SLO, 10 ms windows), returning the answer fingerprints plus the
+/// sampled-trace identity set `(tenant, seq, trace_id)`.
+fn run_with_telemetry(workers: usize, subs: &[Sub]) -> (Vec<Fingerprint>, Vec<(u32, u64, u64)>) {
+    let (layout, src) = fleet();
+    let cfg = ServingConfig {
+        workers,
+        racks_per_shard: 2,
+        wave_quantum: SimDuration::from_millis(5),
+        max_virtual_lag: SimDuration::from_secs_f64(1e6),
+        telemetry: TelemetryConfig {
+            sample_every: 4,
+            window: SimDuration::from_millis(10),
+            slos: vec![obs::SloSpec::p99_latency_us(25_000.0)],
+            ..TelemetryConfig::enabled()
+        },
+        ..ServingConfig::default()
+    };
+    let mut plane = ServingPlane::new(cfg, layout, src);
+    let mut fps: Vec<Fingerprint> = Vec::new();
+    let mut sampled: Vec<(u32, u64, u64)> = Vec::new();
+    let mut drain = |plane: &mut ServingPlane<TableStatusSource>, until: SimTime| {
+        for c in plane.run_until(until) {
+            if let Some(ctx) = c.trace {
+                sampled.push((c.tenant.0, c.seq, ctx.trace_id));
+            }
+            fps.push((c.tenant.0, c.seq, c.result.map_err(|e| e.to_string())));
+        }
+    };
+    for s in subs {
+        let _ = plane.submit(s.tenant, s.problem.clone(), s.arrival);
+        drain(&mut plane, s.arrival);
+    }
+    let end = subs.last().map_or(SimTime::ZERO, |s| s.arrival) + SimDuration::from_millis(20);
+    drain(&mut plane, end);
+    assert!(
+        plane.telemetry_stats().windows > 0 || plane.telemetry_dump().is_some(),
+        "telemetry plane produced no windows"
+    );
+    fps.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    sampled.sort_unstable();
+    (fps, sampled)
+}
+
+/// ISSUE 10: the sampled trace-id set is a pure function of
+/// `(seed, tenant, seq)` — identical at 1, 2 and 8 workers — and turning
+/// telemetry on changes no answer bit.
+#[test]
+fn sampled_trace_set_identical_across_worker_counts() {
+    let subs = schedule(0x7E1E_3715, 6, 40);
+    let (plain, ..) = run(1, &subs).unwrap();
+    let (base_fps, base_sampled) = run_with_telemetry(1, &subs);
+    assert_eq!(
+        plain, base_fps,
+        "telemetry on/off answers must be bit-identical"
+    );
+    assert!(
+        !base_sampled.is_empty() && base_sampled.len() < base_fps.len(),
+        "1-in-4 sampling keeps a non-empty strict subset: {} of {}",
+        base_sampled.len(),
+        base_fps.len()
+    );
+    assert!(
+        base_sampled.iter().all(|&(.., id)| id != 0),
+        "trace ids are non-zero by construction"
+    );
+    for workers in [2usize, 8] {
+        let (fps, sampled) = run_with_telemetry(workers, &subs);
+        assert_eq!(base_fps, fps, "answer divergence at {workers} workers");
+        assert_eq!(
+            base_sampled, sampled,
+            "sampled trace-id set divergence at {workers} workers"
+        );
     }
 }

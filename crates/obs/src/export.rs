@@ -112,9 +112,12 @@ fn fmt_f64(v: f64) -> String {
 /// ```text
 /// counter engine.events 128
 /// gauge engine.max_component 6
-/// histogram server.gather_rounds le=1:3 le=2:1 overflow:0 total=4 sum=5
+/// histogram server.gather_rounds le=1:3 le=2:1 overflow:0 total=4 sum=5 p50=1 p99=2 p999=2
 /// ```
 ///
+/// Histogram lines carry both the raw bucket counts *and* the estimated
+/// p50/p99/p999 ([`crate::metrics::Histogram::quantile`]), so the text
+/// dump preserves the distribution instead of collapsing it to a sum.
 /// Lines follow registration order, so a deterministic program produces a
 /// byte-identical dump.
 pub fn metrics_dump(reg: &MetricsRegistry) -> String {
@@ -132,10 +135,13 @@ pub fn metrics_dump(reg: &MetricsRegistry) -> String {
             out.push_str(&format!(" le={}:{}", fmt_f64(*b), counts[i]));
         }
         out.push_str(&format!(
-            " overflow:{} total={} sum={}\n",
+            " overflow:{} total={} sum={} p50={} p99={} p999={}\n",
             counts[h.bounds().len()],
             h.total(),
-            fmt_f64(h.sum())
+            fmt_f64(h.sum()),
+            fmt_f64(h.p50()),
+            fmt_f64(h.p99()),
+            fmt_f64(h.p999()),
         ));
     }
     out
@@ -199,11 +205,14 @@ mod tests {
         reg.observe(h, 0.5);
         reg.observe(h, 9.0);
         let dump = metrics_dump(&reg);
+        // p50: the single sub-1.0 observation interpolates to the first
+        // edge; p99/p999 land in overflow and clamp to the highest finite
+        // edge — the honest fixed-bucket answer.
         assert_eq!(
             dump,
             "counter a.count 3\n\
              gauge a.peak 6.5\n\
-             histogram a.hist le=1:1 le=2:0 overflow:1 total=2 sum=9.5\n"
+             histogram a.hist le=1:1 le=2:0 overflow:1 total=2 sum=9.5 p50=1 p99=2 p999=2\n"
         );
     }
 

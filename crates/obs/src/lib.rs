@@ -20,6 +20,19 @@
 //!   `name value` metrics dump. Hand-rolled serialisation: this
 //!   workspace has no serde available offline.
 //!
+//! The continuous-telemetry layer builds on those three:
+//!
+//! * [`timeseries`] — per-worker [`RingRecorder`]s of fixed-width
+//!   sim-time windows (alloc-free hot path), merged by a [`WindowHub`]
+//!   into per-window p50/p99/p999, rates, and per-class/per-shard
+//!   counts.
+//! * [`slo`] — declarative [`SloSpec`]s evaluated per window with
+//!   burn-rate accounting, emitting typed [`SloEvent`]s on transitions.
+//! * [`sample`] — a deterministic hash-based [`TraceSampler`] minting
+//!   [`TraceCtx`]s whose sampled set is independent of worker count.
+//! * [`recorder`] — a bounded [`FlightRecorder`] of recent windows,
+//!   stitched traces, and SLO events, dumpable as a postmortem bundle.
+//!
 //! Determinism contract: nothing in this crate reads wall-clock time,
 //! global state, or environment unless the caller explicitly installs a
 //! [`MonotonicClock`]. Two runs of a deterministic workload produce
@@ -30,9 +43,19 @@
 pub mod clock;
 pub mod export;
 pub mod metrics;
+pub mod recorder;
+pub mod sample;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use clock::{HostClock, ManualClock, MonotonicClock, NullClock};
 pub use export::{chrome_trace_json, metrics_dump};
-pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+pub use metrics::{quantile_from_counts, CounterId, GaugeId, HistogramId, MetricsRegistry};
+pub use recorder::{FlightRecorder, PostmortemBundle, RecorderCfg, StitchedTrace};
+pub use sample::{TraceCtx, TraceSampler, NO_SPAN};
+pub use slo::{SloEvent, SloEventKind, SloKind, SloSpec, SloStats, SloTracker};
+pub use timeseries::{
+    ClassWindow, QueryRecord, RingRecorder, RingSpec, WindowData, WindowHub, WindowSummary,
+};
 pub use trace::{SpanId, SpanRecord, Trace, TraceReport, NO_PARENT};

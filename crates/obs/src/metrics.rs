@@ -10,6 +10,49 @@
 //! a `NetSim`) carries its own, so tests can read exported values without
 //! reaching into private fields and parallel instances never contend.
 
+/// The `q`-quantile (`q` in `[0, 1]`) estimated from raw bucket counts by
+/// linear interpolation inside the bucket holding the target rank — the
+/// Prometheus `histogram_quantile` estimator. `counts` must have
+/// `bounds.len() + 1` entries (the last is the overflow bucket); ranks
+/// landing in overflow clamp to the highest finite edge, the honest answer
+/// a fixed-bucket histogram can give. Returns 0 for an empty distribution.
+///
+/// This is the shared estimator behind [`Histogram::quantile`] and the
+/// windowed time-series summaries in [`crate::timeseries`], which keep raw
+/// bucket arrays rather than `Histogram` values on their hot path.
+pub fn quantile_from_counts(bounds: &[f64], counts: &[u64], total: u64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q * total as f64;
+    let mut seen = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let next = seen + c as f64;
+        if next >= rank && c > 0 {
+            if i >= bounds.len() {
+                // Overflow bucket: no finite upper edge to interpolate
+                // towards.
+                return bounds.last().copied().unwrap_or(0.0);
+            }
+            let hi = bounds[i];
+            let lo = if i == 0 {
+                if hi > 0.0 {
+                    0.0
+                } else {
+                    hi
+                }
+            } else {
+                bounds[i - 1]
+            };
+            let frac = ((rank - seen) / c as f64).clamp(0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+        seen = next;
+    }
+    bounds.last().copied().unwrap_or(0.0)
+}
+
 /// Handle to a registered counter (monotonic `u64`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CounterId(u32);
@@ -87,36 +130,7 @@ impl Histogram {
     /// the highest finite edge, the honest answer a fixed-bucket
     /// histogram can give. Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        if self.total == 0 {
-            return 0.0;
-        }
-        let rank = q * self.total as f64;
-        let mut seen = 0.0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            let next = seen + c as f64;
-            if next >= rank && c > 0 {
-                if i >= self.bounds.len() {
-                    // Overflow bucket: no finite upper edge to
-                    // interpolate towards.
-                    return self.bounds.last().copied().unwrap_or(0.0);
-                }
-                let hi = self.bounds[i];
-                let lo = if i == 0 {
-                    if hi > 0.0 {
-                        0.0
-                    } else {
-                        hi
-                    }
-                } else {
-                    self.bounds[i - 1]
-                };
-                let frac = ((rank - seen) / c as f64).clamp(0.0, 1.0);
-                return lo + (hi - lo) * frac;
-            }
-            seen = next;
-        }
-        self.bounds.last().copied().unwrap_or(0.0)
+        quantile_from_counts(self.bounds, &self.counts, self.total, q)
     }
 
     /// Median estimate ([`Histogram::quantile`] at 0.5).

@@ -1,0 +1,110 @@
+//! Regression: `MetricsRegistry::merge_from` must be name-keyed, not
+//! index-keyed. Per-worker registries register metrics lazily in whatever
+//! order their first queries touch subsystems, so two workers doing the
+//! same job can hold the same metric names at different dense indices.
+//! Merging must fold by name — an index-aligned merge would silently add
+//! `worker0.cache_hits` into `worker1.queries`.
+
+use obs::{metrics_dump, MetricsRegistry};
+
+const LAT: &[f64] = &[100.0, 1_000.0, 10_000.0];
+const ROUNDS: &[f64] = &[1.0, 2.0, 4.0];
+
+/// A worker that touched the cache first: cache metrics get low indices.
+fn cache_first_worker() -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    let hits = r.counter("cache.hits");
+    let lat = r.histogram("serving.latency_us", LAT);
+    let queries = r.counter("server.queries");
+    let depth = r.gauge("queue.depth");
+    let rounds = r.histogram("server.gather_rounds", ROUNDS);
+    r.inc(hits, 7);
+    r.inc(queries, 20);
+    r.gauge_max(depth, 3.0);
+    r.observe(lat, 250.0);
+    r.observe(lat, 50_000.0);
+    r.observe(rounds, 1.0);
+    r
+}
+
+/// A worker that served a cold query first: search metrics come first and
+/// the cache counter is registered last.
+fn search_first_worker() -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    let queries = r.counter("server.queries");
+    let rounds = r.histogram("server.gather_rounds", ROUNDS);
+    let depth = r.gauge("queue.depth");
+    let lat = r.histogram("serving.latency_us", LAT);
+    let hits = r.counter("cache.hits");
+    r.inc(queries, 30);
+    r.inc(hits, 5);
+    r.gauge_max(depth, 9.0);
+    r.observe(lat, 900.0);
+    r.observe(rounds, 2.0);
+    r.observe(rounds, 4.0);
+    r
+}
+
+#[test]
+fn merge_is_name_keyed_across_registration_orders() {
+    // Merge the two workers into an empty collector, both orders.
+    for flipped in [false, true] {
+        let (a, b) = (cache_first_worker(), search_first_worker());
+        let mut plane = MetricsRegistry::new();
+        if flipped {
+            plane.merge_from(&b);
+            plane.merge_from(&a);
+        } else {
+            plane.merge_from(&a);
+            plane.merge_from(&b);
+        }
+
+        assert_eq!(plane.counter_named("server.queries"), Some(50));
+        assert_eq!(plane.counter_named("cache.hits"), Some(12));
+        assert_eq!(plane.gauge_named("queue.depth"), Some(9.0));
+
+        let lat = plane
+            .histograms()
+            .find(|(n, _)| *n == "serving.latency_us")
+            .map(|(_, h)| h)
+            .expect("latency histogram present after merge");
+        assert_eq!(lat.total(), 3);
+        assert_eq!(lat.sum(), 51_150.0);
+        // Bucket shape survives: 250/900 in finite buckets, 50000 overflow.
+        assert_eq!(lat.counts(), &[0, 2, 0, 1]);
+
+        let rounds = plane
+            .histograms()
+            .find(|(n, _)| *n == "server.gather_rounds")
+            .map(|(_, h)| h)
+            .expect("rounds histogram present after merge");
+        assert_eq!(rounds.total(), 3);
+        assert_eq!(rounds.counts(), &[1, 1, 1, 0]);
+    }
+}
+
+#[test]
+fn merged_dump_is_identical_either_merge_order() {
+    // Byte-identical dumps regardless of which worker merged first —
+    // the property the plane's `metrics()` accessor relies on. The
+    // collector registers canonical names up front (as the serving plane
+    // does), so line order is fixed by the collector, not the workers.
+    let canonical = |reg: &mut MetricsRegistry| {
+        reg.counter("cache.hits");
+        reg.counter("server.queries");
+        reg.gauge("queue.depth");
+        reg.histogram("serving.latency_us", LAT);
+        reg.histogram("server.gather_rounds", ROUNDS);
+    };
+    let mut first = MetricsRegistry::new();
+    canonical(&mut first);
+    first.merge_from(&cache_first_worker());
+    first.merge_from(&search_first_worker());
+
+    let mut second = MetricsRegistry::new();
+    canonical(&mut second);
+    second.merge_from(&search_first_worker());
+    second.merge_from(&cache_first_worker());
+
+    assert_eq!(metrics_dump(&first), metrics_dump(&second));
+}

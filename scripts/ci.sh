@@ -71,6 +71,40 @@ assert not missing, f"trace missing spans: {missing} (got {names})"
 print(f"trace OK: {len(trace['traceEvents'])} events, spans {sorted(names)}")
 EOF
 
+echo "=== telemetry smoke (SLO breach timeline, stitched cross-component trace) ==="
+cargo run --release -q -p cloudtalk-bench --bin qps_storm -- --telemetry --smoke
+python3 - <<'EOF'
+import json, re
+from collections import defaultdict
+with open("BENCH_telemetry_trace.json") as f:
+    trace = json.load(f)
+lanes = defaultdict(set)
+for e in trace["traceEvents"]:
+    if e.get("ph") == "M" and e.get("name") == "thread_name":
+        tid, _, lane = e["args"]["name"].partition("/")
+        lanes[tid].add(lane)
+stitched = [
+    t for t, ls in lanes.items()
+    if any(l.startswith("collector/shard") for l in ls)
+    and "aggregator" in ls
+    and any(re.fullmatch(r"worker\d+", l) for l in ls)
+    and "admission" in ls
+]
+assert stitched, f"no stitched collector->aggregator->worker trace (lanes: {dict(lanes)})"
+with open("BENCH_telemetry_slo.txt") as f:
+    slo = f.read()
+assert "BREACH" in slo, f"SLO timeline records no breach:\n{slo}"
+with open("BENCH_telemetry_metrics.txt") as f:
+    metrics = f.read()
+assert "p999_us=" in metrics and "class" in metrics, "window metrics lack per-class quantiles"
+print(f"telemetry OK: {len(stitched)} stitched traces across {len(lanes)} sampled, "
+      f"{slo.count('BREACH')} breach events")
+EOF
+
+echo "=== obs hot paths allocation-free (trace arena + telemetry rings) ==="
+cargo test -q -p obs --test trace_alloc
+cargo test -q -p obs --test timeseries_alloc
+
 echo "=== no stray prints in library crates (exporters own all output) ==="
 if grep -rn "println!\|eprintln!" crates/core/src crates/simnet/src; then
     echo "error: println!/eprintln! found in library code — use obs exporters"
